@@ -1,0 +1,86 @@
+package latchchar
+
+import (
+	"io"
+
+	"latchchar/internal/core"
+	"latchchar/internal/liberty"
+	"latchchar/internal/netlist"
+)
+
+// Deck is a parsed SPICE-like netlist describing a register and its
+// characterization stimulus.
+type Deck = netlist.Deck
+
+// ParseNetlist parses a netlist deck. Use Deck.Cell to obtain a Cell that
+// plugs into Characterize and BruteForce.
+func ParseNetlist(r io.Reader) (*Deck, error) { return netlist.Parse(r) }
+
+// ParseNetlistString parses a deck held in a string.
+func ParseNetlistString(s string) (*Deck, error) { return netlist.ParseString(s) }
+
+// SeedResult re-exports the first-point search outcome.
+type SeedResult = core.SeedResult
+
+// MPNRResult re-exports the Moore-Penrose Newton solve outcome.
+type MPNRResult = core.MPNRResult
+
+// FindSeed locates an initial (τs, τh) guess near the h = 0 curve by
+// bracketing the setup time at a large pinned hold skew (paper Fig. 7).
+func FindSeed(p Problem, opts SeedOptions) (SeedResult, error) {
+	return core.FindSeed(p, opts)
+}
+
+// SolveMPNR runs the Moore-Penrose pseudo-inverse Newton-Raphson corrector
+// from an initial guess, converging to the nearest point of the constant
+// clock-to-Q curve (paper Section IIIC).
+func SolveMPNR(p Problem, tauS, tauH float64, opts MPNROptions) (MPNRResult, error) {
+	return core.SolveMPNR(p, tauS, tauH, opts)
+}
+
+// TraceContour runs Euler-Newton continuation from a seed guess (paper
+// Section IIIE). Most callers want the higher-level Characterize, which
+// also handles calibration and seeding.
+func TraceContour(p Problem, seedS, seedH float64, opts TraceOptions) (*Contour, error) {
+	return core.TraceContour(p, seedS, seedH, opts)
+}
+
+// Tangent returns the unit tangent induced by the Jacobian [gs, gh]
+// (paper eq. (16)).
+func Tangent(gs, gh float64) (ts, th float64, err error) {
+	return core.Tangent(gs, gh)
+}
+
+// LibertyOptions configure the Liberty (.lib) fragment exporter.
+type LibertyOptions = liberty.Options
+
+// ExportLiberty writes a Liberty cell fragment for a characterization
+// result: conventional per-axis setup/hold constraints plus the full
+// interdependent pair table as a vendor-extension group.
+func ExportLiberty(w io.Writer, cellName string, res *Result, opts LibertyOptions) error {
+	return liberty.Export(w, cellName, res.Contour, res.Calibration, opts)
+}
+
+// Lint builds one instance of the cell and returns structural warnings
+// (nodes without a DC path to ground, dangling single-terminal nodes) —
+// the quick sanity check to run on a freshly written netlist before
+// spending transient simulations on it.
+func Lint(cell *Cell) ([]string, error) {
+	inst, err := cell.Build()
+	if err != nil {
+		return nil, err
+	}
+	warns := inst.Circuit.Lint()
+	out := make([]string, len(warns))
+	for i, w := range warns {
+		out[i] = w.String()
+	}
+	return out, nil
+}
+
+// ResampleContour redistributes a traced contour into exactly n points
+// evenly spaced in arc length, polishing each onto the curve with MPNR —
+// the form library table generators want.
+func ResampleContour(p Problem, c *Contour, n int, opts MPNROptions) (*Contour, error) {
+	return core.ResampleContour(p, c, n, opts)
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunTSPC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several characterizations")
+	}
+	if err := run([]string{"-cell", "tspc", "-tol", "0.5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadCell(t *testing.T) {
+	if err := run([]string{"-cell", "nope"}); err == nil {
+		t.Error("unknown cell accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,124 @@
+// Command latchchar characterizes interdependent setup/hold times of a
+// register by Euler-Newton curve tracing, writing the constant clock-to-Q
+// contour as CSV or JSON.
+//
+// Usage:
+//
+//	latchchar -cell tspc -points 40 -o contour.csv
+//	latchchar -netlist mylatch.cir -both -format json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"latchchar"
+	"latchchar/internal/cli"
+	"latchchar/internal/liberty"
+	"latchchar/internal/transient"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "latchchar:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("latchchar", flag.ContinueOnError)
+	var (
+		cellName = fs.String("cell", "tspc", "built-in cell: tspc, c2mos or tgate")
+		deckPath = fs.String("netlist", "", "netlist deck path (overrides -cell)")
+		points   = fs.Int("points", 40, "contour points per trace direction")
+		stepPS   = fs.Float64("step", 5, "Euler step length α in picoseconds")
+		both     = fs.Bool("both", true, "trace both directions from the seed")
+		resample = fs.Int("resample", 0, "resample the contour to exactly N arc-length-uniform points (0 = off)")
+		energy   = fs.Bool("energy", false, "add a per-point supply-energy column (csv format only)")
+		method   = fs.String("method", "be", "integration method: be or trap")
+		degrade  = fs.Float64("degrade", 0.10, "clock-to-Q degradation defining setup/hold")
+		maxSkew  = fs.Float64("maxskew", 1000, "skew domain bound in picoseconds")
+		format   = fs.String("format", "csv", "output format: csv, json or lib (Liberty fragment)")
+		outPath  = fs.String("o", "-", "output path (- for stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cell, err := cli.LoadCell(*cellName, *deckPath)
+	if err != nil {
+		return err
+	}
+	if *deckPath != "" {
+		// Structural sanity check on user netlists before burning transients.
+		warns, err := latchchar.Lint(cell)
+		if err != nil {
+			return err
+		}
+		for _, w := range warns {
+			fmt.Fprintln(os.Stderr, "lint:", w)
+		}
+	}
+	opts := latchchar.Options{
+		Points:         *points,
+		Step:           *stepPS * 1e-12,
+		BothDirections: *both,
+		Resample:       *resample,
+		Eval: latchchar.EvalConfig{
+			Degrade:      *degrade,
+			MaxSetupSkew: *maxSkew * 1e-12,
+		},
+	}
+	switch *method {
+	case "be":
+		opts.Eval.Method = transient.BE
+	case "trap":
+		opts.Eval.Method = transient.TRAP
+	default:
+		return fmt.Errorf("unknown method %q", *method)
+	}
+	ev, err := latchchar.NewEvaluator(cell, opts.Eval)
+	if err != nil {
+		return err
+	}
+	res, err := latchchar.CharacterizeWithEvaluator(ev, opts)
+	if err != nil {
+		return err
+	}
+
+	cal := res.Calibration
+	fmt.Fprintf(os.Stderr, "cell %s: characteristic clock-to-Q %s (tc = %.4f ns), tf = %.4f ns, r = %.3f V\n",
+		cell.Name, cli.Ps(cal.CharDelay), cal.TC*1e9, cal.Tf*1e9, cal.R)
+	fmt.Fprintf(os.Stderr, "traced %d contour points with %d simulations (%d plain + %d gradient) in %v\n",
+		len(res.Contour.Points), res.TotalSims(), res.PlainSims, res.GradSims, res.Elapsed.Round(1e6))
+
+	w, closeFn, err := cli.OpenOutput(*outPath)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	switch *format {
+	case "csv":
+		if *energy {
+			energies := make([]float64, len(res.Contour.Points))
+			for i, p := range res.Contour.Points {
+				energies[i], err = ev.SupplyEnergy(p.TauS, p.TauH)
+				if err != nil {
+					return err
+				}
+			}
+			return cli.WriteContourEnergyCSV(w, res.Contour.Points, energies)
+		}
+		return cli.WriteContourCSV(w, res.Contour.Points)
+	case "json":
+		return cli.WriteContourJSON(w, res.Contour.Points)
+	case "lib":
+		return liberty.Export(w, cell.Name, res.Contour, res.Calibration, liberty.Options{
+			Stamp: time.Now(),
+		})
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+}

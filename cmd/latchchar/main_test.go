@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesContourCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "contour.csv")
+	err := run([]string{"-cell", "tspc", "-points", "8", "-both=false", "-o", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few CSV lines: %d", len(lines))
+	}
+	if lines[0] != "tau_s_ps,tau_h_ps,h_volts,corrector_iters" {
+		t.Errorf("header: %q", lines[0])
+	}
+}
+
+func TestRunJSONFormat(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "contour.json")
+	err := run([]string{"-cell", "tspc", "-points", "5", "-both=false", "-format", "json", "-o", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"tau_s_ps\"") {
+		t.Errorf("json output: %q", data[:60])
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-cell", "nope"}); err == nil {
+		t.Error("unknown cell accepted")
+	}
+	if err := run([]string{"-method", "rk4"}); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if err := run([]string{"-format", "xml", "-points", "3", "-both=false"}); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunResample(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "contour.csv")
+	err := run([]string{"-cell", "tspc", "-points", "10", "-resample", "6", "-o", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 7 { // header + exactly 6 resampled points
+		t.Fatalf("lines: %d, want 7", len(lines))
+	}
+}
+
+func TestRunLibertyFormat(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "cell.lib")
+	err := run([]string{"-cell", "tspc", "-points", "6", "-both=false", "-format", "lib", "-o", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{"cell (tspc)", "timing_type : setup_rising;", "latchchar_interdependent_pairs"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestRunEnergyColumn(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "contour.csv")
+	err := run([]string{"-cell", "tspc", "-points", "4", "-both=false", "-energy", "-o", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if !strings.HasSuffix(lines[0], ",energy_fj") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if len(strings.Split(lines[1], ",")) != 5 {
+		t.Errorf("row: %q", lines[1])
+	}
+}

@@ -1,0 +1,113 @@
+// Command surfgen generates the brute-force output surface of a register
+// over an n×n grid of setup/hold skews and extracts the constant clock-to-Q
+// contour by marching-squares interpolation — the prior-practice baseline
+// the Euler-Newton tracer is compared against.
+//
+// Usage:
+//
+//	surfgen -cell tspc -n 40 -surface surface.csv -contour contour.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"latchchar"
+	"latchchar/internal/cli"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "surfgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("surfgen", flag.ContinueOnError)
+	var (
+		cellName  = fs.String("cell", "tspc", "built-in cell: tspc, c2mos or tgate")
+		deckPath  = fs.String("netlist", "", "netlist deck path (overrides -cell)")
+		n         = fs.Int("n", 40, "grid resolution per axis (n² simulations)")
+		sMin      = fs.Float64("smin", 10, "minimum setup skew (ps)")
+		sMax      = fs.Float64("smax", 800, "maximum setup skew (ps)")
+		hMin      = fs.Float64("hmin", 10, "minimum hold skew (ps)")
+		hMax      = fs.Float64("hmax", 800, "maximum hold skew (ps)")
+		workers   = fs.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+		delayMode = fs.Bool("delay", false, "generate the clock-to-Q delay surface (the paper's primary formulation) instead of the output-level surface")
+		surfOut   = fs.String("surface", "-", "surface CSV path (- for stdout)")
+		contOut   = fs.String("contour", "", "extracted-contour CSV path (empty = skip)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cell, err := cli.LoadCell(*cellName, *deckPath)
+	if err != nil {
+		return err
+	}
+	surfOpts := latchchar.SurfaceOptions{
+		N: *n,
+		Domain: latchchar.Rect{
+			MinS: *sMin * 1e-12, MaxS: *sMax * 1e-12,
+			MinH: *hMin * 1e-12, MaxH: *hMax * 1e-12,
+		},
+		Workers: *workers,
+	}
+	var sf *latchchar.Surface
+	var contour []latchchar.Polyline
+	var sims int
+	var elapsed time.Duration
+	var v [][]float64
+	if *delayMode {
+		res, err := latchchar.BruteForceDelay(cell, surfOpts)
+		if err != nil {
+			return err
+		}
+		sf, contour, sims, elapsed = res.Surface, res.Contour, res.Sims, res.Elapsed
+		v = res.Surface.V // delays in seconds
+	} else {
+		res, err := latchchar.BruteForce(cell, surfOpts)
+		if err != nil {
+			return err
+		}
+		sf, contour, sims, elapsed = res.Surface, res.Contour, res.Sims, res.Elapsed
+		// The stored samples are h = Q(tf) − r; write the raw output voltage
+		// (h + r), matching the surfaces of Figs. 1(a) and 9.
+		v = make([][]float64, len(res.Surface.S))
+		for i := range v {
+			v[i] = make([]float64, len(res.Surface.H))
+			for j := range v[i] {
+				v[i][j] = res.Surface.V[i][j] + res.Calibration.R
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "cell %s: %d simulations in %v; %d contour polylines\n",
+		cell.Name, sims, elapsed.Round(1e6), len(contour))
+	w, closeFn, err := cli.OpenOutput(*surfOut)
+	if err != nil {
+		return err
+	}
+	if err := cli.WriteSurfaceCSV(w, sf.S, sf.H, v); err != nil {
+		closeFn()
+		return err
+	}
+	if err := closeFn(); err != nil {
+		return err
+	}
+
+	if *contOut != "" {
+		polys := make([][][2]float64, len(contour))
+		for k, pl := range contour {
+			polys[k] = pl.Pts
+		}
+		cw, closeC, err := cli.OpenOutput(*contOut)
+		if err != nil {
+			return err
+		}
+		defer closeC()
+		return cli.WritePolylinesCSV(cw, polys)
+	}
+	return nil
+}

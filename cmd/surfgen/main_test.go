@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGeneratesSurfaceAndContour(t *testing.T) {
+	dir := t.TempDir()
+	surf := filepath.Join(dir, "surface.csv")
+	cont := filepath.Join(dir, "contour.csv")
+	err := run([]string{
+		"-cell", "tspc", "-n", "9",
+		"-smin", "150", "-smax", "600", "-hmin", "100", "-hmax", "600",
+		"-surface", surf, "-contour", cont,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdata, err := os.ReadFile(surf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(sdata)), "\n")
+	if len(lines) != 1+9*9 {
+		t.Fatalf("surface rows: %d, want %d", len(lines), 1+81)
+	}
+	cdata, err := os.ReadFile(cont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(cdata), "polyline,tau_s_ps,tau_h_ps") {
+		t.Errorf("contour header: %q", string(cdata)[:40])
+	}
+}
+
+func TestRunRejectsBadCell(t *testing.T) {
+	if err := run([]string{"-cell", "nope"}); err == nil {
+		t.Error("unknown cell accepted")
+	}
+}
+
+func TestRunDelaySurface(t *testing.T) {
+	dir := t.TempDir()
+	surf := filepath.Join(dir, "delays.csv")
+	err := run([]string{
+		"-cell", "tspc", "-n", "6", "-delay",
+		"-smin", "150", "-smax", "600", "-hmin", "120", "-hmax", "600",
+		"-surface", surf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(surf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 1+36 {
+		t.Fatalf("rows: %d", len(lines))
+	}
+	// Values are delays in seconds: a few hundred ps.
+	if !strings.Contains(string(data), "e-10") {
+		t.Errorf("expected sub-ns delays in output")
+	}
+}

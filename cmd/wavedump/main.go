@@ -1,0 +1,99 @@
+// Command wavedump simulates a register at one (setup, hold) skew pair and
+// writes every node-voltage waveform as CSV, using the adaptive-timestep
+// engine. It is the debugging companion to the characterization tools:
+// inspect exactly what the latch did around the active clock edge.
+//
+// Usage:
+//
+//	wavedump -cell c2mos -setup 600 -hold 180 -o waves.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"latchchar/internal/circuit"
+	"latchchar/internal/cli"
+	"latchchar/internal/solver"
+	"latchchar/internal/transient"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wavedump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wavedump", flag.ContinueOnError)
+	var (
+		cellName = fs.String("cell", "tspc", "built-in cell: tspc, c2mos or tgate")
+		deckPath = fs.String("netlist", "", "netlist deck path (overrides -cell)")
+		setupPS  = fs.Float64("setup", 400, "setup skew (ps)")
+		holdPS   = fs.Float64("hold", 300, "hold skew (ps)")
+		postNS   = fs.Float64("post", 3, "how far past the active edge to simulate (ns)")
+		rtol     = fs.Float64("rtol", 1e-3, "adaptive LTE relative tolerance")
+		outPath  = fs.String("o", "-", "output path (- for stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cell, err := cli.LoadCell(*cellName, *deckPath)
+	if err != nil {
+		return err
+	}
+	inst, err := cell.Build()
+	if err != nil {
+		return err
+	}
+	inst.Data.SetSkews(*setupPS*1e-12, *holdPS*1e-12)
+	x0, _, err := solver.DCOperatingPoint(inst.Circuit, 0, nil, solver.DCOptions{})
+	if err != nil {
+		return fmt.Errorf("DC operating point: %w", err)
+	}
+
+	numNodes := inst.Circuit.NumNodes()
+	probes := make([]circuit.UnknownID, numNodes)
+	names := make([]string, numNodes)
+	for i := 0; i < numNodes; i++ {
+		probes[i] = circuit.UnknownID(i)
+		names[i] = inst.Circuit.NodeName(circuit.UnknownID(i))
+	}
+	tEnd := inst.Edge50 + *postNS*1e-9
+	res, err := transient.RunAdaptive(inst.Circuit, x0, 0, tEnd, transient.AdaptiveOptions{
+		RelTol: *rtol,
+		Probes: probes,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cell %s at (τs, τh) = (%.0f, %.0f) ps: %d accepted steps, %d rejected, %d Newton iterations\n",
+		cell.Name, *setupPS, *holdPS, res.Stats.Steps, res.Rejected, res.Stats.NewtonIters)
+
+	w, closeFn, err := cli.OpenOutput(*outPath)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	cw := csv.NewWriter(w)
+	header := append([]string{"t_ns"}, names...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, 1+numNodes)
+	for k, tt := range res.Times {
+		row[0] = strconv.FormatFloat(tt*1e9, 'f', 6, 64)
+		for i := 0; i < numNodes; i++ {
+			row[1+i] = strconv.FormatFloat(res.Probes[i][k], 'f', 6, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

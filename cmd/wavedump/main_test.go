@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDumpsAllNodes(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "waves.csv")
+	if err := run([]string{"-cell", "tspc", "-setup", "400", "-hold", "300", "-post", "1", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 50 {
+		t.Fatalf("too few rows: %d", len(lines))
+	}
+	header := strings.Split(lines[0], ",")
+	// t_ns + 9 TSPC nodes (vdd, d, clk, x, y, q, n1, n2, n3).
+	if len(header) != 10 {
+		t.Fatalf("header columns: %v", header)
+	}
+	if header[0] != "t_ns" {
+		t.Errorf("first column %q", header[0])
+	}
+	found := false
+	for _, h := range header {
+		if h == "q" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("output node missing from header")
+	}
+}
+
+func TestRunRejectsBadCell(t *testing.T) {
+	if err := run([]string{"-cell", "nope"}); err == nil {
+		t.Error("unknown cell accepted")
+	}
+}

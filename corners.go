@@ -1,0 +1,69 @@
+package latchchar
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Corner is one process/voltage condition for characterization. The paper's
+// motivating workload is exactly this: "setup/hold times need to be
+// characterized for every register/cell of every standard cell library ...
+// for all process-voltage-temperature (PVT) corners".
+type Corner struct {
+	// Name labels the corner (e.g. "tt", "ff", "ss").
+	Name string
+	// Apply derives the corner's process parameters from the nominal ones.
+	Apply func(Process) Process
+}
+
+// StandardCorners returns a conventional fast/slow/low-voltage corner set
+// around the nominal process: FF (fast devices), SS (slow devices) and LV
+// (10% supply droop).
+func StandardCorners() []Corner {
+	scaleModels := func(p Process, kp, vt float64) Process {
+		p.NMOS.KP *= kp
+		p.PMOS.KP *= kp
+		p.NMOS.VT0 *= vt
+		p.PMOS.VT0 *= vt
+		return p
+	}
+	return []Corner{
+		{Name: "tt", Apply: func(p Process) Process { return p }},
+		{Name: "ff", Apply: func(p Process) Process { return scaleModels(p, 1.2, 0.92) }},
+		{Name: "ss", Apply: func(p Process) Process { return scaleModels(p, 0.85, 1.08) }},
+		{Name: "lv", Apply: func(p Process) Process { p.VDD *= 0.9; return p }},
+	}
+}
+
+// CornerResult pairs a corner with its characterization outcome.
+type CornerResult struct {
+	Corner string
+	Result *Result
+	Err    error
+}
+
+// SweepCorners characterizes one register type across process corners
+// concurrently (one independent circuit per corner). mk builds the cell for
+// a given process — e.g. a closure over TSPCCell with fixed timing. Results
+// are returned in corner order.
+func SweepCorners(mk func(Process) *Cell, nominal Process, corners []Corner, opts Options) []CornerResult {
+	out := make([]CornerResult, len(corners))
+	var wg sync.WaitGroup
+	for i, c := range corners {
+		wg.Add(1)
+		go func(i int, c Corner) {
+			defer wg.Done()
+			out[i].Corner = c.Name
+			if c.Apply == nil {
+				out[i].Err = fmt.Errorf("latchchar: corner %q has no Apply", c.Name)
+				return
+			}
+			cell := mk(c.Apply(nominal))
+			res, err := Characterize(cell, opts)
+			out[i].Result = res
+			out[i].Err = err
+		}(i, c)
+	}
+	wg.Wait()
+	return out
+}

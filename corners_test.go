@@ -1,0 +1,79 @@
+package latchchar
+
+import (
+	"testing"
+)
+
+func TestStandardCorners(t *testing.T) {
+	corners := StandardCorners()
+	if len(corners) != 4 {
+		t.Fatalf("corners: %d", len(corners))
+	}
+	nominal := DefaultProcess()
+	for _, c := range corners {
+		p := c.Apply(nominal)
+		if err := p.NMOS.Validate(); err != nil {
+			t.Errorf("corner %s: %v", c.Name, err)
+		}
+	}
+	ff := corners[1].Apply(nominal)
+	if ff.NMOS.KP <= nominal.NMOS.KP || ff.NMOS.VT0 >= nominal.NMOS.VT0 {
+		t.Error("ff corner should be faster")
+	}
+	lv := corners[3].Apply(nominal)
+	if lv.VDD >= nominal.VDD {
+		t.Error("lv corner should droop the supply")
+	}
+	// Apply must not mutate the nominal process.
+	if nominal.NMOS.KP != DefaultProcess().NMOS.KP {
+		t.Error("corner mutated nominal process")
+	}
+}
+
+func TestSweepCornersOrderingAndSpeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple characterizations")
+	}
+	tm := DefaultTiming()
+	mk := func(p Process) *Cell { return TSPCCell(p, tm) }
+	corners := []Corner{
+		{Name: "tt", Apply: func(p Process) Process { return p }},
+		{Name: "ss", Apply: func(p Process) Process {
+			p.NMOS.KP *= 0.85
+			p.PMOS.KP *= 0.85
+			p.NMOS.VT0 *= 1.08
+			p.PMOS.VT0 *= 1.08
+			return p
+		}},
+	}
+	results := SweepCorners(mk, DefaultProcess(), corners, Options{Points: 10})
+	if len(results) != 2 {
+		t.Fatalf("results: %d", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("corner %s: %v", r.Corner, r.Err)
+		}
+		if len(r.Result.Contour.Points) < 5 {
+			t.Errorf("corner %s: %d points", r.Corner, len(r.Result.Contour.Points))
+		}
+	}
+	if results[0].Corner != "tt" || results[1].Corner != "ss" {
+		t.Error("corner order not preserved")
+	}
+	// The slow corner must be slower.
+	tt := results[0].Result.Calibration.CharDelay
+	ss := results[1].Result.Calibration.CharDelay
+	if ss <= tt {
+		t.Errorf("slow corner delay %v ps not above nominal %v ps", ss*1e12, tt*1e12)
+	}
+}
+
+func TestSweepCornersMissingApply(t *testing.T) {
+	tm := DefaultTiming()
+	mk := func(p Process) *Cell { return TSPCCell(p, tm) }
+	results := SweepCorners(mk, DefaultProcess(), []Corner{{Name: "broken"}}, Options{Points: 5})
+	if results[0].Err == nil {
+		t.Error("nil Apply accepted")
+	}
+}

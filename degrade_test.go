@@ -1,0 +1,75 @@
+package latchchar
+
+import (
+	"testing"
+
+	"latchchar/internal/wave"
+)
+
+// TestDegradeFamilyNests checks the physical ordering of the contour family
+// across the degradation criterion: allowing less clock-to-Q degradation
+// (5%) demands larger skews than allowing more (20%), so the setup-time
+// asymptote shifts right as the criterion tightens. This generalizes the
+// paper's single 10% contour to the family a library characterization
+// would tabulate.
+func TestDegradeFamilyNests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three characterizations")
+	}
+	cell, err := CellByName("tspc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	setupAsymptote := func(degrade float64) float64 {
+		res, err := Characterize(cell, Options{
+			Points:         12,
+			BothDirections: true,
+			Eval:           EvalConfig{Degrade: degrade},
+		})
+		if err != nil {
+			t.Fatalf("degrade %v: %v", degrade, err)
+		}
+		minS, _, err := res.Contour.MinSetup()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return minS
+	}
+	s5 := setupAsymptote(0.05)
+	s10 := setupAsymptote(0.10)
+	s20 := setupAsymptote(0.20)
+	t.Logf("setup asymptote: 5%%→%.1f ps, 10%%→%.1f ps, 20%%→%.1f ps", s5*1e12, s10*1e12, s20*1e12)
+	if !(s5 > s10 && s10 > s20) {
+		t.Errorf("contour family does not nest: %v, %v, %v", s5, s10, s20)
+	}
+}
+
+// Ablation A6: data-ramp profile. The smoothstep ramp (default) keeps h(τ)
+// C¹ in the skews; the linear SPICE-style ramp has kinked derivatives. Both
+// must characterize successfully and agree on the contour location — the
+// ramp shape is a 100 ps detail against ~300 ps skews.
+func TestAblationRampShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two characterizations")
+	}
+	p := DefaultProcess()
+	asymptote := func(shape wave.RampShape) float64 {
+		tm := DefaultTiming()
+		tm.DataShape = shape
+		res, err := Characterize(TSPCCell(p, tm), Options{Points: 12, BothDirections: true})
+		if err != nil {
+			t.Fatalf("shape %v: %v", shape, err)
+		}
+		minS, _, err := res.Contour.MinSetup()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return minS
+	}
+	smooth := asymptote(RampSmooth)
+	linear := asymptote(RampLinear)
+	t.Logf("setup asymptote: smoothstep %.2f ps, linear %.2f ps", smooth*1e12, linear*1e12)
+	if d := smooth - linear; d > 15e-12 || d < -15e-12 {
+		t.Errorf("ramp shape moved the setup asymptote by %v ps", d*1e12)
+	}
+}

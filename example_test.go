@@ -1,0 +1,83 @@
+package latchchar_test
+
+import (
+	"fmt"
+
+	"latchchar"
+)
+
+// A contour is queryable like a lookup table: given a required hold time,
+// what setup time keeps the clock-to-Q delay constant? The synthetic
+// contour here stands in for a traced one.
+func ExampleContour_SetupForHold() {
+	ct := &latchchar.Contour{}
+	for s := 120.0; s <= 300; s += 20 {
+		h := 50 + 2000/(s-90) // picosecond hyperbola
+		ct.Points = append(ct.Points, latchchar.ContourPoint{TauS: s * 1e-12, TauH: h * 1e-12})
+	}
+	s, err := ct.SetupForHold(100e-12)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("hold 100 ps costs setup %.0f ps\n", s*1e12)
+	// Output: hold 100 ps costs setup 132 ps
+}
+
+// TradeHold answers the SHIA-STA question: how much setup slack buys the
+// missing hold margin?
+func ExampleContour_TradeHold() {
+	ct := &latchchar.Contour{}
+	for s := 120.0; s <= 300; s += 5 {
+		h := 50 + 2000/(s-90)
+		ct.Points = append(ct.Points, latchchar.ContourPoint{TauS: s * 1e-12, TauH: h * 1e-12})
+	}
+	newS, newH, err := ct.TradeHold(130e-12, 100e-12, 20e-12)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("(130, 100) ps -> (%.0f, %.0f) ps\n", newS*1e12, newH*1e12)
+	// Output: (130, 100) ps -> (157, 80) ps
+}
+
+// The unit tangent induced by the 1x2 Jacobian (paper eq. (16)) is
+// orthogonal to the gradient.
+func ExampleTangent() {
+	ts, th, err := Tangent(3, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("T = (%.1f, %.1f)\n", ts, th)
+	// Output: T = (-0.8, 0.6)
+}
+
+// Tangent is re-exported at the package root.
+func Tangent(gs, gh float64) (float64, float64, error) {
+	return latchchar.Tangent(gs, gh)
+}
+
+// Analytic problems plug into the same solvers as circuit evaluators: here
+// MPNR finds the nearest point of a circle.
+func ExampleSolveMPNR() {
+	circle := problemFunc(func(s, h float64) (float64, float64, float64) {
+		return s*s + h*h - 1, 2 * s, 2 * h
+	})
+	res, err := latchchar.SolveMPNR(circle, 2, 0, latchchar.MPNROptions{MaxStep: 10})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("nearest curve point: (%.3f, %.3f)\n", res.TauS, res.TauH)
+	// Output: nearest curve point: (1.000, 0.000)
+}
+
+// problemFunc adapts a closure to the Problem interface.
+type problemFunc func(s, h float64) (v, gs, gh float64)
+
+func (f problemFunc) Eval(s, h float64) (float64, error) {
+	v, _, _ := f(s, h)
+	return v, nil
+}
+
+func (f problemFunc) EvalGrad(s, h float64) (float64, float64, float64, error) {
+	v, gs, gh := f(s, h)
+	return v, gs, gh, nil
+}

@@ -1,0 +1,98 @@
+// C²MOS false transitions: reproduce Fig. 11(b) and Fig. 12(a). With the
+// complementary clock delayed 0.3 ns, marginal hold skews let the output
+// complete most of its transition and then revert to the wrong logic value,
+// which is why the C²MOS characterization uses a 90% output criterion. The
+// example prints an ASCII rendering of a successful and a failed transition,
+// then traces the interdependent setup/hold contour.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"latchchar"
+)
+
+func main() {
+	cell, err := latchchar.CellByName("c2mos")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := latchchar.NewEvaluator(cell, latchchar.EvalConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst := ev.Instance()
+	tEnd := inst.Edge50 + 3e-9
+
+	fmt.Println("output waveforms after the active clock edge (τs = 600 ps):")
+	for _, tauH := range []float64{400e-12, 180e-12} {
+		times, out, err := ev.OutputUntil(600e-12, tauH, tEnd)
+		if err != nil {
+			log.Fatal(err)
+		}
+		minV := math.Inf(1)
+		for _, v := range out {
+			minV = math.Min(minV, v)
+		}
+		final := out[len(out)-1]
+		verdict := "successful transition"
+		if final > inst.VDD/2 {
+			verdict = fmt.Sprintf("FALSE transition (fell to %.2f V, reverted to %.2f V)", minV, final)
+		}
+		fmt.Printf("\nτh = %.0f ps — %s\n", tauH*1e12, verdict)
+		sketch(times, out, inst.Edge50, inst.VDD)
+	}
+
+	res, err := latchchar.Characterize(cell, latchchar.Options{
+		Points:         40,
+		BothDirections: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nC²MOS constant clock-to-Q contour (90%% criterion, 10%% degradation):\n")
+	fmt.Printf("%12s %12s\n", "setup (ps)", "hold (ps)")
+	for i, p := range res.Contour.Points {
+		if i%5 == 0 || i == len(res.Contour.Points)-1 {
+			fmt.Printf("%12.2f %12.2f\n", p.TauS*1e12, p.TauH*1e12)
+		}
+	}
+	fmt.Printf("(%d points, %d simulations)\n", len(res.Contour.Points), res.TotalSims())
+}
+
+// sketch prints a small ASCII plot of the waveform after the clock edge.
+func sketch(times, out []float64, edge, vdd float64) {
+	const cols = 64
+	tMax := times[len(times)-1]
+	samples := make([]float64, cols)
+	for c := 0; c < cols; c++ {
+		target := edge + float64(c)/(cols-1)*(tMax-edge)
+		// nearest sample
+		best, bd := 0, math.Inf(1)
+		for i, t := range times {
+			if d := math.Abs(t - target); d < bd {
+				best, bd = i, d
+			}
+		}
+		samples[c] = out[best]
+	}
+	const rows = 8
+	for r := rows - 1; r >= 0; r-- {
+		lo := vdd * float64(r) / rows
+		hi := vdd * float64(r+1) / rows
+		var b strings.Builder
+		for _, v := range samples {
+			if v >= lo && v < hi {
+				b.WriteByte('*')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		fmt.Printf("%5.2fV |%s\n", hi, b.String())
+	}
+	fmt.Printf("       +%s\n", strings.Repeat("-", cols))
+	fmt.Printf("        clock edge %30s t = %.2f ns\n", "", tMax*1e9)
+}

@@ -1,0 +1,53 @@
+// Energy along the iso-delay contour: every point of the constant
+// clock-to-Q curve gives the same timing, but not the same supply energy —
+// the power-optimization degree of freedom the paper's introduction
+// attributes to SHIA-STA ("this flexibility is expected to have significant
+// impact on power optimization"). The example traces the TSPC contour,
+// measures the energy drawn from VDD at a spread of contour points, and
+// reports the cheapest timing-equivalent operating point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"latchchar"
+)
+
+func main() {
+	cell, err := latchchar.CellByName("tspc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := latchchar.NewEvaluator(cell, latchchar.EvalConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := latchchar.CharacterizeWithEvaluator(ev, latchchar.Options{
+		Points:         40,
+		BothDirections: true,
+		Resample:       9, // an even spread along the curve
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("energy drawn from VDD over the measurement window, along the")
+	fmt.Println("constant clock-to-Q contour (all rows are timing-equivalent):")
+	fmt.Println()
+	fmt.Printf("%12s %12s %14s\n", "setup (ps)", "hold (ps)", "energy (fJ)")
+	bestIdx, bestE := -1, 0.0
+	for i, p := range res.Contour.Points {
+		e, err := ev.SupplyEnergy(p.TauS, p.TauH)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%12.1f %12.1f %14.2f\n", p.TauS*1e12, p.TauH*1e12, e*1e15)
+		if bestIdx < 0 || e < bestE {
+			bestIdx, bestE = i, e
+		}
+	}
+	b := res.Contour.Points[bestIdx]
+	fmt.Printf("\ncheapest timing-equivalent point: (τs, τh) = (%.1f, %.1f) ps at %.2f fJ\n",
+		b.TauS*1e12, b.TauH*1e12, bestE*1e15)
+}

@@ -1,0 +1,39 @@
+// Quickstart: characterize the interdependent setup/hold times of the
+// built-in TSPC register and print the constant clock-to-Q contour.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"latchchar"
+)
+
+func main() {
+	cell, err := latchchar.CellByName("tspc")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := latchchar.Characterize(cell, latchchar.Options{
+		Points:         40,
+		BothDirections: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cal := res.Calibration
+	fmt.Printf("characteristic clock-to-Q delay: %.1f ps\n", cal.CharDelay*1e12)
+	fmt.Printf("measurement: output %.3f V at tf = %.4f ns (10%% degraded delay)\n", cal.R, cal.Tf*1e9)
+	fmt.Printf("traced %d interdependent (setup, hold) pairs with %d transient simulations:\n\n",
+		len(res.Contour.Points), res.TotalSims())
+
+	fmt.Printf("%12s %12s %10s\n", "setup (ps)", "hold (ps)", "MPNR iters")
+	for i, p := range res.Contour.Points {
+		if i%4 != 0 && i != len(res.Contour.Points)-1 {
+			continue // print every 4th point
+		}
+		fmt.Printf("%12.2f %12.2f %10d\n", p.TauS*1e12, p.TauH*1e12, p.CorrectorIters)
+	}
+}

@@ -1,0 +1,63 @@
+// Surface comparison: reproduce the paper's validation overlay (Figs. 8–10)
+// on the TSPC register. The Euler-Newton contour is traced directly, the
+// brute-force output surface is generated on a grid, its iso-contour is
+// extracted by marching squares, and the two curves are compared — along
+// with the simulation-count cost of each method.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"latchchar"
+)
+
+func main() {
+	cell, err := latchchar.CellByName("tspc")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Euler-Newton contour (the paper's method).
+	en, err := latchchar.Characterize(cell, latchchar.Options{
+		Points:         40,
+		BothDirections: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Euler-Newton: %d contour points, %d simulations, %v\n",
+		len(en.Contour.Points), en.TotalSims(), en.Elapsed.Round(1e6))
+
+	// Brute-force surface + marching-squares contour (prior practice).
+	domain := latchchar.Rect{MinS: 100e-12, MaxS: 800e-12, MinH: 100e-12, MaxH: 800e-12}
+	bf, err := latchchar.BruteForce(cell, latchchar.SurfaceOptions{N: 25, Domain: domain})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("brute force:  %d×%d surface = %d simulations, %v (parallel)\n",
+		len(bf.Surface.S), len(bf.Surface.H), bf.Sims, bf.Elapsed.Round(1e6))
+
+	// Overlay (Fig. 10): restrict EN points to the surface domain and
+	// measure the deviation.
+	margin := (domain.MaxS - domain.MinS) / float64(24)
+	inner := latchchar.Rect{
+		MinS: domain.MinS + margin, MaxS: domain.MaxS - margin,
+		MinH: domain.MinH + margin, MaxH: domain.MaxH - margin,
+	}
+	clipped := &latchchar.Contour{}
+	for _, p := range en.Contour.Points {
+		if inner.Contains(p.TauS, p.TauH) {
+			clipped.Points = append(clipped.Points, p)
+		}
+	}
+	max, mean, err := latchchar.CompareContours(clipped, bf.Contour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noverlay: max deviation %.2f ps, mean %.2f ps (grid cell %.2f ps)\n",
+		max*1e12, mean*1e12, margin*1e12)
+	fmt.Printf("speedup (simulation count): %.1f×\n", float64(bf.Sims)/float64(en.TotalSims()))
+	fmt.Printf("speedup (wall clock, surface parallelized): %.1f×\n",
+		float64(bf.Elapsed)/float64(en.Elapsed))
+}

@@ -1,0 +1,66 @@
+package latchchar
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSingularDeckFailsGracefully: two ideal sources forcing the same node
+// to different voltages make the MNA system singular; every entry point
+// must return an error (never panic).
+func TestSingularDeckFailsGracefully(t *testing.T) {
+	deck := `
+.model nch nmos VT0=0.43 KP=115u
+Vdd vdd 0 DC 2.5
+Vbad vdd 0 DC 1.0 ; conflicting ideal source on the same node
+Vc clk 0 CLOCK(0 2.5 10n 1n 0.1n 0.1n)
+Vd d 0 DATA(11.05n 2.5 0 0.1n 0.1n)
+M1 q d vdd 0 nch W=1u L=0.25u
+Cq q 0 10f
+.out q
+`
+	d, err := ParseNetlistString(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := d.Cell("singular")
+	if _, err := NewEvaluator(cell, EvalConfig{}); err == nil {
+		t.Error("singular circuit accepted by NewEvaluator")
+	}
+	if _, err := Characterize(cell, Options{Points: 3}); err == nil {
+		t.Error("singular circuit accepted by Characterize")
+	}
+	if _, err := BruteForce(cell, SurfaceOptions{N: 3}); err == nil {
+		t.Error("singular circuit accepted by BruteForce")
+	}
+}
+
+// TestNonLatchingDeckReportsCalibrationFailure: a "register" whose output
+// never crosses the threshold after the active edge must fail calibration
+// with a descriptive error.
+func TestNonLatchingDeckReportsCalibrationFailure(t *testing.T) {
+	deck := `
+.model nch nmos VT0=0.43 KP=115u
+Vdd vdd 0 DC 2.5
+Vc clk 0 CLOCK(0 2.5 10n 1n 0.1n 0.1n)
+Vd d 0 DATA(11.05n 2.5 0 0.1n 0.1n)
+* output tied to ground through a resistor; nothing ever latches
+Rq q 0 1k
+Rv q vdd 1meg
+M1 x d 0 0 nch W=1u L=0.25u
+Cx x 0 10f
+.out q
+.rising 1
+`
+	d, err := ParseNetlistString(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewEvaluator(d.Cell("dud"), EvalConfig{})
+	if err == nil {
+		t.Fatal("non-latching circuit calibrated successfully")
+	}
+	if !strings.Contains(err.Error(), "never crossed") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module latchchar
+
+go 1.22

@@ -1,0 +1,67 @@
+package latchchar
+
+import (
+	"fmt"
+
+	"latchchar/internal/core"
+)
+
+// IndependentOptions re-exports the scalar characterization options.
+type IndependentOptions = core.IndependentOptions
+
+// IndependentResult re-exports the scalar characterization result.
+type IndependentResult = core.IndependentResult
+
+// Axis selects setup or hold for independent characterization.
+type Axis = core.Axis
+
+// Axis values.
+const (
+	SetupAxis = core.SetupAxis
+	HoldAxis  = core.HoldAxis
+)
+
+// IndependentTimes characterizes the setup and hold times independently of
+// each other (Section IIIB) on a fresh instance of the cell, using the
+// direct-Newton strategy of the paper's companion work. The returned
+// results include simulation counts.
+func IndependentTimes(cell *Cell, evalCfg EvalConfig, opts IndependentOptions) (setup, hold IndependentResult, err error) {
+	ev, err := NewEvaluator(cell, evalCfg)
+	if err != nil {
+		return setup, hold, err
+	}
+	o := opts
+	o.Axis = SetupAxis
+	setup, err = core.IndependentNR(ev, o)
+	if err != nil {
+		return setup, hold, fmt.Errorf("latchchar: independent setup: %w", err)
+	}
+	o.Axis = HoldAxis
+	hold, err = core.IndependentNR(ev, o)
+	if err != nil {
+		return setup, hold, fmt.Errorf("latchchar: independent hold: %w", err)
+	}
+	return setup, hold, nil
+}
+
+// IndependentBaseline runs the industry-practice binary search for the same
+// quantities, for cost comparison (reproducing the 4–10× prior-work
+// speedup).
+func IndependentBaseline(cell *Cell, evalCfg EvalConfig, opts IndependentOptions) (setup, hold IndependentResult, err error) {
+	ev, err := NewEvaluator(cell, evalCfg)
+	if err != nil {
+		return setup, hold, err
+	}
+	o := opts
+	o.Axis = SetupAxis
+	setup, err = core.IndependentBisection(ev, o)
+	if err != nil {
+		return setup, hold, fmt.Errorf("latchchar: baseline setup: %w", err)
+	}
+	o.Axis = HoldAxis
+	hold, err = core.IndependentBisection(ev, o)
+	if err != nil {
+		return setup, hold, fmt.Errorf("latchchar: baseline hold: %w", err)
+	}
+	return setup, hold, nil
+}

@@ -1,0 +1,136 @@
+package circuit
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Netlist lint: structural checks that catch the usual latch-netlist
+// mistakes before a characterization run spends transient simulations on
+// them. The checks are topological, built from devices that report their
+// conductive connectivity.
+
+// ConductiveDevice is implemented by devices that provide a DC conduction
+// path between unknowns (resistors, sources, MOSFET channels). Devices that
+// do not implement it (capacitors) contribute no conductive edges.
+type ConductiveDevice interface {
+	Device
+	// ConductivePairs returns terminal pairs that can conduct DC current.
+	ConductivePairs() [][2]UnknownID
+}
+
+// LintWarning is one structural finding.
+type LintWarning struct {
+	// Kind is a stable identifier: "floating-node", "single-terminal-node"
+	// or "no-ground-path".
+	Kind string
+	// Node is the affected node's name.
+	Node string
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+func (w LintWarning) String() string {
+	return fmt.Sprintf("%s: node %q: %s", w.Kind, w.Node, w.Detail)
+}
+
+// Lint analyzes the finalized circuit's topology and returns warnings:
+//
+//   - "no-ground-path": the node cannot reach ground through any chain of
+//     conductive devices — its DC level is set only by the gmin leak, which
+//     usually means a missing transistor connection or a node name typo.
+//     (Dynamic storage nodes connected through MOSFET channels do NOT
+//     trigger this: a channel counts as a conductive edge even when it may
+//     be off at a particular bias.)
+//   - "single-terminal-node": exactly one device terminal touches the node.
+func (c *Circuit) Lint() []LintWarning {
+	if !c.finalized {
+		panic("circuit: Lint before Finalize")
+	}
+	n := len(c.nodeNames)
+	touch := make([]int, n)
+	// Union-find over nodes ∪ {ground}; index n is ground.
+	parent := make([]int, n+1)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	idx := func(id UnknownID) int {
+		if id == Ground {
+			return n
+		}
+		return int(id)
+	}
+	for _, d := range c.devices {
+		cd, ok := d.(ConductiveDevice)
+		if !ok {
+			continue
+		}
+		for _, pair := range cd.ConductivePairs() {
+			a, b := pair[0], pair[1]
+			if a != Ground && int(a) < n {
+				touch[a]++
+			}
+			if b != Ground && int(b) < n {
+				touch[b]++
+			}
+			// Branch unknowns are not nodes; clamp into the node set by
+			// skipping pairs that reference them.
+			if (a != Ground && int(a) >= n) || (b != Ground && int(b) >= n) {
+				continue
+			}
+			union(idx(a), idx(b))
+		}
+	}
+	// Count every device terminal (conductive or not) for the
+	// single-terminal check.
+	termCount := make([]int, n)
+	for _, d := range c.devices {
+		if tp, ok := d.(interface{ Terminals() []UnknownID }); ok {
+			for _, id := range tp.Terminals() {
+				if id != Ground && int(id) < n {
+					termCount[id]++
+				}
+			}
+		}
+	}
+
+	var warns []LintWarning
+	groundRoot := find(n)
+	for i := 0; i < n; i++ {
+		if find(i) != groundRoot {
+			warns = append(warns, LintWarning{
+				Kind:   "no-ground-path",
+				Node:   c.nodeNames[i],
+				Detail: "no conductive path to ground; DC level set only by gmin",
+			})
+		}
+		if termCount[i] == 1 {
+			warns = append(warns, LintWarning{
+				Kind:   "single-terminal-node",
+				Node:   c.nodeNames[i],
+				Detail: "only one device terminal touches this node (typo?)",
+			})
+		}
+	}
+	sort.Slice(warns, func(a, b int) bool {
+		if warns[a].Node != warns[b].Node {
+			return warns[a].Node < warns[b].Node
+		}
+		return warns[a].Kind < warns[b].Kind
+	})
+	return warns
+}

@@ -1,0 +1,95 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+// lintDevice is a configurable stub implementing the lint interfaces.
+type lintDevice struct {
+	name  string
+	pairs [][2]UnknownID
+	terms []UnknownID
+}
+
+func (d *lintDevice) Name() string                    { return d.name }
+func (d *lintDevice) Setup(ctx *SetupCtx) error       { ctx.G(d.terms[0], d.terms[0]); return nil }
+func (d *lintDevice) Eval(ctx *EvalCtx)               {}
+func (d *lintDevice) ConductivePairs() [][2]UnknownID { return d.pairs }
+func (d *lintDevice) Terminals() []UnknownID          { return d.terms }
+
+func TestLintCleanCircuit(t *testing.T) {
+	c := New()
+	a := c.Node("a")
+	b := c.Node("b")
+	c.AddDevice(&lintDevice{name: "r1", pairs: [][2]UnknownID{{a, Ground}}, terms: []UnknownID{a, Ground}})
+	c.AddDevice(&lintDevice{name: "r2", pairs: [][2]UnknownID{{a, b}}, terms: []UnknownID{a, b}})
+	c.AddDevice(&lintDevice{name: "r3", pairs: [][2]UnknownID{{b, Ground}}, terms: []UnknownID{b, Ground}})
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if warns := c.Lint(); len(warns) != 0 {
+		t.Errorf("clean circuit flagged: %v", warns)
+	}
+}
+
+func TestLintFloatingNode(t *testing.T) {
+	c := New()
+	a := c.Node("a")
+	fl := c.Node("floaty")
+	c.AddDevice(&lintDevice{name: "r1", pairs: [][2]UnknownID{{a, Ground}}, terms: []UnknownID{a, Ground}})
+	// A capacitor-like device: terminals but no conductive pairs.
+	c.AddDevice(&lintDevice{name: "c1", terms: []UnknownID{a, fl}})
+	c.AddDevice(&lintDevice{name: "c2", terms: []UnknownID{fl, Ground}})
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	warns := c.Lint()
+	found := false
+	for _, w := range warns {
+		if w.Kind == "no-ground-path" && w.Node == "floaty" {
+			found = true
+		}
+		if w.Node == "a" {
+			t.Errorf("node a wrongly flagged: %v", w)
+		}
+	}
+	if !found {
+		t.Errorf("floating node not flagged: %v", warns)
+	}
+}
+
+func TestLintSingleTerminalNode(t *testing.T) {
+	c := New()
+	a := c.Node("a")
+	stub := c.Node("stub")
+	c.AddDevice(&lintDevice{name: "r1", pairs: [][2]UnknownID{{a, Ground}}, terms: []UnknownID{a, Ground}})
+	c.AddDevice(&lintDevice{name: "r2", pairs: [][2]UnknownID{{a, stub}}, terms: []UnknownID{a, stub}})
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	warns := c.Lint()
+	found := false
+	for _, w := range warns {
+		if w.Kind == "single-terminal-node" && w.Node == "stub" {
+			found = true
+			if !strings.Contains(w.String(), "stub") {
+				t.Error("String() missing node name")
+			}
+		}
+	}
+	if !found {
+		t.Errorf("dangling node not flagged: %v", warns)
+	}
+}
+
+func TestLintBeforeFinalizePanics(t *testing.T) {
+	c := New()
+	c.Node("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Lint()
+}

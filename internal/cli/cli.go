@@ -1,0 +1,162 @@
+// Package cli holds the glue shared by the command-line tools: loading a
+// register cell by built-in name or netlist path, and formatting contour
+// data as CSV or JSON.
+package cli
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"latchchar/internal/core"
+	"latchchar/internal/netlist"
+	"latchchar/internal/registers"
+)
+
+// LoadCell resolves a register cell: if netlistPath is non-empty the deck is
+// parsed from that file, otherwise name selects a built-in cell.
+func LoadCell(name, netlistPath string) (*registers.Cell, error) {
+	if netlistPath != "" {
+		deck, err := netlist.ParseFile(netlistPath)
+		if err != nil {
+			return nil, err
+		}
+		return deck.Cell(netlistPath), nil
+	}
+	return registers.ByName(name)
+}
+
+// WriteContourCSV writes a traced contour as CSV with picosecond columns.
+func WriteContourCSV(w io.Writer, points []core.Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"tau_s_ps", "tau_h_ps", "h_volts", "corrector_iters"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		rec := []string{
+			strconv.FormatFloat(p.TauS*1e12, 'f', 4, 64),
+			strconv.FormatFloat(p.TauH*1e12, 'f', 4, 64),
+			strconv.FormatFloat(p.H, 'e', 6, 64),
+			strconv.Itoa(p.CorrectorIters),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteContourEnergyCSV writes a contour with a per-point supply-energy
+// column (femtojoules).
+func WriteContourEnergyCSV(w io.Writer, points []core.Point, energies []float64) error {
+	if len(points) != len(energies) {
+		return fmt.Errorf("cli: %d points but %d energies", len(points), len(energies))
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"tau_s_ps", "tau_h_ps", "h_volts", "corrector_iters", "energy_fj"}); err != nil {
+		return err
+	}
+	for i, p := range points {
+		rec := []string{
+			strconv.FormatFloat(p.TauS*1e12, 'f', 4, 64),
+			strconv.FormatFloat(p.TauH*1e12, 'f', 4, 64),
+			strconv.FormatFloat(p.H, 'e', 6, 64),
+			strconv.Itoa(p.CorrectorIters),
+			strconv.FormatFloat(energies[i]*1e15, 'f', 4, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// contourJSON is the JSON shape of a contour point.
+type contourJSON struct {
+	TauSPs float64 `json:"tau_s_ps"`
+	TauHPs float64 `json:"tau_h_ps"`
+	H      float64 `json:"h_volts"`
+	Iters  int     `json:"corrector_iters"`
+}
+
+// WriteContourJSON writes a traced contour as a JSON array.
+func WriteContourJSON(w io.Writer, points []core.Point) error {
+	out := make([]contourJSON, len(points))
+	for i, p := range points {
+		out[i] = contourJSON{
+			TauSPs: p.TauS * 1e12,
+			TauHPs: p.TauH * 1e12,
+			H:      p.H,
+			Iters:  p.CorrectorIters,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteSurfaceCSV writes surface samples as long-form CSV rows.
+func WriteSurfaceCSV(w io.Writer, sAxis, hAxis []float64, v [][]float64) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"tau_s_ps", "tau_h_ps", "value"}); err != nil {
+		return err
+	}
+	for i, s := range sAxis {
+		for j, h := range hAxis {
+			rec := []string{
+				strconv.FormatFloat(s*1e12, 'f', 4, 64),
+				strconv.FormatFloat(h*1e12, 'f', 4, 64),
+				strconv.FormatFloat(v[i][j], 'e', 6, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePolylinesCSV writes extracted iso-contour polylines, tagging each
+// point with its polyline index.
+func WritePolylinesCSV(w io.Writer, polys [][][2]float64) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"polyline", "tau_s_ps", "tau_h_ps"}); err != nil {
+		return err
+	}
+	for k, pl := range polys {
+		for _, p := range pl {
+			rec := []string{
+				strconv.Itoa(k),
+				strconv.FormatFloat(p[0]*1e12, 'f', 4, 64),
+				strconv.FormatFloat(p[1]*1e12, 'f', 4, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// OpenOutput returns w for path "-" or "" (stdout), else creates the file.
+// The returned closer is a no-op for stdout.
+func OpenOutput(path string) (io.Writer, func() error, error) {
+	if path == "" || path == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+// Ps formats seconds as picoseconds for human-readable summaries.
+func Ps(sec float64) string { return fmt.Sprintf("%.2f ps", sec*1e12) }

@@ -1,0 +1,194 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"latchchar/internal/core"
+)
+
+func TestLoadCellBuiltin(t *testing.T) {
+	cell, err := LoadCell("tspc", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Name != "tspc" {
+		t.Errorf("name %q", cell.Name)
+	}
+	if _, err := LoadCell("nope", ""); err == nil {
+		t.Error("unknown cell accepted")
+	}
+}
+
+func TestLoadCellNetlist(t *testing.T) {
+	deck := `
+.model nch nmos VT0=0.43 KP=115u
+Vc clk 0 CLOCK(0 2.5 10n 1n 0.1n 0.1n)
+Vd d 0 DATA(11.05n 2.5 0 0.1n 0.1n)
+M1 q d 0 0 nch W=1u L=0.25u
+.out q
+`
+	dir := t.TempDir()
+	path := filepath.Join(dir, "latch.cir")
+	if err := os.WriteFile(path, []byte(deck), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cell, err := LoadCell("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Name != path {
+		t.Errorf("name %q", cell.Name)
+	}
+	if _, err := cell.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCell("", filepath.Join(dir, "missing.cir")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.cir")
+	if err := os.WriteFile(bad, []byte("garbage line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCell("", bad); err == nil {
+		t.Error("bad deck accepted")
+	}
+}
+
+func samplePoints() []core.Point {
+	return []core.Point{
+		{TauS: 300e-12, TauH: 180e-12, H: 1e-7, CorrectorIters: 2},
+		{TauS: 280e-12, TauH: 200e-12, H: -2e-8, CorrectorIters: 3},
+	}
+}
+
+func TestWriteContourCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteContourCSV(&buf, samplePoints()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines: %d", len(lines))
+	}
+	if lines[0] != "tau_s_ps,tau_h_ps,h_volts,corrector_iters" {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "300.0000,180.0000,") {
+		t.Errorf("row: %q", lines[1])
+	}
+	if !strings.HasSuffix(lines[2], ",3") {
+		t.Errorf("iters column: %q", lines[2])
+	}
+}
+
+func TestWriteContourJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteContourJSON(&buf, samplePoints()); err != nil {
+		t.Fatal(err)
+	}
+	var got []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("entries: %d", len(got))
+	}
+	if got[0]["tau_s_ps"].(float64) != 300 {
+		t.Errorf("tau_s_ps: %v", got[0]["tau_s_ps"])
+	}
+	if got[1]["corrector_iters"].(float64) != 3 {
+		t.Errorf("iters: %v", got[1]["corrector_iters"])
+	}
+}
+
+func TestWriteSurfaceCSV(t *testing.T) {
+	var buf bytes.Buffer
+	s := []float64{1e-12, 2e-12}
+	h := []float64{3e-12}
+	v := [][]float64{{0.5}, {1.5}}
+	if err := WriteSurfaceCSV(&buf, s, h, v); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines: %v", lines)
+	}
+	if !strings.HasPrefix(lines[1], "1.0000,3.0000,") {
+		t.Errorf("row: %q", lines[1])
+	}
+}
+
+func TestWritePolylinesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	polys := [][][2]float64{
+		{{1e-12, 2e-12}, {3e-12, 4e-12}},
+		{{5e-12, 6e-12}},
+	}
+	if err := WritePolylinesCSV(&buf, polys); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines: %v", lines)
+	}
+	if !strings.HasPrefix(lines[3], "1,5.0000") {
+		t.Errorf("second polyline row: %q", lines[3])
+	}
+}
+
+func TestOpenOutput(t *testing.T) {
+	w, closeFn, err := OpenOutput("-")
+	if err != nil || w != os.Stdout {
+		t.Errorf("stdout: %v %v", w, err)
+	}
+	if err := closeFn(); err != nil {
+		t.Error(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	w, closeFn, err = OpenOutput(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "hello" {
+		t.Errorf("file contents: %q %v", data, err)
+	}
+	if _, _, err := OpenOutput(filepath.Join(dir, "no", "such", "dir", "x")); err == nil {
+		t.Error("bad path accepted")
+	}
+}
+
+func TestPs(t *testing.T) {
+	if got := Ps(247.46e-12); got != "247.46 ps" {
+		t.Errorf("Ps: %q", got)
+	}
+}
+
+func TestWriteContourEnergyCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteContourEnergyCSV(&buf, samplePoints(), []float64{210e-15, 250e-15}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines: %d", len(lines))
+	}
+	if !strings.HasSuffix(lines[1], ",210.0000") {
+		t.Errorf("energy column: %q", lines[1])
+	}
+	if err := WriteContourEnergyCSV(&buf, samplePoints(), []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// TraceContourNatural is the ablation baseline for the Euler-Newton tracer:
+// natural-parameter continuation. It marches τs in fixed increments and, at
+// each station, solves the scalar equation h(τs, ·) = 0 for τh with plain
+// Newton on ∂h/∂τh, seeded by the previous τh.
+//
+// Unlike the Euler-Newton method it has no tangent information: it wastes
+// iterations where the curve is steep in τh and fails outright where the
+// contour turns back in τs (the Jacobian ∂h/∂τh passes through zero there).
+// The ablation benchmark contrasts its corrector effort and failure modes
+// with TraceContour's.
+func TraceContourNatural(p Problem, seedS, seedH float64, opts TraceOptions) (*Contour, error) {
+	o := opts.withDefaults()
+	ct := &Contour{}
+
+	seedRes, err := SolveMPNR(p, seedS, seedH, o.MPNR)
+	ct.GradEvals += seedRes.GradEvals
+	if err != nil {
+		return ct, fmt.Errorf("core: natural continuation seed failed: %w", err)
+	}
+	cur := seedRes.Point
+	ct.Points = append(ct.Points, cur)
+
+	for len(ct.Points) < o.MaxPoints+1 {
+		s := cur.TauS + o.Step
+		v := cur.TauH
+		var pt Point
+		converged := false
+		for iter := 1; iter <= o.MPNR.withDefaults().MaxIter; iter++ {
+			h, gs, gh, err := p.EvalGrad(s, v)
+			if err != nil {
+				return ct, err
+			}
+			ct.GradEvals++
+			pt = Point{TauS: s, TauH: v, H: h, DhdS: gs, DhdH: gh, CorrectorIters: iter}
+			if math.Abs(h) <= o.MPNR.withDefaults().HTol {
+				converged = true
+				break
+			}
+			if gh == 0 {
+				return ct, fmt.Errorf("core: natural continuation hit a turning point at τs=%.4g: %w", s, ErrDegenerateGradient)
+			}
+			v -= h / gh
+		}
+		if !converged {
+			return ct, fmt.Errorf("core: natural continuation corrector stalled at τs=%.4g: %w", s, ErrNoConvergence)
+		}
+		zero := Rect{}
+		if o.Bounds != zero && !o.Bounds.Contains(pt.TauS, pt.TauH) {
+			return ct, nil
+		}
+		ct.Points = append(ct.Points, pt)
+		cur = pt
+	}
+	return ct, nil
+}

@@ -1,0 +1,48 @@
+// Package core implements the paper's contribution: solving the
+// underdetermined scalar equation h(τs, τh) = 0 (paper eq. (4)) with a
+// Moore-Penrose pseudo-inverse Newton-Raphson (MPNR) corrector, and tracing
+// the entire constant clock-to-Q contour in the (τs, τh) plane with an
+// Euler-Newton predictor-corrector continuation (Section IIIE), plus the
+// bracketing seed search of Fig. 7 and the independent setup/hold
+// characterization of Section IIIB used as the prior-work baseline.
+//
+// The algorithms are expressed against the Problem interface so they can be
+// validated on analytic functions and applied unchanged to the circuit-level
+// state-transition evaluator in internal/stf.
+package core
+
+import "errors"
+
+// Problem is an underdetermined scalar equation h(τs, τh) = 0.
+//
+// Eval costs one plain evaluation (for the circuit problem: one transient
+// simulation); EvalGrad additionally returns the gradient [∂h/∂τs, ∂h/∂τh]
+// for the same price class (one transient carrying forward sensitivities).
+type Problem interface {
+	Eval(tauS, tauH float64) (float64, error)
+	EvalGrad(tauS, tauH float64) (h, dhdS, dhdH float64, err error)
+}
+
+// Point is one solved point on the h = 0 contour, carrying the gradient at
+// the point (the MPNR Jacobian, reused for the Euler tangent of eq. (16)).
+type Point struct {
+	TauS, TauH float64
+	// H is the residual at the point (≈ 0 for converged points).
+	H float64
+	// DhdS, DhdH form the 1×2 Jacobian H(τ) at the point.
+	DhdS, DhdH float64
+	// CorrectorIters is the number of MPNR iterations spent reaching the
+	// point (the paper reports 2–3 as typical during tracing).
+	CorrectorIters int
+}
+
+// ErrDegenerateGradient is returned when ‖∇h‖ is too small for a
+// Moore-Penrose step, e.g. when the current iterate sits in a flat region of
+// the output surface (fully failed or fully latched).
+var ErrDegenerateGradient = errors.New("core: gradient of h is degenerate (flat region)")
+
+// ErrNoConvergence is returned when MPNR exhausts its iteration budget.
+var ErrNoConvergence = errors.New("core: MPNR did not converge")
+
+// ErrNoBracket is returned when the seed search cannot find a sign change.
+var ErrNoBracket = errors.New("core: no sign change bracket found")

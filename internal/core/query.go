@@ -1,0 +1,149 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file provides the SHIA-STA-facing queries over a traced contour: the
+// paper's motivation is that a timing flow constrained by a hold violation
+// can trade a longer (non-critical) setup time for a shorter guaranteed
+// hold time along the constant clock-to-Q curve, without touching the
+// circuit. The queries interpolate the traced points.
+
+// ErrOutsideContour is returned when a query falls outside the traced range.
+var ErrOutsideContour = errors.New("core: query outside the traced contour range")
+
+// SetupForHold returns the setup time on the contour for a required hold
+// time, by monotone linear interpolation along the traced curve. It is the
+// primitive behind hold-violation fixing: "guarantee a shorter hold time at
+// the expense of a longer setup time".
+func (c *Contour) SetupForHold(tauH float64) (float64, error) {
+	return c.interpolate(tauH, false)
+}
+
+// HoldForSetup returns the hold time on the contour for a given setup time.
+func (c *Contour) HoldForSetup(tauS float64) (float64, error) {
+	return c.interpolate(tauS, true)
+}
+
+// interpolate walks the polyline and interpolates the complementary
+// coordinate at the query value. bypassSetup selects which coordinate is
+// the key.
+func (c *Contour) interpolate(q float64, keyIsSetup bool) (float64, error) {
+	if len(c.Points) < 2 {
+		return 0, fmt.Errorf("core: contour has %d points, need ≥ 2", len(c.Points))
+	}
+	key := func(p Point) float64 {
+		if keyIsSetup {
+			return p.TauS
+		}
+		return p.TauH
+	}
+	val := func(p Point) float64 {
+		if keyIsSetup {
+			return p.TauH
+		}
+		return p.TauS
+	}
+	// Scan segments; the curve is ordered, keys are monotone up to
+	// asymptote jitter, so a simple segment walk is robust.
+	bestDist := math.Inf(1)
+	bestVal := 0.0
+	found := false
+	for i := 1; i < len(c.Points); i++ {
+		k0, k1 := key(c.Points[i-1]), key(c.Points[i])
+		lo, hi := math.Min(k0, k1), math.Max(k0, k1)
+		if q >= lo && q <= hi {
+			var u float64
+			if k1 != k0 {
+				u = (q - k0) / (k1 - k0)
+			}
+			v := val(c.Points[i-1]) + u*(val(c.Points[i])-val(c.Points[i-1]))
+			// Prefer the segment whose midpoint is closest to the query —
+			// guards against re-crossing jitter near asymptotes.
+			d := math.Abs(q - (k0+k1)/2)
+			if !found || d < bestDist {
+				bestDist, bestVal, found = d, v, true
+			}
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("%w: %.4g", ErrOutsideContour, q)
+	}
+	return bestVal, nil
+}
+
+// MinSetup returns the smallest setup time on the contour (the setup-time
+// asymptote value within the traced range) and the hold time paired with
+// it.
+func (c *Contour) MinSetup() (tauS, tauH float64, err error) {
+	if len(c.Points) == 0 {
+		return 0, 0, fmt.Errorf("core: empty contour")
+	}
+	best := c.Points[0]
+	for _, p := range c.Points {
+		if p.TauS < best.TauS {
+			best = p
+		}
+	}
+	return best.TauS, best.TauH, nil
+}
+
+// MinHold returns the smallest hold time on the contour and the setup time
+// paired with it.
+func (c *Contour) MinHold() (tauS, tauH float64, err error) {
+	if len(c.Points) == 0 {
+		return 0, 0, fmt.Errorf("core: empty contour")
+	}
+	best := c.Points[0]
+	for _, p := range c.Points {
+		if p.TauH < best.TauH {
+			best = p
+		}
+	}
+	return best.TauS, best.TauH, nil
+}
+
+// TradeHold answers the SHIA-STA question directly: the path currently
+// assumes the pair (tauS0, tauH0) on (or above) the contour but violates
+// hold by deficit Δ. TradeHold returns a new pair on the contour whose hold
+// time is tauH0 − Δ, i.e. the extra setup margin that buys the missing hold
+// margin. It fails if the contour does not extend to the required hold
+// time.
+func (c *Contour) TradeHold(tauS0, tauH0, deficit float64) (tauS, tauH float64, err error) {
+	if deficit < 0 {
+		return 0, 0, fmt.Errorf("core: negative hold deficit %g", deficit)
+	}
+	target := tauH0 - deficit
+	s, err := c.SetupForHold(target)
+	if err != nil {
+		return 0, 0, err
+	}
+	if s < tauS0 {
+		// The contour already permits the shorter hold at no setup cost;
+		// report the original setup time.
+		s = tauS0
+	}
+	return s, target, nil
+}
+
+// ArcLength returns the total polyline length of the contour in the
+// (τs, τh) plane — a measure of how much tradeoff range was captured.
+func (c *Contour) ArcLength() float64 {
+	sum := 0.0
+	for i := 1; i < len(c.Points); i++ {
+		sum += math.Hypot(c.Points[i].TauS-c.Points[i-1].TauS, c.Points[i].TauH-c.Points[i-1].TauH)
+	}
+	return sum
+}
+
+// SortedBySetup returns the contour points ordered by increasing setup
+// time; useful for tabulation.
+func (c *Contour) SortedBySetup() []Point {
+	pts := append([]Point(nil), c.Points...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].TauS < pts[j].TauS })
+	return pts
+}

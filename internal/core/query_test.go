@@ -1,0 +1,189 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// tradeoffContour builds a synthetic decreasing contour resembling a traced
+// setup/hold curve: τh = 50 + 2000/(τs − 90) (picosecond units).
+func tradeoffContour() *Contour {
+	ct := &Contour{}
+	for s := 120.0; s <= 400; s += 10 {
+		h := 50 + 2000/(s-90)
+		ct.Points = append(ct.Points, Point{TauS: s * 1e-12, TauH: h * 1e-12})
+	}
+	return ct
+}
+
+func TestSetupForHoldInterpolates(t *testing.T) {
+	ct := tradeoffContour()
+	// At τh = 100 ps: 100 = 50 + 2000/(s−90) → s = 130 ps.
+	s, err := ct.SetupForHold(100e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-130e-12) > 1.5e-12 {
+		t.Errorf("SetupForHold(100ps) = %v ps, want ≈130 ps", s*1e12)
+	}
+	// Exactly at a traced point.
+	s, err = ct.SetupForHold(ct.Points[5].TauH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-ct.Points[5].TauS) > 1e-15 {
+		t.Errorf("exact point lookup: %v vs %v", s, ct.Points[5].TauS)
+	}
+}
+
+func TestHoldForSetupInterpolates(t *testing.T) {
+	ct := tradeoffContour()
+	h, err := ct.HoldForSetup(130e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-100e-12) > 1.5e-12 {
+		t.Errorf("HoldForSetup(130ps) = %v ps, want ≈100 ps", h*1e12)
+	}
+}
+
+func TestQueryOutsideRange(t *testing.T) {
+	ct := tradeoffContour()
+	if _, err := ct.SetupForHold(1e-9); !errors.Is(err, ErrOutsideContour) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := ct.HoldForSetup(1e-15); !errors.Is(err, ErrOutsideContour) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestQueryTooFewPoints(t *testing.T) {
+	ct := &Contour{Points: []Point{{TauS: 1, TauH: 1}}}
+	if _, err := ct.SetupForHold(1); err == nil {
+		t.Error("single-point contour accepted")
+	}
+}
+
+func TestMinSetupMinHold(t *testing.T) {
+	ct := tradeoffContour()
+	s, h, err := ct.MinSetup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 120e-12 {
+		t.Errorf("MinSetup = %v", s)
+	}
+	if h != ct.Points[0].TauH {
+		t.Errorf("paired hold = %v", h)
+	}
+	s, h, err = ct.MinHold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 400e-12 {
+		t.Errorf("MinHold setup = %v", s)
+	}
+	want := (50 + 2000.0/(400-90)) * 1e-12
+	if math.Abs(h-want) > 1e-15 {
+		t.Errorf("MinHold = %v, want %v", h, want)
+	}
+	empty := &Contour{}
+	if _, _, err := empty.MinSetup(); err == nil {
+		t.Error("empty contour accepted")
+	}
+	if _, _, err := empty.MinHold(); err == nil {
+		t.Error("empty contour accepted")
+	}
+}
+
+func TestTradeHold(t *testing.T) {
+	ct := tradeoffContour()
+	// Path sits at (130 ps, 100 ps) but needs 20 ps more hold margin:
+	// required hold = 80 ps → 80 = 50 + 2000/(s−90) → s ≈ 156.7 ps.
+	s, h, err := ct.TradeHold(130e-12, 100e-12, 20e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-80e-12) > 1e-15 {
+		t.Errorf("new hold = %v", h)
+	}
+	want := (90 + 2000/30.0) * 1e-12
+	if math.Abs(s-want) > 2e-12 {
+		t.Errorf("new setup = %v ps, want ≈%v ps", s*1e12, want*1e12)
+	}
+	if s <= 130e-12 {
+		t.Error("fixing a hold violation must cost setup time here")
+	}
+}
+
+func TestTradeHoldNoCost(t *testing.T) {
+	ct := tradeoffContour()
+	// Path already has huge setup margin: shortening hold costs nothing
+	// beyond what it already pays.
+	s, _, err := ct.TradeHold(390e-12, 80e-12, 20e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 390e-12 {
+		t.Errorf("setup should stay at 390 ps, got %v ps", s*1e12)
+	}
+}
+
+func TestTradeHoldErrors(t *testing.T) {
+	ct := tradeoffContour()
+	if _, _, err := ct.TradeHold(130e-12, 100e-12, -1e-12); err == nil {
+		t.Error("negative deficit accepted")
+	}
+	// Deficit so large the contour cannot supply the hold time.
+	if _, _, err := ct.TradeHold(130e-12, 100e-12, 60e-12); !errors.Is(err, ErrOutsideContour) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestArcLength(t *testing.T) {
+	ct := &Contour{Points: []Point{
+		{TauS: 0, TauH: 0}, {TauS: 3e-12, TauH: 4e-12}, {TauS: 6e-12, TauH: 8e-12},
+	}}
+	if got := ct.ArcLength(); math.Abs(got-10e-12) > 1e-24 {
+		t.Errorf("ArcLength = %v", got)
+	}
+	if (&Contour{}).ArcLength() != 0 {
+		t.Error("empty arc length")
+	}
+}
+
+func TestSortedBySetup(t *testing.T) {
+	ct := &Contour{Points: []Point{
+		{TauS: 3}, {TauS: 1}, {TauS: 2},
+	}}
+	sorted := ct.SortedBySetup()
+	if sorted[0].TauS != 1 || sorted[1].TauS != 2 || sorted[2].TauS != 3 {
+		t.Errorf("sorted: %v", sorted)
+	}
+	// Original untouched.
+	if ct.Points[0].TauS != 3 {
+		t.Error("SortedBySetup mutated the contour")
+	}
+}
+
+func TestQueryOnReversedContour(t *testing.T) {
+	// The same queries must work when the curve is traced in the opposite
+	// direction (points reversed).
+	ct := tradeoffContour()
+	rev := &Contour{}
+	for i := len(ct.Points) - 1; i >= 0; i-- {
+		rev.Points = append(rev.Points, ct.Points[i])
+	}
+	s1, err := ct.SetupForHold(100e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := rev.SetupForHold(100e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s1-s2) > 1e-15 {
+		t.Errorf("direction-dependent query: %v vs %v", s1, s2)
+	}
+}

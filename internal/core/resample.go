@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// ResampleContour redistributes a traced contour into exactly n points
+// evenly spaced in arc length, polishing each interpolated point back onto
+// h = 0 with the MPNR corrector. Library table generation wants contours on
+// a predictable grid; the tracer's adaptive steps do not provide one.
+//
+// Since every start point lies (interpolated) on the curve, the corrector
+// typically needs a single iteration per point, so the cost is ≈n gradient
+// evaluations.
+func ResampleContour(p Problem, c *Contour, n int, opts MPNROptions) (*Contour, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: ResampleContour needs n ≥ 2, got %d", n)
+	}
+	if len(c.Points) < 2 {
+		return nil, fmt.Errorf("core: ResampleContour needs a traced contour with ≥ 2 points")
+	}
+	// Cumulative arc length.
+	cum := make([]float64, len(c.Points))
+	for i := 1; i < len(c.Points); i++ {
+		d := math.Hypot(c.Points[i].TauS-c.Points[i-1].TauS, c.Points[i].TauH-c.Points[i-1].TauH)
+		cum[i] = cum[i-1] + d
+	}
+	total := cum[len(cum)-1]
+	if total == 0 {
+		return nil, fmt.Errorf("core: contour has zero arc length")
+	}
+	out := &Contour{Closed: c.Closed}
+	seg := 1
+	for k := 0; k < n; k++ {
+		target := total * float64(k) / float64(n-1)
+		for seg < len(cum)-1 && cum[seg] < target {
+			seg++
+		}
+		a, b := c.Points[seg-1], c.Points[seg]
+		var u float64
+		if cum[seg] > cum[seg-1] {
+			u = (target - cum[seg-1]) / (cum[seg] - cum[seg-1])
+		}
+		s := a.TauS + u*(b.TauS-a.TauS)
+		h := a.TauH + u*(b.TauH-a.TauH)
+		res, err := SolveMPNR(p, s, h, opts)
+		out.GradEvals += res.GradEvals
+		if err != nil {
+			return out, fmt.Errorf("core: resample point %d at (%.4g, %.4g): %w", k, s, h, err)
+		}
+		out.Points = append(out.Points, res.Point)
+	}
+	return out, nil
+}

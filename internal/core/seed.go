@@ -1,0 +1,96 @@
+package core
+
+import "fmt"
+
+// SeedOptions configure the first-point search of Section IV-A / Fig. 7:
+// with the hold skew pinned large (so the setup time decouples), bracket the
+// setup time by a sign change of h and narrow the bracket with a coarse
+// binary search until it falls inside the Newton convergence range.
+type SeedOptions struct {
+	// TauHLarge pins the hold skew (default 500 ps).
+	TauHLarge float64
+	// Lo, Hi is the initial setup-skew interval (defaults 10 ps, 800 ps).
+	Lo, Hi float64
+	// NarrowTo stops the bisection once the bracket is this tight
+	// (default 25 ps, a comfortable MPNR basin for latch problems).
+	NarrowTo float64
+	// MaxExpand bounds how many times Hi is doubled hunting for a sign
+	// change (default 4).
+	MaxExpand int
+}
+
+func (o SeedOptions) withDefaults() SeedOptions {
+	if o.TauHLarge <= 0 {
+		o.TauHLarge = 500e-12
+	}
+	if o.Lo <= 0 {
+		o.Lo = 10e-12
+	}
+	if o.Hi <= o.Lo {
+		o.Hi = 800e-12
+	}
+	if o.NarrowTo <= 0 {
+		o.NarrowTo = 25e-12
+	}
+	if o.MaxExpand <= 0 {
+		o.MaxExpand = 4
+	}
+	return o
+}
+
+// SeedResult is the outcome of the first-point search.
+type SeedResult struct {
+	// TauS, TauH is the seed to hand to MPNR.
+	TauS, TauH float64
+	// PlainEvals counts the transient simulations spent bracketing.
+	PlainEvals int
+}
+
+// FindSeed locates an initial guess near the h = 0 curve. It evaluates h at
+// the bracket ends, expands the bracket if needed, then bisects until the
+// interval width reaches NarrowTo and returns the midpoint.
+func FindSeed(p Problem, opts SeedOptions) (SeedResult, error) {
+	o := opts.withDefaults()
+	res := SeedResult{TauH: o.TauHLarge}
+	eval := func(s float64) (float64, error) {
+		res.PlainEvals++
+		return p.Eval(s, o.TauHLarge)
+	}
+	lo, hi := o.Lo, o.Hi
+	hLo, err := eval(lo)
+	if err != nil {
+		return res, err
+	}
+	hHi, err := eval(hi)
+	if err != nil {
+		return res, err
+	}
+	for i := 0; sameSign(hLo, hHi) && i < o.MaxExpand; i++ {
+		hi *= 2
+		hHi, err = eval(hi)
+		if err != nil {
+			return res, err
+		}
+	}
+	if sameSign(hLo, hHi) {
+		return res, fmt.Errorf("%w: h(%g)=%g and h(%g)=%g at τh=%g", ErrNoBracket, lo, hLo, hi, hHi, o.TauHLarge)
+	}
+	for hi-lo > o.NarrowTo {
+		mid := 0.5 * (lo + hi)
+		hMid, err := eval(mid)
+		if err != nil {
+			return res, err
+		}
+		if sameSign(hMid, hLo) {
+			lo, hLo = mid, hMid
+		} else {
+			hi = mid
+		}
+	}
+	res.TauS = 0.5 * (lo + hi)
+	return res, nil
+}
+
+func sameSign(a, b float64) bool {
+	return (a > 0 && b > 0) || (a < 0 && b < 0)
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rect bounds the traced skew domain.
+type Rect struct {
+	MinS, MaxS float64
+	MinH, MaxH float64
+}
+
+// Contains reports whether (s, h) lies inside the rectangle.
+func (r Rect) Contains(s, h float64) bool {
+	return s >= r.MinS && s <= r.MaxS && h >= r.MinH && h <= r.MaxH
+}
+
+// TraceStep records one predictor-corrector step for diagnostics and for
+// reproducing Fig. 5.
+type TraceStep struct {
+	// From is the accepted point the Euler step departed from.
+	From Point
+	// PredS, PredH is the Euler predictor (paper eq. (26)).
+	PredS, PredH float64
+	// Alpha is the step length used.
+	Alpha float64
+	// Accepted is the corrected point (valid when OK).
+	Accepted Point
+	// OK reports whether the corrector converged at this step length.
+	OK bool
+}
+
+// TraceOptions configure Euler-Newton contour tracing.
+type TraceOptions struct {
+	// Step is the Euler step length α along the tangent (default 5 ps).
+	Step float64
+	// MinStep and MaxStep bound the adaptive step length
+	// (defaults Step/16 and 4·Step).
+	MinStep, MaxStep float64
+	// MaxPoints bounds the number of contour points per direction
+	// (default 40, the paper's validation count).
+	MaxPoints int
+	// Bounds stops tracing when the curve leaves this rectangle. A zero
+	// Rect disables the check.
+	Bounds Rect
+	// BothDirections traces backwards from the seed as well and returns the
+	// concatenated curve.
+	BothDirections bool
+	// MPNR configures the corrector.
+	MPNR MPNROptions
+	// FastIters is the corrector iteration count at or below which the step
+	// length is grown (default 3, matching the paper's "2–3 iterations").
+	FastIters int
+	// RecordSteps keeps the predictor/corrector history.
+	RecordSteps bool
+	// UseSecant replaces the Jacobian-induced tangent with the secant
+	// through the last two accepted points once two points exist — the
+	// classical alternative predictor from numerical continuation
+	// (Allgower & Georg, the paper's ref. [10]). The first step still uses
+	// the tangent. Mostly useful for comparison; the tangent needs no
+	// history and reacts to curvature immediately.
+	UseSecant bool
+}
+
+func (o TraceOptions) withDefaults() TraceOptions {
+	if o.Step <= 0 {
+		o.Step = 5e-12
+	}
+	if o.MinStep <= 0 {
+		o.MinStep = o.Step / 16
+	}
+	if o.MaxStep <= 0 {
+		o.MaxStep = 4 * o.Step
+	}
+	if o.MaxPoints <= 0 {
+		o.MaxPoints = 40
+	}
+	if o.FastIters <= 0 {
+		o.FastIters = 3
+	}
+	return o
+}
+
+// Contour is a traced constant clock-to-Q curve.
+type Contour struct {
+	// Points are ordered along the curve. With BothDirections, the seed sits
+	// between the two traced arms.
+	Points []Point
+	// Steps is the predictor/corrector history when RecordSteps is set.
+	Steps []TraceStep
+	// GradEvals counts gradient evaluations spent (seed correction
+	// included).
+	GradEvals int
+	// Closed reports whether tracing terminated by returning to the seed.
+	Closed bool
+}
+
+// SetupHoldPairs returns the contour as (τs, τh) pairs.
+func (c *Contour) SetupHoldPairs() [][2]float64 {
+	out := make([][2]float64, len(c.Points))
+	for i, p := range c.Points {
+		out[i] = [2]float64{p.TauS, p.TauH}
+	}
+	return out
+}
+
+// TraceContour runs the complete Euler-Newton procedure of Section IIIE:
+// correct the seed onto the curve with MPNR, then repeatedly extrapolate
+// along the tangent induced by the Jacobian (Euler predictor) and re-correct
+// with MPNR, adapting the step length to corrector performance.
+func TraceContour(p Problem, seedS, seedH float64, opts TraceOptions) (*Contour, error) {
+	o := opts.withDefaults()
+	ct := &Contour{}
+
+	seedRes, err := SolveMPNR(p, seedS, seedH, o.MPNR)
+	ct.GradEvals += seedRes.GradEvals
+	if err != nil {
+		return ct, fmt.Errorf("core: seed correction failed: %w", err)
+	}
+	seed := seedRes.Point
+
+	fwd, closed, err := traceOneDirection(p, seed, +1, o, ct)
+	if err != nil {
+		return ct, err
+	}
+	ct.Closed = closed
+	var bwd []Point
+	if o.BothDirections && !closed {
+		bwd, _, err = traceOneDirection(p, seed, -1, o, ct)
+		if err != nil {
+			return ct, err
+		}
+	}
+	// Assemble: reversed backward arm, seed, forward arm.
+	pts := make([]Point, 0, len(bwd)+1+len(fwd))
+	for i := len(bwd) - 1; i >= 0; i-- {
+		pts = append(pts, bwd[i])
+	}
+	pts = append(pts, seed)
+	pts = append(pts, fwd...)
+	ct.Points = pts
+	return ct, nil
+}
+
+// traceOneDirection walks the curve from seed with initial orientation
+// sign·T(seed). It returns the accepted points (excluding the seed) and
+// whether the walk closed back onto the seed.
+func traceOneDirection(p Problem, seed Point, sign float64, o TraceOptions, ct *Contour) ([]Point, bool, error) {
+	var pts []Point
+	cur := seed
+	havePrev := false
+	var prev Point
+	ts, th, err := Tangent(cur.DhdS, cur.DhdH)
+	if err != nil {
+		return nil, false, err
+	}
+	prevTS, prevTH := sign*ts, sign*th
+	alpha := o.Step
+
+	for len(pts) < o.MaxPoints {
+		ts, th, err := Tangent(cur.DhdS, cur.DhdH)
+		if err != nil {
+			return pts, false, err
+		}
+		if o.UseSecant && havePrev {
+			ds, dh := cur.TauS-prev.TauS, cur.TauH-prev.TauH
+			if n := math.Hypot(ds, dh); n > 0 {
+				ts, th = ds/n, dh/n
+			}
+		}
+		// Orientation continuity: never double back (Section IIID).
+		if ts*prevTS+th*prevTH < 0 {
+			ts, th = -ts, -th
+		}
+
+		var accepted *Point
+		for {
+			predS := cur.TauS + alpha*ts
+			predH := cur.TauH + alpha*th
+			res, err := SolveMPNR(p, predS, predH, o.MPNR)
+			ct.GradEvals += res.GradEvals
+			step := TraceStep{From: cur, PredS: predS, PredH: predH, Alpha: alpha, OK: err == nil}
+			if err == nil {
+				step.Accepted = res.Point
+				accepted = &res.Point
+			}
+			if o.RecordSteps {
+				ct.Steps = append(ct.Steps, step)
+			}
+			if err == nil {
+				// Grow the step when the corrector is comfortable.
+				if res.Point.CorrectorIters <= o.FastIters && alpha < o.MaxStep {
+					alpha = math.Min(o.MaxStep, alpha*1.4)
+				}
+				break
+			}
+			// Corrector struggled: shrink and retry.
+			alpha /= 2
+			if alpha < o.MinStep {
+				return pts, false, fmt.Errorf("core: corrector kept failing near (τs=%.4g, τh=%.4g): %w", cur.TauS, cur.TauH, err)
+			}
+		}
+
+		// Domain bound check.
+		zero := Rect{}
+		if o.Bounds != zero && !o.Bounds.Contains(accepted.TauS, accepted.TauH) {
+			return pts, false, nil
+		}
+		// Closed-curve detection: back at the seed.
+		if len(pts) >= 3 {
+			d := math.Hypot(accepted.TauS-seed.TauS, accepted.TauH-seed.TauH)
+			if d < alpha/2 {
+				return pts, true, nil
+			}
+		}
+		pts = append(pts, *accepted)
+		prevTS, prevTH = ts, th
+		prev, havePrev = cur, true
+		cur = *accepted
+	}
+	return pts, false, nil
+}

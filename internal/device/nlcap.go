@@ -1,0 +1,66 @@
+package device
+
+import (
+	"latchchar/internal/circuit"
+	"latchchar/internal/num"
+)
+
+// Nonlinear (Meyer-style) gate capacitance. The dominant nonlinearity of
+// the MOS gate is that the channel charge only exists above threshold: the
+// gate-source and gate-drain capacitances collapse to the overlap value in
+// cutoff and grow to the full channel share in inversion.
+//
+// The model is formulated in *charge* so that BE/TRAP integration conserves
+// charge and the stamped C = ∂q/∂v is the exact Jacobian:
+//
+//	q(v) = Cov·v + Cch·Φ(v − VT)
+//
+// where Φ is the integral of the cubic smoothstep over a turn-on window δ:
+// Φ(x) = 0 for x ≤ 0, δ·(u³ − u⁴/2) for u = x/δ ∈ [0, 1], and x − δ/2
+// beyond — so C(v) = Cov + Cch·smoothstep(0, δ, v − VT) is C¹ and monotone.
+//
+// The same polarity transform as the channel current applies for PMOS: the
+// charge is evaluated on negated voltages and negated, leaving capacitances
+// positive.
+
+// nlRampInt is Φ: the integral of smoothstep(0, delta, ·) from 0 to x.
+func nlRampInt(delta, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= delta {
+		return x - delta/2
+	}
+	u := x / delta
+	u3 := u * u * u
+	return delta * (u3 - u3*u/2)
+}
+
+// nlGateStamp is one nonlinear gate capacitor between the gate and a
+// channel terminal.
+type nlGateStamp struct {
+	g, t     circuit.UnknownID // gate and channel terminal
+	cov, cch float64           // overlap and channel capacitance
+	vt, dlt  float64           // threshold and turn-on window
+	sgn      float64           // +1 NMOS, −1 PMOS
+	slots    [4]circuit.Slot
+}
+
+func (s *nlGateStamp) setup(ctx *circuit.SetupCtx) {
+	s.slots[0] = ctx.C(s.g, s.g)
+	s.slots[1] = ctx.C(s.g, s.t)
+	s.slots[2] = ctx.C(s.t, s.g)
+	s.slots[3] = ctx.C(s.t, s.t)
+}
+
+func (s *nlGateStamp) eval(ctx *circuit.EvalCtx) {
+	v := s.sgn * (ctx.V(s.g) - ctx.V(s.t))
+	q := s.sgn * (s.cov*v + s.cch*nlRampInt(s.dlt, v-s.vt))
+	c := s.cov + s.cch*num.Smoothstep(0, s.dlt, v-s.vt)
+	ctx.AddQ(s.g, q)
+	ctx.AddQ(s.t, -q)
+	ctx.AddC(s.slots[0], c)
+	ctx.AddC(s.slots[1], -c)
+	ctx.AddC(s.slots[2], -c)
+	ctx.AddC(s.slots[3], c)
+}

@@ -1,0 +1,97 @@
+package liberty
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"latchchar/internal/core"
+	"latchchar/internal/stf"
+)
+
+func sampleContour() *core.Contour {
+	return &core.Contour{Points: []core.Point{
+		{TauS: 700e-12, TauH: 150e-12},
+		{TauS: 400e-12, TauH: 160e-12},
+		{TauS: 270e-12, TauH: 220e-12},
+		{TauS: 266e-12, TauH: 500e-12},
+	}}
+}
+
+func sampleCal() stf.Calibration {
+	return stf.Calibration{CharDelay: 247.5e-12, R: 1.25, Rising: true}
+}
+
+func TestExportStructure(t *testing.T) {
+	var buf bytes.Buffer
+	err := Export(&buf, "tspc", sampleContour(), sampleCal(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"cell (tspc) {",
+		"pin (D) {",
+		"direction : input;",
+		`related_pin : "CLK";`,
+		"timing_type : setup_rising;",
+		"timing_type : hold_rising;",
+		// Setup asymptote = min τs = 266 ps = 0.266 ns.
+		`rise_constraint (scalar) { values ("0.266000"); }`,
+		// Hold asymptote = min τh = 150 ps.
+		`values ("0.150000")`,
+		"latchchar_interdependent_pairs (CLK, D) {",
+		`pair ("0.700000", "0.150000");`,
+		`pair ("0.266000", "0.500000");`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	// Balanced braces.
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Error("unbalanced braces")
+	}
+	// Deterministic without a stamp.
+	var buf2 bytes.Buffer
+	if err := Export(&buf2, "tspc", sampleContour(), sampleCal(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("non-deterministic output")
+	}
+	if strings.Contains(out, "generated:") {
+		t.Error("zero stamp should omit the timestamp")
+	}
+}
+
+func TestExportCustomPinsUnitsStamp(t *testing.T) {
+	var buf bytes.Buffer
+	stamp := time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC)
+	err := Export(&buf, "x", sampleContour(), sampleCal(), Options{
+		ClockPin: "CP", DataPin: "DIN", TimeUnit: 1e-12, Stamp: stamp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `related_pin : "CP";`) || !strings.Contains(out, "pin (DIN)") {
+		t.Error("custom pins not honored")
+	}
+	// Picosecond units: 266 ps → 266.000000.
+	if !strings.Contains(out, `values ("266.000000")`) {
+		t.Errorf("time unit not honored:\n%s", out)
+	}
+	if !strings.Contains(out, "generated: 2026-07-04T12:00:00Z") {
+		t.Error("stamp missing")
+	}
+}
+
+func TestExportRejectsShortContour(t *testing.T) {
+	var buf bytes.Buffer
+	ct := &core.Contour{Points: []core.Point{{TauS: 1, TauH: 1}}}
+	if err := Export(&buf, "x", ct, sampleCal(), Options{}); err == nil {
+		t.Error("single-point contour accepted")
+	}
+}

@@ -1,0 +1,141 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when factorization encounters a pivot that is
+// exactly zero or negligibly small relative to the matrix scale.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// LU holds the LU factorization PA = LU of a square matrix with partial
+// (row) pivoting. L has unit diagonal and is stored, together with U, in lu.
+type LU struct {
+	n    int
+	lu   []float64 // row-major combined L (strict lower) and U (upper)
+	perm []int     // perm[i] = original row placed at position i
+	sign int       // permutation parity, for Det
+}
+
+// Factor computes the LU factorization of a. The input matrix is not
+// modified. It returns ErrSingular if a pivot smaller than pivTol times the
+// matrix infinity-norm scale is encountered.
+func Factor(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Factor of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	f := &LU{
+		n:    n,
+		lu:   append([]float64(nil), a.Data...),
+		perm: make([]int, n),
+		sign: 1,
+	}
+	for i := range f.perm {
+		f.perm[i] = i
+	}
+	scale := a.NormInf()
+	if scale == 0 {
+		if n == 0 {
+			return f, nil
+		}
+		return nil, ErrSingular
+	}
+	// Circuit Jacobians can be badly scaled, so the singularity test is
+	// deliberately permissive: only a pivot vanishing relative to the overall
+	// matrix scale is rejected.
+	pivFloor := scale * 1e-30
+	for k := 0; k < n; k++ {
+		// Find pivot row.
+		p, best := k, math.Abs(f.lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(f.lu[i*n+k]); v > best {
+				p, best = i, v
+			}
+		}
+		if best <= pivFloor {
+			return nil, ErrSingular
+		}
+		if p != k {
+			row1 := f.lu[k*n : (k+1)*n]
+			row2 := f.lu[p*n : (p+1)*n]
+			for j := range row1 {
+				row1[j], row2[j] = row2[j], row1[j]
+			}
+			f.perm[k], f.perm[p] = f.perm[p], f.perm[k]
+			f.sign = -f.sign
+		}
+		piv := f.lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := f.lu[i*n+k] / piv
+			f.lu[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				f.lu[i*n+j] -= m * f.lu[k*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A·x = b using the factorization. b is not modified; the
+// solution is returned in a new vector.
+func (f *LU) Solve(b Vector) Vector {
+	x := NewVector(f.n)
+	f.SolveInto(b, x)
+	return x
+}
+
+// SolveInto solves A·x = b, writing the solution into x. b and x may alias
+// only if they are the same slice.
+func (f *LU) SolveInto(b, x Vector) {
+	n := f.n
+	if len(b) != n || len(x) != n {
+		panic("linalg: Solve dimension mismatch")
+	}
+	// Apply permutation: y = P·b.
+	y := make(Vector, n)
+	for i := 0; i < n; i++ {
+		y[i] = b[f.perm[i]]
+	}
+	// Forward substitution L·z = y (unit diagonal).
+	for i := 1; i < n; i++ {
+		s := y[i]
+		row := f.lu[i*n : i*n+i]
+		for j, l := range row {
+			s -= l * y[j]
+		}
+		y[i] = s
+	}
+	// Back substitution U·x = z.
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu[i*n+j] * y[j]
+		}
+		y[i] = s / f.lu[i*n+i]
+	}
+	copy(x, y)
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu[i*f.n+i]
+	}
+	return d
+}
+
+// SolveLinear is a convenience that factors a and solves a single system.
+func SolveLinear(a *Matrix, b Vector) (Vector, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}

@@ -1,0 +1,142 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+
+	"latchchar/internal/circuit"
+	"latchchar/internal/device"
+	"latchchar/internal/registers"
+	"latchchar/internal/wave"
+)
+
+// Build constructs a fresh register instance from the parsed deck. Each
+// call produces an independent circuit, so decks can drive concurrent
+// characterization.
+func (d *Deck) Build() (*registers.Instance, error) {
+	c := circuit.New()
+	var dataPulse *wave.DataPulse
+	var clockWave wave.Clock
+	var supplySrc *device.VSource
+	haveClock := false
+
+	for _, s := range d.sources {
+		p, n := c.Node(s.p), c.Node(s.n)
+		var w wave.Waveform
+		role := device.RoleSupply
+		switch s.kind {
+		case srcDC:
+			w = wave.DC(s.dc)
+		case srcClock:
+			ck := wave.Clock{
+				Low: s.clock.low, High: s.clock.high,
+				Period: s.clock.period, Delay: s.clock.delay,
+				Rise: s.clock.rise, Fall: s.clock.fall,
+				Width: s.clock.width,
+				Shape: wave.RampSmooth,
+			}
+			if !haveClock {
+				clockWave = ck
+				haveClock = true
+			}
+			w = ck
+			role = device.RoleClock
+		case srcPWL:
+			pw, err := wave.NewPWL(s.pwlT, s.pwlV)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: source %s: %w", s.name, err)
+			}
+			w = pw
+			role = device.RoleClock
+		case srcData:
+			dp, err := wave.NewDataPulse(s.data.edge50, s.data.rest, s.data.active,
+				s.data.rise, s.data.fall, wave.RampSmooth)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: source %s: %w", s.name, err)
+			}
+			dataPulse = dp
+			w = dp
+			role = device.RoleData
+		}
+		v, err := device.NewVSource(s.name, p, n, w, role)
+		if err != nil {
+			return nil, fmt.Errorf("netlist: source %s: %w", s.name, err)
+		}
+		c.AddDevice(v)
+		// The first DC source named "vdd" (or driving a node of that name)
+		// is treated as the main supply for energy measurements.
+		if supplySrc == nil && s.kind == srcDC &&
+			(strings.EqualFold(s.name, "vdd") || s.p == "vdd") {
+			supplySrc = v
+		}
+	}
+
+	for _, r := range d.resistors {
+		dev, err := device.NewResistor(r.name, c.Node(r.p), c.Node(r.n), r.ohms)
+		if err != nil {
+			return nil, fmt.Errorf("netlist: %w", err)
+		}
+		c.AddDevice(dev)
+	}
+	for _, cp := range d.capacitors {
+		dev, err := device.NewCapacitor(cp.name, c.Node(cp.p), c.Node(cp.n), cp.farads)
+		if err != nil {
+			return nil, fmt.Errorf("netlist: %w", err)
+		}
+		c.AddDevice(dev)
+	}
+	for _, m := range d.mosfets {
+		mr := d.models[m.model]
+		mdl := device.MOSModel{
+			Type:   device.NMOS,
+			VT0:    mr.vt0,
+			KP:     mr.kp,
+			Lambda: mr.lambda,
+			Cox:    mr.cox,
+			CJ:     mr.cj,
+		}
+		if mr.isPMOS {
+			mdl.Type = device.PMOS
+		}
+		dev, err := device.NewMOSFET(m.name, c.Node(m.d), c.Node(m.g), c.Node(m.s), c.Node(m.b), mdl, m.w, m.l)
+		if err != nil {
+			return nil, fmt.Errorf("netlist: %w", err)
+		}
+		c.AddDevice(dev)
+	}
+
+	out, err := c.LookupNode(d.out)
+	if err != nil {
+		return nil, fmt.Errorf("netlist: .out: %w", err)
+	}
+	if out == circuit.Ground {
+		return nil, fmt.Errorf("netlist: .out cannot be ground")
+	}
+	if err := c.Finalize(); err != nil {
+		return nil, fmt.Errorf("netlist: %w", err)
+	}
+	inst := &registers.Instance{
+		Circuit:      c,
+		Data:         dataPulse,
+		Out:          out,
+		Clock:        clockWave,
+		Edge50:       dataPulse.Edge50,
+		VDD:          d.vdd,
+		OutputRising: d.rising,
+		CrossFrac:    d.crossFrac,
+		Supply:       circuit.Ground,
+	}
+	if supplySrc != nil {
+		inst.Supply = supplySrc.Branch()
+	}
+	return inst, nil
+}
+
+// Cell wraps the deck as a registers.Cell so it plugs into the same
+// characterization entry points as the built-in registers.
+func (d *Deck) Cell(name string) *registers.Cell {
+	return &registers.Cell{
+		Name:  name,
+		Build: d.Build,
+	}
+}

@@ -1,0 +1,464 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// source waveform kinds.
+type srcKind int
+
+const (
+	srcDC srcKind = iota
+	srcClock
+	srcPWL
+	srcData
+)
+
+type resRec struct {
+	name, p, n string
+	ohms       float64
+}
+
+type capRec struct {
+	name, p, n string
+	farads     float64
+}
+
+type srcRec struct {
+	name, p, n string
+	kind       srcKind
+	dc         float64
+	clock      clockSpec
+	pwlT, pwlV []float64
+	data       dataSpec
+}
+
+type clockSpec struct {
+	low, high, period, delay, rise, fall, width float64
+}
+
+type dataSpec struct {
+	edge50, rest, active, rise, fall float64
+}
+
+type mosRec struct {
+	name, d, g, s, b string
+	model            string
+	w, l             float64
+}
+
+type modelRec struct {
+	isPMOS                   bool
+	vt0, kp, lambda, cox, cj float64
+}
+
+// Deck is a parsed netlist. It is immutable after Parse; Build constructs
+// fresh circuit instances from it.
+type Deck struct {
+	resistors  []resRec
+	capacitors []capRec
+	sources    []srcRec
+	mosfets    []mosRec
+	models     map[string]modelRec
+
+	out       string
+	vdd       float64
+	crossFrac float64
+	rising    bool
+}
+
+// maxIncludeDepth bounds .include nesting.
+const maxIncludeDepth = 10
+
+// srcLine is one logical deck line with its origin for error messages.
+type srcLine struct {
+	text  string
+	where string
+}
+
+// collectLines gathers logical lines: comments stripped, continuations
+// joined, .include directives spliced (paths resolved against baseDir).
+func collectLines(r io.Reader, name, baseDir string, depth int) ([]srcLine, error) {
+	if depth > maxIncludeDepth {
+		return nil, fmt.Errorf("netlist: %s: include nesting exceeds %d", name, maxIncludeDepth)
+	}
+	sc := bufio.NewScanner(r)
+	var lines []srcLine
+	no := 0
+	for sc.Scan() {
+		no++
+		line := sc.Text()
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "*") {
+			continue
+		}
+		where := fmt.Sprintf("%s:%d", name, no)
+		if strings.HasPrefix(line, "+") {
+			if len(lines) == 0 {
+				return nil, fmt.Errorf("netlist: %s: continuation with nothing to continue", where)
+			}
+			lines[len(lines)-1].text += " " + strings.TrimPrefix(line, "+")
+			continue
+		}
+		if low := strings.ToLower(line); strings.HasPrefix(low, ".include") {
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("netlist: %s: .include needs one path", where)
+			}
+			incPath := strings.Trim(fields[1], "\"'")
+			if !filepath.IsAbs(incPath) {
+				incPath = filepath.Join(baseDir, incPath)
+			}
+			f, err := os.Open(incPath)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: %s: %w", where, err)
+			}
+			inc, err := collectLines(f, incPath, filepath.Dir(incPath), depth+1)
+			f.Close()
+			if err != nil {
+				return nil, err
+			}
+			lines = append(lines, inc...)
+			continue
+		}
+		lines = append(lines, srcLine{text: line, where: where})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: read %s: %w", name, err)
+	}
+	return lines, nil
+}
+
+func parseLines(lines []srcLine) (*Deck, error) {
+	d := &Deck{
+		models:    make(map[string]modelRec),
+		vdd:       2.5,
+		crossFrac: 0.5,
+		rising:    true,
+	}
+	for _, line := range lines {
+		if err := d.parseLine(line.text); err != nil {
+			return nil, fmt.Errorf("netlist: %s: %w", line.where, err)
+		}
+	}
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Parse reads a deck. Lines starting with '*' are comments; '+' continues
+// the previous line; text after ';' is ignored; .include paths are resolved
+// against the current directory. Element and directive names are
+// case-insensitive; node names are case-sensitive.
+func Parse(r io.Reader) (*Deck, error) {
+	lines, err := collectLines(r, "deck", ".", 0)
+	if err != nil {
+		return nil, err
+	}
+	return parseLines(lines)
+}
+
+// ParseFile reads a deck from a file; .include paths are resolved against
+// the file's directory.
+func ParseFile(path string) (*Deck, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	lines, err := collectLines(f, path, filepath.Dir(path), 0)
+	if err != nil {
+		return nil, err
+	}
+	return parseLines(lines)
+}
+
+// ParseString parses a deck held in a string.
+func ParseString(s string) (*Deck, error) { return Parse(strings.NewReader(s)) }
+
+// tokenize splits a line into tokens, treating parentheses and commas as
+// separators while keeping them out of the token stream.
+func tokenize(line string) []string {
+	line = strings.ReplaceAll(line, "(", " ")
+	line = strings.ReplaceAll(line, ")", " ")
+	line = strings.ReplaceAll(line, ",", " ")
+	return strings.Fields(line)
+}
+
+func (d *Deck) parseLine(line string) error {
+	toks := tokenize(line)
+	if len(toks) == 0 {
+		return nil
+	}
+	head := strings.ToLower(toks[0])
+	switch {
+	case strings.HasPrefix(head, "."):
+		return d.parseDirective(head, toks[1:])
+	case head[0] == 'r':
+		if len(toks) != 4 {
+			return fmt.Errorf("resistor needs: Rname n1 n2 value")
+		}
+		v, err := ParseValue(toks[3])
+		if err != nil {
+			return err
+		}
+		d.resistors = append(d.resistors, resRec{toks[0], toks[1], toks[2], v})
+		return nil
+	case head[0] == 'c':
+		if len(toks) != 4 {
+			return fmt.Errorf("capacitor needs: Cname n1 n2 value")
+		}
+		v, err := ParseValue(toks[3])
+		if err != nil {
+			return err
+		}
+		d.capacitors = append(d.capacitors, capRec{toks[0], toks[1], toks[2], v})
+		return nil
+	case head[0] == 'v':
+		return d.parseSource(toks)
+	case head[0] == 'm':
+		return d.parseMOS(toks)
+	default:
+		return fmt.Errorf("unknown element %q", toks[0])
+	}
+}
+
+func (d *Deck) parseSource(toks []string) error {
+	if len(toks) < 4 {
+		return fmt.Errorf("source needs: Vname n+ n- spec")
+	}
+	rec := srcRec{name: toks[0], p: toks[1], n: toks[2]}
+	spec := strings.ToLower(toks[3])
+	args := toks[4:]
+	vals := func(n int) ([]float64, error) {
+		if len(args) < n {
+			return nil, fmt.Errorf("%s needs %d arguments, got %d", spec, n, len(args))
+		}
+		out := make([]float64, len(args))
+		for i, a := range args {
+			v, err := ParseValue(a)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch spec {
+	case "dc":
+		v, err := vals(1)
+		if err != nil {
+			return err
+		}
+		rec.kind = srcDC
+		rec.dc = v[0]
+	case "clock":
+		v, err := vals(6)
+		if err != nil {
+			return err
+		}
+		rec.kind = srcClock
+		rec.clock = clockSpec{low: v[0], high: v[1], period: v[2], delay: v[3], rise: v[4], fall: v[5]}
+		if len(v) > 6 {
+			rec.clock.width = v[6]
+		}
+	case "pulse":
+		// SPICE PULSE(v1 v2 td tr tf pw per) mapped onto the clock shape:
+		// width (ramp start to fall start) = tr + pw.
+		v, err := vals(7)
+		if err != nil {
+			return err
+		}
+		rec.kind = srcClock
+		rec.clock = clockSpec{
+			low: v[0], high: v[1], delay: v[2],
+			rise: v[3], fall: v[4], width: v[3] + v[5], period: v[6],
+		}
+	case "pwl":
+		v, err := vals(2)
+		if err != nil {
+			return err
+		}
+		if len(v)%2 != 0 {
+			return fmt.Errorf("pwl needs time/value pairs")
+		}
+		rec.kind = srcPWL
+		for i := 0; i < len(v); i += 2 {
+			rec.pwlT = append(rec.pwlT, v[i])
+			rec.pwlV = append(rec.pwlV, v[i+1])
+		}
+	case "data":
+		v, err := vals(5)
+		if err != nil {
+			return err
+		}
+		rec.kind = srcData
+		rec.data = dataSpec{edge50: v[0], rest: v[1], active: v[2], rise: v[3], fall: v[4]}
+	default:
+		// Bare numeric value → DC.
+		v, err := ParseValue(toks[3])
+		if err != nil {
+			return fmt.Errorf("unknown source spec %q", toks[3])
+		}
+		rec.kind = srcDC
+		rec.dc = v
+	}
+	d.sources = append(d.sources, rec)
+	return nil
+}
+
+func (d *Deck) parseMOS(toks []string) error {
+	// Mname nd ng ns nb model W=... L=...
+	if len(toks) < 8 {
+		return fmt.Errorf("mosfet needs: Mname nd ng ns nb model W=val L=val")
+	}
+	rec := mosRec{name: toks[0], d: toks[1], g: toks[2], s: toks[3], b: toks[4], model: strings.ToLower(toks[5])}
+	for _, kv := range toks[6:] {
+		k, v, err := parseKV(kv)
+		if err != nil {
+			return err
+		}
+		switch k {
+		case "w":
+			rec.w = v
+		case "l":
+			rec.l = v
+		default:
+			return fmt.Errorf("unknown mosfet parameter %q", k)
+		}
+	}
+	if rec.w <= 0 || rec.l <= 0 {
+		return fmt.Errorf("mosfet %s needs positive W and L", rec.name)
+	}
+	d.mosfets = append(d.mosfets, rec)
+	return nil
+}
+
+func (d *Deck) parseDirective(head string, args []string) error {
+	switch head {
+	case ".model":
+		if len(args) < 2 {
+			return fmt.Errorf(".model needs: .model name nmos|pmos key=val...")
+		}
+		name := strings.ToLower(args[0])
+		typ := strings.ToLower(args[1])
+		rec := modelRec{cox: 6e-3}
+		switch typ {
+		case "nmos":
+		case "pmos":
+			rec.isPMOS = true
+		default:
+			return fmt.Errorf("model type %q must be nmos or pmos", args[1])
+		}
+		for _, kv := range args[2:] {
+			k, v, err := parseKV(kv)
+			if err != nil {
+				return err
+			}
+			switch k {
+			case "vt0", "vto":
+				rec.vt0 = v
+			case "kp":
+				rec.kp = v
+			case "lambda":
+				rec.lambda = v
+			case "cox":
+				rec.cox = v
+			case "cj":
+				rec.cj = v
+			default:
+				return fmt.Errorf("unknown model parameter %q", k)
+			}
+		}
+		d.models[name] = rec
+		return nil
+	case ".out", ".probe":
+		if len(args) != 1 {
+			return fmt.Errorf("%s needs one node name", head)
+		}
+		// Accept ".probe v(q)" which tokenizes to ["v", "q"]? No: parens are
+		// stripped, so ".probe v q" arrives as 2 args; keep it simple and
+		// accept the node name directly.
+		d.out = args[0]
+		return nil
+	case ".vdd":
+		if len(args) != 1 {
+			return fmt.Errorf(".vdd needs one value")
+		}
+		v, err := ParseValue(args[0])
+		if err != nil {
+			return err
+		}
+		d.vdd = v
+		return nil
+	case ".crossfrac":
+		if len(args) != 1 {
+			return fmt.Errorf(".crossfrac needs one value")
+		}
+		v, err := ParseValue(args[0])
+		if err != nil {
+			return err
+		}
+		if v <= 0 || v >= 1 {
+			return fmt.Errorf(".crossfrac must lie in (0, 1)")
+		}
+		d.crossFrac = v
+		return nil
+	case ".rising":
+		if len(args) != 1 {
+			return fmt.Errorf(".rising needs 0 or 1")
+		}
+		switch args[0] {
+		case "0":
+			d.rising = false
+		case "1":
+			d.rising = true
+		default:
+			return fmt.Errorf(".rising needs 0 or 1, got %q", args[0])
+		}
+		return nil
+	case ".end":
+		return nil
+	default:
+		return fmt.Errorf("unknown directive %q", head)
+	}
+}
+
+func (d *Deck) validate() error {
+	nData, nClock := 0, 0
+	for _, s := range d.sources {
+		switch s.kind {
+		case srcData:
+			nData++
+		case srcClock:
+			nClock++
+		}
+	}
+	if nData != 1 {
+		return fmt.Errorf("netlist: need exactly one DATA source, found %d", nData)
+	}
+	if nClock < 1 {
+		return fmt.Errorf("netlist: need at least one CLOCK or PULSE source")
+	}
+	if d.out == "" {
+		return fmt.Errorf("netlist: missing .out directive")
+	}
+	if len(d.mosfets)+len(d.resistors) == 0 {
+		return fmt.Errorf("netlist: no devices")
+	}
+	for _, m := range d.mosfets {
+		if _, ok := d.models[m.model]; !ok {
+			return fmt.Errorf("netlist: mosfet %s references undefined model %q", m.name, m.model)
+		}
+	}
+	return nil
+}

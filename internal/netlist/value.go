@@ -1,0 +1,95 @@
+// Package netlist parses a small SPICE-like deck format describing a latch
+// or register plus its characterization stimulus, and builds simulator
+// instances from it. Supported elements: R, C, V (DC / CLOCK / PULSE / PWL /
+// DATA waveforms), M (level-1 MOSFETs with .model cards), and the
+// characterization directives .vdd, .out, .crossfrac and .rising.
+//
+// A deck is parsed once into an AST; every Build call constructs a fresh,
+// independent circuit instance, so parsed decks can drive concurrent
+// characterization exactly like the built-in cells.
+package netlist
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseValue parses a SPICE-style number with an optional scale suffix:
+// f, p, n, u, m, k, meg, g, t (case-insensitive). Any trailing unit letters
+// after the suffix are ignored (e.g. "10pF", "2.5V").
+func ParseValue(s string) (float64, error) {
+	ls := strings.ToLower(strings.TrimSpace(s))
+	if ls == "" {
+		return 0, fmt.Errorf("netlist: empty value")
+	}
+	// Split the numeric prefix from the suffix.
+	end := len(ls)
+	for i, r := range ls {
+		if (r >= '0' && r <= '9') || r == '.' || r == '+' || r == '-' || r == 'e' {
+			// 'e' is tricky: only part of the number if followed by digits
+			// or a sign; otherwise it starts a suffix... handled below by
+			// retrying the parse.
+			continue
+		}
+		end = i
+		break
+	}
+	// strconv handles scientific notation; back off while the prefix fails
+	// to parse (covers "2e" from "2eg" style accidents).
+	var num float64
+	var err error
+	for end > 0 {
+		num, err = strconv.ParseFloat(ls[:end], 64)
+		if err == nil {
+			break
+		}
+		end--
+	}
+	if end == 0 {
+		return 0, fmt.Errorf("netlist: cannot parse number %q", s)
+	}
+	suffix := ls[end:]
+	scale := 1.0
+	switch {
+	case suffix == "":
+	case strings.HasPrefix(suffix, "meg"):
+		scale = 1e6
+	case strings.HasPrefix(suffix, "f"):
+		scale = 1e-15
+	case strings.HasPrefix(suffix, "p"):
+		scale = 1e-12
+	case strings.HasPrefix(suffix, "n"):
+		scale = 1e-9
+	case strings.HasPrefix(suffix, "u"):
+		scale = 1e-6
+	case strings.HasPrefix(suffix, "m"):
+		scale = 1e-3
+	case strings.HasPrefix(suffix, "k"):
+		scale = 1e3
+	case strings.HasPrefix(suffix, "g"):
+		scale = 1e9
+	case strings.HasPrefix(suffix, "t"):
+		scale = 1e12
+	case strings.HasPrefix(suffix, "v"), strings.HasPrefix(suffix, "a"),
+		strings.HasPrefix(suffix, "s"), strings.HasPrefix(suffix, "hz"),
+		strings.HasPrefix(suffix, "ohm"):
+		// bare units
+	default:
+		return 0, fmt.Errorf("netlist: unknown suffix %q in %q", suffix, s)
+	}
+	return num * scale, nil
+}
+
+// parseKV splits "W=4u" style parameters.
+func parseKV(tok string) (key string, val float64, err error) {
+	i := strings.IndexByte(tok, '=')
+	if i <= 0 || i == len(tok)-1 {
+		return "", 0, fmt.Errorf("netlist: malformed parameter %q", tok)
+	}
+	v, err := ParseValue(tok[i+1:])
+	if err != nil {
+		return "", 0, err
+	}
+	return strings.ToLower(tok[:i]), v, nil
+}

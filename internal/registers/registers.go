@@ -1,0 +1,392 @@
+// Package registers builds the validation circuits of the paper: the
+// 9-transistor true single-phase clocked (TSPC) positive-edge register of
+// Fig. 6 and the C²MOS positive-edge master-slave register of Fig. 11(a)
+// with a delayed complementary clock, plus a static transmission-gate
+// register as an extra example cell. Each cell is exposed as a factory so
+// concurrent characterization can build one independent instance per
+// goroutine.
+package registers
+
+import (
+	"fmt"
+
+	"latchchar/internal/circuit"
+	"latchchar/internal/device"
+	"latchchar/internal/wave"
+)
+
+// Process collects the electrical parameters shared by all cells. The
+// defaults are calibrated so the TSPC characteristic clock-to-Q delay lands
+// in the paper's few-hundred-picosecond range at VDD = 2.5 V.
+type Process struct {
+	VDD  float64
+	NMOS device.MOSModel
+	PMOS device.MOSModel
+	// WN, WP, L are the default channel dimensions (m).
+	WN, WP, L float64
+	// NodeCap loads every internal stage node; LoadCap loads the output.
+	NodeCap, LoadCap float64
+}
+
+// DefaultProcess returns the 0.25 µm-flavoured parameters used throughout
+// the experiments.
+func DefaultProcess() Process {
+	return Process{
+		VDD: 2.5,
+		NMOS: device.MOSModel{
+			Type: device.NMOS, VT0: 0.43, KP: 115e-6, Lambda: 0.06,
+			Cox: 6e-3, CJ: 0.6e-9,
+		},
+		PMOS: device.MOSModel{
+			Type: device.PMOS, VT0: 0.40, KP: 30e-6, Lambda: 0.10,
+			Cox: 6e-3, CJ: 0.6e-9,
+		},
+		WN: 0.6e-6, WP: 1.4e-6, L: 0.25e-6,
+		NodeCap: 12e-15, LoadCap: 25e-15,
+	}
+}
+
+// Timing collects the clock and data-edge timing shared by all cells,
+// following Section IV of the paper: 10 ns period, first rising ramp at
+// 1 ns, 0.1 ns transitions, measurement at the second rising edge.
+type Timing struct {
+	Period     float64
+	ClockDelay float64
+	Rise, Fall float64
+	// EdgeIndex selects the active (measured) rising edge; 1 is the 11 ns
+	// edge of the paper.
+	EdgeIndex int
+	// DataShape selects the data-ramp profile (smoothstep by default).
+	DataShape wave.RampShape
+}
+
+// DefaultTiming returns the paper's waveform timing.
+func DefaultTiming() Timing {
+	return Timing{
+		Period:     10e-9,
+		ClockDelay: 1e-9,
+		Rise:       0.1e-9,
+		Fall:       0.1e-9,
+		EdgeIndex:  1,
+		DataShape:  wave.RampSmooth,
+	}
+}
+
+// Clock returns the clock waveform for this timing at the given rails.
+func (t Timing) Clock(low, high float64) wave.Clock {
+	return wave.Clock{
+		Low: low, High: high,
+		Period: t.Period, Delay: t.ClockDelay,
+		Rise: t.Rise, Fall: t.Fall,
+		Shape: wave.RampSmooth,
+	}
+}
+
+// Instance is one freshly built register circuit ready for simulation.
+type Instance struct {
+	Circuit *circuit.Circuit
+	// Data is the skew-parametric input-pulse waveform.
+	Data *wave.DataPulse
+	// Out is the monitored output unknown (the paper's c-vector).
+	Out circuit.UnknownID
+	// Clock is the primary clock waveform.
+	Clock wave.Clock
+	// Edge50 is the 50% crossing time of the active clock edge.
+	Edge50 float64
+	// VDD is the supply voltage.
+	VDD float64
+	// OutputRising reports the direction of the monitored Q transition for
+	// the cell's standard stimulus.
+	OutputRising bool
+	// CrossFrac is the fraction of the output transition that defines the
+	// clock-to-Q crossing (0.5 for TSPC, 0.9 for C²MOS per Section IV-B).
+	CrossFrac float64
+	// Supply is the branch-current unknown of the main supply source, used
+	// for energy measurements; circuit.Ground when unknown.
+	Supply circuit.UnknownID
+}
+
+// Cell is a register type plus its standard characterization stimulus.
+type Cell struct {
+	Name    string
+	Process Process
+	Timing  Timing
+	// Build constructs an independent instance. Instances share no state,
+	// so one can be built per goroutine.
+	Build func() (*Instance, error)
+}
+
+// helper bundling repetitive construction with error capture.
+type builder struct {
+	c   *circuit.Circuit
+	err error
+}
+
+func (b *builder) add(d circuit.Device, err error) {
+	if b.err == nil && err != nil {
+		b.err = err
+		return
+	}
+	if b.err == nil {
+		b.c.AddDevice(d)
+	}
+}
+
+func (b *builder) vsrc(name string, p circuit.UnknownID, w wave.Waveform, role device.SourceRole) *device.VSource {
+	d, err := device.NewVSource(name, p, circuit.Ground, w, role)
+	b.add(d, err)
+	if b.err != nil {
+		return nil
+	}
+	return d
+}
+
+func (b *builder) nmos(p Process, name string, d, g, s circuit.UnknownID, w float64) {
+	m, err := device.NewMOSFET(name, d, g, s, circuit.Ground, p.NMOS, w, p.L)
+	b.add(m, err)
+}
+
+func (b *builder) pmos(p Process, name string, d, g, s, bulk circuit.UnknownID, w float64) {
+	m, err := device.NewMOSFET(name, d, g, s, bulk, p.PMOS, w, p.L)
+	b.add(m, err)
+}
+
+func (b *builder) cap(name string, n circuit.UnknownID, f float64) {
+	d, err := device.NewCapacitor(name, n, circuit.Ground, f)
+	b.add(d, err)
+}
+
+// TSPC returns the 9-transistor positive-edge TSPC register cell (Fig. 6).
+//
+// The stimulus latches a falling data pulse (rest = VDD, active = 0) at the
+// measured edge; since the register inverts (Q = D̄ one cycle behind the
+// pipeline), the monitored Q transition is a rise from 0 to VDD, and the
+// clock-to-Q crossing uses the 50% level, as in Section IV-A.
+func TSPC(p Process, tm Timing) *Cell {
+	cell := &Cell{Name: "tspc", Process: p, Timing: tm}
+	cell.Build = func() (*Instance, error) {
+		b := &builder{c: circuit.New()}
+		c := b.c
+		vdd := c.Node("vdd")
+		d := c.Node("d")
+		clk := c.Node("clk")
+		x := c.Node("x")
+		y := c.Node("y")
+		q := c.Node("q")
+		n1 := c.Node("n1")
+		n2 := c.Node("n2")
+		n3 := c.Node("n3")
+
+		clkW := tm.Clock(0, p.VDD)
+		edge50 := clkW.Edge50(tm.EdgeIndex)
+		data, err := wave.NewDataPulse(edge50, p.VDD, 0, tm.Rise, tm.Fall, tm.DataShape)
+		if err != nil {
+			return nil, err
+		}
+		vddSrc := b.vsrc("vdd", vdd, wave.DC(p.VDD), device.RoleSupply)
+		b.vsrc("vclk", clk, clkW, device.RoleClock)
+		b.vsrc("vdata", d, data, device.RoleData)
+
+		// Stage 1: clocked input inverter.
+		b.pmos(p, "mp1", n1, d, vdd, vdd, p.WP)
+		b.pmos(p, "mp2", x, clk, n1, vdd, p.WP)
+		b.nmos(p, "mn1", x, d, circuit.Ground, p.WN)
+		// Stage 2: clocked inverter on X.
+		b.pmos(p, "mp3", y, x, vdd, vdd, p.WP)
+		b.nmos(p, "mn2", y, clk, n2, p.WN)
+		b.nmos(p, "mn3", n2, x, circuit.Ground, p.WN)
+		// Stage 3: clocked output inverter on Y.
+		b.pmos(p, "mp4", q, y, vdd, vdd, p.WP)
+		b.nmos(p, "mn4", q, clk, n3, p.WN)
+		b.nmos(p, "mn5", n3, y, circuit.Ground, p.WN)
+
+		b.cap("cx", x, p.NodeCap)
+		b.cap("cy", y, p.NodeCap)
+		b.cap("cq", q, p.LoadCap)
+		if b.err != nil {
+			return nil, fmt.Errorf("registers: tspc: %w", b.err)
+		}
+		if err := c.Finalize(); err != nil {
+			return nil, err
+		}
+		return &Instance{
+			Circuit:      c,
+			Data:         data,
+			Out:          q,
+			Clock:        clkW,
+			Edge50:       edge50,
+			VDD:          p.VDD,
+			OutputRising: true,
+			CrossFrac:    0.5,
+			Supply:       vddSrc.Branch(),
+		}, nil
+	}
+	return cell
+}
+
+// C2MOSOptions extends the common parameters for the C²MOS cell.
+type C2MOSOptions struct {
+	// ClkbDelay delays the complementary clock after the true clock,
+	// creating the 0–0/1–1 overlap that imposes the hold constraint
+	// (0.3 ns in the paper).
+	ClkbDelay float64
+}
+
+// C2MOS returns the C²MOS positive-edge master-slave register (Fig. 11(a))
+// with clk̄ delayed by opts.ClkbDelay.
+//
+// The stimulus latches a falling data pulse; Q follows D through two
+// inversions, so the monitored transition is a fall from VDD toward 0. Per
+// Section IV-B the clock-to-Q crossing uses 90% of the transition
+// (r = 0.1·VDD) to reject false transitions caused by the clock overlap.
+func C2MOS(p Process, tm Timing, opts C2MOSOptions) *Cell {
+	if opts.ClkbDelay == 0 {
+		opts.ClkbDelay = 0.3e-9
+	}
+	cell := &Cell{Name: "c2mos", Process: p, Timing: tm}
+	cell.Build = func() (*Instance, error) {
+		b := &builder{c: circuit.New()}
+		c := b.c
+		vdd := c.Node("vdd")
+		d := c.Node("d")
+		clk := c.Node("clk")
+		clkb := c.Node("clkb")
+		x := c.Node("x")
+		q := c.Node("q")
+		a := c.Node("a")
+		bb := c.Node("b")
+		cc := c.Node("c")
+		dd := c.Node("dd")
+
+		clkW := tm.Clock(0, p.VDD)
+		clkbW := wave.Inverted{W: wave.Shifted{W: clkW, Dt: opts.ClkbDelay}, Low: 0, High: p.VDD}
+		edge50 := clkW.Edge50(tm.EdgeIndex)
+		data, err := wave.NewDataPulse(edge50, p.VDD, 0, tm.Rise, tm.Fall, tm.DataShape)
+		if err != nil {
+			return nil, err
+		}
+		vddSrc := b.vsrc("vdd", vdd, wave.DC(p.VDD), device.RoleSupply)
+		b.vsrc("vclk", clk, clkW, device.RoleClock)
+		b.vsrc("vclkb", clkb, clkbW, device.RoleClock)
+		b.vsrc("vdata", d, data, device.RoleData)
+
+		// Master: transparent while CLK is low (PMOS gated by clk, NMOS by
+		// clk̄).
+		b.pmos(p, "mp1", a, d, vdd, vdd, p.WP)
+		b.pmos(p, "mp2", x, clk, a, vdd, p.WP)
+		b.nmos(p, "mn1", x, clkb, bb, p.WN)
+		b.nmos(p, "mn2", bb, d, circuit.Ground, p.WN)
+		// Slave: transparent while CLK is high.
+		b.pmos(p, "mp3", cc, x, vdd, vdd, p.WP)
+		b.pmos(p, "mp4", q, clkb, cc, vdd, p.WP)
+		b.nmos(p, "mn3", q, clk, dd, p.WN)
+		b.nmos(p, "mn4", dd, x, circuit.Ground, p.WN)
+
+		b.cap("cx", x, p.NodeCap)
+		b.cap("cq", q, p.LoadCap)
+		if b.err != nil {
+			return nil, fmt.Errorf("registers: c2mos: %w", b.err)
+		}
+		if err := c.Finalize(); err != nil {
+			return nil, err
+		}
+		return &Instance{
+			Circuit:      c,
+			Data:         data,
+			Out:          q,
+			Clock:        clkW,
+			Edge50:       edge50,
+			VDD:          p.VDD,
+			OutputRising: false,
+			CrossFrac:    0.9,
+			Supply:       vddSrc.Branch(),
+		}, nil
+	}
+	return cell
+}
+
+// TGate returns a static transmission-gate master-slave register — not part
+// of the paper's validation set, included as the extra example cell for the
+// library. It uses complementary non-delayed clocks, back-to-back inverter
+// storage and a non-inverting data path, so the monitored Q transition is a
+// fall (the stimulus latches a falling data pulse), at the 50% level.
+func TGate(p Process, tm Timing) *Cell {
+	cell := &Cell{Name: "tgate", Process: p, Timing: tm}
+	cell.Build = func() (*Instance, error) {
+		b := &builder{c: circuit.New()}
+		c := b.c
+		vdd := c.Node("vdd")
+		d := c.Node("d")
+		clk := c.Node("clk")
+		clkb := c.Node("clkb")
+		m1 := c.Node("m1") // master storage
+		m2 := c.Node("m2") // master inverter output
+		s1 := c.Node("s1") // slave storage
+		q := c.Node("q")
+
+		clkW := tm.Clock(0, p.VDD)
+		clkbW := wave.Inverted{W: clkW, Low: 0, High: p.VDD}
+		edge50 := clkW.Edge50(tm.EdgeIndex)
+		data, err := wave.NewDataPulse(edge50, p.VDD, 0, tm.Rise, tm.Fall, tm.DataShape)
+		if err != nil {
+			return nil, err
+		}
+		vddSrc := b.vsrc("vdd", vdd, wave.DC(p.VDD), device.RoleSupply)
+		b.vsrc("vclk", clk, clkW, device.RoleClock)
+		b.vsrc("vclkb", clkb, clkbW, device.RoleClock)
+		b.vsrc("vdata", d, data, device.RoleData)
+
+		tgate := func(tag string, from, to circuit.UnknownID, nGate, pGate circuit.UnknownID) {
+			b.nmos(p, "mnt"+tag, to, nGate, from, p.WN)
+			b.pmos(p, "mpt"+tag, to, pGate, from, vdd, p.WP)
+		}
+		inv := func(tag string, in, out circuit.UnknownID, scale float64) {
+			b.pmos(p, "mpi"+tag, out, in, vdd, vdd, p.WP*scale)
+			b.nmos(p, "mni"+tag, out, in, circuit.Ground, p.WN*scale)
+		}
+		// Master: pass gate open while CLK low, weak keeper inverter pair.
+		tgate("1", d, m1, clkb, clk)
+		inv("1", m1, m2, 1)
+		inv("1k", m2, m1, 0.25) // keeper
+		// Slave: pass gate open while CLK high.
+		tgate("2", m2, s1, clk, clkb)
+		inv("2", s1, q, 1)
+		inv("2k", q, s1, 0.25) // keeper
+		b.cap("cm", m1, p.NodeCap)
+		b.cap("cs", s1, p.NodeCap)
+		b.cap("cq", q, p.LoadCap)
+		if b.err != nil {
+			return nil, fmt.Errorf("registers: tgate: %w", b.err)
+		}
+		if err := c.Finalize(); err != nil {
+			return nil, err
+		}
+		return &Instance{
+			Circuit:      c,
+			Data:         data,
+			Out:          q,
+			Clock:        clkW,
+			Edge50:       edge50,
+			VDD:          p.VDD,
+			OutputRising: false, // Q follows D, and the stimulus pulls D low
+			CrossFrac:    0.5,
+			Supply:       vddSrc.Branch(),
+		}, nil
+	}
+	return cell
+}
+
+// ByName returns the named built-in cell with default process and timing.
+func ByName(name string) (*Cell, error) {
+	p, tm := DefaultProcess(), DefaultTiming()
+	switch name {
+	case "tspc":
+		return TSPC(p, tm), nil
+	case "c2mos":
+		return C2MOS(p, tm, C2MOSOptions{}), nil
+	case "tgate":
+		return TGate(p, tm), nil
+	default:
+		return nil, fmt.Errorf("registers: unknown cell %q (have tspc, c2mos, tgate)", name)
+	}
+}

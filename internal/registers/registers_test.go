@@ -1,0 +1,168 @@
+package registers
+
+import (
+	"math"
+	"testing"
+
+	"latchchar/internal/solver"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"tspc", "c2mos", "tgate"} {
+		cell, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if cell.Name != name {
+			t.Errorf("cell name %q", cell.Name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown cell accepted")
+	}
+}
+
+func TestBuildProducesFinalizedCircuit(t *testing.T) {
+	for _, name := range []string{"tspc", "c2mos", "tgate"} {
+		cell, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := cell.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !inst.Circuit.Finalized() {
+			t.Errorf("%s: circuit not finalized", name)
+		}
+		if inst.Data == nil || inst.Out < 0 {
+			t.Errorf("%s: incomplete instance", name)
+		}
+		if math.Abs(inst.Edge50-11.05e-9) > 1e-18 {
+			t.Errorf("%s: Edge50 = %v", name, inst.Edge50)
+		}
+	}
+}
+
+func TestInstancesAreIndependent(t *testing.T) {
+	cell, err := ByName("tspc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := cell.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cell.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Circuit == b.Circuit {
+		t.Fatal("instances share a circuit")
+	}
+	if a.Data == b.Data {
+		t.Fatal("instances share a data waveform")
+	}
+	a.Data.SetSkews(1e-12, 1e-12)
+	if s, _ := b.Data.Skews(); s == 1e-12 {
+		t.Fatal("skew mutation leaked across instances")
+	}
+}
+
+func TestCellsHaveDCOperatingPoint(t *testing.T) {
+	for _, name := range []string{"tspc", "c2mos", "tgate"} {
+		cell, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := cell.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst.Data.SetSkews(1e-9, 1e-9)
+		x, _, err := solver.DCOperatingPoint(inst.Circuit, 0, nil, solver.DCOptions{})
+		if err != nil {
+			t.Fatalf("%s: DC failed: %v", name, err)
+		}
+		// All node voltages must lie within a diode drop of the rails.
+		for i := 0; i < inst.Circuit.NumNodes(); i++ {
+			if x[i] < -0.5 || x[i] > inst.VDD+0.5 {
+				t.Errorf("%s: node %s at %v V", name, inst.Circuit.NodeName(0)+"...", x[i])
+			}
+		}
+	}
+}
+
+func TestTSPCExpectedTopology(t *testing.T) {
+	cell, err := ByName("tspc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := cell.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 sources + 9 transistors + 3 caps.
+	if n := len(inst.Circuit.Devices()); n != 15 {
+		t.Errorf("device count = %d, want 15", n)
+	}
+	if inst.CrossFrac != 0.5 || !inst.OutputRising {
+		t.Errorf("TSPC criterion wrong: frac=%v rising=%v", inst.CrossFrac, inst.OutputRising)
+	}
+}
+
+func TestC2MOSExpectedTopology(t *testing.T) {
+	cell, err := ByName("c2mos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := cell.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 sources + 8 transistors + 2 caps.
+	if n := len(inst.Circuit.Devices()); n != 14 {
+		t.Errorf("device count = %d, want 14", n)
+	}
+	if inst.CrossFrac != 0.9 || inst.OutputRising {
+		t.Errorf("C2MOS criterion wrong: frac=%v rising=%v", inst.CrossFrac, inst.OutputRising)
+	}
+}
+
+func TestDefaultTimingMatchesPaper(t *testing.T) {
+	tm := DefaultTiming()
+	if tm.Period != 10e-9 || tm.ClockDelay != 1e-9 || tm.Rise != 0.1e-9 {
+		t.Errorf("timing: %+v", tm)
+	}
+	clk := tm.Clock(0, 2.5)
+	if math.Abs(clk.Edge50(1)-11.05e-9) > 1e-18 {
+		t.Errorf("Edge50(1) = %v", clk.Edge50(1))
+	}
+}
+
+func TestC2MOSClkbDelayDefault(t *testing.T) {
+	p, tm := DefaultProcess(), DefaultTiming()
+	cell := C2MOS(p, tm, C2MOSOptions{})
+	inst, err := cell.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = inst
+	cell2 := C2MOS(p, tm, C2MOSOptions{ClkbDelay: 0.5e-9})
+	if _, err := cell2.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessDefaultsValid(t *testing.T) {
+	p := DefaultProcess()
+	if err := p.NMOS.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := p.PMOS.Validate(); err != nil {
+		t.Error(err)
+	}
+	if p.VDD != 2.5 {
+		t.Errorf("VDD = %v", p.VDD)
+	}
+}

@@ -1,0 +1,302 @@
+package solver
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"latchchar/internal/circuit"
+	"latchchar/internal/device"
+	"latchchar/internal/num"
+	"latchchar/internal/wave"
+)
+
+func mustR(t *testing.T, c *circuit.Circuit, name string, p, n circuit.UnknownID, ohms float64) {
+	t.Helper()
+	r, err := device.NewResistor(name, p, n, ohms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddDevice(r)
+}
+
+func mustV(t *testing.T, c *circuit.Circuit, name string, p, n circuit.UnknownID, w wave.Waveform, role device.SourceRole) *device.VSource {
+	t.Helper()
+	v, err := device.NewVSource(name, p, n, w, role)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddDevice(v)
+	return v
+}
+
+func nmosModel() device.MOSModel {
+	return device.MOSModel{Type: device.NMOS, VT0: 0.43, KP: 115e-6, Lambda: 0.06, Cox: 6e-3, CJ: 1e-9}
+}
+
+func pmosModel() device.MOSModel {
+	return device.MOSModel{Type: device.PMOS, VT0: 0.40, KP: 30e-6, Lambda: 0.10, Cox: 6e-3, CJ: 1e-9}
+}
+
+func mustM(t *testing.T, c *circuit.Circuit, name string, d, g, s, b circuit.UnknownID, m device.MOSModel, w, l float64) {
+	t.Helper()
+	mos, err := device.NewMOSFET(name, d, g, s, b, m, w, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddDevice(mos)
+}
+
+func TestDCVoltageDivider(t *testing.T) {
+	c := circuit.New()
+	in := c.Node("in")
+	mid := c.Node("mid")
+	mustV(t, c, "v1", in, circuit.Ground, wave.DC(3.0), device.RoleSupply)
+	mustR(t, c, "r1", in, mid, 1e3)
+	mustR(t, c, "r2", mid, circuit.Ground, 2e3)
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	x, st, err := DCOperatingPoint(c, 0, nil, DCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Strategy != "newton" {
+		t.Errorf("expected plain newton, got %s", st.Strategy)
+	}
+	if !num.ApproxEqual(x[mid], 2.0, 1e-6, 1e-6) {
+		t.Errorf("v(mid) = %v, want 2.0", x[mid])
+	}
+	if !num.ApproxEqual(x[in], 3.0, 1e-9, 1e-9) {
+		t.Errorf("v(in) = %v, want 3.0", x[in])
+	}
+	// Branch current of the source: i = −3/3k (flows out of + terminal).
+	br := int(c.N() - 1)
+	if !num.ApproxEqual(x[br], -1e-3, 1e-6, 1e-9) {
+		t.Errorf("i(v1) = %v, want −1 mA", x[br])
+	}
+}
+
+func TestDCLinearSolvesInOneishIteration(t *testing.T) {
+	c := circuit.New()
+	a := c.Node("a")
+	mustV(t, c, "v1", a, circuit.Ground, wave.DC(1.0), device.RoleSupply)
+	mustR(t, c, "r1", a, circuit.Ground, 50)
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := DCOperatingPoint(c, 0, nil, DCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations > 3 {
+		t.Errorf("linear circuit took %d iterations", st.Iterations)
+	}
+}
+
+// buildInverter returns a CMOS inverter circuit with the given input level.
+func buildInverter(t *testing.T, vin float64) (*circuit.Circuit, circuit.UnknownID) {
+	t.Helper()
+	c := circuit.New()
+	vdd := c.Node("vdd")
+	in := c.Node("in")
+	out := c.Node("out")
+	mustV(t, c, "vdd", vdd, circuit.Ground, wave.DC(2.5), device.RoleSupply)
+	mustV(t, c, "vin", in, circuit.Ground, wave.DC(vin), device.RoleSupply)
+	mustM(t, c, "mp", out, in, vdd, vdd, pmosModel(), 8e-6, 0.25e-6)
+	mustM(t, c, "mn", out, in, circuit.Ground, circuit.Ground, nmosModel(), 4e-6, 0.25e-6)
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return c, out
+}
+
+func TestDCInverterRails(t *testing.T) {
+	c, out := buildInverter(t, 0)
+	x, _, err := DCOperatingPoint(c, 0, nil, DCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[out] < 2.45 {
+		t.Errorf("inverter(0) output = %v, want ≈ 2.5", x[out])
+	}
+	c, out = buildInverter(t, 2.5)
+	x, _, err = DCOperatingPoint(c, 0, nil, DCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[out] > 0.05 {
+		t.Errorf("inverter(2.5) output = %v, want ≈ 0", x[out])
+	}
+}
+
+func TestDCInverterVTCMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for _, vin := range []float64{0, 0.5, 1.0, 1.1, 1.2, 1.3, 1.5, 2.0, 2.5} {
+		c, out := buildInverter(t, vin)
+		x, _, err := DCOperatingPoint(c, 0, nil, DCOptions{})
+		if err != nil {
+			t.Fatalf("vin=%v: %v", vin, err)
+		}
+		if x[out] > prev+1e-6 {
+			t.Errorf("VTC not monotone at vin=%v: %v > %v", vin, x[out], prev)
+		}
+		prev = x[out]
+	}
+}
+
+func TestDCResidualIsSmall(t *testing.T) {
+	c, _ := buildInverter(t, 1.25) // near the switching point: hardest bias
+	x, _, err := DCOperatingPoint(c, 0, nil, DCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := c.NewEval()
+	ev.At(x, 0)
+	for i := range x {
+		r := ev.F[i] + ev.Src[i]
+		if math.Abs(r) > 1e-9 {
+			t.Errorf("residual[%d] = %v", i, r)
+		}
+	}
+}
+
+func TestDCUsesInitialGuess(t *testing.T) {
+	c, out := buildInverter(t, 0)
+	seed := make([]float64, c.N())
+	seed[out] = 2.5
+	x, st, err := DCOperatingPoint(c, 0, seed, DCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[out] < 2.45 {
+		t.Errorf("output = %v", x[out])
+	}
+	if st.Iterations > 20 {
+		t.Errorf("warm start took %d iterations", st.Iterations)
+	}
+	// The seed must not be modified.
+	if seed[out] != 2.5 {
+		t.Error("x0 was modified")
+	}
+}
+
+func TestDCBadX0Length(t *testing.T) {
+	c, _ := buildInverter(t, 0)
+	if _, _, err := DCOperatingPoint(c, 0, []float64{1}, DCOptions{}); err == nil {
+		t.Error("expected length error")
+	}
+}
+
+func TestDCFloatingNodeHandledByGmin(t *testing.T) {
+	// A capacitor-only node has no DC path; the circuit-level Gmin must
+	// keep the system solvable, landing the node at 0 V.
+	c := circuit.New()
+	a := c.Node("a")
+	fl := c.Node("float")
+	mustV(t, c, "v1", a, circuit.Ground, wave.DC(1), device.RoleSupply)
+	cap, err := device.NewCapacitor("c1", a, fl, 1e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddDevice(cap)
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	x, _, err := DCOperatingPoint(c, 0, nil, DCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[fl]) > 1e-6 {
+		t.Errorf("floating node = %v, want ≈ 0", x[fl])
+	}
+}
+
+func TestDCTimeDependentSource(t *testing.T) {
+	// The operating point must honor the source value at the given time.
+	c := circuit.New()
+	a := c.Node("a")
+	st := wave.Step{V0: 0, V1: 2, T50: 1e-9, Rise: 0.2e-9, Shape: wave.RampSmooth}
+	mustV(t, c, "v1", a, circuit.Ground, st, device.RoleClock)
+	mustR(t, c, "r1", a, circuit.Ground, 1e3)
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	x, _, err := DCOperatingPoint(c, 5e-9, nil, DCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !num.ApproxEqual(x[a], 2.0, 1e-9, 1e-9) {
+		t.Errorf("v(a) at t=5ns: %v", x[a])
+	}
+}
+
+func TestDCOptionsDefaults(t *testing.T) {
+	o := DCOptions{}.withDefaults()
+	if o.MaxIter != 100 || o.MaxStep != 0.5 {
+		t.Errorf("defaults: %+v", o)
+	}
+	o = DCOptions{MaxStep: -1}.withDefaults()
+	if o.MaxStep != 0 {
+		t.Errorf("negative MaxStep should disable damping: %+v", o)
+	}
+}
+
+func TestDCGminSteppingFallback(t *testing.T) {
+	// A start point hundreds of volts away exhausts the damped plain-Newton
+	// budget (0.5 V per iteration), forcing the gmin-stepping continuation,
+	// which restarts from zero and succeeds.
+	c, out := buildInverter(t, 0)
+	far := make([]float64, c.N())
+	for i := range far {
+		far[i] = 200
+	}
+	x, st, err := DCOperatingPoint(c, 0, far, DCOptions{MaxIter: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Strategy != "gmin" {
+		t.Errorf("strategy = %s, want gmin", st.Strategy)
+	}
+	if x[out] < 2.4 {
+		t.Errorf("output = %v", x[out])
+	}
+	if st.Stages < 2 {
+		t.Errorf("stages = %d", st.Stages)
+	}
+}
+
+func TestDCAllStrategiesExhausted(t *testing.T) {
+	// With a one-iteration budget nothing can converge; the solver must
+	// fall through gmin and source stepping and report ErrNoConvergence.
+	c, _ := buildInverter(t, 1.25)
+	_, _, err := DCOperatingPoint(c, 0, nil, DCOptions{MaxIter: 1})
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDCUndampedOption(t *testing.T) {
+	// MaxStep < 0 disables damping entirely; the linear divider still
+	// converges in one step.
+	c := circuit.New()
+	a := c.Node("a")
+	mustV(t, c, "v1", a, circuit.Ground, wave.DC(3.0), device.RoleSupply)
+	mustR(t, c, "r1", a, circuit.Ground, 1e3)
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	x, st, err := DCOperatingPoint(c, 0, nil, DCOptions{MaxStep: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations > 2 {
+		t.Errorf("iterations = %d", st.Iterations)
+	}
+	if !num.ApproxEqual(x[a], 3, 1e-9, 1e-9) {
+		t.Errorf("x = %v", x[a])
+	}
+}

@@ -1,0 +1,85 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"latchchar/internal/circuit"
+	"latchchar/internal/device"
+	"latchchar/internal/wave"
+)
+
+// TestDCRandomResistorNetworksProperty: on random connected resistor
+// networks with one source, the operating point must satisfy KCL to
+// near-machine precision, every node voltage must lie inside the source
+// range (maximum principle), and plain Newton must converge (the system is
+// linear).
+func TestDCRandomResistorNetworksProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 25; trial++ {
+		c := circuit.New()
+		nodes := []circuit.UnknownID{c.Node("n0")}
+		numNodes := 3 + rng.Intn(10)
+		for i := 1; i < numNodes; i++ {
+			id := c.Node("n" + string(rune('0'+i)))
+			nodes = append(nodes, id)
+			// Connect to a random earlier node: keeps the network connected.
+			prev := nodes[rng.Intn(i)]
+			r, err := device.NewResistor("r", prev, id, 100+rng.Float64()*10e3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.AddDevice(r)
+		}
+		// A few extra random edges and one tie to ground.
+		for k := 0; k < numNodes/2; k++ {
+			a := nodes[rng.Intn(numNodes)]
+			b := nodes[rng.Intn(numNodes)]
+			if a == b {
+				continue
+			}
+			r, err := device.NewResistor("rx", a, b, 100+rng.Float64()*10e3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.AddDevice(r)
+		}
+		rg, err := device.NewResistor("rg", nodes[rng.Intn(numNodes)], circuit.Ground, 1e3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.AddDevice(rg)
+		vsrc := 1 + rng.Float64()*4
+		v, err := device.NewVSource("v1", nodes[0], circuit.Ground, wave.DC(vsrc), device.RoleSupply)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.AddDevice(v)
+		if err := c.Finalize(); err != nil {
+			t.Fatal(err)
+		}
+
+		x, st, err := DCOperatingPoint(c, 0, nil, DCOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if st.Strategy != "newton" {
+			t.Errorf("trial %d: linear network needed %s", trial, st.Strategy)
+		}
+		// Maximum principle: all node voltages within [0, vsrc].
+		for i := 0; i < numNodes; i++ {
+			if x[i] < -1e-6 || x[i] > vsrc+1e-6 {
+				t.Errorf("trial %d: node %d at %v outside [0, %v]", trial, i, x[i], vsrc)
+			}
+		}
+		// KCL residual.
+		ev := c.NewEval()
+		ev.At(x, 0)
+		for i := range x {
+			if r := ev.F[i] + ev.Src[i]; math.Abs(r) > 1e-9 {
+				t.Errorf("trial %d: residual[%d] = %v", trial, i, r)
+			}
+		}
+	}
+}

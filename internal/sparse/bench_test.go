@@ -1,0 +1,92 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// circuitLike builds a matrix with the structure of an MNA Jacobian:
+// strong diagonal, a few off-diagonal couplings per row, plus a handful of
+// dense-ish source rows.
+func circuitLike(rng *rand.Rand, n int) *CSR {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 4+rng.Float64())
+		for k := 0; k < 3; k++ {
+			j := rng.Intn(n)
+			if j != i {
+				b.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return b.Build()
+}
+
+func BenchmarkFactor(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := circuitLike(rng, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Factor(m, LUOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRefactor(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	m := circuitLike(rng, 100)
+	lu, err := Factor(m, LUOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := lu.Refactor(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	m := circuitLike(rng, 100)
+	lu, err := Factor(m, LUOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]float64, m.N)
+	x := make([]float64, m.N)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lu.Solve(rhs, x)
+	}
+}
+
+func BenchmarkMulVec(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	m := circuitLike(rng, 200)
+	x := make([]float64, m.N)
+	y := make([]float64, m.N)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(x, y)
+	}
+}
+
+func BenchmarkCombine(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	c := circuitLike(rng, 200)
+	g := circuitLike(rng, 200)
+	u, mapC, mapG := UnionPattern(c, g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Combine(u, 1e12, c, mapC, 1, g, mapG)
+	}
+}

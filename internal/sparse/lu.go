@@ -1,0 +1,275 @@
+package sparse
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrZeroPivot is returned when elimination hits a pivot that is zero or
+// negligible relative to the matrix scale. During Refactor it signals the
+// caller to redo the full Markowitz analysis.
+var ErrZeroPivot = errors.New("sparse: zero pivot encountered")
+
+// LUOptions configure factorization.
+type LUOptions struct {
+	// Threshold is the Markowitz partial-pivoting threshold τ ∈ (0, 1]:
+	// a candidate pivot must satisfy |a| ≥ τ·(column max). Smaller values
+	// favor sparsity over stability. Zero selects the default 0.1.
+	Threshold float64
+	// PivRelFloor rejects pivots smaller than this fraction of the largest
+	// matrix entry. Zero selects the default 1e-13.
+	PivRelFloor float64
+}
+
+func (o LUOptions) withDefaults() LUOptions {
+	if o.Threshold <= 0 || o.Threshold > 1 {
+		o.Threshold = 0.1
+	}
+	if o.PivRelFloor <= 0 {
+		o.PivRelFloor = 1e-13
+	}
+	return o
+}
+
+type lentry struct {
+	row int
+	m   float64
+}
+
+type uentry struct {
+	col int
+	v   float64
+}
+
+// LU is a sparse LU factorization P_r·A·P_c = L·U produced by Markowitz
+// ordering with threshold partial pivoting. The pivot sequence is recorded
+// so subsequent matrices with the same sparsity pattern can be refactored
+// numerically without repeating the ordering analysis (Refactor).
+type LU struct {
+	n     int
+	opts  LUOptions
+	rowOf []int // rowOf[k]: original row pivoted at step k
+	colOf []int // colOf[k]: original column pivoted at step k
+	lower [][]lentry
+	upper [][]uentry // upper[k][0] is the pivot entry
+	y     []float64  // solve scratch (row-indexed)
+	xs    []float64  // solve scratch (column-indexed)
+
+	// elimination scratch, reused across Refactor calls
+	rows    []map[int]float64
+	colRows []map[int]struct{}
+}
+
+// Factor performs the full analysis + numeric factorization of a.
+func Factor(a *CSR, opts LUOptions) (*LU, error) {
+	f := &LU{
+		n:     a.N,
+		opts:  opts.withDefaults(),
+		rowOf: make([]int, a.N),
+		colOf: make([]int, a.N),
+		lower: make([][]lentry, a.N),
+		upper: make([][]uentry, a.N),
+		y:     make([]float64, a.N),
+		xs:    make([]float64, a.N),
+	}
+	if err := f.factorFull(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (f *LU) load(a *CSR) {
+	n := f.n
+	if f.rows == nil {
+		f.rows = make([]map[int]float64, n)
+		f.colRows = make([]map[int]struct{}, n)
+		for i := 0; i < n; i++ {
+			f.rows[i] = make(map[int]float64, 8)
+			f.colRows[i] = make(map[int]struct{}, 8)
+		}
+	}
+	for i := 0; i < n; i++ {
+		clear(f.rows[i])
+		clear(f.colRows[i])
+	}
+	for i := 0; i < n; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.Col[k]
+			f.rows[i][j] += a.Val[k]
+			f.colRows[j][i] = struct{}{}
+		}
+	}
+}
+
+// factorFull performs Markowitz pivot selection and elimination.
+func (f *LU) factorFull(a *CSR) error {
+	n := f.n
+	f.load(a)
+	scale := a.MaxAbs()
+	if n > 0 && scale == 0 {
+		return ErrZeroPivot
+	}
+	floor := scale * f.opts.PivRelFloor
+	rowActive := make([]bool, n)
+	colActive := make([]bool, n)
+	for i := 0; i < n; i++ {
+		rowActive[i] = true
+		colActive[i] = true
+	}
+	colMax := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Column maxima over the active submatrix for the threshold test.
+		for j := 0; j < n; j++ {
+			if !colActive[j] {
+				continue
+			}
+			m := 0.0
+			for r := range f.colRows[j] {
+				v := math.Abs(f.rows[r][j])
+				if v > m {
+					m = v
+				}
+			}
+			colMax[j] = m
+		}
+		// Markowitz search: minimize (rownnz-1)(colnnz-1) subject to the
+		// threshold; tie-break on larger magnitude.
+		bestCost := math.MaxInt64
+		bestMag := 0.0
+		pi, pj := -1, -1
+		for r := 0; r < n; r++ {
+			if !rowActive[r] {
+				continue
+			}
+			rc := len(f.rows[r]) - 1
+			for j, v := range f.rows[r] {
+				av := math.Abs(v)
+				if av <= floor || av < f.opts.Threshold*colMax[j] {
+					continue
+				}
+				cost := rc * (len(f.colRows[j]) - 1)
+				if cost < bestCost || (cost == bestCost && av > bestMag) {
+					bestCost, bestMag = cost, av
+					pi, pj = r, j
+				}
+			}
+		}
+		if pi < 0 {
+			return ErrZeroPivot
+		}
+		f.rowOf[k], f.colOf[k] = pi, pj
+		rowActive[pi] = false
+		colActive[pj] = false
+		if err := f.eliminateStep(k, floor); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Refactor repeats the numeric factorization of a matrix with the same
+// sparsity pattern as the one passed to Factor, reusing the recorded pivot
+// sequence. Returns ErrZeroPivot if a previously acceptable pivot has become
+// negligible; the caller should then fall back to Factor.
+func (f *LU) Refactor(a *CSR) error {
+	if a.N != f.n {
+		panic("sparse: Refactor dimension mismatch")
+	}
+	f.load(a)
+	scale := a.MaxAbs()
+	if f.n > 0 && scale == 0 {
+		return ErrZeroPivot
+	}
+	floor := scale * f.opts.PivRelFloor
+	for k := 0; k < f.n; k++ {
+		if err := f.eliminateStep(k, floor); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// eliminateStep performs the elimination for step k with pivot
+// (rowOf[k], colOf[k]) on the current rows/colRows state, recording the
+// lower multipliers and the upper (pivot) row.
+func (f *LU) eliminateStep(k int, floor float64) error {
+	pi, pj := f.rowOf[k], f.colOf[k]
+	pivRow := f.rows[pi]
+	piv, ok := pivRow[pj]
+	if !ok || math.Abs(piv) <= floor {
+		return ErrZeroPivot
+	}
+	// Record the U row, pivot entry first.
+	up := f.upper[k][:0]
+	up = append(up, uentry{pj, piv})
+	for j, v := range pivRow {
+		if j != pj {
+			up = append(up, uentry{j, v})
+		}
+	}
+	f.upper[k] = up
+	// Deactivate the pivot row in the column index.
+	for j := range pivRow {
+		delete(f.colRows[j], pi)
+	}
+	// Eliminate the pivot column from the remaining active rows.
+	lo := f.lower[k][:0]
+	for r := range f.colRows[pj] {
+		m := f.rows[r][pj] / piv
+		lo = append(lo, lentry{r, m})
+		delete(f.rows[r], pj)
+		if m == 0 {
+			continue
+		}
+		for j, v := range pivRow {
+			if j == pj {
+				continue
+			}
+			old, exists := f.rows[r][j]
+			f.rows[r][j] = old - m*v
+			if !exists {
+				f.colRows[j][r] = struct{}{}
+			}
+		}
+	}
+	clear(f.colRows[pj])
+	f.lower[k] = lo
+	return nil
+}
+
+// Solve solves A·x = b. b is not modified; x receives the solution. Both
+// must have length N. x and b may be the same slice.
+func (f *LU) Solve(b, x []float64) {
+	n := f.n
+	if len(b) != n || len(x) != n {
+		panic("sparse: Solve dimension mismatch")
+	}
+	y := f.y
+	copy(y, b)
+	// Forward elimination in recorded pivot order.
+	for k := 0; k < n; k++ {
+		pr := f.rowOf[k]
+		ypr := y[pr]
+		if ypr == 0 {
+			continue
+		}
+		for _, le := range f.lower[k] {
+			y[le.row] -= le.m * ypr
+		}
+	}
+	// Back substitution. The solution component produced at step k belongs
+	// to original column colOf[k]; every non-pivot column in upper[k] is
+	// pivoted at a later step, so its solution component is already final
+	// when iterating k downwards.
+	xs := f.xs
+	for k := n - 1; k >= 0; k-- {
+		pr, pc := f.rowOf[k], f.colOf[k]
+		up := f.upper[k]
+		s := y[pr]
+		for _, ue := range up[1:] {
+			s -= ue.v * xs[ue.col]
+		}
+		xs[pc] = s / up[0].v
+	}
+	copy(x, xs)
+}

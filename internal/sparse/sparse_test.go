@@ -1,0 +1,523 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"latchchar/internal/linalg"
+)
+
+func TestBuilderMergesDuplicates(t *testing.T) {
+	b := NewBuilder(3)
+	b.Add(0, 0, 1)
+	b.Add(0, 0, 2)
+	b.Add(2, 1, -1)
+	m := b.Build()
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", m.NNZ())
+	}
+	if m.At(0, 0) != 3 {
+		t.Errorf("At(0,0) = %v, want 3", m.At(0, 0))
+	}
+	if m.At(2, 1) != -1 {
+		t.Errorf("At(2,1) = %v", m.At(2, 1))
+	}
+	if m.At(1, 1) != 0 {
+		t.Errorf("missing entry should read 0")
+	}
+}
+
+func TestBuilderReset(t *testing.T) {
+	b := NewBuilder(2)
+	b.Add(0, 0, 1)
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	b.Add(1, 1, 5)
+	m := b.Build()
+	if m.NNZ() != 1 || m.At(1, 1) != 5 {
+		t.Errorf("rebuild after reset wrong: %v", m)
+	}
+}
+
+func TestBuilderOutOfRangePanics(t *testing.T) {
+	b := NewBuilder(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.Add(2, 0, 1)
+}
+
+func TestCSRSortedColumnsAndIndex(t *testing.T) {
+	b := NewBuilder(2)
+	b.Add(0, 1, 2)
+	b.Add(0, 0, 1)
+	m := b.Build()
+	if m.Col[0] != 0 || m.Col[1] != 1 {
+		t.Errorf("columns not sorted: %v", m.Col)
+	}
+	if k, ok := m.Index(0, 1); !ok || m.Val[k] != 2 {
+		t.Errorf("Index(0,1) = %d,%v", k, ok)
+	}
+	if _, ok := m.Index(1, 0); ok {
+		t.Error("Index of absent entry should be !ok")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	// [2 0 1; 0 3 0; 0 0 4]
+	b := NewBuilder(3)
+	b.Add(0, 0, 2)
+	b.Add(0, 2, 1)
+	b.Add(1, 1, 3)
+	b.Add(2, 2, 4)
+	m := b.Build()
+	x := []float64{1, 2, 3}
+	y := make([]float64, 3)
+	m.MulVec(x, y)
+	want := []float64{5, 6, 12}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("MulVec: %v want %v", y, want)
+		}
+	}
+	// MulVecAdd accumulates.
+	m.MulVecAdd(2, x, y)
+	if y[0] != 15 || y[1] != 18 || y[2] != 36 {
+		t.Fatalf("MulVecAdd: %v", y)
+	}
+}
+
+func TestToDenseFromDenseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := linalg.NewMatrix(5, 5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if rng.Float64() < 0.4 {
+				d.Set(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	m := FromDense(d)
+	back := m.ToDense()
+	for i := range d.Data {
+		if d.Data[i] != back.Data[i] {
+			t.Fatal("round trip mismatch")
+		}
+	}
+}
+
+func TestUnionPattern(t *testing.T) {
+	a := FromDense(denseOf(3, map[[2]int]float64{{0, 0}: 1, {1, 2}: 2}))
+	b := FromDense(denseOf(3, map[[2]int]float64{{0, 0}: 5, {2, 1}: 3}))
+	u, mapA, mapB := UnionPattern(a, b)
+	if u.NNZ() != 3 {
+		t.Fatalf("union NNZ = %d, want 3", u.NNZ())
+	}
+	Combine(u, 2, a, mapA, 10, b, mapB)
+	if u.At(0, 0) != 2*1+10*5 {
+		t.Errorf("At(0,0) = %v", u.At(0, 0))
+	}
+	if u.At(1, 2) != 4 {
+		t.Errorf("At(1,2) = %v", u.At(1, 2))
+	}
+	if u.At(2, 1) != 30 {
+		t.Errorf("At(2,1) = %v", u.At(2, 1))
+	}
+}
+
+func TestUnionPatternRandomAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(10)
+		da, db := randomDense(rng, n, 0.3, 0), randomDense(rng, n, 0.3, 0)
+		a, b := FromDense(da), FromDense(db)
+		u, mapA, mapB := UnionPattern(a, b)
+		alpha, beta := rng.NormFloat64(), rng.NormFloat64()
+		Combine(u, alpha, a, mapA, beta, b, mapB)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := alpha*da.At(i, j) + beta*db.At(i, j)
+				if math.Abs(u.At(i, j)-want) > 1e-12 {
+					t.Fatalf("trial %d (%d,%d): got %v want %v", trial, i, j, u.At(i, j), want)
+				}
+			}
+		}
+	}
+}
+
+func denseOf(n int, entries map[[2]int]float64) *linalg.Matrix {
+	d := linalg.NewMatrix(n, n)
+	for k, v := range entries {
+		d.Set(k[0], k[1], v)
+	}
+	return d
+}
+
+func randomDense(rng *rand.Rand, n int, density, diagBoost float64) *linalg.Matrix {
+	d := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < density {
+				d.Set(i, j, rng.NormFloat64())
+			}
+		}
+		d.Add(i, i, diagBoost)
+	}
+	return d
+}
+
+func TestLUSolveDiagonal(t *testing.T) {
+	b := NewBuilder(3)
+	b.Add(0, 0, 2)
+	b.Add(1, 1, 4)
+	b.Add(2, 2, 8)
+	m := b.Build()
+	f, err := Factor(m, LUOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 3)
+	f.Solve([]float64{2, 4, 8}, x)
+	for i, v := range x {
+		if math.Abs(v-1) > 1e-14 {
+			t.Fatalf("x[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestLUSolveNeedsColumnPermutation(t *testing.T) {
+	// Anti-diagonal matrix: [0 1; 2 0].
+	b := NewBuilder(2)
+	b.Add(0, 1, 1)
+	b.Add(1, 0, 2)
+	m := b.Build()
+	f, err := Factor(m, LUOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 2)
+	f.Solve([]float64{3, 4}, x)
+	// x1 = 3, 2·x0 = 4.
+	if math.Abs(x[0]-2) > 1e-14 || math.Abs(x[1]-3) > 1e-14 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestLUSingularDetected(t *testing.T) {
+	b := NewBuilder(2)
+	b.Add(0, 0, 1)
+	b.Add(0, 1, 2)
+	b.Add(1, 0, 2)
+	b.Add(1, 1, 4)
+	if _, err := Factor(b.Build(), LUOptions{}); err == nil {
+		t.Error("expected ErrZeroPivot for singular matrix")
+	}
+	z := NewBuilder(2).Build()
+	if _, err := Factor(z, LUOptions{}); err == nil {
+		t.Error("expected error for empty pattern")
+	}
+}
+
+func TestLUEmptyMatrix(t *testing.T) {
+	f, err := Factor(NewBuilder(0).Build(), LUOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Solve(nil, nil)
+}
+
+func TestLURandomAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(15)
+		d := randomDense(rng, n, 0.35, float64(n))
+		m := FromDense(d)
+		bvec := make(linalg.Vector, n)
+		for i := range bvec {
+			bvec[i] = rng.NormFloat64()
+		}
+		want, err := linalg.SolveLinear(d, bvec)
+		if err != nil {
+			continue // skip the rare singular draw
+		}
+		f, err := Factor(m, LUOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: sparse Factor failed: %v", trial, err)
+		}
+		got := make([]float64, n)
+		f.Solve(bvec, got)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+				t.Fatalf("trial %d x[%d]: sparse %v dense %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLUResidualProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(30)
+		d := randomDense(rng, n, 0.2, float64(n))
+		m := FromDense(d)
+		f, err := Factor(m, LUOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x := make([]float64, n)
+		f.Solve(b, x)
+		r := make([]float64, n)
+		m.MulVec(x, r)
+		for i := range r {
+			if math.Abs(r[i]-b[i]) > 1e-9*(1+math.Abs(b[i])) {
+				t.Fatalf("trial %d: residual[%d] = %v", trial, i, r[i]-b[i])
+			}
+		}
+	}
+}
+
+func TestLURefactorSamePattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 12
+	d := randomDense(rng, n, 0.3, float64(n))
+	m := FromDense(d)
+	f, err := Factor(m, LUOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Change the values (same pattern) several times and refactor.
+	for round := 0; round < 5; round++ {
+		m2 := m.Clone()
+		for k := range m2.Val {
+			m2.Val[k] *= 1 + 0.3*rng.NormFloat64()
+		}
+		// Keep diagonal dominant so the old pivot order stays valid.
+		for i := 0; i < n; i++ {
+			if k, ok := m2.Index(i, i); ok {
+				m2.Val[k] += float64(n)
+			}
+		}
+		if err := f.Refactor(m2); err != nil {
+			t.Fatalf("round %d: Refactor: %v", round, err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x := make([]float64, n)
+		f.Solve(b, x)
+		r := make([]float64, n)
+		m2.MulVec(x, r)
+		for i := range r {
+			if math.Abs(r[i]-b[i]) > 1e-8*(1+math.Abs(b[i])) {
+				t.Fatalf("round %d: residual[%d] = %v", round, i, r[i]-b[i])
+			}
+		}
+	}
+}
+
+func TestLURefactorZeroPivotReported(t *testing.T) {
+	b := NewBuilder(2)
+	b.Add(0, 0, 1)
+	b.Add(1, 1, 1)
+	m := b.Build()
+	f, err := Factor(m, LUOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := m.Clone()
+	// Zero out whichever diagonal was pivoted first; both are pivots here.
+	m2.Val[0] = 0
+	if err := f.Refactor(m2); err == nil {
+		t.Error("expected ErrZeroPivot after zeroing a pivot")
+	}
+}
+
+func TestLUSolveAliasedInPlace(t *testing.T) {
+	b := NewBuilder(2)
+	b.Add(0, 0, 2)
+	b.Add(1, 1, 5)
+	f, err := Factor(b.Build(), LUOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []float64{4, 10}
+	f.Solve(v, v)
+	if v[0] != 2 || v[1] != 2 {
+		t.Fatalf("in-place solve: %v", v)
+	}
+}
+
+func TestLUHighFillMatrix(t *testing.T) {
+	// Arrow matrix: dense last row/col + diagonal. Classic fill-in stress:
+	// a bad pivot order fills completely; Markowitz should keep it sparse,
+	// and regardless the numerics must stay correct.
+	n := 25
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 4)
+		if i < n-1 {
+			b.Add(i, n-1, 1)
+			b.Add(n-1, i, 1)
+		}
+	}
+	m := b.Build()
+	f, err := Factor(m, LUOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = float64(i + 1)
+	}
+	x := make([]float64, n)
+	f.Solve(rhs, x)
+	r := make([]float64, n)
+	m.MulVec(x, r)
+	for i := range r {
+		if math.Abs(r[i]-rhs[i]) > 1e-10 {
+			t.Fatalf("residual[%d] = %v", i, r[i]-rhs[i])
+		}
+	}
+	// Sparsity check: with Markowitz ordering, the arrow matrix should
+	// factor with O(n) fill, far below the dense n(n-1)/2.
+	fill := 0
+	for k := 0; k < n; k++ {
+		fill += len(f.lower[k]) + len(f.upper[k]) - 1
+	}
+	if fill > 6*n {
+		t.Errorf("fill %d too high for arrow matrix (n=%d); ordering broken?", fill, n)
+	}
+}
+
+func TestLUOptionsDefaults(t *testing.T) {
+	o := LUOptions{}.withDefaults()
+	if o.Threshold != 0.1 || o.PivRelFloor != 1e-13 {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+	o = LUOptions{Threshold: 0.5, PivRelFloor: 1e-10}.withDefaults()
+	if o.Threshold != 0.5 || o.PivRelFloor != 1e-10 {
+		t.Errorf("explicit options clobbered: %+v", o)
+	}
+	o = LUOptions{Threshold: 2}.withDefaults()
+	if o.Threshold != 0.1 {
+		t.Errorf("out-of-range threshold not defaulted: %+v", o)
+	}
+}
+
+// Property: Refactor along the recorded pivot order produces the same
+// solutions as a fresh full analysis, for random same-pattern value sets.
+func TestLURefactorEquivalentToFreshFactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(15)
+		d := randomDense(rng, n, 0.3, float64(n))
+		m := FromDense(d)
+		reused, err := Factor(m, LUOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 3; round++ {
+			m2 := m.Clone()
+			for k := range m2.Val {
+				m2.Val[k] *= 1 + 0.2*rng.NormFloat64()
+			}
+			for i := 0; i < n; i++ {
+				if k, ok := m2.Index(i, i); ok {
+					m2.Val[k] += float64(n)
+				}
+			}
+			if err := reused.Refactor(m2); err != nil {
+				t.Fatalf("trial %d round %d: %v", trial, round, err)
+			}
+			fresh, err := Factor(m2, LUOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := make([]float64, n)
+			for i := range b {
+				b[i] = rng.NormFloat64()
+			}
+			x1 := make([]float64, n)
+			x2 := make([]float64, n)
+			reused.Solve(b, x1)
+			fresh.Solve(b, x2)
+			for i := range x1 {
+				if math.Abs(x1[i]-x2[i]) > 1e-8*(1+math.Abs(x2[i])) {
+					t.Fatalf("trial %d: refactor solve differs at %d: %v vs %v", trial, i, x1[i], x2[i])
+				}
+			}
+		}
+	}
+}
+
+func TestReusableFallsBackToFreshAnalysis(t *testing.T) {
+	// First matrix is diagonal; the recorded pivots are the diagonal
+	// entries. The second matrix (same pattern) zeroes the diagonal but is
+	// nonsingular through its off-diagonal entries, so Refactor's pivot
+	// order goes stale and Reusable must transparently redo the analysis.
+	b := NewBuilder(2)
+	b.Add(0, 0, 2)
+	b.Add(0, 1, 1)
+	b.Add(1, 0, 1)
+	b.Add(1, 1, 2)
+	m1 := b.Build()
+	var r Reusable
+	if err := r.Factorize(m1); err != nil {
+		t.Fatal(err)
+	}
+	if r.Factorizations != 1 || r.Refactorizations != 0 {
+		t.Fatalf("counters after first: %+v", r)
+	}
+	m2 := m1.Clone()
+	// Zero the diagonal, strengthen the anti-diagonal.
+	for i := 0; i < 2; i++ {
+		if k, ok := m2.Index(i, i); ok {
+			m2.Val[k] = 0
+		}
+		if k, ok := m2.Index(i, 1-i); ok {
+			m2.Val[k] = 3
+		}
+	}
+	if err := r.Factorize(m2); err != nil {
+		t.Fatalf("fallback failed: %v", err)
+	}
+	if r.Factorizations != 2 {
+		t.Errorf("expected a fresh analysis, counters: %+v", r)
+	}
+	x := make([]float64, 2)
+	r.Solve([]float64{3, 6}, x)
+	if math.Abs(x[0]-2) > 1e-12 || math.Abs(x[1]-1) > 1e-12 {
+		t.Errorf("x = %v, want [2 1]", x)
+	}
+	// Same-pattern benign change now refactors fast.
+	m3 := m2.Clone()
+	for k := range m3.Val {
+		m3.Val[k] *= 1.1
+	}
+	if err := r.Factorize(m3); err != nil {
+		t.Fatal(err)
+	}
+	if r.Refactorizations != 1 {
+		t.Errorf("expected a refactorization, counters: %+v", r)
+	}
+}
+
+func TestReusableSolveBeforeFactorizePanics(t *testing.T) {
+	var r Reusable
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Solve([]float64{1}, []float64{0})
+}

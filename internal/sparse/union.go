@@ -1,0 +1,80 @@
+package sparse
+
+// UnionPattern builds a CSR matrix whose sparsity pattern is the union of
+// the patterns of a and b (values initialized to zero), together with index
+// maps: mapA[k] is the position in the union's Val of a's k-th stored entry,
+// and likewise mapB. It is used to form Jacobian combinations
+// J = α·C + β·G without re-assembling either operand.
+func UnionPattern(a, b *CSR) (u *CSR, mapA, mapB []int) {
+	if a.N != b.N {
+		panic("sparse: UnionPattern dimension mismatch")
+	}
+	n := a.N
+	u = &CSR{N: n, RowPtr: make([]int, n+1)}
+	mapA = make([]int, a.NNZ())
+	mapB = make([]int, b.NNZ())
+	// First pass: count union nnz per row via merge.
+	for i := 0; i < n; i++ {
+		ka, ea := a.RowPtr[i], a.RowPtr[i+1]
+		kb, eb := b.RowPtr[i], b.RowPtr[i+1]
+		count := 0
+		for ka < ea || kb < eb {
+			switch {
+			case kb >= eb || (ka < ea && a.Col[ka] < b.Col[kb]):
+				ka++
+			case ka >= ea || b.Col[kb] < a.Col[ka]:
+				kb++
+			default:
+				ka++
+				kb++
+			}
+			count++
+		}
+		u.RowPtr[i+1] = u.RowPtr[i] + count
+	}
+	nnz := u.RowPtr[n]
+	u.Col = make([]int, nnz)
+	u.Val = make([]float64, nnz)
+	// Second pass: fill columns and index maps.
+	for i := 0; i < n; i++ {
+		ka, ea := a.RowPtr[i], a.RowPtr[i+1]
+		kb, eb := b.RowPtr[i], b.RowPtr[i+1]
+		ku := u.RowPtr[i]
+		for ka < ea || kb < eb {
+			switch {
+			case kb >= eb || (ka < ea && a.Col[ka] < b.Col[kb]):
+				u.Col[ku] = a.Col[ka]
+				mapA[ka] = ku
+				ka++
+			case ka >= ea || b.Col[kb] < a.Col[ka]:
+				u.Col[ku] = b.Col[kb]
+				mapB[kb] = ku
+				kb++
+			default:
+				u.Col[ku] = a.Col[ka]
+				mapA[ka] = ku
+				mapB[kb] = ku
+				ka++
+				kb++
+			}
+			ku++
+		}
+	}
+	return u, mapA, mapB
+}
+
+// Combine sets u.Val = α·a.Val (scattered through mapA) + β·b.Val
+// (scattered through mapB). u, mapA and mapB must come from UnionPattern of
+// matrices with the same patterns as a and b.
+func Combine(u *CSR, alpha float64, a *CSR, mapA []int, beta float64, b *CSR, mapB []int) {
+	if len(mapA) != a.NNZ() || len(mapB) != b.NNZ() {
+		panic("sparse: Combine map length mismatch")
+	}
+	u.ZeroVals()
+	for k, pos := range mapA {
+		u.Val[pos] += alpha * a.Val[k]
+	}
+	for k, pos := range mapB {
+		u.Val[pos] += beta * b.Val[k]
+	}
+}

@@ -1,0 +1,262 @@
+package surface
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Polyline is an ordered chain of (s, h) points.
+type Polyline struct {
+	Pts [][2]float64
+}
+
+// Len returns the number of points.
+func (p Polyline) Len() int { return len(p.Pts) }
+
+// segment is one marching-squares crossing segment.
+type segment struct {
+	a, b [2]float64
+}
+
+// Contour extracts the iso-lines of the surface at the given level using
+// marching squares with linear interpolation along cell edges; the
+// segments are then linked into polylines. Saddle cells are disambiguated
+// by the cell-center average.
+func (s *Surface) Contour(level float64) []Polyline {
+	// Samples exactly at the level make cells degenerate (zero-length
+	// segments and 3-way junctions); nudge them off the level by a tiny
+	// fraction of the value range before classification.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range s.V {
+		for _, v := range row {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	eps := (hi - lo) * 1e-12
+	if eps == 0 {
+		eps = 1e-300
+	}
+	var segs []segment
+	ns, nh := len(s.S), len(s.H)
+	for i := 0; i < ns-1; i++ {
+		for j := 0; j < nh-1; j++ {
+			segs = append(segs, s.cellSegments(i, j, level, eps)...)
+		}
+	}
+	return linkSegments(segs)
+}
+
+// interp returns the point where the value crosses level between two grid
+// corners (linear interpolation).
+func interp(p0, p1 [2]float64, v0, v1, level float64) [2]float64 {
+	if v1 == v0 {
+		return [2]float64{(p0[0] + p1[0]) / 2, (p0[1] + p1[1]) / 2}
+	}
+	u := (level - v0) / (v1 - v0)
+	return [2]float64{p0[0] + u*(p1[0]-p0[0]), p0[1] + u*(p1[1]-p0[1])}
+}
+
+// cellSegments implements the 16-case marching-squares table for one cell.
+func (s *Surface) cellSegments(i, j int, level, eps float64) []segment {
+	// Corners: 0 = (i, j), 1 = (i+1, j), 2 = (i+1, j+1), 3 = (i, j+1).
+	pts := [4][2]float64{
+		{s.S[i], s.H[j]},
+		{s.S[i+1], s.H[j]},
+		{s.S[i+1], s.H[j+1]},
+		{s.S[i], s.H[j+1]},
+	}
+	vals := [4]float64{s.V[i][j], s.V[i+1][j], s.V[i+1][j+1], s.V[i][j+1]}
+	for k, v := range vals {
+		if v == level {
+			vals[k] = level + eps
+		}
+	}
+	code := 0
+	for k := 0; k < 4; k++ {
+		if vals[k] > level {
+			code |= 1 << k
+		}
+	}
+	if code == 0 || code == 15 {
+		return nil
+	}
+	// Edge midcrossings: edge k joins corner k and corner (k+1)%4.
+	edge := func(k int) [2]float64 {
+		k2 := (k + 1) % 4
+		return interp(pts[k], pts[k2], vals[k], vals[k2], level)
+	}
+	mk := func(e1, e2 int) segment { return segment{edge(e1), edge(e2)} }
+	switch code {
+	case 1, 14:
+		return []segment{mk(3, 0)}
+	case 2, 13:
+		return []segment{mk(0, 1)}
+	case 3, 12:
+		return []segment{mk(3, 1)}
+	case 4, 11:
+		return []segment{mk(1, 2)}
+	case 6, 9:
+		return []segment{mk(0, 2)}
+	case 7, 8:
+		return []segment{mk(3, 2)}
+	case 5, 10:
+		// Saddle: resolve by the center average.
+		center := (vals[0] + vals[1] + vals[2] + vals[3]) / 4
+		if (code == 5) == (center > level) {
+			return []segment{mk(3, 0), mk(1, 2)}
+		}
+		return []segment{mk(0, 1), mk(3, 2)}
+	}
+	return nil
+}
+
+// linkSegments chains segments that share endpoints into polylines.
+func linkSegments(segs []segment) []Polyline {
+	if len(segs) == 0 {
+		return nil
+	}
+	// Quantized endpoint keys tolerate floating-point jitter.
+	scale := 0.0
+	for _, sg := range segs {
+		scale = math.Max(scale, math.Max(math.Abs(sg.a[0]), math.Max(math.Abs(sg.a[1]),
+			math.Max(math.Abs(sg.b[0]), math.Abs(sg.b[1])))))
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	q := scale * 1e-9
+	key := func(p [2]float64) [2]int64 {
+		return [2]int64{int64(math.Round(p[0] / q)), int64(math.Round(p[1] / q))}
+	}
+	type end struct {
+		seg   int
+		atEnd bool // which endpoint of the segment this key refers to
+	}
+	adj := make(map[[2]int64][]end, 2*len(segs))
+	for idx, sg := range segs {
+		adj[key(sg.a)] = append(adj[key(sg.a)], end{idx, false})
+		adj[key(sg.b)] = append(adj[key(sg.b)], end{idx, true})
+	}
+	used := make([]bool, len(segs))
+	var polys []Polyline
+
+	// walk extends a chain from point p (belonging to segment cur).
+	walk := func(start int) Polyline {
+		used[start] = true
+		pts := [][2]float64{segs[start].a, segs[start].b}
+		// Extend forward from the tail.
+		for {
+			tail := pts[len(pts)-1]
+			found := -1
+			var next [2]float64
+			for _, e := range adj[key(tail)] {
+				if used[e.seg] {
+					continue
+				}
+				found = e.seg
+				if e.atEnd {
+					next = segs[e.seg].a
+				} else {
+					next = segs[e.seg].b
+				}
+				break
+			}
+			if found < 0 {
+				break
+			}
+			used[found] = true
+			pts = append(pts, next)
+		}
+		// Extend backward from the head.
+		for {
+			head := pts[0]
+			found := -1
+			var prev [2]float64
+			for _, e := range adj[key(head)] {
+				if used[e.seg] {
+					continue
+				}
+				found = e.seg
+				if e.atEnd {
+					prev = segs[e.seg].a
+				} else {
+					prev = segs[e.seg].b
+				}
+				break
+			}
+			if found < 0 {
+				break
+			}
+			used[found] = true
+			pts = append([][2]float64{prev}, pts...)
+		}
+		return Polyline{Pts: pts}
+	}
+
+	for idx := range segs {
+		if !used[idx] {
+			polys = append(polys, walk(idx))
+		}
+	}
+	// Longest first: the main contour leads.
+	sort.Slice(polys, func(a, b int) bool { return len(polys[a].Pts) > len(polys[b].Pts) })
+	return polys
+}
+
+// DistanceToPoint returns the Euclidean distance from p to the nearest
+// point of any polyline (distance to the nearest segment, not just
+// vertices).
+func DistanceToPoint(p [2]float64, polys []Polyline) float64 {
+	best := math.Inf(1)
+	for _, pl := range polys {
+		for i := 1; i < len(pl.Pts); i++ {
+			d := pointSegDist(p, pl.Pts[i-1], pl.Pts[i])
+			if d < best {
+				best = d
+			}
+		}
+		if len(pl.Pts) == 1 {
+			d := math.Hypot(p[0]-pl.Pts[0][0], p[1]-pl.Pts[0][1])
+			if d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+func pointSegDist(p, a, b [2]float64) float64 {
+	abx, aby := b[0]-a[0], b[1]-a[1]
+	apx, apy := p[0]-a[0], p[1]-a[1]
+	den := abx*abx + aby*aby
+	t := 0.0
+	if den > 0 {
+		t = (apx*abx + apy*aby) / den
+		t = math.Max(0, math.Min(1, t))
+	}
+	cx, cy := a[0]+t*abx, a[1]+t*aby
+	return math.Hypot(p[0]-cx, p[1]-cy)
+}
+
+// Deviation compares a point set against reference polylines, returning the
+// maximum and mean nearest distances. It is the quantitative form of the
+// paper's overlay figures (Figs. 10, 12(b)).
+func Deviation(points [][2]float64, polys []Polyline) (max, mean float64, err error) {
+	if len(points) == 0 {
+		return 0, 0, fmt.Errorf("surface: Deviation of empty point set")
+	}
+	if len(polys) == 0 {
+		return 0, 0, fmt.Errorf("surface: Deviation against empty contour")
+	}
+	sum := 0.0
+	for _, p := range points {
+		d := DistanceToPoint(p, polys)
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	return max, sum / float64(len(points)), nil
+}

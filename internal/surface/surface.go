@@ -1,0 +1,124 @@
+// Package surface implements the brute-force baseline the paper compares
+// against: generate the output surface over an n×n grid of (τs, τh) trial
+// skews (one transient simulation per grid point, parallelized across
+// workers), then extract the constant clock-to-Q contour by
+// marching-squares interpolation. It also provides the curve-distance
+// metrics used to overlay the Euler-Newton contour on the surface contour
+// (Figs. 10, 12(b)).
+package surface
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Surface holds samples of a scalar field on a regular grid:
+// V[i][j] = f(S[i], H[j]).
+type Surface struct {
+	S, H []float64
+	V    [][]float64
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic("surface: Linspace needs n ≥ 2")
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}
+
+// EvalFunc evaluates the field at one grid point.
+type EvalFunc func(s, h float64) (float64, error)
+
+// Factory builds one independent EvalFunc per worker; the function it
+// returns is only ever used from a single goroutine.
+type Factory func() (EvalFunc, error)
+
+// Generate evaluates the field over sAxis × hAxis using up to workers
+// concurrent evaluators (default: GOMAXPROCS). Both axes must be strictly
+// increasing.
+func Generate(sAxis, hAxis []float64, factory Factory, workers int) (*Surface, error) {
+	if len(sAxis) < 2 || len(hAxis) < 2 {
+		return nil, fmt.Errorf("surface: axes need at least 2 points")
+	}
+	for i := 1; i < len(sAxis); i++ {
+		if sAxis[i] <= sAxis[i-1] {
+			return nil, fmt.Errorf("surface: s axis not increasing")
+		}
+	}
+	for i := 1; i < len(hAxis); i++ {
+		if hAxis[i] <= hAxis[i-1] {
+			return nil, fmt.Errorf("surface: h axis not increasing")
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sAxis) {
+		workers = len(sAxis)
+	}
+	sf := &Surface{
+		S: append([]float64(nil), sAxis...),
+		H: append([]float64(nil), hAxis...),
+		V: make([][]float64, len(sAxis)),
+	}
+	for i := range sf.V {
+		sf.V[i] = make([]float64, len(hAxis))
+	}
+
+	rows := make(chan int)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eval, err := factory()
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := range rows {
+				for j, h := range sf.H {
+					v, err := eval(sf.S[i], h)
+					if err != nil {
+						errs <- fmt.Errorf("surface: point (%g, %g): %w", sf.S[i], h, err)
+						return
+					}
+					sf.V[i][j] = v
+				}
+			}
+		}()
+	}
+	for i := range sf.S {
+		select {
+		case err := <-errs:
+			close(rows)
+			wg.Wait()
+			return nil, err
+		case rows <- i:
+		}
+	}
+	close(rows)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return sf, nil
+}
+
+// At returns the sampled value at grid indices (i, j).
+func (s *Surface) At(i, j int) float64 { return s.V[i][j] }
+
+// NumSamples returns the total number of grid evaluations the surface
+// represents (the n² cost of the brute-force method).
+func (s *Surface) NumSamples() int { return len(s.S) * len(s.H) }

@@ -1,0 +1,216 @@
+package transient
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"latchchar/internal/circuit"
+	"latchchar/internal/device"
+	"latchchar/internal/wave"
+)
+
+func TestAdaptiveRCAccuracy(t *testing.T) {
+	const (
+		R = 1e3
+		C = 1e-12
+		V = 1.0
+	)
+	tau := R * C
+	ckt, out := buildRC(t, wave.DC(V), device.RoleSupply, R, C)
+	x0 := make([]float64, ckt.N())
+	x0[0] = V
+	res, err := RunAdaptive(ckt, x0, 0, 5*tau, AdaptiveOptions{
+		Method: TRAP, RelTol: 1e-4, AbsTol: 1e-7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := V * (1 - math.Exp(-5))
+	if math.Abs(res.X[out]-want) > 5e-4 {
+		t.Errorf("final value %v, want %v", res.X[out], want)
+	}
+	if res.Stats.Steps < 10 {
+		t.Errorf("suspiciously few steps: %d", res.Stats.Steps)
+	}
+	// Times strictly increasing, ending exactly at t1.
+	for i := 1; i < len(res.Times); i++ {
+		if res.Times[i] <= res.Times[i-1] {
+			t.Fatalf("times not increasing at %d", i)
+		}
+	}
+	if res.Times[len(res.Times)-1] != 5*tau {
+		t.Errorf("end time %v", res.Times[len(res.Times)-1])
+	}
+}
+
+func TestAdaptiveTightensWithTolerance(t *testing.T) {
+	ckt, out := buildRC(t, wave.DC(1), device.RoleSupply, 1e3, 1e-12)
+	x0 := make([]float64, ckt.N())
+	x0[0] = 1
+	run := func(rtol float64) (float64, int) {
+		res, err := RunAdaptive(ckt, x0, 0, 2e-9, AdaptiveOptions{RelTol: rtol, AbsTol: rtol * 1e-3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - math.Exp(-2)
+		return math.Abs(res.X[out] - want), res.Stats.Steps
+	}
+	errLoose, stepsLoose := run(1e-2)
+	errTight, stepsTight := run(1e-5)
+	if errTight >= errLoose {
+		t.Errorf("tight tolerance not more accurate: %v vs %v", errTight, errLoose)
+	}
+	if stepsTight <= stepsLoose {
+		t.Errorf("tight tolerance should take more steps: %d vs %d", stepsTight, stepsLoose)
+	}
+}
+
+func TestAdaptiveConcentratesStepsAtEdges(t *testing.T) {
+	// Driving an RC with a fast pulse: steps must cluster around the two
+	// ramps and stretch out in the quiescent regions.
+	dp, err := wave.NewDataPulse(5e-9, 0, 2.5, 0.1e-9, 0.1e-9, wave.RampSmooth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp.SetSkews(1e-9, 1e-9)
+	ckt, _ := buildRC(t, dp, device.RoleData, 1e3, 0.2e-12)
+	x0 := make([]float64, ckt.N())
+	res, err := RunAdaptive(ckt, x0, 0, 8e-9, AdaptiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count accepted points in the active window [3.8, 6.3] ns vs the
+	// quiet prefix [0, 3.5] ns (same 2.5 ns width... roughly).
+	active, quiet := 0, 0
+	for _, tt := range res.Times {
+		if tt > 3.8e-9 && tt < 6.3e-9 {
+			active++
+		}
+		if tt < 3.5e-9 {
+			quiet++
+		}
+	}
+	if active < 2*quiet {
+		t.Errorf("steps not concentrated at activity: active=%d quiet=%d", active, quiet)
+	}
+}
+
+func TestAdaptiveProbesRecorded(t *testing.T) {
+	ckt, out := buildRC(t, wave.DC(1), device.RoleSupply, 1e3, 1e-12)
+	x0 := make([]float64, ckt.N())
+	x0[0] = 1
+	res, err := RunAdaptive(ckt, x0, 0, 1e-9, AdaptiveOptions{
+		Probes: []circuit.UnknownID{out, circuit.Ground},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Probes) != 2 {
+		t.Fatal("probe count")
+	}
+	if len(res.Probes[0]) != len(res.Times) {
+		t.Errorf("probe length %d vs %d times", len(res.Probes[0]), len(res.Times))
+	}
+	for _, v := range res.Probes[1] {
+		if v != 0 {
+			t.Fatal("ground probe nonzero")
+		}
+	}
+	// RC charging is monotone.
+	for i := 1; i < len(res.Probes[0]); i++ {
+		if res.Probes[0][i] < res.Probes[0][i-1]-1e-9 {
+			t.Fatalf("not monotone at %d", i)
+		}
+	}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	ckt, _ := buildRC(t, wave.DC(1), device.RoleSupply, 1e3, 1e-12)
+	x0 := make([]float64, ckt.N())
+	if _, err := RunAdaptive(ckt, x0, 1, 0, AdaptiveOptions{}); err == nil {
+		t.Error("reversed interval accepted")
+	}
+	if _, err := RunAdaptive(ckt, []float64{0}, 0, 1e-9, AdaptiveOptions{}); err == nil {
+		t.Error("bad x0 accepted")
+	}
+}
+
+func TestAdaptiveStepLimit(t *testing.T) {
+	ckt, _ := buildRC(t, wave.DC(1), device.RoleSupply, 1e3, 1e-12)
+	x0 := make([]float64, ckt.N())
+	x0[0] = 1
+	_, err := RunAdaptive(ckt, x0, 0, 1e-9, AdaptiveOptions{MaxSteps: 3, HMax: 1e-12})
+	if !errors.Is(err, ErrStepLimit) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAdaptiveMatchesFixedGridOnInverter(t *testing.T) {
+	// Cross-check: adaptive and fine fixed-grid BE agree on a switching
+	// CMOS inverter output.
+	build := func() (*circuit.Circuit, circuit.UnknownID) {
+		ckt := circuit.New()
+		vddN := ckt.Node("vdd")
+		in := ckt.Node("in")
+		out := ckt.Node("out")
+		clk := wave.Clock{Low: 0, High: 2.5, Period: 4e-9, Delay: 1e-9, Rise: 0.1e-9, Fall: 0.1e-9, Shape: wave.RampSmooth}
+		for _, src := range []struct {
+			name string
+			node circuit.UnknownID
+			w    wave.Waveform
+			role device.SourceRole
+		}{
+			{"vdd", vddN, wave.DC(2.5), device.RoleSupply},
+			{"vin", in, clk, device.RoleClock},
+		} {
+			v, err := device.NewVSource(src.name, src.node, circuit.Ground, src.w, src.role)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ckt.AddDevice(v)
+		}
+		nm := device.MOSModel{Type: device.NMOS, VT0: 0.43, KP: 115e-6, Lambda: 0.06, Cox: 6e-3, CJ: 1e-9}
+		pm := device.MOSModel{Type: device.PMOS, VT0: 0.40, KP: 30e-6, Lambda: 0.10, Cox: 6e-3, CJ: 1e-9}
+		mp, err := device.NewMOSFET("mp", out, in, vddN, vddN, pm, 8e-6, 0.25e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ckt.AddDevice(mp)
+		mn, err := device.NewMOSFET("mn", out, in, circuit.Ground, circuit.Ground, nm, 4e-6, 0.25e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ckt.AddDevice(mn)
+		cl, err := device.NewCapacitor("cl", out, circuit.Ground, 20e-15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ckt.AddDevice(cl)
+		if err := ckt.Finalize(); err != nil {
+			t.Fatal(err)
+		}
+		return ckt, out
+	}
+	ckt, out := build()
+	x0 := make([]float64, ckt.N())
+	x0[0] = 2.5 // vdd node
+	x0[out] = 2.5
+	ad, err := RunAdaptive(ckt, x0, 0, 2e-9, AdaptiveOptions{RelTol: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt2, out2 := build()
+	g, _ := UniformGrid(0, 2e-9, 4000)
+	eng := NewEngine(ckt2, Options{})
+	fx, err := eng.Run(x0, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ad.X[out]-fx.X[out2]) > 0.02 {
+		t.Errorf("adaptive %v vs fixed %v", ad.X[out], fx.X[out2])
+	}
+	if ad.Stats.Steps >= 4000 {
+		t.Errorf("adaptive used %d steps, no better than fixed grid", ad.Stats.Steps)
+	}
+}

@@ -1,0 +1,355 @@
+package transient
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"latchchar/internal/circuit"
+	"latchchar/internal/num"
+	"latchchar/internal/sparse"
+)
+
+// Method selects the integration scheme.
+type Method int
+
+const (
+	// BE is first-order Backward Euler (default): L-stable, damps the
+	// numerical ringing that TRAP can exhibit on stiff latch nodes.
+	BE Method = iota
+	// TRAP is the second-order trapezoidal rule.
+	TRAP
+)
+
+func (m Method) String() string {
+	if m == TRAP {
+		return "trap"
+	}
+	return "be"
+}
+
+// ErrNewtonFailure indicates a time step whose Newton iteration did not
+// converge. The grid is fixed (it must not depend on the skews), so the
+// engine cannot retry with a smaller step; choose a finer grid instead.
+var ErrNewtonFailure = errors.New("transient: Newton did not converge")
+
+// Options configure a transient run.
+type Options struct {
+	Method Method
+	// Skews enables forward propagation of mₛ and m_h.
+	Skews bool
+	// MaxNewtonIter bounds the per-step Newton iterations (default 50).
+	MaxNewtonIter int
+	// VTol, ITol, RelTol define Newton convergence per unknown class.
+	VTol, ITol, RelTol float64
+	// Probes lists unknowns whose waveforms are recorded at every grid
+	// point.
+	Probes []circuit.UnknownID
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNewtonIter <= 0 {
+		o.MaxNewtonIter = 50
+	}
+	if o.VTol <= 0 {
+		o.VTol = 1e-7
+	}
+	if o.ITol <= 0 {
+		o.ITol = 1e-10
+	}
+	if o.RelTol <= 0 {
+		o.RelTol = 1e-5
+	}
+	return o
+}
+
+// Stats counts the work done by a run; the characterization layers use it
+// for the paper's cost comparisons.
+type Stats struct {
+	Steps          int
+	NewtonIters    int
+	Factorizations int
+	SensSolves     int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Steps += other.Steps
+	s.NewtonIters += other.NewtonIters
+	s.Factorizations += other.Factorizations
+	s.SensSolves += other.SensSolves
+}
+
+// Result holds the outcome of a transient run.
+type Result struct {
+	// Times is the grid (aliased, do not modify).
+	Times []float64
+	// Probes[i] is the waveform of Options.Probes[i] over Times.
+	Probes [][]float64
+	// X is the final state x(t_end).
+	X []float64
+	// Ms and Mh are the final sensitivities ∂x/∂τs and ∂x/∂τh when
+	// Options.Skews is set, nil otherwise.
+	Ms, Mh []float64
+	// Stats reports the work done.
+	Stats Stats
+}
+
+// Engine runs transient analyses of one finalized circuit. It owns all
+// per-run scratch memory, so repeated runs (the characterization inner
+// loop) do not allocate. An Engine is not safe for concurrent use.
+type Engine struct {
+	c    *circuit.Circuit
+	ev   *circuit.Eval
+	opts Options
+
+	j          *sparse.CSR // α·C + G
+	mapC, mapG []int
+	lu         sparse.Reusable
+
+	x, r, dx           []float64
+	qPrev              []float64
+	cPrev              *sparse.CSR
+	qdotPrev           []float64 // TRAP only
+	ms, mh             []float64
+	msdotPrev, mhdot   []float64 // TRAP sensitivity derivative memory
+	zsVec, zhVec, rhsS []float64
+	scrA, scrB         []float64
+
+	stats Stats
+}
+
+// NewEngine prepares an engine for the circuit with the given options.
+func NewEngine(c *circuit.Circuit, opts Options) *Engine {
+	o := opts.withDefaults()
+	ev := c.NewEval()
+	n := c.N()
+	e := &Engine{
+		c:     c,
+		ev:    ev,
+		opts:  o,
+		x:     make([]float64, n),
+		r:     make([]float64, n),
+		dx:    make([]float64, n),
+		qPrev: make([]float64, n),
+		cPrev: nil,
+		ms:    make([]float64, n),
+		mh:    make([]float64, n),
+	}
+	e.j, e.mapC, e.mapG = sparse.UnionPattern(ev.C, ev.G)
+	e.cPrev = ev.C.Clone()
+	e.qdotPrev = make([]float64, n)
+	e.msdotPrev = make([]float64, n)
+	e.mhdot = make([]float64, n)
+	e.zsVec = make([]float64, n)
+	e.zhVec = make([]float64, n)
+	e.rhsS = make([]float64, n)
+	e.scrA = make([]float64, n)
+	e.scrB = make([]float64, n)
+	return e
+}
+
+// Options returns the engine's effective options.
+func (e *Engine) Options() Options { return e.opts }
+
+// Run integrates from x0 at grid.Start() to grid.End(). x0 is copied.
+func (e *Engine) Run(x0 []float64, grid Grid) (*Result, error) {
+	n := e.c.N()
+	if len(x0) != n {
+		return nil, fmt.Errorf("transient: x0 length %d, want %d", len(x0), n)
+	}
+	pts := grid.Points()
+	res := &Result{
+		Times:  pts,
+		Probes: make([][]float64, len(e.opts.Probes)),
+	}
+	for i := range res.Probes {
+		res.Probes[i] = make([]float64, len(pts))
+	}
+	copy(e.x, x0)
+	record := func(k int) {
+		for pi, id := range e.opts.Probes {
+			if id == circuit.Ground {
+				res.Probes[pi][k] = 0
+			} else {
+				res.Probes[pi][k] = e.x[id]
+			}
+		}
+	}
+	record(0)
+
+	// Initial assembly at (x0, t0) seeds qPrev, cPrev and, for TRAP, the
+	// charge derivative qdot0 = −(f + src).
+	e.ev.At(e.x, pts[0])
+	copy(e.qPrev, e.ev.Q)
+	copy(e.cPrev.Val, e.ev.C.Val)
+	if e.opts.Method == TRAP {
+		for i := 0; i < n; i++ {
+			e.qdotPrev[i] = -(e.ev.F[i] + e.ev.Src[i])
+		}
+	}
+	// Sensitivities start at zero: x0 is fixed independent of the skews
+	// (paper step 1c). The TRAP derivative memory starts at −∂src/∂τ(t0),
+	// which vanishes while the data line is quiescent.
+	for i := 0; i < n; i++ {
+		e.ms[i] = 0
+		e.mh[i] = 0
+	}
+	if e.opts.Skews && e.opts.Method == TRAP {
+		e.zeroZ()
+		e.ev.AddSkewSens(pts[0], e.zsVec, e.zhVec)
+		for i := 0; i < n; i++ {
+			e.msdotPrev[i] = -e.zsVec[i]
+			e.mhdot[i] = -e.zhVec[i]
+		}
+	}
+
+	e.stats = Stats{}
+	luF0, luR0 := e.lu.Factorizations, e.lu.Refactorizations
+	for k := 1; k < len(pts); k++ {
+		if err := e.step(pts[k-1], pts[k]); err != nil {
+			return nil, fmt.Errorf("%w at t=%.6g s (step %d)", err, pts[k], k)
+		}
+		record(k)
+	}
+	res.X = append([]float64(nil), e.x...)
+	if e.opts.Skews {
+		res.Ms = append([]float64(nil), e.ms...)
+		res.Mh = append([]float64(nil), e.mh...)
+	}
+	res.Stats = e.stats
+	res.Stats.Steps = len(pts) - 1
+	res.Stats.Factorizations = (e.lu.Factorizations - luF0) + (e.lu.Refactorizations - luR0)
+	return res, nil
+}
+
+func (e *Engine) zeroZ() {
+	for i := range e.zsVec {
+		e.zsVec[i] = 0
+		e.zhVec[i] = 0
+	}
+}
+
+// step advances the state from t0 to t1, updating x, qPrev, cPrev and the
+// sensitivities in place.
+func (e *Engine) step(t0, t1 float64) error {
+	n := e.c.N()
+	dt := t1 - t0
+	var alpha float64 // J = alpha·C + G
+	if e.opts.Method == TRAP {
+		alpha = 2 / dt
+	} else {
+		alpha = 1 / dt
+	}
+	numNodes := e.c.NumNodes()
+	converged := false
+	for iter := 0; iter < e.opts.MaxNewtonIter; iter++ {
+		e.ev.At(e.x, t1)
+		// Residual.
+		switch e.opts.Method {
+		case TRAP:
+			for i := 0; i < n; i++ {
+				e.r[i] = alpha*(e.ev.Q[i]-e.qPrev[i]) - e.qdotPrev[i] + e.ev.F[i] + e.ev.Src[i]
+			}
+		default: // BE
+			for i := 0; i < n; i++ {
+				e.r[i] = alpha*(e.ev.Q[i]-e.qPrev[i]) + e.ev.F[i] + e.ev.Src[i]
+			}
+		}
+		sparse.Combine(e.j, alpha, e.ev.C, e.mapC, 1, e.ev.G, e.mapG)
+		if err := e.lu.Factorize(e.j); err != nil {
+			return fmt.Errorf("transient: Jacobian factorization failed: %w", err)
+		}
+		e.lu.Solve(e.r, e.dx)
+		e.stats.NewtonIters++
+		conv := true
+		for i := 0; i < n; i++ {
+			if !num.IsFinite(e.dx[i]) {
+				return ErrNewtonFailure
+			}
+			e.x[i] -= e.dx[i]
+			atol := e.opts.VTol
+			if i >= numNodes {
+				atol = e.opts.ITol
+			}
+			if math.Abs(e.dx[i]) > atol+e.opts.RelTol*math.Abs(e.x[i]) {
+				conv = false
+			}
+		}
+		if conv {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		return ErrNewtonFailure
+	}
+
+	// Final assembly at the converged state: exact C, G for the sensitivity
+	// solves and the next step's charge history.
+	e.ev.At(e.x, t1)
+	sparse.Combine(e.j, alpha, e.ev.C, e.mapC, 1, e.ev.G, e.mapG)
+	if err := e.lu.Factorize(e.j); err != nil {
+		return fmt.Errorf("transient: converged-state factorization failed: %w", err)
+	}
+
+	if e.opts.Skews {
+		e.zeroZ()
+		e.ev.AddSkewSens(t1, e.zsVec, e.zhVec)
+		switch e.opts.Method {
+		case TRAP:
+			e.sensTrap(alpha)
+		default:
+			e.sensBE(alpha)
+		}
+	}
+
+	if e.opts.Method == TRAP {
+		for i := 0; i < n; i++ {
+			e.qdotPrev[i] = alpha*(e.ev.Q[i]-e.qPrev[i]) - e.qdotPrev[i]
+		}
+	}
+	copy(e.qPrev, e.ev.Q)
+	copy(e.cPrev.Val, e.ev.C.Val)
+	return nil
+}
+
+// sensBE advances the BE-discretized sensitivities (paper eq. (11)/(13)):
+// (C/Δt + G)·m = (C_prev/Δt)·m_prev − ∂src/∂τ.
+func (e *Engine) sensBE(alpha float64) {
+	n := e.c.N()
+	for i := 0; i < n; i++ {
+		e.rhsS[i] = -e.zsVec[i]
+	}
+	e.cPrev.MulVecAdd(alpha, e.ms, e.rhsS)
+	e.lu.Solve(e.rhsS, e.ms)
+
+	for i := 0; i < n; i++ {
+		e.rhsS[i] = -e.zhVec[i]
+	}
+	e.cPrev.MulVecAdd(alpha, e.mh, e.rhsS)
+	e.lu.Solve(e.rhsS, e.mh)
+	e.stats.SensSolves += 2
+}
+
+// sensTrap advances the TRAP-discretized sensitivities:
+// (2C/Δt + G)·m = (2C_prev/Δt)·m_prev + mdot_prev − ∂src/∂τ, with the
+// derivative memory mdot = d(q̇)/dτ propagated like q̇ itself.
+func (e *Engine) sensTrap(alpha float64) {
+	e.sensTrapOne(alpha, e.ms, e.msdotPrev, e.zsVec)
+	e.sensTrapOne(alpha, e.mh, e.mhdot, e.zhVec)
+	e.stats.SensSolves += 2
+}
+
+func (e *Engine) sensTrapOne(alpha float64, m, mdot, z []float64) {
+	n := e.c.N()
+	e.cPrev.MulVec(m, e.scrA) // C_prev·m_prev
+	for i := 0; i < n; i++ {
+		e.rhsS[i] = alpha*e.scrA[i] + mdot[i] - z[i]
+	}
+	e.lu.Solve(e.rhsS, m)
+	e.ev.C.MulVec(m, e.scrB) // C_new·m_new
+	for i := 0; i < n; i++ {
+		mdot[i] = alpha*(e.scrB[i]-e.scrA[i]) - mdot[i]
+	}
+}

@@ -1,0 +1,417 @@
+package transient
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"latchchar/internal/circuit"
+	"latchchar/internal/device"
+	"latchchar/internal/num"
+	"latchchar/internal/solver"
+	"latchchar/internal/wave"
+)
+
+func TestUniformGrid(t *testing.T) {
+	g, err := UniformGrid(0, 1e-9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 5 || g.Start() != 0 || g.End() != 1e-9 {
+		t.Fatalf("grid: %v", g.Points())
+	}
+	if !num.ApproxEqual(g.Points()[2], 0.5e-9, 1e-12, 0) {
+		t.Errorf("midpoint: %v", g.Points()[2])
+	}
+	if _, err := UniformGrid(0, 1, 0); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, err := UniformGrid(1, 0, 4); err == nil {
+		t.Error("reversed interval accepted")
+	}
+}
+
+func TestTwoPhaseGrid(t *testing.T) {
+	g, err := TwoPhaseGrid(0, 10e-9, 11e-9, 100e-12, 10e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := g.Points()
+	if pts[0] != 0 || pts[len(pts)-1] != 11e-9 {
+		t.Fatalf("endpoints: %v %v", pts[0], pts[len(pts)-1])
+	}
+	// Strictly increasing.
+	for i := 1; i < len(pts); i++ {
+		if pts[i] <= pts[i-1] {
+			t.Fatalf("not increasing at %d", i)
+		}
+	}
+	// Fine region has ~10 ps spacing.
+	var fineCount int
+	for i := 1; i < len(pts); i++ {
+		if pts[i] > 10e-9 {
+			dt := pts[i] - pts[i-1]
+			if dt > 10.5e-12 {
+				t.Fatalf("fine step too large: %v", dt)
+			}
+			fineCount++
+		}
+	}
+	if fineCount < 99 {
+		t.Errorf("fine region undersampled: %d steps", fineCount)
+	}
+	if _, err := TwoPhaseGrid(0, 2, 1, 0.1, 0.01); err == nil {
+		t.Error("tFine past t1 accepted")
+	}
+	if _, err := TwoPhaseGrid(0, 1, 2, 0.01, 0.1); err == nil {
+		t.Error("fine > coarse accepted")
+	}
+	if _, err := TwoPhaseGrid(0, 1, 2, 0, 0.1); err == nil {
+		t.Error("zero step accepted")
+	}
+}
+
+func TestGridFromPoints(t *testing.T) {
+	if _, err := GridFromPoints([]float64{0}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := GridFromPoints([]float64{0, 0}); err == nil {
+		t.Error("repeated point accepted")
+	}
+	g, err := GridFromPoints([]float64{0, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 3 {
+		t.Error("length wrong")
+	}
+}
+
+// buildRC creates a series R-C driven by w: src -- R -- out -- C -- gnd.
+func buildRC(t *testing.T, w wave.Waveform, role device.SourceRole, r, c float64) (*circuit.Circuit, circuit.UnknownID) {
+	t.Helper()
+	ckt := circuit.New()
+	in := ckt.Node("in")
+	out := ckt.Node("out")
+	vs, err := device.NewVSource("vin", in, circuit.Ground, w, role)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt.AddDevice(vs)
+	res, err := device.NewResistor("r1", in, out, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt.AddDevice(res)
+	cap, err := device.NewCapacitor("c1", out, circuit.Ground, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt.AddDevice(cap)
+	if err := ckt.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return ckt, out
+}
+
+// rcError runs an RC step response on n uniform steps and returns the error
+// against the analytic solution at t = 2·RC.
+func rcError(t *testing.T, method Method, n int) float64 {
+	t.Helper()
+	const (
+		R = 1e3
+		C = 1e-12
+		V = 1.0
+	)
+	tau := R * C
+	// Ideal step at t=0 driven through the source value directly: use a
+	// step that has (almost) settled before the first grid point would
+	// distort convergence-order measurements, so instead drive with DC and
+	// start the capacitor discharged.
+	ckt, out := buildRC(t, wave.DC(V), device.RoleSupply, R, C)
+	g, err := UniformGrid(0, 2*tau, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(ckt, Options{Method: method})
+	x0 := make([]float64, ckt.N())
+	x0[0] = V // source node pinned; capacitor node starts at 0
+	res, err := eng.Run(x0, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := V * (1 - math.Exp(-2))
+	return math.Abs(res.X[out] - want)
+}
+
+func TestRCChargingBEFirstOrder(t *testing.T) {
+	e1 := rcError(t, BE, 100)
+	e2 := rcError(t, BE, 200)
+	ratio := e1 / e2
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("BE convergence ratio %v, want ≈ 2 (errors %v, %v)", ratio, e1, e2)
+	}
+}
+
+func TestRCChargingTRAPSecondOrder(t *testing.T) {
+	e1 := rcError(t, TRAP, 100)
+	e2 := rcError(t, TRAP, 200)
+	ratio := e1 / e2
+	if ratio < 3.3 || ratio > 4.7 {
+		t.Errorf("TRAP convergence ratio %v, want ≈ 4 (errors %v, %v)", ratio, e1, e2)
+	}
+}
+
+func TestTRAPMoreAccurateThanBE(t *testing.T) {
+	if be, tr := rcError(t, BE, 100), rcError(t, TRAP, 100); tr >= be {
+		t.Errorf("TRAP error %v not below BE error %v", tr, be)
+	}
+}
+
+func TestProbesRecorded(t *testing.T) {
+	ckt, out := buildRC(t, wave.DC(1), device.RoleSupply, 1e3, 1e-12)
+	g, _ := UniformGrid(0, 2e-9, 50)
+	eng := NewEngine(ckt, Options{Probes: []circuit.UnknownID{out, circuit.Ground}})
+	x0 := make([]float64, ckt.N())
+	x0[0] = 1
+	res, err := eng.Run(x0, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Probes) != 2 || len(res.Probes[0]) != 51 {
+		t.Fatalf("probe shape wrong")
+	}
+	if res.Probes[0][0] != 0 {
+		t.Errorf("initial probe: %v", res.Probes[0][0])
+	}
+	// Monotone rise.
+	for i := 1; i < len(res.Probes[0]); i++ {
+		if res.Probes[0][i] < res.Probes[0][i-1]-1e-12 {
+			t.Fatalf("RC charge not monotone at %d", i)
+		}
+	}
+	for _, v := range res.Probes[1] {
+		if v != 0 {
+			t.Fatal("ground probe must be 0")
+		}
+	}
+	if res.Stats.Steps != 50 || res.Stats.NewtonIters < 50 {
+		t.Errorf("stats: %+v", res.Stats)
+	}
+}
+
+func TestRunBadX0(t *testing.T) {
+	ckt, _ := buildRC(t, wave.DC(1), device.RoleSupply, 1e3, 1e-12)
+	g, _ := UniformGrid(0, 1e-9, 10)
+	eng := NewEngine(ckt, Options{})
+	if _, err := eng.Run([]float64{0}, g); err == nil {
+		t.Error("bad x0 accepted")
+	}
+}
+
+// dataRC builds an RC filter driven by a DataPulse source and returns the
+// circuit, probe node and pulse handle.
+func dataRC(t *testing.T) (*circuit.Circuit, circuit.UnknownID, *wave.DataPulse) {
+	t.Helper()
+	dp, err := wave.NewDataPulse(5e-9, 0, 2.5, 0.1e-9, 0.1e-9, wave.RampSmooth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp.SetSkews(500e-12, 400e-12)
+	ckt, out := buildRC(t, dp, device.RoleData, 1e3, 0.2e-12)
+	return ckt, out, dp
+}
+
+func sensVsFD(t *testing.T, method Method) {
+	t.Helper()
+	ckt, out, dp := dataRC(t)
+	g, err := UniformGrid(0, 6e-9, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(ckt, Options{Method: method, Skews: true})
+	x0 := make([]float64, ckt.N())
+
+	run := func(ts, th float64) *Result {
+		dp.SetSkews(ts, th)
+		res, err := eng.Run(x0, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(500e-12, 400e-12)
+	if base.Ms == nil || base.Mh == nil {
+		t.Fatal("sensitivities not returned")
+	}
+	const d = 1e-14 // 0.01 ps
+	fpS := run(500e-12+d, 400e-12).X[out]
+	fmS := run(500e-12-d, 400e-12).X[out]
+	fdS := (fpS - fmS) / (2 * d)
+	if !num.ApproxEqual(fdS, base.Ms[out], 2e-4, 1e4) {
+		t.Errorf("%v: ms[out] = %v, fd = %v", method, base.Ms[out], fdS)
+	}
+	fpH := run(500e-12, 400e-12+d).X[out]
+	fmH := run(500e-12, 400e-12-d).X[out]
+	fdH := (fpH - fmH) / (2 * d)
+	if !num.ApproxEqual(fdH, base.Mh[out], 2e-4, 1e4) {
+		t.Errorf("%v: mh[out] = %v, fd = %v", method, base.Mh[out], fdH)
+	}
+	// The trailing edge ended the pulse, so at t=6ns the output is heading
+	// back to 0; a longer hold skew means a later falloff → mh > 0, and a
+	// longer setup skew has (almost) no effect far after the leading ramp
+	// settles through the 1ns RC — actually ms ≈ 0 here.
+	if base.Mh[out] <= 0 {
+		t.Errorf("%v: expected positive hold sensitivity, got %v", method, base.Mh[out])
+	}
+}
+
+func TestSensitivityMatchesFiniteDifferenceBE(t *testing.T)   { sensVsFD(t, BE) }
+func TestSensitivityMatchesFiniteDifferenceTRAP(t *testing.T) { sensVsFD(t, TRAP) }
+
+func TestSensitivityStatsCounted(t *testing.T) {
+	ckt, _, _ := dataRC(t)
+	g, _ := UniformGrid(0, 6e-9, 100)
+	eng := NewEngine(ckt, Options{Skews: true})
+	x0 := make([]float64, ckt.N())
+	res, err := eng.Run(x0, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SensSolves != 200 {
+		t.Errorf("SensSolves = %d, want 200", res.Stats.SensSolves)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Steps: 1, NewtonIters: 2, Factorizations: 3, SensSolves: 4}
+	b := Stats{Steps: 10, NewtonIters: 20, Factorizations: 30, SensSolves: 40}
+	a.Add(b)
+	if a.Steps != 11 || a.NewtonIters != 22 || a.Factorizations != 33 || a.SensSolves != 44 {
+		t.Errorf("Add wrong: %+v", a)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if BE.String() != "be" || TRAP.String() != "trap" {
+		t.Error("method strings wrong")
+	}
+}
+
+// TestInverterTransient drives a CMOS inverter with a clock and checks that
+// the output switches rail to rail with the expected polarity.
+func TestInverterTransient(t *testing.T) {
+	ckt := circuit.New()
+	vddN := ckt.Node("vdd")
+	in := ckt.Node("in")
+	out := ckt.Node("out")
+	addV := func(name string, p circuit.UnknownID, w wave.Waveform, role device.SourceRole) {
+		v, err := device.NewVSource(name, p, circuit.Ground, w, role)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ckt.AddDevice(v)
+	}
+	clk := wave.Clock{Low: 0, High: 2.5, Period: 4e-9, Delay: 1e-9, Rise: 0.1e-9, Fall: 0.1e-9, Shape: wave.RampSmooth}
+	addV("vdd", vddN, wave.DC(2.5), device.RoleSupply)
+	addV("vin", in, clk, device.RoleClock)
+	nm := device.MOSModel{Type: device.NMOS, VT0: 0.43, KP: 115e-6, Lambda: 0.06, Cox: 6e-3, CJ: 1e-9}
+	pm := device.MOSModel{Type: device.PMOS, VT0: 0.40, KP: 30e-6, Lambda: 0.10, Cox: 6e-3, CJ: 1e-9}
+	mp, err := device.NewMOSFET("mp", out, in, vddN, vddN, pm, 8e-6, 0.25e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt.AddDevice(mp)
+	mn, err := device.NewMOSFET("mn", out, in, circuit.Ground, circuit.Ground, nm, 4e-6, 0.25e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt.AddDevice(mn)
+	cl, err := device.NewCapacitor("cl", out, circuit.Ground, 20e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt.AddDevice(cl)
+	if err := ckt.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+
+	x0, _, err := solver.DCOperatingPoint(ckt, 0, nil, solver.DCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x0[out] < 2.4 {
+		t.Fatalf("DC: inverter out = %v with input low", x0[out])
+	}
+	g, err := UniformGrid(0, 4e-9, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(ckt, Options{Probes: []circuit.UnknownID{out}})
+	res, err := eng.Run(x0, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.Probes[0]
+	// Input rises at 1 ns → output must fall near 0 shortly after; input
+	// falls at 3 ns (width 2 ns from ramp start... period/2) → output back up.
+	atNS := func(ns float64) float64 {
+		idx := int(ns * 1e-9 / (4e-9 / 800))
+		return w[idx]
+	}
+	if v := atNS(0.9); v < 2.4 {
+		t.Errorf("out before clock edge = %v", v)
+	}
+	if v := atNS(2.5); v > 0.1 {
+		t.Errorf("out after rising input = %v", v)
+	}
+	if v := atNS(3.9); v < 2.0 {
+		t.Errorf("out after falling input = %v", v)
+	}
+	// Typical step should converge in few Newton iterations.
+	if avg := float64(res.Stats.NewtonIters) / float64(res.Stats.Steps); avg > 4 {
+		t.Errorf("average Newton iterations %v too high", avg)
+	}
+}
+
+func TestNewtonFailureReported(t *testing.T) {
+	// A one-iteration Newton budget cannot converge the nonlinear inverter
+	// step; the engine must report ErrNewtonFailure with the failing time.
+	ckt := circuit.New()
+	vddN := ckt.Node("vdd")
+	out := ckt.Node("out")
+	v, err := device.NewVSource("vdd", vddN, circuit.Ground, wave.DC(2.5), device.RoleSupply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt.AddDevice(v)
+	nm := device.MOSModel{Type: device.NMOS, VT0: 0.43, KP: 115e-6, Lambda: 0.06, Cox: 6e-3, CJ: 1e-9}
+	mn, err := device.NewMOSFET("mn", out, vddN, circuit.Ground, circuit.Ground, nm, 4e-6, 0.25e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt.AddDevice(mn)
+	r, err := device.NewResistor("r", vddN, out, 1e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt.AddDevice(r)
+	cp, err := device.NewCapacitor("c", out, circuit.Ground, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt.AddDevice(cp)
+	if err := ckt.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := UniformGrid(0, 1e-9, 4)
+	eng := NewEngine(ckt, Options{MaxNewtonIter: 1})
+	x0 := make([]float64, ckt.N()) // far from the operating point
+	_, err = eng.Run(x0, g)
+	if err == nil {
+		t.Fatal("expected Newton failure")
+	}
+	if !errors.Is(err, ErrNewtonFailure) {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,183 @@
+// Package wave provides the input waveforms used for latch characterization:
+// DC levels, steps, piecewise-linear sources, periodic clocks, shifted and
+// inverted views, and the parametric data pulse ud(t, τs, τh) whose analytic
+// skew derivatives zs = ∂ud/∂τs and zh = ∂ud/∂τh drive the sensitivity
+// right-hand sides of the state-transition formulation (paper eq. (7)).
+package wave
+
+import (
+	"fmt"
+	"sort"
+
+	"latchchar/internal/num"
+)
+
+// Waveform is a time-dependent source value.
+type Waveform interface {
+	// V returns the source value at time t (seconds).
+	V(t float64) float64
+}
+
+// RampShape selects the transition profile of edges.
+type RampShape int
+
+const (
+	// RampSmooth is the C¹ cubic smoothstep profile (default). Its skew
+	// derivatives are continuous, which keeps h(τ) smooth for Newton.
+	RampSmooth RampShape = iota
+	// RampLinear is the piecewise-linear profile used by conventional SPICE
+	// PULSE sources; its skew derivatives have jumps at ramp boundaries.
+	RampLinear
+)
+
+func (s RampShape) String() string {
+	switch s {
+	case RampSmooth:
+		return "smooth"
+	case RampLinear:
+		return "linear"
+	default:
+		return fmt.Sprintf("RampShape(%d)", int(s))
+	}
+}
+
+// ramp returns the 0→1 profile over [a, b] at x and its time derivative.
+func (s RampShape) ramp(a, b, x float64) (v, dvdt float64) {
+	switch s {
+	case RampLinear:
+		return num.LinStep(a, b, x), num.LinStepDeriv(a, b, x)
+	default:
+		return num.Smoothstep(a, b, x), num.SmoothstepDeriv(a, b, x)
+	}
+}
+
+// DC is a constant source.
+type DC float64
+
+// V implements Waveform.
+func (d DC) V(float64) float64 { return float64(d) }
+
+// Step transitions from V0 to V1 with a ramp of duration Rise whose 50%
+// point is at T50.
+type Step struct {
+	V0, V1 float64
+	T50    float64
+	Rise   float64
+	Shape  RampShape
+}
+
+// V implements Waveform.
+func (s Step) V(t float64) float64 {
+	a := s.T50 - s.Rise/2
+	v, _ := s.Shape.ramp(a, a+s.Rise, t)
+	return s.V0 + (s.V1-s.V0)*v
+}
+
+// PWL is a piecewise-linear waveform through the given (T, V) points,
+// holding the first value before the first point and the last value after
+// the last point. Points must be sorted by strictly increasing T.
+type PWL struct {
+	Times  []float64
+	Values []float64
+}
+
+// NewPWL validates and constructs a PWL waveform.
+func NewPWL(ts, vs []float64) (*PWL, error) {
+	if len(ts) != len(vs) {
+		return nil, fmt.Errorf("wave: PWL needs equal-length slices, got %d and %d", len(ts), len(vs))
+	}
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("wave: PWL needs at least one point")
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			return nil, fmt.Errorf("wave: PWL times must be strictly increasing (point %d)", i)
+		}
+	}
+	return &PWL{Times: ts, Values: vs}, nil
+}
+
+// V implements Waveform.
+func (p *PWL) V(t float64) float64 {
+	n := len(p.Times)
+	if t <= p.Times[0] {
+		return p.Values[0]
+	}
+	if t >= p.Times[n-1] {
+		return p.Values[n-1]
+	}
+	i := sort.SearchFloat64s(p.Times, t)
+	// p.Times[i-1] < t <= p.Times[i]
+	u := num.InvLerp(p.Times[i-1], p.Times[i], t)
+	return num.Lerp(p.Values[i-1], p.Values[i], u)
+}
+
+// Clock is a periodic two-level waveform. Each period starts with a rising
+// ramp beginning at Delay + k·Period (so the 50% crossing of edge k is at
+// Delay + k·Period + Rise/2, matching the paper's convention for the TSPC
+// experiment where edges "start" at 1 ns, 11 ns, …). Before the first edge
+// the output is Low.
+type Clock struct {
+	Low, High  float64
+	Period     float64
+	Delay      float64 // time at which the first rising ramp begins
+	Rise, Fall float64
+	Width      float64 // high time measured from ramp start to fall start; 0 means Period/2
+	Shape      RampShape
+}
+
+// EdgeStart returns the time the k-th (0-based) rising ramp begins.
+func (c Clock) EdgeStart(k int) float64 { return c.Delay + float64(k)*c.Period }
+
+// Edge50 returns the 50% crossing time of the k-th rising edge.
+func (c Clock) Edge50(k int) float64 { return c.EdgeStart(k) + c.Rise/2 }
+
+func (c Clock) width() float64 {
+	if c.Width > 0 {
+		return c.Width
+	}
+	return c.Period / 2
+}
+
+// V implements Waveform.
+func (c Clock) V(t float64) float64 {
+	tp := t - c.Delay
+	if tp < 0 {
+		return c.Low
+	}
+	// Position within the period.
+	k := float64(int(tp / c.Period))
+	ph := tp - k*c.Period
+	w := c.width()
+	switch {
+	case ph < c.Rise:
+		v, _ := c.Shape.ramp(0, c.Rise, ph)
+		return num.Lerp(c.Low, c.High, v)
+	case ph < w:
+		return c.High
+	case ph < w+c.Fall:
+		v, _ := c.Shape.ramp(w, w+c.Fall, ph)
+		return num.Lerp(c.High, c.Low, v)
+	default:
+		return c.Low
+	}
+}
+
+// Shifted delays a waveform by Dt: V(t) = W.V(t − Dt).
+type Shifted struct {
+	W  Waveform
+	Dt float64
+}
+
+// V implements Waveform.
+func (s Shifted) V(t float64) float64 { return s.W.V(t - s.Dt) }
+
+// Inverted mirrors a two-level waveform about the midpoint of [Low, High]:
+// V(t) = Low + High − W.V(t). Used to derive clk̄ from clk.
+type Inverted struct {
+	W         Waveform
+	Low, High float64
+}
+
+// V implements Waveform.
+func (i Inverted) V(t float64) float64 { return i.Low + i.High - i.W.V(t) }

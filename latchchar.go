@@ -1,0 +1,328 @@
+// Package latchchar is an interdependent latch setup/hold time
+// characterization library, reproducing "Interdependent Latch Setup/Hold
+// Time Characterization via Euler-Newton Curve Tracing on State-Transition
+// Equations" (Srivastava & Roychowdhury, DAC 2007).
+//
+// The library formulates the constant clock-to-Q contour of a register as
+// the solution set of the underdetermined scalar equation
+//
+//	h(τs, τh) = cᵀφ(tf; x0, 0, τs, τh) − r = 0
+//
+// where φ is the state-transition function of the register's circuit
+// equations, and traces the contour directly with a Moore-Penrose Newton
+// corrector inside an Euler predictor-corrector continuation — computing a
+// full interdependent setup/hold tradeoff curve in O(n) transient
+// simulations instead of the O(n²) of brute-force surface generation.
+//
+// The simplest entry point characterizes a built-in register cell:
+//
+//	cell, _ := latchchar.CellByName("tspc")
+//	res, err := latchchar.Characterize(cell, latchchar.Options{Points: 40})
+//	for _, p := range res.Contour.Points {
+//		fmt.Printf("τs=%.1fps τh=%.1fps\n", p.TauS*1e12, p.TauH*1e12)
+//	}
+//
+// The underlying pieces — the circuit simulator, the state-transition
+// evaluator, the MPNR/Euler-Newton solvers and the brute-force baseline —
+// are exposed through the type aliases below for programs that need finer
+// control.
+package latchchar
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"latchchar/internal/core"
+	"latchchar/internal/registers"
+	"latchchar/internal/stf"
+	"latchchar/internal/surface"
+	"latchchar/internal/transient"
+	"latchchar/internal/wave"
+)
+
+// Re-exported building blocks. The aliases give external users access to
+// the full type surface without reaching into internal packages.
+type (
+	// Cell is a register type with its standard characterization stimulus.
+	Cell = registers.Cell
+	// Instance is one built register circuit.
+	Instance = registers.Instance
+	// Process holds device/technology parameters for the built-in cells.
+	Process = registers.Process
+	// Timing holds the clock/data timing for the built-in cells.
+	Timing = registers.Timing
+	// Contour is a traced constant clock-to-Q curve.
+	Contour = core.Contour
+	// ContourPoint is one solved point on the contour.
+	ContourPoint = core.Point
+	// Rect bounds a skew domain.
+	Rect = core.Rect
+	// Calibration holds the measured characteristic timing (tc, tf, r).
+	Calibration = stf.Calibration
+	// Evaluator computes h(τs, τh) and its gradient for an instance.
+	Evaluator = stf.Evaluator
+	// EvalConfig tunes the state-transition evaluator.
+	EvalConfig = stf.Config
+	// TraceOptions tunes the Euler-Newton tracer.
+	TraceOptions = core.TraceOptions
+	// MPNROptions tunes the Moore-Penrose Newton corrector.
+	MPNROptions = core.MPNROptions
+	// SeedOptions tunes the first-point bracketing search.
+	SeedOptions = core.SeedOptions
+	// Surface is a sampled output surface over the skew plane.
+	Surface = surface.Surface
+	// Polyline is an extracted iso-contour chain.
+	Polyline = surface.Polyline
+	// Problem is the abstract h(τs, τh) = 0 interface the solvers accept.
+	Problem = core.Problem
+)
+
+// Method re-exports the integration schemes.
+const (
+	BE   = transient.BE
+	TRAP = transient.TRAP
+)
+
+// Data-ramp profiles for Timing.DataShape.
+const (
+	// RampSmooth is the C¹ smoothstep profile (default).
+	RampSmooth = wave.RampSmooth
+	// RampLinear is the piecewise-linear SPICE PULSE-style profile.
+	RampLinear = wave.RampLinear
+)
+
+// CellByName returns a built-in register cell ("tspc", "c2mos" or "tgate")
+// with default process and timing.
+func CellByName(name string) (*Cell, error) { return registers.ByName(name) }
+
+// DefaultProcess returns the default technology parameters.
+func DefaultProcess() Process { return registers.DefaultProcess() }
+
+// DefaultTiming returns the paper's clock/data timing.
+func DefaultTiming() Timing { return registers.DefaultTiming() }
+
+// TSPCCell builds a TSPC cell with explicit parameters.
+func TSPCCell(p Process, tm Timing) *Cell { return registers.TSPC(p, tm) }
+
+// C2MOSCell builds a C²MOS cell with explicit parameters and clk̄ delay.
+func C2MOSCell(p Process, tm Timing, clkbDelay float64) *Cell {
+	return registers.C2MOS(p, tm, registers.C2MOSOptions{ClkbDelay: clkbDelay})
+}
+
+// TGateCell builds the transmission-gate example cell.
+func TGateCell(p Process, tm Timing) *Cell { return registers.TGate(p, tm) }
+
+// Options configure a full characterization run.
+type Options struct {
+	// Points is the number of contour points to trace per direction
+	// (default 40, the paper's validation count).
+	Points int
+	// Step is the Euler step length α (default 5 ps).
+	Step float64
+	// Bounds stops tracing outside this skew rectangle. The zero Rect
+	// enables a default domain derived from Eval.MaxSetupSkew.
+	Bounds Rect
+	// BothDirections traces the curve both ways from the seed.
+	BothDirections bool
+	// Eval tunes the underlying transient evaluator.
+	Eval EvalConfig
+	// Seed tunes the first-point search.
+	Seed SeedOptions
+	// MPNR tunes the corrector.
+	MPNR MPNROptions
+	// RecordSteps keeps the predictor/corrector history in the result.
+	RecordSteps bool
+	// Resample, when ≥ 2, redistributes the traced contour into exactly
+	// that many arc-length-uniform points, each polished back onto the
+	// curve with MPNR.
+	Resample int
+}
+
+// Result is the outcome of Characterize.
+type Result struct {
+	// Contour is the traced constant clock-to-Q curve.
+	Contour *Contour
+	// Calibration is the measured characteristic timing.
+	Calibration Calibration
+	// Seed is the first point handed to the tracer.
+	Seed ContourPoint
+	// PlainSims and GradSims count transient simulations by kind
+	// (calibration excluded; it is a fixed +1 for any method).
+	PlainSims, GradSims int
+	// Elapsed is the wall-clock characterization time.
+	Elapsed time.Duration
+}
+
+// TotalSims returns the total transient count, the paper's cost metric.
+func (r *Result) TotalSims() int { return r.PlainSims + r.GradSims }
+
+// Characterize runs the complete Euler-Newton flow of the paper on a fresh
+// instance of the cell: calibrate, bracket a seed at large hold skew,
+// correct it with MPNR, and trace the constant clock-to-Q contour.
+func Characterize(cell *Cell, opts Options) (*Result, error) {
+	inst, err := cell.Build()
+	if err != nil {
+		return nil, fmt.Errorf("latchchar: build %s: %w", cell.Name, err)
+	}
+	ev, err := stf.NewEvaluator(inst, opts.Eval)
+	if err != nil {
+		return nil, fmt.Errorf("latchchar: evaluator: %w", err)
+	}
+	return characterize(ev, opts)
+}
+
+// CharacterizeWithEvaluator runs the flow on an existing evaluator
+// (e.g. to reuse one across parameter sweeps).
+func CharacterizeWithEvaluator(ev *Evaluator, opts Options) (*Result, error) {
+	return characterize(ev, opts)
+}
+
+func characterize(ev *Evaluator, opts Options) (*Result, error) {
+	start := time.Now()
+	ev.ResetCounters()
+	cfg := opts.Eval
+	maxS := cfg.MaxSetupSkew
+	if maxS <= 0 {
+		maxS = 1.0e-9 // stf default
+	}
+	seedOpts := opts.Seed
+	if seedOpts.Hi <= 0 || seedOpts.Hi > maxS {
+		seedOpts.Hi = 0.8 * maxS
+	}
+	seed, err := core.FindSeed(ev, seedOpts)
+	if err != nil {
+		return nil, fmt.Errorf("latchchar: seeding: %w", err)
+	}
+	bounds := opts.Bounds
+	if (bounds == Rect{}) {
+		bounds = Rect{MinS: 1e-12, MaxS: maxS, MinH: 1e-12, MaxH: maxS}
+	}
+	traceOpts := TraceOptions{
+		Step:           opts.Step,
+		MaxPoints:      opts.Points,
+		Bounds:         bounds,
+		BothDirections: opts.BothDirections,
+		MPNR:           opts.MPNR,
+		RecordSteps:    opts.RecordSteps,
+	}
+	ct, err := core.TraceContour(ev, seed.TauS, seed.TauH, traceOpts)
+	if err != nil {
+		return nil, fmt.Errorf("latchchar: tracing: %w", err)
+	}
+	if opts.Resample >= 2 {
+		ct, err = core.ResampleContour(ev, ct, opts.Resample, opts.MPNR)
+		if err != nil {
+			return nil, fmt.Errorf("latchchar: resampling: %w", err)
+		}
+	}
+	res := &Result{
+		Contour:     ct,
+		Calibration: ev.Calibration(),
+		PlainSims:   ev.PlainEvals,
+		GradSims:    ev.GradEvals,
+		Elapsed:     time.Since(start),
+	}
+	if len(ct.Points) > 0 {
+		res.Seed = ct.Points[0]
+	}
+	return res, nil
+}
+
+// SurfaceOptions configure brute-force surface generation.
+type SurfaceOptions struct {
+	// N is the grid resolution per axis (default 40, i.e. the paper's
+	// 40×40 = 1600 simulations).
+	N int
+	// Domain is the swept skew rectangle (default [10 ps, 0.8 ns]²).
+	Domain Rect
+	// Workers bounds the concurrency (default GOMAXPROCS). The paper's
+	// cost comparison counts simulations, which is independent of Workers.
+	Workers int
+	// Eval tunes the per-worker evaluators.
+	Eval EvalConfig
+}
+
+// SurfaceResult is the outcome of BruteForce.
+type SurfaceResult struct {
+	// Surface holds h(τs, τh) samples (add Calibration.R for the raw
+	// output-voltage surface of Figs. 1(a) and 9).
+	Surface *Surface
+	// Contour is the marching-squares extraction of h = 0 — the
+	// interdependent setup/hold pairs of the brute-force method.
+	Contour []Polyline
+	// Calibration is the shared characteristic timing.
+	Calibration Calibration
+	// Sims is the number of grid transient simulations (N²).
+	Sims int
+	// Elapsed is the wall-clock generation time.
+	Elapsed time.Duration
+}
+
+// BruteForce reproduces the prior-practice baseline: sample the output
+// surface on an N×N grid of trial skews and extract the constant clock-to-Q
+// contour by interpolation.
+func BruteForce(cell *Cell, opts SurfaceOptions) (*SurfaceResult, error) {
+	if opts.N <= 0 {
+		opts.N = 40
+	}
+	if (opts.Domain == Rect{}) {
+		opts.Domain = Rect{MinS: 10e-12, MaxS: 0.8e-9, MinH: 10e-12, MaxH: 0.8e-9}
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	// Calibrate once on a reference instance; workers reuse the numbers.
+	refInst, err := cell.Build()
+	if err != nil {
+		return nil, fmt.Errorf("latchchar: build %s: %w", cell.Name, err)
+	}
+	refEv, err := stf.NewEvaluator(refInst, opts.Eval)
+	if err != nil {
+		return nil, fmt.Errorf("latchchar: evaluator: %w", err)
+	}
+	cal := refEv.Calibration()
+
+	factory := func() (surface.EvalFunc, error) {
+		inst, err := cell.Build()
+		if err != nil {
+			return nil, err
+		}
+		ev, err := stf.NewEvaluatorWithCalibration(inst, opts.Eval, cal)
+		if err != nil {
+			return nil, err
+		}
+		return ev.Eval, nil
+	}
+	sAxis := surface.Linspace(opts.Domain.MinS, opts.Domain.MaxS, opts.N)
+	hAxis := surface.Linspace(opts.Domain.MinH, opts.Domain.MaxH, opts.N)
+	sf, err := surface.Generate(sAxis, hAxis, factory, opts.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("latchchar: surface generation: %w", err)
+	}
+	return &SurfaceResult{
+		Surface:     sf,
+		Contour:     sf.Contour(0),
+		Calibration: cal,
+		Sims:        sf.NumSamples(),
+		Elapsed:     time.Since(start),
+	}, nil
+}
+
+// CompareContours returns the maximum and mean distance from the traced
+// contour's points to the surface-extracted contour — the quantitative
+// overlay of Figs. 10 and 12(b). Distances are in seconds.
+func CompareContours(en *Contour, ref []Polyline) (max, mean float64, err error) {
+	return surface.Deviation(en.SetupHoldPairs(), ref)
+}
+
+// NewEvaluator builds a state-transition evaluator for a fresh instance of
+// the cell.
+func NewEvaluator(cell *Cell, cfg EvalConfig) (*Evaluator, error) {
+	inst, err := cell.Build()
+	if err != nil {
+		return nil, err
+	}
+	return stf.NewEvaluator(inst, cfg)
+}

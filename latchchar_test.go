@@ -1,0 +1,206 @@
+package latchchar
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCellByNameAll(t *testing.T) {
+	for _, name := range []string{"tspc", "c2mos", "tgate"} {
+		cell, err := CellByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := cell.Build(); err != nil {
+			t.Fatalf("%s build: %v", name, err)
+		}
+	}
+	if _, err := CellByName("zzz"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestCellConstructors(t *testing.T) {
+	p, tm := DefaultProcess(), DefaultTiming()
+	for _, cell := range []*Cell{
+		TSPCCell(p, tm),
+		C2MOSCell(p, tm, 0.3e-9),
+		C2MOSCell(p, tm, 0), // default delay
+		TGateCell(p, tm),
+	} {
+		if _, err := cell.Build(); err != nil {
+			t.Fatalf("%s: %v", cell.Name, err)
+		}
+	}
+}
+
+func TestCharacterizeRejectsBrokenCell(t *testing.T) {
+	bad := &Cell{Name: "broken", Build: func() (*Instance, error) {
+		return nil, errFake{}
+	}}
+	if _, err := Characterize(bad, Options{}); err == nil {
+		t.Error("broken cell accepted")
+	}
+	if _, err := BruteForce(bad, SurfaceOptions{N: 3}); err == nil {
+		t.Error("broken cell accepted by BruteForce")
+	}
+	if _, err := NewEvaluator(bad, EvalConfig{}); err == nil {
+		t.Error("broken cell accepted by NewEvaluator")
+	}
+}
+
+func TestResultTotalSims(t *testing.T) {
+	r := &Result{PlainSims: 3, GradSims: 7}
+	if r.TotalSims() != 10 {
+		t.Errorf("TotalSims = %d", r.TotalSims())
+	}
+}
+
+func TestCompareContoursErrors(t *testing.T) {
+	empty := &Contour{}
+	if _, _, err := CompareContours(empty, nil); err == nil {
+		t.Error("empty inputs accepted")
+	}
+}
+
+func TestParseNetlistString(t *testing.T) {
+	d, err := ParseNetlistString(`
+.model nch nmos VT0=0.43 KP=115u
+Vc clk 0 CLOCK(0 2.5 10n 1n 0.1n 0.1n)
+Vd d 0 DATA(11.05n 2.5 0 0.1n 0.1n)
+M1 q d 0 0 nch W=1u L=0.25u
+.out q
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseNetlist(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage deck accepted")
+	}
+}
+
+func TestTangentReexport(t *testing.T) {
+	ts, th, err := Tangent(0, 1)
+	if err != nil || ts != -1 || th != 0 {
+		t.Errorf("Tangent: %v %v %v", ts, th, err)
+	}
+}
+
+func TestCharacterizeDefaultBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full characterization")
+	}
+	// With a tightened MaxSetupSkew, the default bounds shrink accordingly
+	// and every traced point stays inside them.
+	cell, err := CellByName("tspc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Characterize(cell, Options{
+		Points:         30,
+		BothDirections: true,
+		Eval:           EvalConfig{MaxSetupSkew: 0.6e-9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.Contour.Points {
+		if p.TauS > 0.6e-9 || p.TauH > 0.6e-9 {
+			t.Errorf("point %d outside default bounds: (%v, %v)", i, p.TauS, p.TauH)
+		}
+	}
+}
+
+func TestBruteForceDomainDefaultsAndShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("surface generation")
+	}
+	cell, err := CellByName("tspc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BruteForce(cell, SurfaceOptions{N: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sims != 49 {
+		t.Errorf("Sims = %d", res.Sims)
+	}
+	if len(res.Surface.S) != 7 || len(res.Surface.H) != 7 {
+		t.Error("surface shape wrong")
+	}
+	if res.Surface.S[0] != 10e-12 || math.Abs(res.Surface.S[6]-0.8e-9) > 1e-18 {
+		t.Errorf("default domain: [%v, %v]", res.Surface.S[0], res.Surface.S[6])
+	}
+	// The h samples must straddle zero somewhere (the contour crosses the
+	// default domain).
+	neg, pos := false, false
+	for i := range res.Surface.V {
+		for _, v := range res.Surface.V[i] {
+			if v < 0 {
+				neg = true
+			}
+			if v > 0 {
+				pos = true
+			}
+		}
+	}
+	if !neg || !pos {
+		t.Error("surface does not straddle the contour")
+	}
+}
+
+func TestMethodReexports(t *testing.T) {
+	if BE.String() != "be" || TRAP.String() != "trap" {
+		t.Error("method re-exports wrong")
+	}
+}
+
+func TestLintBuiltinCellsClean(t *testing.T) {
+	for _, name := range []string{"tspc", "c2mos", "tgate"} {
+		cell, err := CellByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warns, err := Lint(cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(warns) != 0 {
+			t.Errorf("%s: unexpected lint warnings: %v", name, warns)
+		}
+	}
+}
+
+func TestLintFlagsBrokenDeck(t *testing.T) {
+	d, err := ParseNetlistString(`
+.model nch nmos VT0=0.43 KP=115u
+Vdd vdd 0 DC 2.5
+Vc clk 0 CLOCK(0 2.5 10n 1n 0.1n 0.1n)
+Vd d 0 DATA(11.05n 2.5 0 0.1n 0.1n)
+M1 q d 0 0 nch W=1u L=0.25u
+* "qq" is a typo for "q": leaves q's load dangling behind a capacitor
+Cload qq 0 10f
+.out q
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warns, err := Lint(d.Cell("typo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, w := range warns {
+		if strings.Contains(w, "qq") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("typo node not flagged: %v", warns)
+	}
+}

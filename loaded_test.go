@@ -1,0 +1,109 @@
+package latchchar
+
+import (
+	"testing"
+)
+
+// loadedTSPCDeck is the built-in TSPC register driving a realistic load: a
+// two-stage buffer and a 3-section RC wire ladder. It exercises the whole
+// netlist→characterization pipeline at roughly twice the bare cell's
+// unknown count (13 transistors, 9 capacitors, 3 resistors → ~25 MNA
+// unknowns).
+const loadedTSPCDeck = `
+* TSPC register + output buffer + wire load
+.model nch nmos VT0=0.43 KP=115u LAMBDA=0.06 COX=6m CJ=0.6n
+.model pch pmos VT0=0.40 KP=30u  LAMBDA=0.10 COX=6m CJ=0.6n
+
+Vdd  vdd 0 DC 2.5
+Vclk clk 0 CLOCK(0 2.5 10n 1n 0.1n 0.1n)
+Vd   d   0 DATA(11.05n 2.5 0 0.1n 0.1n)
+
+* register (same as the built-in TSPC)
+MP1 n1 d   vdd vdd pch W=1.4u L=0.25u
+MP2 x  clk n1  vdd pch W=1.4u L=0.25u
+MN1 x  d   0   0   nch W=0.6u L=0.25u
+MP3 y  x   vdd vdd pch W=1.4u L=0.25u
+MN2 y  clk n2  0   nch W=0.6u L=0.25u
+MN3 n2 x   0   0   nch W=0.6u L=0.25u
+MP4 q  y   vdd vdd pch W=1.4u L=0.25u
+MN4 q  clk n3  0   nch W=0.6u L=0.25u
+MN5 n3 y   0   0   nch W=0.6u L=0.25u
+Cx x 0 12f
+Cy y 0 12f
+Cq q 0 10f
+
+* two-stage buffer (sized up on the second stage)
+MPB1 b1 q  vdd vdd pch W=2.8u L=0.25u
+MNB1 b1 q  0   0   nch W=1.2u L=0.25u
+MPB2 b2 b1 vdd vdd pch W=5.6u L=0.25u
+MNB2 b2 b1 0   0   nch W=2.4u L=0.25u
+Cb1 b1 0 8f
+
+* wire: 3-section RC ladder to the far end
+Rw1 b2 w1 200
+Cw1 w1 0 20f
+Rw2 w1 w2 200
+Cw2 w2 0 20f
+Rw3 w2 w3 200
+Cw3 w3 0 30f
+
+* measure at the far end of the wire: two inverting stages past Q, so the
+* monitored transition has the same direction as Q (rising)
+.out w3
+.vdd 2.5
+.crossfrac 0.5
+.rising 1
+`
+
+func TestLoadedTSPCDeckCharacterizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full characterization of the loaded cell")
+	}
+	d, err := ParseNetlistString(loadedTSPCDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := d.Cell("tspc-loaded")
+	warns, err := Lint(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) != 0 {
+		t.Fatalf("lint warnings on the loaded deck: %v", warns)
+	}
+	inst, err := cell.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := inst.Circuit.N(); n < 16 {
+		t.Fatalf("expected a bigger system, N = %d", n)
+	}
+	res, err := Characterize(cell, Options{Points: 15, BothDirections: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Contour.Points) < 10 {
+		t.Fatalf("contour too short: %d", len(res.Contour.Points))
+	}
+	// The wire and buffer add delay on top of the bare register.
+	bare := characterizeOnce(t, "tspc")
+	if res.Calibration.CharDelay <= bare.Calibration.CharDelay {
+		t.Errorf("loaded delay %v ps not above bare %v ps",
+			res.Calibration.CharDelay*1e12, bare.Calibration.CharDelay*1e12)
+	}
+	t.Logf("clock-to-output through buffer+wire: %.1f ps (bare register %.1f ps)",
+		res.Calibration.CharDelay*1e12, bare.Calibration.CharDelay*1e12)
+	// The setup/hold constraints live in the register, not the wire: the
+	// setup asymptote should sit near the bare cell's.
+	minS, _, err := res.Contour.MinSetup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bareS, _, err := bare.Contour.MinSetup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := minS - bareS; d > 40e-12 || d < -40e-12 {
+		t.Errorf("loaded setup asymptote %v ps vs bare %v ps", minS*1e12, bareS*1e12)
+	}
+}

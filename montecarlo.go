@@ -1,0 +1,123 @@
+package latchchar
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// MCOptions configure Monte-Carlo statistical characterization — the
+// paper's second motivating workload besides PVT corners ("for all
+// process-voltage-temperature corners or statistical process samples").
+type MCOptions struct {
+	// Samples is the number of process draws (default 8).
+	Samples int
+	// Seed makes the draw deterministic.
+	Seed int64
+	// SigmaVT and SigmaKP are the relative 1σ variations applied to the
+	// threshold voltages and transconductances (defaults 3% and 5%).
+	SigmaVT, SigmaKP float64
+	// Workers bounds concurrency (default: all samples at once).
+	Workers int
+	// Characterize configures each sample's characterization.
+	Characterize Options
+}
+
+func (o MCOptions) withDefaults() MCOptions {
+	if o.Samples <= 0 {
+		o.Samples = 8
+	}
+	if o.SigmaVT <= 0 {
+		o.SigmaVT = 0.03
+	}
+	if o.SigmaKP <= 0 {
+		o.SigmaKP = 0.05
+	}
+	if o.Workers <= 0 {
+		o.Workers = o.Samples
+	}
+	return o
+}
+
+// MCSample is one Monte-Carlo draw's outcome.
+type MCSample struct {
+	// Index is the sample number; Process the drawn parameters.
+	Index   int
+	Process Process
+	Result  *Result
+	Err     error
+}
+
+// MCStats summarizes a statistic over the samples.
+type MCStats struct {
+	Mean, Std, Min, Max float64
+}
+
+// MonteCarlo characterizes the register across randomized process samples.
+// mk builds the cell for a given process. Samples run concurrently on
+// independent circuits; results are returned in sample order.
+func MonteCarlo(mk func(Process) *Cell, nominal Process, opts MCOptions) []MCSample {
+	o := opts.withDefaults()
+	rng := rand.New(rand.NewSource(o.Seed))
+	// Draw all processes up front so the sequence depends only on Seed,
+	// not on goroutine scheduling.
+	samples := make([]MCSample, o.Samples)
+	for i := range samples {
+		p := nominal
+		p.NMOS.VT0 *= 1 + o.SigmaVT*rng.NormFloat64()
+		p.PMOS.VT0 *= 1 + o.SigmaVT*rng.NormFloat64()
+		p.NMOS.KP *= 1 + o.SigmaKP*rng.NormFloat64()
+		p.PMOS.KP *= 1 + o.SigmaKP*rng.NormFloat64()
+		samples[i] = MCSample{Index: i, Process: p}
+	}
+	sem := make(chan struct{}, o.Workers)
+	var wg sync.WaitGroup
+	for i := range samples {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			s := &samples[i]
+			if err := s.Process.NMOS.Validate(); err != nil {
+				s.Err = fmt.Errorf("latchchar: sample %d: %w", i, err)
+				return
+			}
+			if err := s.Process.PMOS.Validate(); err != nil {
+				s.Err = fmt.Errorf("latchchar: sample %d: %w", i, err)
+				return
+			}
+			s.Result, s.Err = Characterize(mk(s.Process), o.Characterize)
+		}(i)
+	}
+	wg.Wait()
+	return samples
+}
+
+// SummarizeMC reduces the samples with the given per-sample statistic
+// (e.g. minimum setup time). Failed samples are skipped; err reports if
+// every sample failed.
+func SummarizeMC(samples []MCSample, stat func(*Result) float64) (MCStats, error) {
+	var vals []float64
+	for _, s := range samples {
+		if s.Err == nil && s.Result != nil {
+			vals = append(vals, stat(s.Result))
+		}
+	}
+	if len(vals) == 0 {
+		return MCStats{}, fmt.Errorf("latchchar: no successful Monte-Carlo samples")
+	}
+	sort.Float64s(vals)
+	st := MCStats{Min: vals[0], Max: vals[len(vals)-1]}
+	for _, v := range vals {
+		st.Mean += v
+	}
+	st.Mean /= float64(len(vals))
+	for _, v := range vals {
+		st.Std += (v - st.Mean) * (v - st.Mean)
+	}
+	st.Std = math.Sqrt(st.Std / float64(len(vals)))
+	return st, nil
+}

@@ -1,0 +1,95 @@
+package latchchar
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMonteCarloDeterministicDraws(t *testing.T) {
+	tm := DefaultTiming()
+	mk := func(p Process) *Cell { return TSPCCell(p, tm) }
+	// Draw-only check: same seed → same processes (without characterizing,
+	// use Samples=2 with failing validation shortcut impossible; just
+	// compare the drawn parameters of two runs).
+	a := MonteCarlo(mk, DefaultProcess(), MCOptions{Samples: 2, Seed: 7, Characterize: Options{Points: 3}})
+	b := MonteCarlo(mk, DefaultProcess(), MCOptions{Samples: 2, Seed: 7, Characterize: Options{Points: 3}})
+	for i := range a {
+		if a[i].Process.NMOS.VT0 != b[i].Process.NMOS.VT0 {
+			t.Fatalf("sample %d: non-deterministic draw", i)
+		}
+	}
+	c := MonteCarlo(mk, DefaultProcess(), MCOptions{Samples: 2, Seed: 8, Characterize: Options{Points: 3}})
+	if a[0].Process.NMOS.VT0 == c[0].Process.NMOS.VT0 {
+		t.Error("different seeds drew identical processes")
+	}
+}
+
+func TestMonteCarloCharacterizesAndSummarizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple characterizations")
+	}
+	tm := DefaultTiming()
+	mk := func(p Process) *Cell { return TSPCCell(p, tm) }
+	samples := MonteCarlo(mk, DefaultProcess(), MCOptions{
+		Samples: 4, Seed: 42, Characterize: Options{Points: 8},
+	})
+	if len(samples) != 4 {
+		t.Fatalf("samples: %d", len(samples))
+	}
+	for _, s := range samples {
+		if s.Err != nil {
+			t.Fatalf("sample %d: %v", s.Index, s.Err)
+		}
+	}
+	st, err := SummarizeMC(samples, func(r *Result) float64 {
+		return r.Calibration.CharDelay
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mean < 150e-12 || st.Mean > 450e-12 {
+		t.Errorf("mean delay %v ps implausible", st.Mean*1e12)
+	}
+	if st.Std <= 0 {
+		t.Error("process variation should spread the delay")
+	}
+	if st.Min > st.Mean || st.Max < st.Mean {
+		t.Error("min/max inconsistent")
+	}
+	// Relative spread should reflect the few-percent parameter sigmas.
+	if st.Std/st.Mean > 0.3 {
+		t.Errorf("spread %v%% too wide", 100*st.Std/st.Mean)
+	}
+}
+
+func TestSummarizeMCAllFailed(t *testing.T) {
+	samples := []MCSample{{Err: errFake{}}, {Err: errFake{}}}
+	if _, err := SummarizeMC(samples, func(r *Result) float64 { return 0 }); err == nil {
+		t.Error("all-failed summary accepted")
+	}
+}
+
+type errFake struct{}
+
+func (errFake) Error() string { return "fake" }
+
+func TestMCOptionsDefaults(t *testing.T) {
+	o := MCOptions{}.withDefaults()
+	if o.Samples != 8 || o.SigmaVT != 0.03 || o.SigmaKP != 0.05 || o.Workers != 8 {
+		t.Errorf("defaults: %+v", o)
+	}
+}
+
+func TestMCStatsMath(t *testing.T) {
+	samples := []MCSample{
+		{Result: &Result{Calibration: Calibration{CharDelay: 1}}},
+		{Result: &Result{Calibration: Calibration{CharDelay: 3}}},
+	}
+	st, err := SummarizeMC(samples, func(r *Result) float64 { return r.Calibration.CharDelay })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mean != 2 || st.Min != 1 || st.Max != 3 || math.Abs(st.Std-1) > 1e-12 {
+		t.Errorf("stats: %+v", st)
+	}
+}

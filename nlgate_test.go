@@ -1,0 +1,43 @@
+package latchchar
+
+import (
+	"math"
+	"testing"
+)
+
+// Ablation A4: the characterization flow is model-agnostic — switching the
+// registers to the nonlinear (Meyer-style) gate-capacitance model changes
+// the calibrated numbers only modestly and the tracer runs unchanged. This
+// exercises state-dependent C(x) end to end (assembly, BE integration and
+// the sensitivity recursion all re-evaluate C every step).
+func TestNLGateCharacterization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full characterization")
+	}
+	p := DefaultProcess()
+	p.NMOS.NLGate = true
+	p.PMOS.NLGate = true
+	cell := TSPCCell(p, DefaultTiming())
+	res, err := Characterize(cell, Options{Points: 15, BothDirections: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Contour.Points) < 10 {
+		t.Fatalf("contour too short: %d", len(res.Contour.Points))
+	}
+	for i, pnt := range res.Contour.Points {
+		if math.Abs(pnt.H) > 1e-5 {
+			t.Errorf("point %d off contour: %v", i, pnt.H)
+		}
+	}
+	// Compare against the constant-capacitance calibration: same regime.
+	ref := characterizeOnce(t, "tspc")
+	dNL := res.Calibration.CharDelay
+	dRef := ref.Calibration.CharDelay
+	if rel := math.Abs(dNL-dRef) / dRef; rel > 0.35 {
+		t.Errorf("NLGate shifted the characteristic delay by %.0f%% (from %v ps to %v ps)",
+			rel*100, dRef*1e12, dNL*1e12)
+	}
+	t.Logf("characteristic delay: constant caps %.1f ps, nonlinear gate caps %.1f ps",
+		dRef*1e12, dNL*1e12)
+}

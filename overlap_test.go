@@ -1,0 +1,45 @@
+package latchchar
+
+import (
+	"testing"
+
+	"latchchar/internal/core"
+)
+
+// TestC2MOSHoldGrowsWithOverlap checks the mechanism behind the paper's
+// Section IV-B setup: "the register has zero hold time if there is no
+// overlap between clk and clk̄. To obtain a positive hold time ... we delay
+// the clk̄ input line by 0.3 ns". The independent hold time must therefore
+// grow with the clk̄ delay.
+func TestC2MOSHoldGrowsWithOverlap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several characterizations")
+	}
+	p, tm := DefaultProcess(), DefaultTiming()
+	holdFor := func(delay float64) float64 {
+		cell := C2MOSCell(p, tm, delay)
+		ev, err := NewEvaluator(cell, EvalConfig{})
+		if err != nil {
+			t.Fatalf("delay %v: %v", delay, err)
+		}
+		res, err := core.IndependentNR(ev, IndependentOptions{Axis: HoldAxis, Pinned: 600e-12})
+		if err != nil {
+			t.Fatalf("delay %v: %v", delay, err)
+		}
+		return res.Skew
+	}
+	h2 := holdFor(0.20e-9)
+	h3 := holdFor(0.30e-9)
+	h4 := holdFor(0.40e-9)
+	t.Logf("hold time vs clk̄ delay: 0.2ns→%.1f ps, 0.3ns→%.1f ps, 0.4ns→%.1f ps",
+		h2*1e12, h3*1e12, h4*1e12)
+	if !(h2 < h3 && h3 <= h4+1e-12) {
+		t.Errorf("hold time does not grow with clock overlap: %v, %v, %v", h2, h3, h4)
+	}
+	// The growth tracks the extra overlap until the slave's capture
+	// completes within the window, after which it saturates — so require
+	// substantial (not proportional) total growth.
+	if d := h4 - h2; d < 50e-12 || d > 300e-12 {
+		t.Errorf("hold growth %v ps over 200 ps extra overlap", d*1e12)
+	}
+}
