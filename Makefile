@@ -1,0 +1,32 @@
+# Build, test and static-analysis entry points. CI runs `make ci`.
+
+GO ?= go
+
+.PHONY: all build test race vet charvet ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# vet runs Go's own static analysis plus charvet over every shipped
+# characterization setup: the built-in cells and each example netlist.
+vet: charvet
+	$(GO) vet ./...
+
+charvet:
+	$(GO) run ./cmd/charvet -cell tspc
+	$(GO) run ./cmd/charvet -cell c2mos
+	$(GO) run ./cmd/charvet -cell tgate
+	$(GO) run ./cmd/charvet examples/netlists/*.cir
+
+ci: build vet race
+
+clean:
+	$(GO) clean ./...

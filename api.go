@@ -6,6 +6,7 @@ import (
 	"latchchar/internal/core"
 	"latchchar/internal/liberty"
 	"latchchar/internal/netlist"
+	"latchchar/internal/vet"
 )
 
 // Deck is a parsed SPICE-like netlist describing a register and its
@@ -61,19 +62,63 @@ func ExportLiberty(w io.Writer, cellName string, res *Result, opts LibertyOption
 	return liberty.Export(w, cellName, res.Contour, res.Calibration, opts)
 }
 
+// Static-analysis (vet) surface. The analyzer driver in internal/vet runs a
+// registry of independent checks — netlist topology, stimulus windows,
+// component-value sanity and continuation configuration — over a built
+// instance plus the characterization query parameters, returning structured
+// diagnostics with stable check IDs.
+type (
+	// VetDiagnostic is one structured finding.
+	VetDiagnostic = vet.Diagnostic
+	// VetReport is the outcome of a vet run over one cell.
+	VetReport = vet.Report
+	// VetSpec carries the characterization query parameters the analyzers
+	// validate against.
+	VetSpec = vet.Spec
+	// VetOptions select which checks run.
+	VetOptions = vet.Options
+)
+
+// Vet severity levels.
+const (
+	VetError   = vet.Error
+	VetWarning = vet.Warning
+	VetInfo    = vet.Info
+)
+
+// Vet builds one instance of the cell and runs every registered analyzer
+// over it and the given query parameters — the pre-flight to run on a
+// freshly written netlist (or tuned configuration) before spending
+// transient simulations on it.
+func Vet(cell *Cell, spec VetSpec, opts VetOptions) (*VetReport, error) {
+	inst, err := cell.Build()
+	if err != nil {
+		return nil, err
+	}
+	return vet.VetInstance(cell.Name, inst, spec, opts)
+}
+
 // Lint builds one instance of the cell and returns structural warnings
-// (nodes without a DC path to ground, dangling single-terminal nodes) —
-// the quick sanity check to run on a freshly written netlist before
-// spending transient simulations on it.
+// (floating nodes, nodes without a DC path to ground, dangling
+// single-terminal nodes) as formatted strings.
+//
+// Deprecated: use Vet, which runs the same topology checks plus the
+// stimulus- and configuration-level analyzers and returns structured
+// diagnostics. Lint remains as a thin adapter over the vet driver.
 func Lint(cell *Cell) ([]string, error) {
 	inst, err := cell.Build()
 	if err != nil {
 		return nil, err
 	}
-	warns := inst.Circuit.Lint()
-	out := make([]string, len(warns))
-	for i, w := range warns {
-		out[i] = w.String()
+	rep, err := vet.VetInstance(cell.Name, inst, VetSpec{}, VetOptions{
+		Enable: []string{"floating-node", "no-ground-path", "single-terminal"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(rep.Diagnostics))
+	for i, d := range rep.Diagnostics {
+		out[i] = d.String()
 	}
 	return out, nil
 }

@@ -1,0 +1,168 @@
+// Command charvet statically vets characterization setups — netlists plus
+// query parameters — before any transient simulation is spent on them. It
+// runs the analyzer registry of internal/vet (netlist topology, stimulus
+// windows, value sanity, continuation configuration) and reports structured
+// diagnostics as text, JSON or SARIF-lite.
+//
+// Usage:
+//
+//	charvet latch.cir                      # vet one netlist
+//	charvet examples/netlists/*.cir        # vet many (CI mode)
+//	charvet -cell tspc -json               # vet a built-in cell, JSON output
+//	charvet -list                          # list registered checks
+//	charvet -disable single-terminal x.cir # selection by stable check ID
+//
+// Exit status: 0 when every target is free of Error-severity findings, 1
+// when any Error-severity finding is reported, 2 on usage or load failures.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"latchchar/internal/cli"
+	"latchchar/internal/core"
+	"latchchar/internal/stf"
+	"latchchar/internal/vet"
+)
+
+// errFindings marks an Error-severity diagnostic outcome (exit 1), as
+// opposed to an operational failure (exit 2).
+var errFindings = errors.New("charvet: error-severity findings")
+
+func main() {
+	err := run(os.Stdout, os.Stderr, os.Args[1:])
+	switch {
+	case err == nil:
+	case errors.Is(err, errFindings):
+		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, "charvet:", err)
+		os.Exit(2)
+	}
+}
+
+func run(stdout, stderr io.Writer, args []string) error {
+	fs := flag.NewFlagSet("charvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		cellName = fs.String("cell", "", "built-in cell to vet: tspc, c2mos or tgate (used when no netlist arguments)")
+		deckPath = fs.String("netlist", "", "netlist deck path (same as a positional argument)")
+		jsonOut  = fs.Bool("json", false, "emit diagnostics as JSON")
+		sarifOut = fs.Bool("sarif", false, "emit diagnostics as SARIF-lite 2.1.0")
+		list     = fs.Bool("list", false, "list registered checks and exit")
+		enable   = fs.String("enable", "", "comma-separated check IDs: run only these")
+		disable  = fs.String("disable", "", "comma-separated check IDs to skip")
+		degrade  = fs.Float64("degrade", 0.10, "clock-to-Q degradation defining setup/hold")
+		maxSkew  = fs.Float64("maxskew", 1000, "skew domain bound in picoseconds")
+		stepPS   = fs.Float64("step", 5, "Euler step length α in picoseconds")
+		points   = fs.Int("points", 40, "contour points per trace direction")
+		quiet    = fs.Bool("q", false, "suppress the per-target summary line on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg := vet.DefaultRegistry()
+	if *list {
+		for _, a := range reg.Analyzers() {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+
+	maxS := *maxSkew * 1e-12
+	spec := vet.Spec{
+		Eval: stf.Config{
+			Degrade:      *degrade,
+			MaxSetupSkew: maxS,
+		},
+		Step:      *stepPS * 1e-12,
+		Bounds:    core.Rect{MinS: 1e-12, MaxS: maxS, MinH: 1e-12, MaxH: maxS},
+		MaxPoints: *points,
+	}
+	opts := vet.Options{
+		Enable:  cli.SplitChecks(*enable),
+		Disable: cli.SplitChecks(*disable),
+	}
+
+	// Targets: positional netlist paths, plus -netlist, plus -cell. With no
+	// selection at all, vet the default built-in cell.
+	paths := fs.Args()
+	if *deckPath != "" {
+		paths = append(paths, *deckPath)
+	}
+	type targetRef struct{ name, path string }
+	var targets []targetRef
+	for _, p := range paths {
+		targets = append(targets, targetRef{name: p, path: p})
+	}
+	if *cellName != "" {
+		targets = append(targets, targetRef{name: *cellName})
+	}
+	if len(targets) == 0 {
+		targets = append(targets, targetRef{name: "tspc"})
+	}
+
+	anyErrors := false
+	var reports []*vet.Report
+	for _, tr := range targets {
+		cell, err := cli.LoadCell(tr.name, tr.path)
+		if err != nil {
+			return err
+		}
+		inst, err := cell.Build()
+		if err != nil {
+			return fmt.Errorf("build %s: %w", tr.name, err)
+		}
+		rep, err := reg.Vet(vet.NewTarget(tr.name, inst, spec), opts)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
+		if rep.HasErrors() {
+			anyErrors = true
+		}
+		if !*quiet {
+			fmt.Fprintf(stderr, "charvet: %s: %d check(s), %d error(s), %d warning(s)\n",
+				rep.Target, len(rep.Checks), rep.Count(vet.Error), rep.Count(vet.Warning))
+		}
+	}
+
+	switch {
+	case *sarifOut:
+		// One SARIF log per invocation; merge all targets' results.
+		merged := &vet.Report{Target: "charvet"}
+		seen := map[string]bool{}
+		for _, rep := range reports {
+			for _, c := range rep.Checks {
+				if !seen[c] {
+					seen[c] = true
+					merged.Checks = append(merged.Checks, c)
+				}
+			}
+			merged.Diagnostics = append(merged.Diagnostics, rep.Diagnostics...)
+		}
+		if err := merged.WriteSARIF(stdout, reg); err != nil {
+			return err
+		}
+	case *jsonOut:
+		for _, rep := range reports {
+			if err := rep.WriteJSON(stdout); err != nil {
+				return err
+			}
+		}
+	default:
+		for _, rep := range reports {
+			if err := rep.WriteText(stdout); err != nil {
+				return err
+			}
+		}
+	}
+	if anyErrors {
+		return errFindings
+	}
+	return nil
+}

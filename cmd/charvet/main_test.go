@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const brokenDeck = "../../internal/vet/testdata/broken_tspc.cir"
+
+func runCharvet(t *testing.T, args ...string) (stdout, stderr string, err error) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	err = run(&out, &errw, args)
+	return out.String(), errw.String(), err
+}
+
+func TestCleanBuiltinCells(t *testing.T) {
+	for _, cell := range []string{"tspc", "c2mos", "tgate"} {
+		stdout, stderr, err := runCharvet(t, "-cell", cell)
+		if err != nil {
+			t.Errorf("%s: %v", cell, err)
+		}
+		if stdout != "" {
+			t.Errorf("%s: unexpected findings:\n%s", cell, stdout)
+		}
+		if !strings.Contains(stderr, "0 error(s), 0 warning(s)") {
+			t.Errorf("%s: summary line missing: %q", cell, stderr)
+		}
+	}
+}
+
+func TestCleanExampleNetlists(t *testing.T) {
+	paths, err := filepath.Glob("../../examples/netlists/*.cir")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no example netlists found: %v", err)
+	}
+	stdout, _, err := runCharvet(t, paths...)
+	if err != nil {
+		t.Errorf("shipped examples must vet clean, got %v:\n%s", err, stdout)
+	}
+}
+
+func TestBrokenNetlistExitsWithFindings(t *testing.T) {
+	stdout, _, err := runCharvet(t, brokenDeck)
+	if !errors.Is(err, errFindings) {
+		t.Fatalf("want errFindings, got %v", err)
+	}
+	for _, want := range []string{"floating-node", "value-sanity", "unreachable"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("text output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	stdout, _, err := runCharvet(t, "-json", "-q", brokenDeck)
+	if !errors.Is(err, errFindings) {
+		t.Fatalf("want errFindings, got %v", err)
+	}
+	var rep struct {
+		Tool        string   `json:"tool"`
+		Version     int      `json:"version"`
+		Checks      []string `json:"checks"`
+		Errors      int      `json:"errors"`
+		Diagnostics []struct {
+			Check    string `json:"check"`
+			Severity string `json:"severity"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout)
+	}
+	if rep.Tool != "charvet" || rep.Version != 1 {
+		t.Errorf("bad envelope: tool=%q version=%d", rep.Tool, rep.Version)
+	}
+	if rep.Errors == 0 || len(rep.Diagnostics) == 0 {
+		t.Errorf("expected error findings in %s", stdout)
+	}
+	if len(rep.Checks) < 8 {
+		t.Errorf("only %d checks ran", len(rep.Checks))
+	}
+}
+
+func TestSARIFOutput(t *testing.T) {
+	stdout, _, err := runCharvet(t, "-sarif", "-q", brokenDeck)
+	if !errors.Is(err, errFindings) {
+		t.Fatalf("want errFindings, got %v", err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID string `json:"ruleId"`
+				Level  string `json:"level"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &log); err != nil {
+		t.Fatalf("invalid SARIF: %v\n%s", err, stdout)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || len(log.Runs[0].Results) == 0 {
+		t.Errorf("malformed SARIF log:\n%s", stdout)
+	}
+}
+
+func TestDisableSuppressesFindings(t *testing.T) {
+	_, _, err := runCharvet(t, "-q",
+		"-disable", "floating-node,no-ground-path,single-terminal,value-sanity,mpnr-config,event-order",
+		brokenDeck)
+	if err != nil {
+		t.Errorf("all failing checks disabled, want clean exit, got %v", err)
+	}
+}
+
+func TestEnableRestrictsChecks(t *testing.T) {
+	// Only the clock-window analyzer runs; the broken deck's clock is fine.
+	_, stderr, err := runCharvet(t, "-enable", "clock-window", brokenDeck)
+	if err != nil {
+		t.Errorf("want clean, got %v", err)
+	}
+	if !strings.Contains(stderr, "1 check(s)") {
+		t.Errorf("want exactly 1 check in summary: %q", stderr)
+	}
+}
+
+func TestUnknownCheckIsOperationalError(t *testing.T) {
+	_, _, err := runCharvet(t, "-enable", "no-such-check", brokenDeck)
+	if err == nil || errors.Is(err, errFindings) {
+		t.Errorf("unknown check must be an operational error, got %v", err)
+	}
+}
+
+func TestListChecks(t *testing.T) {
+	stdout, _, err := runCharvet(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(strings.Split(strings.TrimSpace(stdout), "\n")); n < 8 {
+		t.Errorf("-list printed %d checks, want ≥ 8:\n%s", n, stdout)
+	}
+}

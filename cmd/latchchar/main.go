@@ -17,7 +17,9 @@ import (
 	"latchchar"
 	"latchchar/internal/cli"
 	"latchchar/internal/liberty"
+	"latchchar/internal/stf"
 	"latchchar/internal/transient"
+	"latchchar/internal/vet"
 )
 
 func main() {
@@ -42,6 +44,8 @@ func run(args []string) error {
 		maxSkew  = fs.Float64("maxskew", 1000, "skew domain bound in picoseconds")
 		format   = fs.String("format", "csv", "output format: csv, json or lib (Liberty fragment)")
 		outPath  = fs.String("o", "-", "output path (- for stdout)")
+		doVet    = fs.Bool("vet", true, "run charvet pre-flight checks and abort on error findings")
+		disable  = fs.String("disable", "", "comma-separated vet check IDs to skip")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,14 +55,19 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *deckPath != "" {
-		// Structural sanity check on user netlists before burning transients.
-		warns, err := latchchar.Lint(cell)
-		if err != nil {
-			return err
+	if *doVet {
+		// Static pre-flight over the netlist and query parameters before
+		// burning transient simulations on a broken setup.
+		spec := vet.Spec{
+			Eval: stf.Config{
+				Degrade:      *degrade,
+				MaxSetupSkew: *maxSkew * 1e-12,
+			},
+			Step:      *stepPS * 1e-12,
+			MaxPoints: *points,
 		}
-		for _, w := range warns {
-			fmt.Fprintln(os.Stderr, "lint:", w)
+		if err := cli.Gate(os.Stderr, cell, spec, vet.Options{Disable: cli.SplitChecks(*disable)}); err != nil {
+			return err
 		}
 	}
 	opts := latchchar.Options{

@@ -56,6 +56,14 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 }
 
+func TestRunVetGateBlocksBrokenNetlist(t *testing.T) {
+	deck := "../../internal/vet/testdata/broken_tspc.cir"
+	err := run([]string{"-netlist", deck, "-points", "3", "-both=false", "-o", filepath.Join(t.TempDir(), "c.csv")})
+	if err == nil || !strings.Contains(err.Error(), "vet:") {
+		t.Errorf("vet gate did not block broken netlist: %v", err)
+	}
+}
+
 func TestRunResample(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "contour.csv")
 	err := run([]string{"-cell", "tspc", "-points", "10", "-resample", "6", "-o", out})

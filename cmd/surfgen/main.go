@@ -16,6 +16,7 @@ import (
 
 	"latchchar"
 	"latchchar/internal/cli"
+	"latchchar/internal/vet"
 )
 
 func main() {
@@ -39,6 +40,8 @@ func run(args []string) error {
 		delayMode = fs.Bool("delay", false, "generate the clock-to-Q delay surface (the paper's primary formulation) instead of the output-level surface")
 		surfOut   = fs.String("surface", "-", "surface CSV path (- for stdout)")
 		contOut   = fs.String("contour", "", "extracted-contour CSV path (empty = skip)")
+		doVet     = fs.Bool("vet", true, "run charvet pre-flight checks and abort on error findings")
+		disable   = fs.String("disable", "", "comma-separated vet check IDs to skip")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,6 +49,19 @@ func run(args []string) error {
 	cell, err := cli.LoadCell(*cellName, *deckPath)
 	if err != nil {
 		return err
+	}
+	if *doVet {
+		// The n² grid makes a broken setup especially expensive: vet the
+		// netlist and the sweep box before dispatching workers.
+		spec := vet.Spec{
+			Bounds: latchchar.Rect{
+				MinS: *sMin * 1e-12, MaxS: *sMax * 1e-12,
+				MinH: *hMin * 1e-12, MaxH: *hMax * 1e-12,
+			},
+		}
+		if err := cli.Gate(os.Stderr, cell, spec, vet.Options{Disable: cli.SplitChecks(*disable)}); err != nil {
+			return err
+		}
 	}
 	surfOpts := latchchar.SurfaceOptions{
 		N: *n,

@@ -66,3 +66,11 @@ func TestRunDelaySurface(t *testing.T) {
 		t.Errorf("expected sub-ns delays in output")
 	}
 }
+
+func TestRunVetGateBlocksBrokenNetlist(t *testing.T) {
+	deck := "../../internal/vet/testdata/broken_tspc.cir"
+	err := run([]string{"-netlist", deck, "-n", "3", "-surface", filepath.Join(t.TempDir(), "s.csv")})
+	if err == nil || !strings.Contains(err.Error(), "vet:") {
+		t.Errorf("vet gate did not block broken netlist: %v", err)
+	}
+}

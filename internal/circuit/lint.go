@@ -9,6 +9,12 @@ import (
 // mistakes before a characterization run spends transient simulations on
 // them. The checks are topological, built from devices that report their
 // conductive connectivity.
+//
+// Lint predates the analyzer driver in internal/vet and is kept as a thin
+// adapter over the shared Topology computation; new code should run the vet
+// registry instead, which covers these checks (as the floating-node,
+// no-ground-path and single-terminal analyzers) plus stimulus- and
+// configuration-level ones, with structured diagnostics.
 
 // ConductiveDevice is implemented by devices that provide a DC conduction
 // path between unknowns (resistors, sources, MOSFET channels). Devices that
@@ -21,8 +27,8 @@ type ConductiveDevice interface {
 
 // LintWarning is one structural finding.
 type LintWarning struct {
-	// Kind is a stable identifier: "floating-node", "single-terminal-node"
-	// or "no-ground-path".
+	// Kind is a stable identifier: "floating-node", "no-ground-path" or
+	// "single-terminal-node".
 	Kind string
 	// Node is the affected node's name.
 	Node string
@@ -36,92 +42,42 @@ func (w LintWarning) String() string {
 
 // Lint analyzes the finalized circuit's topology and returns warnings:
 //
+//   - "floating-node": no conductive device terminal touches the node at all
+//     — only capacitors (or nothing) connect to it, so its DC level is set
+//     solely by the gmin leak.
 //   - "no-ground-path": the node cannot reach ground through any chain of
-//     conductive devices — its DC level is set only by the gmin leak, which
-//     usually means a missing transistor connection or a node name typo.
-//     (Dynamic storage nodes connected through MOSFET channels do NOT
-//     trigger this: a channel counts as a conductive edge even when it may
-//     be off at a particular bias.)
+//     conductive devices, which usually means a missing transistor
+//     connection or a node name typo. (Dynamic storage nodes connected
+//     through MOSFET channels do NOT trigger this: a channel counts as a
+//     conductive edge even when it may be off at a particular bias.)
 //   - "single-terminal-node": exactly one device terminal touches the node.
+//
+// Deprecated: use the analyzer registry in internal/vet, which runs these
+// checks alongside stimulus and configuration validation and returns
+// structured diagnostics. Lint remains for existing callers.
 func (c *Circuit) Lint() []LintWarning {
-	if !c.finalized {
-		panic("circuit: Lint before Finalize")
-	}
-	n := len(c.nodeNames)
-	touch := make([]int, n)
-	// Union-find over nodes ∪ {ground}; index n is ground.
-	parent := make([]int, n+1)
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(i int) int {
-		for parent[i] != i {
-			parent[i] = parent[parent[i]]
-			i = parent[i]
-		}
-		return i
-	}
-	union := func(a, b int) {
-		ra, rb := find(a), find(b)
-		if ra != rb {
-			parent[ra] = rb
-		}
-	}
-	idx := func(id UnknownID) int {
-		if id == Ground {
-			return n
-		}
-		return int(id)
-	}
-	for _, d := range c.devices {
-		cd, ok := d.(ConductiveDevice)
-		if !ok {
-			continue
-		}
-		for _, pair := range cd.ConductivePairs() {
-			a, b := pair[0], pair[1]
-			if a != Ground && int(a) < n {
-				touch[a]++
-			}
-			if b != Ground && int(b) < n {
-				touch[b]++
-			}
-			// Branch unknowns are not nodes; clamp into the node set by
-			// skipping pairs that reference them.
-			if (a != Ground && int(a) >= n) || (b != Ground && int(b) >= n) {
-				continue
-			}
-			union(idx(a), idx(b))
-		}
-	}
-	// Count every device terminal (conductive or not) for the
-	// single-terminal check.
-	termCount := make([]int, n)
-	for _, d := range c.devices {
-		if tp, ok := d.(interface{ Terminals() []UnknownID }); ok {
-			for _, id := range tp.Terminals() {
-				if id != Ground && int(id) < n {
-					termCount[id]++
-				}
-			}
-		}
-	}
-
+	top := c.Topology()
 	var warns []LintWarning
-	groundRoot := find(n)
-	for i := 0; i < n; i++ {
-		if find(i) != groundRoot {
+	for i := 0; i < top.NumNodes(); i++ {
+		name := top.NodeName(i)
+		if top.ConductiveDegree(i) == 0 && top.TerminalCount(i) > 0 {
+			warns = append(warns, LintWarning{
+				Kind:   "floating-node",
+				Node:   name,
+				Detail: "no conductive device terminal touches this node; DC level set only by gmin",
+			})
+		}
+		if !top.ReachesGround(i) {
 			warns = append(warns, LintWarning{
 				Kind:   "no-ground-path",
-				Node:   c.nodeNames[i],
+				Node:   name,
 				Detail: "no conductive path to ground; DC level set only by gmin",
 			})
 		}
-		if termCount[i] == 1 {
+		if top.TerminalCount(i) == 1 {
 			warns = append(warns, LintWarning{
 				Kind:   "single-terminal-node",
-				Node:   c.nodeNames[i],
+				Node:   name,
 				Detail: "only one device terminal touches this node (typo?)",
 			})
 		}

@@ -59,6 +59,28 @@ func TestLintFloatingNode(t *testing.T) {
 	}
 }
 
+func TestLintIsolatedNode(t *testing.T) {
+	c := New()
+	a := c.Node("a")
+	iso := c.Node("iso")
+	c.AddDevice(&lintDevice{name: "r1", pairs: [][2]UnknownID{{a, Ground}}, terms: []UnknownID{a, Ground}})
+	// Two capacitor-like devices meet at iso: touched, but no conduction at all.
+	c.AddDevice(&lintDevice{name: "c1", terms: []UnknownID{a, iso}})
+	c.AddDevice(&lintDevice{name: "c2", terms: []UnknownID{iso, Ground}})
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, w := range c.Lint() {
+		if w.Kind == "floating-node" && w.Node == "iso" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("conduction-isolated node not flagged as floating-node: %v", c.Lint())
+	}
+}
+
 func TestLintSingleTerminalNode(t *testing.T) {
 	c := New()
 	a := c.Node("a")

@@ -10,10 +10,12 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"strings"
 
 	"latchchar/internal/core"
 	"latchchar/internal/netlist"
 	"latchchar/internal/registers"
+	"latchchar/internal/vet"
 )
 
 // LoadCell resolves a register cell: if netlistPath is non-empty the deck is
@@ -27,6 +29,47 @@ func LoadCell(name, netlistPath string) (*registers.Cell, error) {
 		return deck.Cell(netlistPath), nil
 	}
 	return registers.ByName(name)
+}
+
+// VetCell builds one instance of the cell and runs the default analyzer
+// registry over it — the pre-run gate shared by the command-line tools.
+func VetCell(cell *registers.Cell, spec vet.Spec, opts vet.Options) (*vet.Report, error) {
+	inst, err := cell.Build()
+	if err != nil {
+		return nil, fmt.Errorf("cli: build %s: %w", cell.Name, err)
+	}
+	return vet.VetInstance(cell.Name, inst, spec, opts)
+}
+
+// SplitChecks parses a comma-separated check list from a CLI flag.
+func SplitChecks(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// Gate runs the vet pre-flight over the cell, printing findings to errw.
+// It returns an error when Error-severity findings are present, so callers
+// can abort before spending transient simulations.
+func Gate(errw io.Writer, cell *registers.Cell, spec vet.Spec, opts vet.Options) error {
+	rep, err := VetCell(cell, spec, opts)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteText(errw); err != nil {
+		return err
+	}
+	if rep.HasErrors() {
+		return fmt.Errorf("vet: %d error(s) in characterization setup (rerun with -vet=false to override)", rep.Count(vet.Error))
+	}
+	return nil
 }
 
 // WriteContourCSV writes a traced contour as CSV with picosecond columns.

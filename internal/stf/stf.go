@@ -44,6 +44,11 @@ type Config struct {
 	PostWindow float64
 }
 
+// WithDefaults returns the config with every unset field replaced by its
+// default, exactly as the evaluator would normalize it. Static analysis
+// (internal/vet) uses this so checks run against the effective values.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.CoarseStep <= 0 {
 		c.CoarseStep = 100e-12

@@ -1,0 +1,288 @@
+package vet
+
+import (
+	"fmt"
+	"math"
+
+	"latchchar/internal/circuit"
+	"latchchar/internal/device"
+	"latchchar/internal/wave"
+)
+
+// ps formats a time in picoseconds for diagnostic messages and details.
+func ps(sec float64) string { return fmt.Sprintf("%.4g ps", sec*1e12) }
+
+// volts formats a voltage for diagnostic messages and details.
+func volts(v float64) string { return fmt.Sprintf("%.4g V", v) }
+
+// railTol is the slack applied when comparing voltages against supply rails.
+const railTol = 1e-9
+
+// supplyRails scans the instance's devices for DC supply sources and returns
+// the spanned rail interval [lo, hi] including ground. ok is false when no
+// DC supply source exists, in which case rail-relative checks are skipped.
+func supplyRails(t *Target) (lo, hi float64, ok bool) {
+	if t.Inst == nil {
+		return 0, 0, false
+	}
+	lo, hi = 0, 0
+	for _, d := range t.Circuit.Devices() {
+		vs, isSrc := d.(*device.VSource)
+		if !isSrc || vs.Role != device.RoleSupply {
+			continue
+		}
+		dc, isDC := vs.W.(wave.DC)
+		if !isDC {
+			continue
+		}
+		lo = math.Min(lo, float64(dc))
+		hi = math.Max(hi, float64(dc))
+		ok = true
+	}
+	return lo, hi, ok
+}
+
+// analyzerClockWindow validates the primary clock waveform: edges must be
+// monotone ramps of positive duration that the fine integration step can
+// resolve, phases must fit the period, and the first ramp must not precede
+// the simulation start.
+var analyzerClockWindow = &Analyzer{
+	Name: "clock-window",
+	Doc:  "clock edges inside the simulation window, monotone ramps vs. the min timestep",
+	Run: func(t *Target) []Diagnostic {
+		if t.Inst == nil {
+			return nil
+		}
+		ck := t.Inst.Clock
+		if ck.Period == 0 && ck.High == ck.Low {
+			return []Diagnostic{{
+				Severity: Warning,
+				Param:    "clock",
+				Message:  "no primary clock waveform identified on the instance; clock checks skipped",
+			}}
+		}
+		var out []Diagnostic
+		if ck.Period <= 0 {
+			out = append(out, Diagnostic{
+				Severity: Error,
+				Param:    "clock.period",
+				Message:  fmt.Sprintf("clock period must be positive, got %s", ps(ck.Period)),
+			})
+		}
+		if ck.Rise <= 0 || ck.Fall <= 0 {
+			out = append(out, Diagnostic{
+				Severity: Error,
+				Param:    "clock.rise/fall",
+				Message: fmt.Sprintf("clock ramps must have positive duration for a monotone edge, got rise %s, fall %s",
+					ps(ck.Rise), ps(ck.Fall)),
+			})
+		}
+		fine := t.Spec.Eval.FineStep
+		if ck.Rise > 0 && ck.Rise < fine {
+			out = append(out, Diagnostic{
+				Severity: Warning,
+				Param:    "clock.rise",
+				Message: fmt.Sprintf("clock rise %s is shorter than the fine timestep %s; the integrator may step over the edge",
+					ps(ck.Rise), ps(fine)),
+				Details: map[string]string{"rise": ps(ck.Rise), "fine_step": ps(fine)},
+			})
+		}
+		if ck.Delay < 0 {
+			out = append(out, Diagnostic{
+				Severity: Error,
+				Param:    "clock.delay",
+				Message:  fmt.Sprintf("first clock ramp begins at %s, before the simulation start", ps(ck.Delay)),
+			})
+		}
+		if ck.Period > 0 {
+			width := ck.Width
+			if width == 0 {
+				width = ck.Period / 2
+			}
+			if width < ck.Rise {
+				out = append(out, Diagnostic{
+					Severity: Error,
+					Param:    "clock.width",
+					Message: fmt.Sprintf("clock fall begins at %s after ramp start, before the %s rise completes",
+						ps(width), ps(ck.Rise)),
+				})
+			}
+			if width+ck.Fall > ck.Period {
+				out = append(out, Diagnostic{
+					Severity: Error,
+					Param:    "clock.width",
+					Message: fmt.Sprintf("high phase %s plus fall %s exceeds the period %s; adjacent edges overlap",
+						ps(width), ps(ck.Fall), ps(ck.Period)),
+				})
+			}
+		}
+		return out
+	},
+}
+
+// analyzerEventOrder validates the data/clock event ordering against the
+// (τs, τh) sweep box: the data pulse must reference a clock edge, and at the
+// extreme skews of the box the pulse must stay inside the simulated window,
+// otherwise the crossing time tf of eq. (4) is unreachable.
+var analyzerEventOrder = &Analyzer{
+	Name: "event-order",
+	Doc:  "data/clock event ordering consistent with the (τs, τh) sweep box",
+	Run: func(t *Target) []Diagnostic {
+		if t.Inst == nil || t.Inst.Data == nil {
+			return nil
+		}
+		dp := t.Inst.Data
+		ck := t.Inst.Clock
+		box := t.Spec.Bounds
+		var out []Diagnostic
+		if ck.Period > 0 {
+			// The data pulse's 50% reference should coincide with a rising
+			// clock edge; a mismatch means the skews are measured against
+			// nothing physical.
+			k := math.Round((dp.Edge50 - ck.Delay - ck.Rise/2) / ck.Period)
+			tol := math.Max(ck.Rise, 1e-12)
+			if k < 0 || math.Abs(ck.Edge50(int(k))-dp.Edge50) > tol {
+				out = append(out, Diagnostic{
+					Severity: Warning,
+					Param:    "data.edge50",
+					Message: fmt.Sprintf("data reference %s is not aligned with any rising clock edge (nearest edge %s)",
+						ps(dp.Edge50), ps(ck.Edge50(int(math.Max(k, 0))))),
+					Details: map[string]string{"edge50": ps(dp.Edge50)},
+				})
+			}
+		}
+		if start := dp.Edge50 - box.MaxS - dp.Rise/2; start <= 0 {
+			out = append(out, Diagnostic{
+				Severity: Error,
+				Param:    "bounds.maxS",
+				Message: fmt.Sprintf("max setup skew %s pushes the data leading ramp to start at %s, before t = 0; the crossing time tf is unreachable there",
+					ps(box.MaxS), ps(start)),
+				Details: map[string]string{"support_start": ps(start), "max_setup": ps(box.MaxS)},
+			})
+		}
+		if ck.Period > 0 {
+			if end := dp.Edge50 + box.MaxH + dp.Fall/2; end >= dp.Edge50+ck.Period {
+				out = append(out, Diagnostic{
+					Severity: Warning,
+					Param:    "bounds.maxH",
+					Message: fmt.Sprintf("max hold skew %s pushes the data trailing ramp past the next clock edge at %s",
+						ps(box.MaxH), ps(dp.Edge50+ck.Period)),
+				})
+			}
+		}
+		return out
+	},
+}
+
+// analyzerOutputNode validates the monitored output (the paper's c-vector):
+// it must select an existing node voltage that devices actually drive.
+var analyzerOutputNode = &Analyzer{
+	Name: "output-node",
+	Doc:  "monitored output node present and driven",
+	Run: func(t *Target) []Diagnostic {
+		if t.Inst == nil {
+			return nil
+		}
+		out := t.Inst.Out
+		if out == circuit.Ground {
+			return []Diagnostic{{
+				Severity: Error,
+				Param:    "out",
+				Message:  "monitored output is ground; h(τs, τh) would be identically −r",
+			}}
+		}
+		if int(out) >= t.Circuit.NumNodes() {
+			return []Diagnostic{{
+				Severity: Error,
+				Param:    "out",
+				Message:  fmt.Sprintf("monitored output %s is a branch current, not a node voltage", t.Circuit.NodeName(out)),
+			}}
+		}
+		top := t.Topology()
+		name := t.Circuit.NodeName(out)
+		var diags []Diagnostic
+		if top.TerminalCount(int(out)) == 0 {
+			return []Diagnostic{{
+				Severity: Error,
+				Node:     name,
+				Message:  "monitored output node is not connected to any device",
+			}}
+		}
+		if top.ConductiveDegree(int(out)) == 0 {
+			diags = append(diags, Diagnostic{
+				Severity: Warning,
+				Node:     name,
+				Message:  "monitored output node is only capacitively coupled; no device drives it conductively",
+			})
+		}
+		for _, d := range t.Circuit.Devices() {
+			vs, ok := d.(*device.VSource)
+			if !ok {
+				continue
+			}
+			if vs.P == out || vs.N == out {
+				diags = append(diags, Diagnostic{
+					Severity: Warning,
+					Node:     name,
+					Device:   vs.Name(),
+					Message:  "monitored output node is forced by an ideal voltage source; the clock-to-Q transition is not observable",
+				})
+			}
+		}
+		return diags
+	},
+}
+
+// analyzerSupplyRail cross-checks the declared rails against the stimulus:
+// a supply source should exist for energy metrics, and the clock and data
+// waveforms should swing inside the supply rails.
+var analyzerSupplyRail = &Analyzer{
+	Name: "supply-rail",
+	Doc:  "supply source present; clock and data levels inside the rails",
+	Run: func(t *Target) []Diagnostic {
+		if t.Inst == nil {
+			return nil
+		}
+		lo, hi, ok := supplyRails(t)
+		var out []Diagnostic
+		if !ok {
+			out = append(out, Diagnostic{
+				Severity: Info,
+				Param:    "supply",
+				Message:  "no DC supply source identified; supply-energy measurements will be unavailable",
+			})
+			return out
+		}
+		inRange := func(v float64) bool { return v >= lo-railTol && v <= hi+railTol }
+		ck := t.Inst.Clock
+		if !(ck.Period == 0 && ck.High == ck.Low) {
+			if !inRange(ck.Low) || !inRange(ck.High) {
+				out = append(out, Diagnostic{
+					Severity: Warning,
+					Param:    "clock.levels",
+					Message: fmt.Sprintf("clock swings %s to %s, outside the supply rails [%s, %s]",
+						volts(ck.Low), volts(ck.High), volts(lo), volts(hi)),
+				})
+			}
+		}
+		if dp := t.Inst.Data; dp != nil {
+			if !inRange(dp.Rest) || !inRange(dp.Active) {
+				out = append(out, Diagnostic{
+					Severity: Warning,
+					Param:    "data.levels",
+					Message: fmt.Sprintf("data pulse swings %s to %s, outside the supply rails [%s, %s]",
+						volts(dp.Rest), volts(dp.Active), volts(lo), volts(hi)),
+				})
+			}
+		}
+		if t.Inst.VDD > hi+railTol {
+			out = append(out, Diagnostic{
+				Severity: Warning,
+				Param:    "vdd",
+				Message: fmt.Sprintf("declared VDD %s exceeds the strongest supply rail %s",
+					volts(t.Inst.VDD), volts(hi)),
+			})
+		}
+		return out
+	},
+}

@@ -1,0 +1,108 @@
+package vet
+
+import (
+	"fmt"
+
+	"latchchar/internal/device"
+)
+
+// Magnitude fences for netlist value sanity. On-chip characterization decks
+// live in femtofarads, sub-micron channels and kilo-ohm-scale resistors; a
+// value orders of magnitude outside those ranges is almost always a dropped
+// SI suffix ("25" instead of "25f").
+const (
+	capErrorFarads  = 1e-7  // ≥ 0.1 µF: certainly a unit typo in a latch deck
+	capWarnFarads   = 1e-11 // ≥ 10 pF: suspiciously large for an internal node
+	resWarnLowOhms  = 1e-2
+	resWarnHighOhms = 1e9
+	mosErrorMeters  = 1e-3 // ≥ 1 mm channel dimension: dropped µ/n suffix
+	mosWarnMeters   = 1e-4 // ≥ 100 µm: suspicious
+	vddWarnVolts    = 50.0
+)
+
+// analyzerValueSanity flags component values whose magnitude betrays a unit
+// typo: farad-scale capacitors, millimetre-scale MOSFET channels, extreme
+// resistances and implausible supply voltages.
+var analyzerValueSanity = &Analyzer{
+	Name: "value-sanity",
+	Doc:  "component values inside plausible magnitude ranges (unit-typo detection)",
+	Run: func(t *Target) []Diagnostic {
+		var out []Diagnostic
+		for _, d := range t.Circuit.Devices() {
+			switch dev := d.(type) {
+			case *device.Capacitor:
+				switch {
+				case dev.Farads >= capErrorFarads:
+					out = append(out, Diagnostic{
+						Severity: Error,
+						Device:   dev.Name(),
+						Message: fmt.Sprintf("capacitance %.4g F is farad-scale; on-chip load caps are fF–pF (dropped suffix?)",
+							dev.Farads),
+						Details: map[string]string{"farads": fmt.Sprintf("%g", dev.Farads)},
+					})
+				case dev.Farads >= capWarnFarads:
+					out = append(out, Diagnostic{
+						Severity: Warning,
+						Device:   dev.Name(),
+						Message: fmt.Sprintf("capacitance %.4g F is unusually large for a latch internal node",
+							dev.Farads),
+						Details: map[string]string{"farads": fmt.Sprintf("%g", dev.Farads)},
+					})
+				}
+			case *device.Resistor:
+				if dev.Ohms < resWarnLowOhms || dev.Ohms > resWarnHighOhms {
+					out = append(out, Diagnostic{
+						Severity: Warning,
+						Device:   dev.Name(),
+						Message: fmt.Sprintf("resistance %.4g Ω is outside the plausible range [%.0g, %.0g] Ω",
+							dev.Ohms, resWarnLowOhms, resWarnHighOhms),
+						Details: map[string]string{"ohms": fmt.Sprintf("%g", dev.Ohms)},
+					})
+				}
+			case *device.MOSFET:
+				switch {
+				case dev.W >= mosErrorMeters || dev.L >= mosErrorMeters:
+					out = append(out, Diagnostic{
+						Severity: Error,
+						Device:   dev.Name(),
+						Message: fmt.Sprintf("channel W=%.4g m, L=%.4g m is millimetre-scale; widths are usually µm (dropped suffix?)",
+							dev.W, dev.L),
+						Details: map[string]string{"w": fmt.Sprintf("%g", dev.W), "l": fmt.Sprintf("%g", dev.L)},
+					})
+				case dev.W >= mosWarnMeters || dev.L >= mosWarnMeters:
+					out = append(out, Diagnostic{
+						Severity: Warning,
+						Device:   dev.Name(),
+						Message: fmt.Sprintf("channel W=%.4g m, L=%.4g m is over 100 µm; unusual for a latch device",
+							dev.W, dev.L),
+					})
+				default:
+					if ratio := dev.W / dev.L; ratio > 1e4 || ratio < 1e-4 {
+						out = append(out, Diagnostic{
+							Severity: Warning,
+							Device:   dev.Name(),
+							Message:  fmt.Sprintf("aspect ratio W/L = %.4g is extreme; check W and L", ratio),
+						})
+					}
+				}
+			}
+		}
+		if t.Inst != nil {
+			switch {
+			case t.Inst.VDD <= 0:
+				out = append(out, Diagnostic{
+					Severity: Error,
+					Param:    "vdd",
+					Message:  fmt.Sprintf("declared VDD %s is not positive", volts(t.Inst.VDD)),
+				})
+			case t.Inst.VDD > vddWarnVolts:
+				out = append(out, Diagnostic{
+					Severity: Warning,
+					Param:    "vdd",
+					Message:  fmt.Sprintf("declared VDD %s is implausibly high for a latch deck", volts(t.Inst.VDD)),
+				})
+			}
+		}
+		return out
+	},
+}

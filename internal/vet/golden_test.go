@@ -1,0 +1,58 @@
+package vet_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"latchchar/internal/netlist"
+	"latchchar/internal/vet"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestBrokenTSPCGolden vets the deliberately broken TSPC deck in testdata and
+// compares the full JSON report byte-for-byte against the golden file. The
+// deck plants one defect per analyzer family (see the deck header comment);
+// regenerate with: go test ./internal/vet -run Golden -update
+func TestBrokenTSPCGolden(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "broken_tspc.cir"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deck, err := netlist.ParseString(string(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := deck.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := vet.VetInstance("broken_tspc", inst, vet.Spec{}, vet.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.HasErrors() {
+		t.Fatal("broken deck produced no error findings")
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "broken_tspc.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("JSON report differs from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}

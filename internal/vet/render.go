@@ -1,0 +1,157 @@
+package vet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteText renders the report in the one-line-per-finding form used on
+// stderr by the CLI gates. Clean reports print nothing.
+func (rep *Report) WriteText(w io.Writer) error {
+	for _, d := range rep.Diagnostics {
+		prefix := ""
+		if rep.Target != "" {
+			prefix = rep.Target + ": "
+		}
+		if _, err := fmt.Fprintf(w, "%s%s\n", prefix, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonReport is the stable machine-readable envelope of a report.
+type jsonReport struct {
+	Tool        string       `json:"tool"`
+	Version     int          `json:"version"`
+	Target      string       `json:"target"`
+	Checks      []string     `json:"checks"`
+	Errors      int          `json:"errors"`
+	Warnings    int          `json:"warnings"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// WriteJSON renders the report as an indented JSON object with a stable
+// shape: tool/version header, the checks that ran, severity counts and the
+// sorted diagnostics.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	out := jsonReport{
+		Tool:        "charvet",
+		Version:     1,
+		Target:      rep.Target,
+		Checks:      rep.Checks,
+		Errors:      rep.Count(Error),
+		Warnings:    rep.Count(Warning),
+		Diagnostics: rep.Diagnostics,
+	}
+	if out.Diagnostics == nil {
+		out.Diagnostics = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SARIF-lite structures: the subset of SARIF 2.1.0 that CI annotators
+// consume (tool driver with rules, results with ruleId/level/message and a
+// logical location).
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string            `json:"id"`
+	ShortDescription sarifMessage      `json:"shortDescription"`
+	Properties       map[string]string `json:"properties,omitempty"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+}
+
+type sarifLocation struct {
+	LogicalLocations []sarifLogicalLocation `json:"logicalLocations"`
+}
+
+type sarifLogicalLocation struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+// sarifLevel maps severities to SARIF levels.
+func sarifLevel(s Severity) string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	default:
+		return "note"
+	}
+}
+
+// WriteSARIF renders the report as a SARIF-lite 2.1.0 log, with one rule
+// per analyzer that ran and one result per diagnostic.
+func (rep *Report) WriteSARIF(w io.Writer, reg *Registry) error {
+	run := sarifRun{Results: []sarifResult{}}
+	run.Tool.Driver.Name = "charvet"
+	for _, name := range rep.Checks {
+		rule := sarifRule{ID: name}
+		if a := reg.Lookup(name); a != nil {
+			rule.ShortDescription = sarifMessage{Text: a.Doc}
+		}
+		run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, rule)
+	}
+	for _, d := range rep.Diagnostics {
+		res := sarifResult{
+			RuleID:  d.Check,
+			Level:   sarifLevel(d.Severity),
+			Message: sarifMessage{Text: d.Message},
+		}
+		switch {
+		case d.Node != "":
+			res.Locations = locations(d.Node, "node")
+		case d.Device != "":
+			res.Locations = locations(d.Device, "member")
+		case d.Param != "":
+			res.Locations = locations(d.Param, "parameter")
+		}
+		run.Results = append(run.Results, res)
+	}
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs:    []sarifRun{run},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+func locations(name, kind string) []sarifLocation {
+	return []sarifLocation{{LogicalLocations: []sarifLogicalLocation{{Name: name, Kind: kind}}}}
+}

@@ -1,0 +1,45 @@
+package vet
+
+import (
+	"latchchar/internal/core"
+	"latchchar/internal/stf"
+)
+
+// Spec carries the characterization query parameters the analyzers check
+// the circuit and stimulus against. It mirrors the knobs of a latchchar run:
+// the evaluator configuration (integration steps, skew bounds, degradation)
+// and the continuation setup (Euler step, sweep box, point budget).
+type Spec struct {
+	// Eval is the state-transition evaluator configuration.
+	Eval stf.Config
+	// Step is the Euler contour step length α in seconds (default 5 ps,
+	// matching core.TraceOptions).
+	Step float64
+	// Bounds is the traced (τs, τh) sweep box. The zero Rect derives the
+	// default box [1 ps, MaxSetupSkew]² used by latchchar.Characterize.
+	Bounds core.Rect
+	// MaxPoints is the contour point budget per trace direction (default 40).
+	MaxPoints int
+}
+
+// DefaultSpec returns the spec of a default latchchar run.
+func DefaultSpec() Spec { return Spec{}.Normalized() }
+
+// Normalized fills every unset field with the defaults the characterization
+// flow itself would apply, so analyzers always see concrete values.
+func (s Spec) Normalized() Spec {
+	s.Eval = s.Eval.WithDefaults()
+	if s.Step <= 0 {
+		s.Step = 5e-12
+	}
+	if (s.Bounds == core.Rect{}) {
+		s.Bounds = core.Rect{
+			MinS: 1e-12, MaxS: s.Eval.MaxSetupSkew,
+			MinH: 1e-12, MaxH: s.Eval.MaxSetupSkew,
+		}
+	}
+	if s.MaxPoints <= 0 {
+		s.MaxPoints = 40
+	}
+	return s
+}
