@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet charvet ci clean
+.PHONY: all build test race vet charvet tracesmoke ci clean
 
 all: build
 
@@ -26,7 +26,14 @@ charvet:
 	$(GO) run ./cmd/charvet -cell tgate
 	$(GO) run ./cmd/charvet examples/netlists/*.cir
 
-ci: build vet race
+# tracesmoke runs a reduced-grid characterization with event tracing on and
+# validates the resulting JSONL stream with tracecheck (what CI does).
+tracesmoke:
+	$(GO) run ./cmd/latchchar -cell tspc -points 6 -both=false \
+		-trace /tmp/latchchar-trace.jsonl -o /dev/null
+	$(GO) run ./cmd/tracecheck /tmp/latchchar-trace.jsonl
+
+ci: build vet race tracesmoke
 
 clean:
 	$(GO) clean ./...

@@ -19,7 +19,8 @@ import (
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "indepchar:", err)
+		fmt.Fprint(os.Stderr, "indepchar: ")
+		cli.RenderError(os.Stderr, err)
 		os.Exit(1)
 	}
 }
@@ -32,9 +33,16 @@ func run(args []string) error {
 		pinnedPS = fs.Float64("pinned", 500, "pinned opposite skew (ps)")
 		tolPS    = fs.Float64("tol", 0.05, "skew accuracy target (ps)")
 	)
+	var obsFlags cli.ObsFlags
+	obsFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	obsRun, obsClose, err := obsFlags.Build(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer obsClose()
 	cell, err := cli.LoadCell(*cellName, *deckPath)
 	if err != nil {
 		return err
@@ -42,12 +50,14 @@ func run(args []string) error {
 	opts := latchchar.IndependentOptions{
 		Pinned: *pinnedPS * 1e-12,
 		Tol:    *tolPS * 1e-12,
+		Obs:    obsRun,
 	}
-	sNR, hNR, err := latchchar.IndependentTimes(cell, latchchar.EvalConfig{}, opts)
+	evalCfg := latchchar.EvalConfig{Obs: obsRun}
+	sNR, hNR, err := latchchar.IndependentTimes(cell, evalCfg, opts)
 	if err != nil {
 		return err
 	}
-	sBis, hBis, err := latchchar.IndependentBaseline(cell, latchchar.EvalConfig{}, opts)
+	sBis, hBis, err := latchchar.IndependentBaseline(cell, evalCfg, opts)
 	if err != nil {
 		return err
 	}

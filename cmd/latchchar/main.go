@@ -6,6 +6,7 @@
 //
 //	latchchar -cell tspc -points 40 -o contour.csv
 //	latchchar -netlist mylatch.cir -both -format json
+//	latchchar -cell tspc -progress -trace run.jsonl -chrometrace run.json -v
 package main
 
 import (
@@ -24,7 +25,8 @@ import (
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "latchchar:", err)
+		fmt.Fprint(os.Stderr, "latchchar: ")
+		cli.RenderError(os.Stderr, err)
 		os.Exit(1)
 	}
 }
@@ -47,9 +49,16 @@ func run(args []string) error {
 		doVet    = fs.Bool("vet", true, "run charvet pre-flight checks and abort on error findings")
 		disable  = fs.String("disable", "", "comma-separated vet check IDs to skip")
 	)
+	var obsFlags cli.ObsFlags
+	obsFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	obsRun, obsClose, err := obsFlags.Build(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer obsClose()
 
 	cell, err := cli.LoadCell(*cellName, *deckPath)
 	if err != nil {
@@ -75,9 +84,11 @@ func run(args []string) error {
 		Step:           *stepPS * 1e-12,
 		BothDirections: *both,
 		Resample:       *resample,
+		Obs:            obsRun,
 		Eval: latchchar.EvalConfig{
 			Degrade:      *degrade,
 			MaxSetupSkew: *maxSkew * 1e-12,
+			Obs:          obsRun,
 		},
 	}
 	switch *method {

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	surfgen -cell tspc -n 40 -surface surface.csv -contour contour.csv
+//	surfgen -cell tspc -n 20 -progress -trace sweep.jsonl -surface /dev/null
 package main
 
 import (
@@ -21,7 +22,8 @@ import (
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "surfgen:", err)
+		fmt.Fprint(os.Stderr, "surfgen: ")
+		cli.RenderError(os.Stderr, err)
 		os.Exit(1)
 	}
 }
@@ -43,9 +45,16 @@ func run(args []string) error {
 		doVet     = fs.Bool("vet", true, "run charvet pre-flight checks and abort on error findings")
 		disable   = fs.String("disable", "", "comma-separated vet check IDs to skip")
 	)
+	var obsFlags cli.ObsFlags
+	obsFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	obsRun, obsClose, err := obsFlags.Build(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer obsClose()
 	cell, err := cli.LoadCell(*cellName, *deckPath)
 	if err != nil {
 		return err
@@ -70,6 +79,7 @@ func run(args []string) error {
 			MinH: *hMin * 1e-12, MaxH: *hMax * 1e-12,
 		},
 		Workers: *workers,
+		Obs:     obsRun,
 	}
 	var sf *latchchar.Surface
 	var contour []latchchar.Polyline

@@ -1,0 +1,77 @@
+// Command tracecheck validates a JSON-lines observability trace (written by
+// the -trace flag of the characterization tools) against event schema v1:
+// monotone timestamps, paired span begin/end events and resolvable parents.
+// On success it prints the reconstructed span tree with durations; any
+// violation exits nonzero. CI runs it over a reduced-grid characterization
+// trace to keep the event stream well-formed.
+//
+// Usage:
+//
+//	tracecheck run.jsonl
+//	latchchar -cell tspc -trace /dev/stdout ... | tracecheck -
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"latchchar/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: tracecheck <trace.jsonl | ->")
+	}
+	var r io.Reader = os.Stdin
+	if args[0] != "-" {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	events, err := obs.ReadJSONL(r)
+	if err != nil {
+		return err
+	}
+	if err := obs.Validate(events); err != nil {
+		return fmt.Errorf("invalid trace: %w", err)
+	}
+	tree, err := obs.SpanTree(events)
+	if err != nil {
+		return err
+	}
+	spans, points := 0, 0
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindSpanBegin:
+			spans++
+		case obs.KindPoint:
+			points++
+		}
+	}
+	fmt.Printf("valid: %d events, %d spans, %d contour points\n", len(events), spans, points)
+	for _, root := range tree {
+		printNode(root, 0)
+	}
+	return nil
+}
+
+func printNode(n *obs.SpanNode, depth int) {
+	fmt.Printf("%s%s  %v\n", strings.Repeat("  ", depth), n.Name,
+		time.Duration(n.DurNs).Round(10*time.Microsecond))
+	for _, c := range n.Children {
+		printNode(c, depth+1)
+	}
+}

@@ -3,6 +3,9 @@ package latchchar
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+
+	"latchchar/internal/obs"
 )
 
 // Corner is one process/voltage condition for characterization. The paper's
@@ -48,6 +51,7 @@ type CornerResult struct {
 // are returned in corner order.
 func SweepCorners(mk func(Process) *Cell, nominal Process, corners []Corner, opts Options) []CornerResult {
 	out := make([]CornerResult, len(corners))
+	var done atomic.Int64
 	var wg sync.WaitGroup
 	for i, c := range corners {
 		wg.Add(1)
@@ -58,8 +62,19 @@ func SweepCorners(mk func(Process) *Cell, nominal Process, corners []Corner, opt
 				out[i].Err = fmt.Errorf("latchchar: corner %q has no Apply", c.Name)
 				return
 			}
+			sp := opts.Obs.StartSpan(obs.SpanCorner)
+			if sp.Enabled() {
+				sp.Logf("corner %s", c.Name)
+			}
+			copts := opts
+			copts.Obs = sp
 			cell := mk(c.Apply(nominal))
-			res, err := Characterize(cell, opts)
+			res, err := Characterize(cell, copts)
+			sp.End()
+			opts.Obs.Progress(obs.Progress{
+				Phase: obs.SpanCorner,
+				Done:  int(done.Add(1)), Total: len(corners),
+			})
 			out[i].Result = res
 			out[i].Err = err
 		}(i, c)

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"latchchar/internal/obs"
 	"latchchar/internal/stf"
 	"latchchar/internal/surface"
 )
@@ -51,6 +52,8 @@ func BruteForceDelay(cell *Cell, opts SurfaceOptions) (*DelaySurfaceResult, erro
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
 	start := time.Now()
+	sp := opts.Obs.StartSpan(obs.SpanSurface)
+	defer sp.End()
 	refInst, err := cell.Build()
 	if err != nil {
 		return nil, fmt.Errorf("latchchar: build %s: %w", cell.Name, err)
@@ -67,7 +70,9 @@ func BruteForceDelay(cell *Cell, opts SurfaceOptions) (*DelaySurfaceResult, erro
 		if err != nil {
 			return nil, err
 		}
-		ev, err := stf.NewEvaluatorWithCalibration(inst, opts.Eval, cal)
+		cfg := opts.Eval
+		cfg.Obs = sp
+		ev, err := stf.NewEvaluatorWithCalibration(inst, cfg, cal)
 		if err != nil {
 			return nil, err
 		}
@@ -84,7 +89,7 @@ func BruteForceDelay(cell *Cell, opts SurfaceOptions) (*DelaySurfaceResult, erro
 	}
 	sAxis := surface.Linspace(opts.Domain.MinS, opts.Domain.MaxS, opts.N)
 	hAxis := surface.Linspace(opts.Domain.MinH, opts.Domain.MaxH, opts.N)
-	sf, err := surface.Generate(sAxis, hAxis, factory, opts.Workers)
+	sf, err := surface.GenerateObs(sp, sAxis, hAxis, factory, opts.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("latchchar: delay surface: %w", err)
 	}

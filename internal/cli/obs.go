@@ -1,0 +1,142 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"latchchar/internal/core"
+	"latchchar/internal/obs"
+)
+
+// ObsFlags is the observability flag set shared by the command-line tools:
+// -trace (JSONL event stream), -chrometrace (Perfetto/chrome://tracing),
+// -progress (live stderr reporting) and -v (run summary on exit).
+type ObsFlags struct {
+	TracePath  string
+	ChromePath string
+	Progress   bool
+	Verbose    bool
+}
+
+// Register installs the flags on fs.
+func (f *ObsFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.TracePath, "trace", "", "write a JSON-lines event trace to this path")
+	fs.StringVar(&f.ChromePath, "chrometrace", "", "write a Chrome trace-event file (load in Perfetto) to this path")
+	fs.BoolVar(&f.Progress, "progress", false, "report live progress on stderr")
+	fs.BoolVar(&f.Verbose, "v", false, "print a run summary (phases, counters, histograms) on stderr")
+}
+
+// Build constructs the observability run the flags describe and returns it
+// with a closer that flushes sinks and output files. When no flag asks for
+// observability the run is nil — collection fully disabled — and the closer
+// is a no-op.
+func (f *ObsFlags) Build(errw io.Writer) (*obs.Run, func() error, error) {
+	if f.TracePath == "" && f.ChromePath == "" && !f.Progress && !f.Verbose {
+		return nil, func() error { return nil }, nil
+	}
+	var ropts []obs.Option
+	if f.Progress {
+		ropts = append(ropts, obs.WithProgress(func(p obs.Progress) {
+			writeProgress(errw, p)
+		}, 500*time.Millisecond))
+	}
+	run := obs.New(ropts...)
+	var files []*os.File
+	closeAll := func() {
+		for _, fl := range files {
+			fl.Close()
+		}
+	}
+	if f.TracePath != "" {
+		fl, err := os.Create(f.TracePath)
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		files = append(files, fl)
+		run.AddSink(obs.NewJSONLSink(fl))
+	}
+	if f.ChromePath != "" {
+		fl, err := os.Create(f.ChromePath)
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		files = append(files, fl)
+		run.AddSink(obs.NewChromeTraceSink(fl))
+	}
+	if f.Verbose {
+		run.AddSink(obs.NewTextSummarySink(errw))
+	}
+	closer := func() error {
+		err := run.Close()
+		for _, fl := range files {
+			if cerr := fl.Close(); err == nil {
+				err = cerr
+			}
+		}
+		return err
+	}
+	return run, closer, nil
+}
+
+// writeProgress renders one live progress report as a single stderr line.
+func writeProgress(w io.Writer, p obs.Progress) {
+	fmt.Fprintf(w, "[%s] %d/%d", p.Phase, p.Done, p.Total)
+	if p.TauS != 0 || p.TauH != 0 {
+		fmt.Fprintf(w, "  τs=%s τh=%s", Ps(p.TauS), Ps(p.TauH))
+	}
+	if p.CorrectorIters > 0 {
+		fmt.Fprintf(w, "  corrector=%d it", p.CorrectorIters)
+	}
+	if p.ETA > 0 && p.Done < p.Total {
+		fmt.Fprintf(w, "  eta=%v", p.ETA.Round(100*time.Millisecond))
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderError writes err to w; for solver convergence failures it expands
+// the structured diagnostics — the last corrector iterates with their |h|
+// residuals and the predictor step lengths tried — so the failure site is
+// debuggable without rerunning under a tracer.
+func RenderError(w io.Writer, err error) {
+	var ce *core.ConvergenceError
+	if !errors.As(err, &ce) {
+		fmt.Fprintln(w, err)
+		return
+	}
+	fmt.Fprintln(w, err)
+	if len(ce.StepLens) > 0 {
+		fmt.Fprintf(w, "  predictor step lengths tried (ps):")
+		for _, a := range ce.StepLens {
+			fmt.Fprintf(w, " %.3g", a*1e12)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(ce.Iterates) == 0 {
+		// A trace failure wraps the corrector failure that killed it; pull
+		// the iterate trail from the nested error.
+		var inner *core.ConvergenceError
+		if errors.As(ce.Err, &inner) {
+			ce = inner
+		}
+	}
+	if len(ce.Iterates) > 0 {
+		fmt.Fprintf(w, "  last corrector iterates:\n")
+		fmt.Fprintf(w, "    %-4s %-12s %-12s %-12s\n", "it", "tau_s_ps", "tau_h_ps", "|h|")
+		for i, p := range ce.Iterates {
+			fmt.Fprintf(w, "    %-4d %-12.4f %-12.4f %-12.3e\n", i+1, p.TauS*1e12, p.TauH*1e12, absf(p.H))
+		}
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

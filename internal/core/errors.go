@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"latchchar/internal/obs"
+)
+
+// ObsAttachable is implemented by Problems that carry an observability
+// handle (internal/stf.Evaluator does). Solvers re-parent the problem onto
+// their own span for the duration of the solve, so transient spans nest
+// under the corrector (or seed) that requested them, and restore the handle
+// they were given when done.
+type ObsAttachable interface {
+	SetObs(*obs.Run)
+}
+
+// attachObs points p's observability at span and returns a restore function
+// (both no-ops when the run is disabled or p does not participate).
+func attachObs(p Problem, span, restore *obs.Run) func() {
+	if span == nil {
+		return func() {}
+	}
+	a, ok := p.(ObsAttachable)
+	if !ok {
+		return func() {}
+	}
+	a.SetObs(span)
+	return func() { a.SetObs(restore) }
+}
+
+// ConvergenceError is the structured failure report of a solver: instead of
+// a bare message it carries the last iterates, their |h| residuals and the
+// step-length history at the failure site, so callers (and the CLIs) can
+// show *how* the solve died — oscillating iterates, a flat gradient region,
+// a predictor step that no shrinking could rescue.
+type ConvergenceError struct {
+	// Op identifies the failing stage: "mpnr", "trace".
+	Op string
+	// At is the last iterate (mpnr) or the last accepted contour point
+	// (trace) before the failure.
+	At Point
+	// Iterates holds the most recent corrector iterates, oldest first.
+	// Each carries its residual H and gradient.
+	Iterates []Point
+	// StepLens is the tracer's predictor step-length history at the failure
+	// site: every α tried (halving each retry) before giving up.
+	StepLens []float64
+	// Err is the underlying sentinel or nested failure.
+	Err error
+}
+
+// Error renders a one-line summary; the CLIs render the full trail.
+func (e *ConvergenceError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: %s failed near (τs=%.4g s, τh=%.4g s)", e.Op, e.At.TauS, e.At.TauH)
+	if len(e.Iterates) > 0 {
+		last := e.Iterates[len(e.Iterates)-1]
+		fmt.Fprintf(&b, ", last |h|=%.3g after %d iterates", abs(last.H), len(e.Iterates))
+	}
+	if len(e.StepLens) > 0 {
+		fmt.Fprintf(&b, ", step lengths tried %.3g…%.3g", e.StepLens[0], e.StepLens[len(e.StepLens)-1])
+	}
+	if e.Err != nil {
+		fmt.Fprintf(&b, ": %v", e.Err)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the sentinel for errors.Is/As.
+func (e *ConvergenceError) Unwrap() error { return e.Err }
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// iterRing keeps the last few iterates of a Newton loop without heap
+// allocation on the success path; the slice is only materialized on failure.
+type iterRing struct {
+	buf [8]Point
+	n   int
+}
+
+func (r *iterRing) push(p Point) {
+	r.buf[r.n%len(r.buf)] = p
+	r.n++
+}
+
+func (r *iterRing) slice() []Point {
+	k := r.n
+	if k > len(r.buf) {
+		k = len(r.buf)
+	}
+	out := make([]Point, k)
+	for i := 0; i < k; i++ {
+		out[i] = r.buf[(r.n-k+i)%len(r.buf)]
+	}
+	return out
+}

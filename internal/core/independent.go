@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"latchchar/internal/obs"
 )
 
 // This file implements Section IIIB: solving for setup (or hold) time with
@@ -58,6 +60,9 @@ type IndependentOptions struct {
 	// registers" — and is where the full 4–10× prior-work speedup comes
 	// from. [Lo, Hi] still clamps runaway Newton steps.
 	Guess float64
+	// Obs attaches observability: either solve runs inside an "independent"
+	// span. nil disables collection.
+	Obs *obs.Run
 }
 
 func (o IndependentOptions) withDefaults() IndependentOptions {
@@ -114,6 +119,12 @@ func (o IndependentOptions) evalGrad(p Problem, v float64) (h, dh float64, err e
 func IndependentBisection(p Problem, opts IndependentOptions) (IndependentResult, error) {
 	o := opts.withDefaults()
 	res := IndependentResult{}
+	sp := o.Obs.StartSpan(obs.SpanIndependent)
+	detach := attachObs(p, sp, o.Obs)
+	defer func() {
+		detach()
+		sp.End()
+	}()
 	lo, hi := o.Lo, o.Hi
 	hLo, err := o.eval(p, lo)
 	if err != nil {
@@ -156,6 +167,12 @@ func IndependentBisection(p Problem, opts IndependentOptions) (IndependentResult
 func IndependentNR(p Problem, opts IndependentOptions) (IndependentResult, error) {
 	o := opts.withDefaults()
 	res := IndependentResult{}
+	sp := o.Obs.StartSpan(obs.SpanIndependent)
+	detach := attachObs(p, sp, o.Obs)
+	defer func() {
+		detach()
+		sp.End()
+	}()
 	lo, hi := o.Lo, o.Hi
 	var v float64
 	if o.Guess > 0 {

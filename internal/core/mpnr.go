@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"latchchar/internal/num"
+	"latchchar/internal/obs"
 )
 
 // MPNROptions configure the Moore-Penrose Newton-Raphson corrector.
@@ -24,6 +25,10 @@ type MPNROptions struct {
 	// Record, when set, stores the iterate trajectory in the result
 	// (used to reproduce Fig. 4).
 	Record bool
+	// Obs attaches observability: the solve runs inside a "corrector" span
+	// and reports its iteration count to the corrector histogram. nil
+	// disables collection.
+	Obs *obs.Run
 }
 
 func (o MPNROptions) withDefaults() MPNROptions {
@@ -66,6 +71,14 @@ type MPNRResult struct {
 func SolveMPNR(p Problem, tauS0, tauH0 float64, opts MPNROptions) (MPNRResult, error) {
 	o := opts.withDefaults()
 	res := MPNRResult{}
+	sp := o.Obs.StartSpan(obs.SpanCorrector)
+	detach := attachObs(p, sp, o.Obs)
+	defer func() {
+		detach()
+		sp.Observe(obs.HistCorrectorIters, res.Point.CorrectorIters)
+		sp.End()
+	}()
+	var ring iterRing
 	tauS, tauH := tauS0, tauH0
 	for iter := 1; iter <= o.MaxIter; iter++ {
 		h, gs, gh, err := p.EvalGrad(tauS, tauH)
@@ -78,12 +91,13 @@ func SolveMPNR(p Problem, tauS0, tauH0 float64, opts MPNROptions) (MPNRResult, e
 		}
 		norm2 := gs*gs + gh*gh
 		res.Point = Point{TauS: tauS, TauH: tauH, H: h, DhdS: gs, DhdH: gh, CorrectorIters: iter}
+		ring.push(res.Point)
 		if math.Abs(h) <= o.HTol {
 			res.Converged = true
 			return res, nil
 		}
 		if norm2 == 0 || !num.IsFinite(norm2) {
-			return res, ErrDegenerateGradient
+			return res, &ConvergenceError{Op: "mpnr", At: res.Point, Iterates: ring.slice(), Err: ErrDegenerateGradient}
 		}
 		// Moore-Penrose step (paper eqs. (23)–(24)).
 		dS := h * gs / norm2
@@ -105,7 +119,7 @@ func SolveMPNR(p Problem, tauS0, tauH0 float64, opts MPNROptions) (MPNRResult, e
 			return res, nil
 		}
 	}
-	return res, ErrNoConvergence
+	return res, &ConvergenceError{Op: "mpnr", At: res.Point, Iterates: ring.slice(), Err: ErrNoConvergence}
 }
 
 // Tangent returns the unit tangent vector induced by the Jacobian

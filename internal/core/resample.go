@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"latchchar/internal/obs"
 )
 
 // ResampleContour redistributes a traced contour into exactly n points
@@ -20,6 +22,9 @@ func ResampleContour(p Problem, c *Contour, n int, opts MPNROptions) (*Contour, 
 	if len(c.Points) < 2 {
 		return nil, fmt.Errorf("core: ResampleContour needs a traced contour with ≥ 2 points")
 	}
+	sp := opts.Obs.StartSpan(obs.SpanResample)
+	defer sp.End()
+	opts.Obs = sp // correctors nest under the resample span
 	// Cumulative arc length.
 	cum := make([]float64, len(c.Points))
 	for i := 1; i < len(c.Points); i++ {

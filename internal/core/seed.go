@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"latchchar/internal/obs"
+)
 
 // SeedOptions configure the first-point search of Section IV-A / Fig. 7:
 // with the hold skew pinned large (so the setup time decouples), bracket the
@@ -17,6 +21,9 @@ type SeedOptions struct {
 	// MaxExpand bounds how many times Hi is doubled hunting for a sign
 	// change (default 4).
 	MaxExpand int
+	// Obs attaches observability: the search runs inside a "seed" span.
+	// nil disables collection.
+	Obs *obs.Run
 }
 
 func (o SeedOptions) withDefaults() SeedOptions {
@@ -52,6 +59,12 @@ type SeedResult struct {
 func FindSeed(p Problem, opts SeedOptions) (SeedResult, error) {
 	o := opts.withDefaults()
 	res := SeedResult{TauH: o.TauHLarge}
+	sp := o.Obs.StartSpan(obs.SpanSeed)
+	detach := attachObs(p, sp, o.Obs)
+	defer func() {
+		detach()
+		sp.End()
+	}()
 	eval := func(s float64) (float64, error) {
 		res.PlainEvals++
 		return p.Eval(s, o.TauHLarge)

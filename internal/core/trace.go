@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"latchchar/internal/obs"
 )
 
 // Rect bounds the traced skew domain.
@@ -61,6 +63,11 @@ type TraceOptions struct {
 	// the tangent. Mostly useful for comparison; the tangent needs no
 	// history and reacts to curvature immediately.
 	UseSecant bool
+	// Obs attaches observability: the trace runs inside a "trace" span with
+	// one "step" span per predictor-corrector cycle, emits point events and
+	// live progress (points traced / budget, current (τs, τh), corrector
+	// iterations, ETA). nil disables collection.
+	Obs *obs.Run
 }
 
 func (o TraceOptions) withDefaults() TraceOptions {
@@ -113,12 +120,20 @@ func TraceContour(p Problem, seedS, seedH float64, opts TraceOptions) (*Contour,
 	o := opts.withDefaults()
 	ct := &Contour{}
 
-	seedRes, err := SolveMPNR(p, seedS, seedH, o.MPNR)
+	sp := o.Obs.StartSpan(obs.SpanTrace)
+	defer sp.End()
+	o.Obs = sp // children (steps, correctors) nest under the trace span
+
+	seedOpts := o.MPNR
+	seedOpts.Obs = sp
+	seedRes, err := SolveMPNR(p, seedS, seedH, seedOpts)
 	ct.GradEvals += seedRes.GradEvals
 	if err != nil {
 		return ct, fmt.Errorf("core: seed correction failed: %w", err)
 	}
 	seed := seedRes.Point
+	sp.Point(seed.TauS, seed.TauH, seed.CorrectorIters)
+	sp.Count(obs.CtrPoints, 1)
 
 	fwd, closed, err := traceOneDirection(p, seed, +1, o, ct)
 	if err != nil {
@@ -174,11 +189,15 @@ func traceOneDirection(p Problem, seed Point, sign float64, o TraceOptions, ct *
 			ts, th = -ts, -th
 		}
 
+		stepSpan := o.Obs.StartSpan(obs.SpanStep)
+		stepOpts := o.MPNR
+		stepOpts.Obs = stepSpan
 		var accepted *Point
+		var alphasTried []float64
 		for {
 			predS := cur.TauS + alpha*ts
 			predH := cur.TauH + alpha*th
-			res, err := SolveMPNR(p, predS, predH, o.MPNR)
+			res, err := SolveMPNR(p, predS, predH, stepOpts)
 			ct.GradEvals += res.GradEvals
 			step := TraceStep{From: cur, PredS: predS, PredH: predH, Alpha: alpha, OK: err == nil}
 			if err == nil {
@@ -196,24 +215,40 @@ func traceOneDirection(p Problem, seed Point, sign float64, o TraceOptions, ct *
 				break
 			}
 			// Corrector struggled: shrink and retry.
+			stepSpan.Count(obs.CtrStepRejects, 1)
+			alphasTried = append(alphasTried, alpha)
 			alpha /= 2
 			if alpha < o.MinStep {
-				return pts, false, fmt.Errorf("core: corrector kept failing near (τs=%.4g, τh=%.4g): %w", cur.TauS, cur.TauH, err)
+				stepSpan.End()
+				return pts, false, &ConvergenceError{
+					Op:       "trace",
+					At:       cur,
+					StepLens: alphasTried,
+					Err:      err,
+				}
 			}
 		}
-
 		// Domain bound check.
 		zero := Rect{}
 		if o.Bounds != zero && !o.Bounds.Contains(accepted.TauS, accepted.TauH) {
+			stepSpan.End()
 			return pts, false, nil
 		}
 		// Closed-curve detection: back at the seed.
 		if len(pts) >= 3 {
 			d := math.Hypot(accepted.TauS-seed.TauS, accepted.TauH-seed.TauH)
 			if d < alpha/2 {
+				stepSpan.End()
 				return pts, true, nil
 			}
 		}
+		stepSpan.Point(accepted.TauS, accepted.TauH, accepted.CorrectorIters)
+		stepSpan.Count(obs.CtrPoints, 1)
+		stepSpan.End()
+		o.Obs.Progress(obs.Progress{
+			Phase: obs.SpanTrace, Done: len(pts) + 1, Total: o.MaxPoints,
+			TauS: accepted.TauS, TauH: accepted.TauH, CorrectorIters: accepted.CorrectorIters,
+		})
 		pts = append(pts, *accepted)
 		prevTS, prevTH = ts, th
 		prev, havePrev = cur, true

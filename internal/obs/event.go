@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SchemaVersion is the event schema version stamped on every event (v1,
+// documented in DESIGN.md §7). Additive field changes keep the version;
+// renaming or retyping a field bumps it.
+const SchemaVersion = 1
+
+// Event kinds.
+const (
+	KindRunBegin  = "run_begin"
+	KindSpanBegin = "span_begin"
+	KindSpanEnd   = "span_end"
+	KindPoint     = "point"
+	KindProgress  = "progress"
+	KindLog       = "log"
+	KindRunEnd    = "run_end"
+)
+
+// Event is one record of the structured stream (schema v1). Times are
+// nanoseconds since the start of the run.
+type Event struct {
+	V      int    `json:"v"`
+	TNs    int64  `json:"t_ns"`
+	Kind   string `json:"ev"`
+	Name   string `json:"name,omitempty"`
+	Span   uint64 `json:"span,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
+	Track  uint64 `json:"track,omitempty"`
+	DurNs  int64  `json:"dur_ns,omitempty"`
+
+	// point / progress payload.
+	TauS  float64 `json:"tau_s,omitempty"`
+	TauH  float64 `json:"tau_h,omitempty"`
+	Iters int     `json:"iters,omitempty"`
+	Done  int     `json:"done,omitempty"`
+	Total int     `json:"total,omitempty"`
+	ETANs int64   `json:"eta_ns,omitempty"`
+	Phase string  `json:"phase,omitempty"`
+
+	// log payload.
+	Msg string `json:"msg,omitempty"`
+
+	// run_end payload: final counter values.
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+var validKinds = map[string]bool{
+	KindRunBegin: true, KindSpanBegin: true, KindSpanEnd: true,
+	KindPoint: true, KindProgress: true, KindLog: true, KindRunEnd: true,
+}
+
+// ReadJSONL decodes a JSON-lines event stream.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading events: %w", err)
+	}
+	return events, nil
+}
+
+// Validate checks an event stream against schema v1: version stamps, known
+// kinds, monotone timestamps, and span begin/end pairing with resolvable
+// parents. It returns the first violation found.
+func Validate(events []Event) error {
+	if len(events) == 0 {
+		return fmt.Errorf("obs: empty event stream")
+	}
+	open := map[uint64]Event{}   // span id -> begin event
+	closed := map[uint64]bool{}  // ended spans (still valid parents)
+	var lastT int64
+	for i, e := range events {
+		where := fmt.Sprintf("event %d (%s)", i, e.Kind)
+		if e.V != SchemaVersion {
+			return fmt.Errorf("obs: %s: schema version %d, want %d", where, e.V, SchemaVersion)
+		}
+		if !validKinds[e.Kind] {
+			return fmt.Errorf("obs: %s: unknown event kind", where)
+		}
+		if e.TNs < lastT {
+			return fmt.Errorf("obs: %s: timestamp %d precedes previous event %d", where, e.TNs, lastT)
+		}
+		lastT = e.TNs
+		switch e.Kind {
+		case KindSpanBegin:
+			if e.Name == "" || e.Span == 0 {
+				return fmt.Errorf("obs: %s: span_begin needs name and span id", where)
+			}
+			if _, dup := open[e.Span]; dup || closed[e.Span] {
+				return fmt.Errorf("obs: %s: duplicate span id %d", where, e.Span)
+			}
+			if e.Parent != 0 {
+				if _, ok := open[e.Parent]; !ok && !closed[e.Parent] {
+					return fmt.Errorf("obs: %s: parent span %d never began", where, e.Parent)
+				}
+			}
+			open[e.Span] = e
+		case KindSpanEnd:
+			begin, ok := open[e.Span]
+			if !ok {
+				return fmt.Errorf("obs: %s: span_end for span %d without begin", where, e.Span)
+			}
+			if begin.Name != e.Name {
+				return fmt.Errorf("obs: %s: span %d ends as %q, began as %q", where, e.Span, e.Name, begin.Name)
+			}
+			if e.DurNs < 0 {
+				return fmt.Errorf("obs: %s: negative duration", where)
+			}
+			delete(open, e.Span)
+			closed[e.Span] = true
+		}
+	}
+	if len(open) > 0 {
+		for id, b := range open {
+			return fmt.Errorf("obs: span %d (%s) never ended", id, b.Name)
+		}
+	}
+	return nil
+}
+
+// SpanNode is one reconstructed span in the tree.
+type SpanNode struct {
+	ID       uint64
+	Parent   uint64
+	Name     string
+	StartNs  int64
+	DurNs    int64
+	Children []*SpanNode
+}
+
+// SpanTree reconstructs the span forest from an event stream: the returned
+// slice holds the top-level spans (parent 0), each with its children in
+// begin order. Events must already validate.
+func SpanTree(events []Event) ([]*SpanNode, error) {
+	nodes := map[uint64]*SpanNode{}
+	var roots []*SpanNode
+	for _, e := range events {
+		switch e.Kind {
+		case KindSpanBegin:
+			n := &SpanNode{ID: e.Span, Parent: e.Parent, Name: e.Name, StartNs: e.TNs}
+			nodes[e.Span] = n
+			if e.Parent == 0 {
+				roots = append(roots, n)
+			} else if p := nodes[e.Parent]; p != nil {
+				p.Children = append(p.Children, n)
+			} else {
+				return nil, fmt.Errorf("obs: span %d references unknown parent %d", e.Span, e.Parent)
+			}
+		case KindSpanEnd:
+			if n := nodes[e.Span]; n != nil {
+				n.DurNs = e.DurNs
+			}
+		}
+	}
+	return roots, nil
+}
+
+// Walk visits the node and every descendant depth-first.
+func (n *SpanNode) Walk(visit func(*SpanNode)) {
+	visit(n)
+	for _, c := range n.Children {
+		c.Walk(visit)
+	}
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// TestChromeTraceGolden drives a fixed span sequence through the Chrome
+// trace sink under a fake clock and compares against the checked-in golden
+// file. Load testdata/chrome_trace.golden.json in Perfetto or
+// chrome://tracing to inspect the expected rendering.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	run := New(WithClock(fakeClock(time.Millisecond)))
+	run.AddSink(NewChromeTraceSink(&buf))
+
+	char := run.StartSpan(SpanCharacterize)
+	cal := char.StartSpan(SpanCalibrate)
+	cal.End()
+	trace := char.StartSpan(SpanTrace)
+	step := trace.StartSpan(SpanStep)
+	corr := step.StartSpan(SpanCorrector)
+	sim := corr.StartSpan(SpanTransient)
+	sim.End()
+	corr.End()
+	step.End()
+	trace.End()
+	char.End()
+	// A second top-level span lands on its own track.
+	sweep := run.StartSpan(SpanCorner)
+	sweep.End()
+	if err := run.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// The output must be valid JSON regardless of golden comparison.
+	var parsed []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(parsed) != 7 {
+		t.Fatalf("chrome trace has %d events, want 7", len(parsed))
+	}
+	for _, ev := range parsed {
+		if ev["ph"] != "X" {
+			t.Fatalf("unexpected phase %v in %v", ev["ph"], ev)
+		}
+	}
+
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update-golden): %v", err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(want), bytes.TrimSpace(buf.Bytes())) {
+		t.Errorf("chrome trace drifted from golden file\n got:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// histBuckets is the number of exact buckets: values 1..histBuckets each get
+// their own bucket; larger values land in the overflow bucket. Newton and
+// corrector iteration counts live comfortably below 16 (the paper's "2–3
+// MPNR iterations typical"), so exact small-value buckets beat log scales.
+const histBuckets = 16
+
+// Hist is a small-integer histogram (iteration counts). The zero value is
+// ready to use. Hist itself is not synchronized; the collector locks around
+// shared instances, and the transient engine accumulates into a private one
+// and merges once per run.
+type Hist struct {
+	buckets  [histBuckets + 1]int64 // [0]=value 1 … [15]=value 16, [16]=17+
+	count    int64
+	sum      int64
+	min, max int
+}
+
+func (h *Hist) observe(v int, n int64) {
+	if n <= 0 {
+		return
+	}
+	idx := v - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx > histBuckets {
+		idx = histBuckets
+	}
+	h.buckets[idx] += n
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count += n
+	h.sum += int64(v) * n
+}
+
+// Observe records n occurrences of the value v (local accumulation; see
+// Run.Merge for folding into a shared run).
+func (h *Hist) Observe(v int, n int64) { h.observe(v, n) }
+
+func (h *Hist) merge(o *Hist) {
+	if o.count == 0 {
+		return
+	}
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Reset zeroes the histogram for reuse.
+func (h *Hist) Reset() { *h = Hist{} }
+
+func (h *Hist) snapshot() HistSnapshot {
+	s := HistSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	copy(s.Buckets[:], h.buckets[:])
+	return s
+}
+
+// HistSnapshot is an immutable copy of a histogram.
+type HistSnapshot struct {
+	// Buckets[i] counts samples of value i+1; the last bucket counts
+	// everything above histBuckets.
+	Buckets  [histBuckets + 1]int64
+	Count    int64
+	Sum      int64
+	Min, Max int
+}
+
+// Mean returns the average observed value (0 for an empty histogram).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Median returns the (lower) median observed value.
+func (s HistSnapshot) Median() int {
+	if s.Count == 0 {
+		return 0
+	}
+	half := (s.Count + 1) / 2
+	var seen int64
+	for i, n := range s.Buckets {
+		seen += n
+		if seen >= half {
+			return i + 1
+		}
+	}
+	return s.Max
+}
+
+// String renders the non-empty buckets compactly, e.g.
+// "n=39 mean=2.3 [2:12 3:25 4:2]".
+func (s HistSnapshot) String() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.1f [", s.Count, s.Mean())
+	first := true
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		if i == histBuckets {
+			fmt.Fprintf(&b, ">%d:%d", histBuckets, n)
+		} else {
+			fmt.Fprintf(&b, "%d:%d", i+1, n)
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -15,6 +15,7 @@ import (
 
 	"latchchar/internal/circuit"
 	"latchchar/internal/num"
+	"latchchar/internal/obs"
 	"latchchar/internal/registers"
 	"latchchar/internal/solver"
 	"latchchar/internal/transient"
@@ -42,6 +43,10 @@ type Config struct {
 	// PostWindow is how far past the active edge the calibration transient
 	// runs while hunting for the crossing (default 3 ns).
 	PostWindow float64
+	// Obs attaches observability: every transient the evaluator launches is
+	// tagged and counted under the currently attached span (solvers re-parent
+	// it via SetObs while they own the evaluator). nil disables collection.
+	Obs *obs.Run
 }
 
 // WithDefaults returns the config with every unset field replaced by its
@@ -97,6 +102,7 @@ type Evaluator struct {
 	cal  Calibration
 	x0   []float64
 	grid transient.Grid
+	run  *obs.Run
 
 	engPlain *transient.Engine
 	engGrad  *transient.Engine
@@ -124,7 +130,7 @@ func NewEvaluatorWithCalibration(inst *registers.Instance, cfg Config, cal Calib
 
 func newEvaluator(inst *registers.Instance, cfg Config, cal *Calibration) (*Evaluator, error) {
 	c := cfg.withDefaults()
-	e := &Evaluator{inst: inst, cfg: c}
+	e := &Evaluator{inst: inst, cfg: c, run: c.Obs}
 
 	// Fixed initial condition: the DC operating point at t = 0 with the
 	// data line at rest (independent of the skews, paper step 1b/1c).
@@ -155,8 +161,15 @@ func newEvaluator(inst *registers.Instance, cfg Config, cal *Calibration) (*Eval
 	return e, nil
 }
 
+// SetObs re-points the evaluator's observability handle; solvers use this
+// (via core.ObsAttachable) to nest the transients they request under their
+// own span. A nil handle disables collection.
+func (e *Evaluator) SetObs(run *obs.Run) { e.run = run }
+
 // calibrate measures tc, the characteristic delay and tf (Section IV).
 func (e *Evaluator) calibrate() error {
+	sp := e.run.StartSpan(obs.SpanCalibrate)
+	defer sp.End()
 	c := e.cfg
 	inst := e.inst
 	swing := inst.VDD
@@ -183,10 +196,11 @@ func (e *Evaluator) calibrate() error {
 		Probes: []circuit.UnknownID{inst.Out},
 	})
 	inst.Data.SetSkews(c.CalSkew, c.CalSkew)
-	res, err := eng.Run(e.x0, grid)
+	res, err := eng.RunObs(sp, e.x0, grid)
 	if err != nil {
 		return fmt.Errorf("stf: calibration transient: %w", err)
 	}
+	sp.Count(obs.CtrTransients, 1)
 	e.Work.Add(res.Stats)
 	tc, ok := num.CrossingTime(res.Times, res.Probes[0], r, dir, inst.Edge50)
 	if !ok {
@@ -215,11 +229,12 @@ func (e *Evaluator) Instance() *registers.Instance { return e.inst }
 // Eval computes h(τs, τh) = cᵀx(tf) − r with one transient simulation.
 func (e *Evaluator) Eval(tauS, tauH float64) (float64, error) {
 	e.inst.Data.SetSkews(tauS, tauH)
-	res, err := e.engPlain.Run(e.x0, e.grid)
+	res, err := e.engPlain.RunObs(e.run, e.x0, e.grid)
 	if err != nil {
 		return 0, err
 	}
 	e.PlainEvals++
+	e.run.Count(obs.CtrTransients, 1)
 	e.Work.Add(res.Stats)
 	return res.X[e.inst.Out] - e.cal.R, nil
 }
@@ -228,11 +243,12 @@ func (e *Evaluator) Eval(tauS, tauH float64) (float64, error) {
 // simulation carrying forward sensitivities.
 func (e *Evaluator) EvalGrad(tauS, tauH float64) (h, dhdS, dhdH float64, err error) {
 	e.inst.Data.SetSkews(tauS, tauH)
-	res, err := e.engGrad.Run(e.x0, e.grid)
+	res, err := e.engGrad.RunObs(e.run, e.x0, e.grid)
 	if err != nil {
 		return 0, 0, 0, err
 	}
 	e.GradEvals++
+	e.run.Count(obs.CtrTransientsGrad, 1)
 	e.Work.Add(res.Stats)
 	out := e.inst.Out
 	return res.X[out] - e.cal.R, res.Ms[out], res.Mh[out], nil
@@ -246,11 +262,12 @@ func (e *Evaluator) OutputAt(tauS, tauH float64) (times, out []float64, err erro
 		Method: e.cfg.Method,
 		Probes: []circuit.UnknownID{e.inst.Out},
 	})
-	res, err := eng.Run(e.x0, e.grid)
+	res, err := eng.RunObs(e.run, e.x0, e.grid)
 	if err != nil {
 		return nil, nil, err
 	}
 	e.PlainEvals++
+	e.run.Count(obs.CtrTransients, 1)
 	e.Work.Add(res.Stats)
 	return res.Times, res.Probes[0], nil
 }
@@ -273,11 +290,12 @@ func (e *Evaluator) OutputUntil(tauS, tauH, tEnd float64) (times, out []float64,
 		Method: e.cfg.Method,
 		Probes: []circuit.UnknownID{e.inst.Out},
 	})
-	res, err := eng.Run(e.x0, grid)
+	res, err := eng.RunObs(e.run, e.x0, grid)
 	if err != nil {
 		return nil, nil, err
 	}
 	e.PlainEvals++
+	e.run.Count(obs.CtrTransients, 1)
 	e.Work.Add(res.Stats)
 	return res.Times, res.Probes[0], nil
 }
@@ -319,11 +337,12 @@ func (e *Evaluator) SupplyEnergy(tauS, tauH float64) (float64, error) {
 		Method: e.cfg.Method,
 		Probes: []circuit.UnknownID{e.inst.Supply},
 	})
-	res, err := eng.Run(e.x0, e.grid)
+	res, err := eng.RunObs(e.run, e.x0, e.grid)
 	if err != nil {
 		return 0, err
 	}
 	e.PlainEvals++
+	e.run.Count(obs.CtrTransients, 1)
 	e.Work.Add(res.Stats)
 	// The branch current of a source delivering power is negative in the
 	// MNA convention (current flows out of the + terminal), so the drawn

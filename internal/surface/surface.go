@@ -11,6 +11,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"latchchar/internal/obs"
 )
 
 // Surface holds samples of a scalar field on a regular grid:
@@ -45,6 +48,16 @@ type Factory func() (EvalFunc, error)
 // concurrent evaluators (default: GOMAXPROCS). Both axes must be strictly
 // increasing.
 func Generate(sAxis, hAxis []float64, factory Factory, workers int) (*Surface, error) {
+	return GenerateObs(nil, sAxis, hAxis, factory, workers)
+}
+
+// GenerateObs is Generate with observability attached: it counts grid
+// evaluations and reports per-row progress (rows done / total) to run as
+// workers complete them. Callers that want the sweep grouped start a
+// "surface" span and pass it (threading the same span into their evaluators
+// parents the worker transients correctly). A nil run behaves exactly like
+// Generate.
+func GenerateObs(run *obs.Run, sAxis, hAxis []float64, factory Factory, workers int) (*Surface, error) {
 	if len(sAxis) < 2 || len(hAxis) < 2 {
 		return nil, fmt.Errorf("surface: axes need at least 2 points")
 	}
@@ -75,6 +88,7 @@ func Generate(sAxis, hAxis []float64, factory Factory, workers int) (*Surface, e
 
 	rows := make(chan int)
 	errs := make(chan error, workers)
+	var rowsDone atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -94,6 +108,12 @@ func Generate(sAxis, hAxis []float64, factory Factory, workers int) (*Surface, e
 					}
 					sf.V[i][j] = v
 				}
+				run.Count(obs.CtrPoints, int64(len(sf.H)))
+				run.Progress(obs.Progress{
+					Phase: obs.SpanSurface,
+					Done:  int(rowsDone.Add(1)), Total: len(sf.S),
+					TauS: sf.S[i],
+				})
 			}
 		}()
 	}

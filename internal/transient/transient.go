@@ -1,12 +1,16 @@
 package transient
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"runtime/pprof"
+	"time"
 
 	"latchchar/internal/circuit"
 	"latchchar/internal/num"
+	"latchchar/internal/obs"
 	"latchchar/internal/sparse"
 )
 
@@ -45,6 +49,11 @@ type Options struct {
 	// Probes lists unknowns whose waveforms are recorded at every grid
 	// point.
 	Probes []circuit.UnknownID
+	// Timing enables wall-clock attribution in Stats (LU, DeviceEval,
+	// Sens). Attribution is also collected whenever an obs run is passed to
+	// RunObs; with neither, only Stats.Wall is measured and the step loop
+	// carries no timing overhead.
+	Timing bool
 }
 
 func (o Options) withDefaults() Options {
@@ -70,6 +79,20 @@ type Stats struct {
 	NewtonIters    int
 	Factorizations int
 	SensSolves     int
+	// SensFactorizationsReused counts steps whose sensitivity solves reused
+	// the converged-state LU factorization instead of building their own —
+	// the mechanism behind the paper's "essentially free gradient" (one
+	// factorization serves both Newton and the mₛ/m_h solves, DESIGN §5).
+	SensFactorizationsReused int
+
+	// Wall-clock attribution. Wall is always measured; LU (factorize +
+	// solve), DeviceEval (model evaluation/assembly) and Sens (sensitivity
+	// back-substitutions) are collected only when Options.Timing is set or
+	// an obs run is attached, so the default step loop stays clean.
+	Wall       time.Duration
+	LU         time.Duration
+	DeviceEval time.Duration
+	Sens       time.Duration
 }
 
 // Add accumulates other into s.
@@ -78,6 +101,11 @@ func (s *Stats) Add(other Stats) {
 	s.NewtonIters += other.NewtonIters
 	s.Factorizations += other.Factorizations
 	s.SensSolves += other.SensSolves
+	s.SensFactorizationsReused += other.SensFactorizationsReused
+	s.Wall += other.Wall
+	s.LU += other.LU
+	s.DeviceEval += other.DeviceEval
+	s.Sens += other.Sens
 }
 
 // Result holds the outcome of a transient run.
@@ -117,6 +145,27 @@ type Engine struct {
 	scrA, scrB         []float64
 
 	stats Stats
+
+	// Per-run observability state (set by RunObs, cleared by default Run).
+	timed      bool     // collect fine-grained wall-clock attribution
+	hist       bool     // accumulate the per-step Newton histogram
+	newtonHist obs.Hist // local accumulator, merged once per run
+	prof       profLabels
+}
+
+// profLabels holds the prebuilt pprof label contexts; switching goroutine
+// labels per phase is then a pointer swap, cheap enough for the step loop.
+type profLabels struct {
+	active        bool
+	transient, lu context.Context
+}
+
+func (p *profLabels) init() {
+	if p.transient != nil {
+		return
+	}
+	p.transient = pprof.WithLabels(context.Background(), pprof.Labels("lcphase", "transient"))
+	p.lu = pprof.WithLabels(context.Background(), pprof.Labels("lcphase", "lu"))
 }
 
 // NewEngine prepares an engine for the circuit with the given options.
@@ -154,6 +203,47 @@ func (e *Engine) Options() Options { return e.opts }
 
 // Run integrates from x0 at grid.Start() to grid.End(). x0 is copied.
 func (e *Engine) Run(x0 []float64, grid Grid) (*Result, error) {
+	return e.RunObs(nil, x0, grid)
+}
+
+// RunObs is Run with observability attached: the simulation runs inside a
+// "transient" span of run, integrator counters and the per-step Newton
+// iteration histogram are published to it, and (when the run requests
+// profile labels) the goroutine carries pprof phase labels so CPU profiles
+// attribute time to the transient vs. LU phases. A nil run behaves exactly
+// like Run and adds no allocations.
+func (e *Engine) RunObs(run *obs.Run, x0 []float64, grid Grid) (*Result, error) {
+	e.timed = e.opts.Timing || run.Enabled()
+	e.hist = run.Enabled()
+	if e.hist {
+		e.newtonHist.Reset()
+	}
+	e.prof.active = run.ProfileLabelsEnabled()
+	if e.prof.active {
+		e.prof.init()
+		pprof.SetGoroutineLabels(e.prof.transient)
+		defer pprof.SetGoroutineLabels(context.Background())
+	}
+	sp := run.StartSpan(obs.SpanTransient)
+	luF0, luR0 := e.lu.Factorizations, e.lu.Refactorizations
+	res, err := e.run(x0, grid)
+	if run.Enabled() {
+		sp.Count(obs.CtrLUFactor, int64(e.lu.Factorizations-luF0))
+		sp.Count(obs.CtrLURefactor, int64(e.lu.Refactorizations-luR0))
+		if res != nil {
+			st := res.Stats
+			sp.Count(obs.CtrSteps, int64(st.Steps))
+			sp.Count(obs.CtrNewtonIters, int64(st.NewtonIters))
+			sp.Count(obs.CtrSensSolves, int64(st.SensSolves))
+			sp.Count(obs.CtrSensFactReused, int64(st.SensFactorizationsReused))
+		}
+		sp.Merge(obs.HistNewtonIters, &e.newtonHist)
+	}
+	sp.End()
+	return res, err
+}
+
+func (e *Engine) run(x0 []float64, grid Grid) (*Result, error) {
 	n := e.c.N()
 	if len(x0) != n {
 		return nil, fmt.Errorf("transient: x0 length %d, want %d", len(x0), n)
@@ -177,10 +267,12 @@ func (e *Engine) Run(x0 []float64, grid Grid) (*Result, error) {
 		}
 	}
 	record(0)
+	e.stats = Stats{}
+	wall0 := time.Now()
 
 	// Initial assembly at (x0, t0) seeds qPrev, cPrev and, for TRAP, the
 	// charge derivative qdot0 = −(f + src).
-	e.ev.At(e.x, pts[0])
+	e.evalAt(pts[0])
 	copy(e.qPrev, e.ev.Q)
 	copy(e.cPrev.Val, e.ev.C.Val)
 	if e.opts.Method == TRAP {
@@ -204,7 +296,6 @@ func (e *Engine) Run(x0 []float64, grid Grid) (*Result, error) {
 		}
 	}
 
-	e.stats = Stats{}
 	luF0, luR0 := e.lu.Factorizations, e.lu.Refactorizations
 	for k := 1; k < len(pts); k++ {
 		if err := e.step(pts[k-1], pts[k]); err != nil {
@@ -220,7 +311,58 @@ func (e *Engine) Run(x0 []float64, grid Grid) (*Result, error) {
 	res.Stats = e.stats
 	res.Stats.Steps = len(pts) - 1
 	res.Stats.Factorizations = (e.lu.Factorizations - luF0) + (e.lu.Refactorizations - luR0)
+	res.Stats.Wall = time.Since(wall0)
 	return res, nil
+}
+
+// evalAt wraps the device evaluation with optional wall-clock attribution.
+func (e *Engine) evalAt(t float64) {
+	if !e.timed {
+		e.ev.At(e.x, t)
+		return
+	}
+	t0 := time.Now()
+	e.ev.At(e.x, t)
+	e.stats.DeviceEval += time.Since(t0)
+}
+
+// factorSolve factorizes the assembled Jacobian and solves for the Newton
+// update, with optional LU wall-clock attribution and pprof phase labels.
+func (e *Engine) factorSolve() error {
+	if e.prof.active {
+		pprof.SetGoroutineLabels(e.prof.lu)
+		defer pprof.SetGoroutineLabels(e.prof.transient)
+	}
+	if !e.timed {
+		if err := e.lu.Factorize(e.j); err != nil {
+			return err
+		}
+		e.lu.Solve(e.r, e.dx)
+		return nil
+	}
+	t0 := time.Now()
+	err := e.lu.Factorize(e.j)
+	if err == nil {
+		e.lu.Solve(e.r, e.dx)
+	}
+	e.stats.LU += time.Since(t0)
+	return err
+}
+
+// factorize is factorSolve without the solve (the converged-state
+// factorization the sensitivity solves reuse).
+func (e *Engine) factorize() error {
+	if e.prof.active {
+		pprof.SetGoroutineLabels(e.prof.lu)
+		defer pprof.SetGoroutineLabels(e.prof.transient)
+	}
+	if !e.timed {
+		return e.lu.Factorize(e.j)
+	}
+	t0 := time.Now()
+	err := e.lu.Factorize(e.j)
+	e.stats.LU += time.Since(t0)
+	return err
 }
 
 func (e *Engine) zeroZ() {
@@ -243,8 +385,9 @@ func (e *Engine) step(t0, t1 float64) error {
 	}
 	numNodes := e.c.NumNodes()
 	converged := false
+	iters := 0
 	for iter := 0; iter < e.opts.MaxNewtonIter; iter++ {
-		e.ev.At(e.x, t1)
+		e.evalAt(t1)
 		// Residual.
 		switch e.opts.Method {
 		case TRAP:
@@ -257,11 +400,11 @@ func (e *Engine) step(t0, t1 float64) error {
 			}
 		}
 		sparse.Combine(e.j, alpha, e.ev.C, e.mapC, 1, e.ev.G, e.mapG)
-		if err := e.lu.Factorize(e.j); err != nil {
+		if err := e.factorSolve(); err != nil {
 			return fmt.Errorf("transient: Jacobian factorization failed: %w", err)
 		}
-		e.lu.Solve(e.r, e.dx)
 		e.stats.NewtonIters++
+		iters++
 		conv := true
 		for i := 0; i < n; i++ {
 			if !num.IsFinite(e.dx[i]) {
@@ -284,24 +427,37 @@ func (e *Engine) step(t0, t1 float64) error {
 	if !converged {
 		return ErrNewtonFailure
 	}
+	if e.hist {
+		e.newtonHist.Observe(iters, 1)
+	}
 
 	// Final assembly at the converged state: exact C, G for the sensitivity
 	// solves and the next step's charge history.
-	e.ev.At(e.x, t1)
+	e.evalAt(t1)
 	sparse.Combine(e.j, alpha, e.ev.C, e.mapC, 1, e.ev.G, e.mapG)
-	if err := e.lu.Factorize(e.j); err != nil {
+	if err := e.factorize(); err != nil {
 		return fmt.Errorf("transient: converged-state factorization failed: %w", err)
 	}
 
 	if e.opts.Skews {
 		e.zeroZ()
 		e.ev.AddSkewSens(t1, e.zsVec, e.zhVec)
+		var t0 time.Time
+		if e.timed {
+			t0 = time.Now()
+		}
 		switch e.opts.Method {
 		case TRAP:
 			e.sensTrap(alpha)
 		default:
 			e.sensBE(alpha)
 		}
+		if e.timed {
+			e.stats.Sens += time.Since(t0)
+		}
+		// The sensitivity solves back-substitute against the converged-state
+		// factorization above — no factorization of their own.
+		e.stats.SensFactorizationsReused++
 	}
 
 	if e.opts.Method == TRAP {

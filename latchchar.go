@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"latchchar/internal/core"
+	"latchchar/internal/obs"
 	"latchchar/internal/registers"
 	"latchchar/internal/stf"
 	"latchchar/internal/surface"
@@ -137,6 +138,10 @@ type Options struct {
 	// that many arc-length-uniform points, each polished back onto the
 	// curve with MPNR.
 	Resample int
+	// Obs attaches observability: spans, counters, histograms and live
+	// progress flow to the run's sinks. nil disables collection with no
+	// hot-path cost.
+	Obs *ObsRun
 }
 
 // Result is the outcome of Characterize.
@@ -150,6 +155,9 @@ type Result struct {
 	// PlainSims and GradSims count transient simulations by kind
 	// (calibration excluded; it is a fixed +1 for any method).
 	PlainSims, GradSims int
+	// Stats aggregates integrator-level work (steps, Newton iterations, LU
+	// factorizations, wall-clock attribution) over the whole run.
+	Stats transient.Stats
 	// Elapsed is the wall-clock characterization time.
 	Elapsed time.Duration
 }
@@ -181,6 +189,12 @@ func CharacterizeWithEvaluator(ev *Evaluator, opts Options) (*Result, error) {
 func characterize(ev *Evaluator, opts Options) (*Result, error) {
 	start := time.Now()
 	ev.ResetCounters()
+	sp := opts.Obs.StartSpan(obs.SpanCharacterize)
+	ev.SetObs(sp)
+	defer func() {
+		ev.SetObs(opts.Obs)
+		sp.End()
+	}()
 	cfg := opts.Eval
 	maxS := cfg.MaxSetupSkew
 	if maxS <= 0 {
@@ -190,6 +204,7 @@ func characterize(ev *Evaluator, opts Options) (*Result, error) {
 	if seedOpts.Hi <= 0 || seedOpts.Hi > maxS {
 		seedOpts.Hi = 0.8 * maxS
 	}
+	seedOpts.Obs = sp
 	seed, err := core.FindSeed(ev, seedOpts)
 	if err != nil {
 		return nil, fmt.Errorf("latchchar: seeding: %w", err)
@@ -205,13 +220,16 @@ func characterize(ev *Evaluator, opts Options) (*Result, error) {
 		BothDirections: opts.BothDirections,
 		MPNR:           opts.MPNR,
 		RecordSteps:    opts.RecordSteps,
+		Obs:            sp,
 	}
 	ct, err := core.TraceContour(ev, seed.TauS, seed.TauH, traceOpts)
 	if err != nil {
 		return nil, fmt.Errorf("latchchar: tracing: %w", err)
 	}
 	if opts.Resample >= 2 {
-		ct, err = core.ResampleContour(ev, ct, opts.Resample, opts.MPNR)
+		resampleOpts := opts.MPNR
+		resampleOpts.Obs = sp
+		ct, err = core.ResampleContour(ev, ct, opts.Resample, resampleOpts)
 		if err != nil {
 			return nil, fmt.Errorf("latchchar: resampling: %w", err)
 		}
@@ -221,6 +239,7 @@ func characterize(ev *Evaluator, opts Options) (*Result, error) {
 		Calibration: ev.Calibration(),
 		PlainSims:   ev.PlainEvals,
 		GradSims:    ev.GradEvals,
+		Stats:       ev.Work,
 		Elapsed:     time.Since(start),
 	}
 	if len(ct.Points) > 0 {
@@ -241,6 +260,10 @@ type SurfaceOptions struct {
 	Workers int
 	// Eval tunes the per-worker evaluators.
 	Eval EvalConfig
+	// Obs attaches observability: the sweep runs inside a "surface" span
+	// with per-row progress; worker transients are counted. nil disables
+	// collection.
+	Obs *ObsRun
 }
 
 // SurfaceResult is the outcome of BruteForce.
@@ -273,6 +296,8 @@ func BruteForce(cell *Cell, opts SurfaceOptions) (*SurfaceResult, error) {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
 	start := time.Now()
+	sp := opts.Obs.StartSpan(obs.SpanSurface)
+	defer sp.End()
 	// Calibrate once on a reference instance; workers reuse the numbers.
 	refInst, err := cell.Build()
 	if err != nil {
@@ -289,7 +314,9 @@ func BruteForce(cell *Cell, opts SurfaceOptions) (*SurfaceResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		ev, err := stf.NewEvaluatorWithCalibration(inst, opts.Eval, cal)
+		cfg := opts.Eval
+		cfg.Obs = sp
+		ev, err := stf.NewEvaluatorWithCalibration(inst, cfg, cal)
 		if err != nil {
 			return nil, err
 		}
@@ -297,7 +324,7 @@ func BruteForce(cell *Cell, opts SurfaceOptions) (*SurfaceResult, error) {
 	}
 	sAxis := surface.Linspace(opts.Domain.MinS, opts.Domain.MaxS, opts.N)
 	hAxis := surface.Linspace(opts.Domain.MinH, opts.Domain.MaxH, opts.N)
-	sf, err := surface.Generate(sAxis, hAxis, factory, opts.Workers)
+	sf, err := surface.GenerateObs(sp, sAxis, hAxis, factory, opts.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("latchchar: surface generation: %w", err)
 	}

@@ -6,6 +6,9 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
+
+	"latchchar/internal/obs"
 )
 
 // MCOptions configure Monte-Carlo statistical characterization — the
@@ -73,6 +76,7 @@ func MonteCarlo(mk func(Process) *Cell, nominal Process, opts MCOptions) []MCSam
 		samples[i] = MCSample{Index: i, Process: p}
 	}
 	sem := make(chan struct{}, o.Workers)
+	var done atomic.Int64
 	var wg sync.WaitGroup
 	for i := range samples {
 		wg.Add(1)
@@ -89,7 +93,19 @@ func MonteCarlo(mk func(Process) *Cell, nominal Process, opts MCOptions) []MCSam
 				s.Err = fmt.Errorf("latchchar: sample %d: %w", i, err)
 				return
 			}
-			s.Result, s.Err = Characterize(mk(s.Process), o.Characterize)
+			run := o.Characterize.Obs
+			sp := run.StartSpan(obs.SpanMCSample)
+			if sp.Enabled() {
+				sp.Logf("sample %d", i)
+			}
+			copts := o.Characterize
+			copts.Obs = sp
+			s.Result, s.Err = Characterize(mk(s.Process), copts)
+			sp.End()
+			run.Progress(obs.Progress{
+				Phase: obs.SpanMCSample,
+				Done:  int(done.Add(1)), Total: len(samples),
+			})
 		}(i)
 	}
 	wg.Wait()

@@ -1,0 +1,73 @@
+// Observability re-exports: the internal/obs tracing, metrics and progress
+// layer surfaced for library users. A *ObsRun threads through every stage of
+// a characterization (Options.Obs and SurfaceOptions.Obs); a nil run
+// disables collection entirely and costs nothing on the hot paths.
+//
+// Typical use:
+//
+//	f, _ := os.Create("trace.jsonl")
+//	run := latchchar.NewObsRun()
+//	run.AddSink(latchchar.NewJSONLSink(f))
+//	res, err := latchchar.Characterize(cell, latchchar.Options{Obs: run})
+//	run.Close()
+package latchchar
+
+import (
+	"io"
+	"time"
+
+	"latchchar/internal/obs"
+)
+
+type (
+	// ObsRun is the handle threading observability through a run. The nil
+	// run is valid and disables collection.
+	ObsRun = obs.Run
+	// ObsOption configures NewObsRun.
+	ObsOption = obs.Option
+	// ObsEvent is one record of the structured event stream (schema v1).
+	ObsEvent = obs.Event
+	// ObsSummary is the aggregate view a finished run renders.
+	ObsSummary = obs.Summary
+	// ObsSink consumes the event stream (JSON lines, Chrome trace, text).
+	ObsSink = obs.Sink
+	// ObsProgress is one live progress report.
+	ObsProgress = obs.Progress
+	// ObsSpanNode is a node of a reconstructed span tree.
+	ObsSpanNode = obs.SpanNode
+)
+
+// NewObsRun creates an enabled observability run. Attach sinks with AddSink
+// before the work starts and Close the run when done.
+func NewObsRun(opts ...ObsOption) *ObsRun { return obs.New(opts...) }
+
+// NewJSONLSink streams every event as one JSON object per line.
+func NewJSONLSink(w io.Writer) ObsSink { return obs.NewJSONLSink(w) }
+
+// NewChromeTraceSink renders completed spans in the Chrome trace-event
+// format; load the output in Perfetto or chrome://tracing.
+func NewChromeTraceSink(w io.Writer) ObsSink { return obs.NewChromeTraceSink(w) }
+
+// NewTextSummarySink writes a human-readable phase/counter/histogram summary
+// when the run closes.
+func NewTextSummarySink(w io.Writer) ObsSink { return obs.NewTextSummarySink(w) }
+
+// WithObsProgress registers a live progress callback invoked at most once
+// per interval (and always for a phase's final report).
+func WithObsProgress(fn func(ObsProgress), interval time.Duration) ObsOption {
+	return obs.WithProgress(fn, interval)
+}
+
+// WithObsProfileLabels tags the transient and LU phases with runtime/pprof
+// goroutine labels ("lcphase"), so CPU profiles split by phase.
+func WithObsProfileLabels() ObsOption { return obs.WithProfileLabels() }
+
+// ReadObsJSONL parses a JSONL event stream written by NewJSONLSink.
+func ReadObsJSONL(r io.Reader) ([]ObsEvent, error) { return obs.ReadJSONL(r) }
+
+// ValidateObsEvents checks a parsed event stream against schema v1:
+// monotone timestamps, paired span begin/end, resolvable parents.
+func ValidateObsEvents(events []ObsEvent) error { return obs.Validate(events) }
+
+// ObsSpanTree reconstructs the span hierarchy from a parsed event stream.
+func ObsSpanTree(events []ObsEvent) ([]*ObsSpanNode, error) { return obs.SpanTree(events) }
