@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet charvet tracesmoke ci clean
+.PHONY: all build test race vet vulncheck charvet tracesmoke batchsmoke ci clean
 
 all: build
 
@@ -20,6 +20,16 @@ race:
 vet: charvet
 	$(GO) vet ./...
 
+# vulncheck scans the module against the Go vulnerability database when
+# govulncheck is installed; environments without it (or without network
+# access) skip with a notice instead of failing the build.
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
 charvet:
 	$(GO) run ./cmd/charvet -cell tspc
 	$(GO) run ./cmd/charvet -cell c2mos
@@ -33,7 +43,13 @@ tracesmoke:
 		-trace /tmp/latchchar-trace.jsonl -o /dev/null
 	$(GO) run ./cmd/tracecheck /tmp/latchchar-trace.jsonl
 
-ci: build vet race tracesmoke
+# batchsmoke exercises the batch engine end to end on a reduced grid: a
+# 4-corner warm-started sweep that must spend fewer seed transients than
+# four cold characterizations (the warm-start acceptance test).
+batchsmoke:
+	$(GO) test -run TestBatchWarmStartFewerSims -v .
+
+ci: build vet vulncheck race tracesmoke batchsmoke
 
 clean:
 	$(GO) clean ./...

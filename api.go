@@ -1,6 +1,7 @@
 package latchchar
 
 import (
+	"context"
 	"io"
 
 	"latchchar/internal/core"
@@ -32,6 +33,12 @@ func FindSeed(p Problem, opts SeedOptions) (SeedResult, error) {
 	return core.FindSeed(p, opts)
 }
 
+// FindSeedCtx is FindSeed with a cancellation context, threaded into the
+// problem's transients so cancellation lands within one integration step.
+func FindSeedCtx(ctx context.Context, p Problem, opts SeedOptions) (SeedResult, error) {
+	return core.FindSeedCtx(ctx, p, opts)
+}
+
 // SolveMPNR runs the Moore-Penrose pseudo-inverse Newton-Raphson corrector
 // from an initial guess, converging to the nearest point of the constant
 // clock-to-Q curve (paper Section IIIC).
@@ -39,11 +46,24 @@ func SolveMPNR(p Problem, tauS, tauH float64, opts MPNROptions) (MPNRResult, err
 	return core.SolveMPNR(p, tauS, tauH, opts)
 }
 
+// SolveMPNRCtx is SolveMPNR with a cancellation context; interrupted solves
+// return a *CanceledError wrapping ErrCanceled.
+func SolveMPNRCtx(ctx context.Context, p Problem, tauS, tauH float64, opts MPNROptions) (MPNRResult, error) {
+	return core.SolveMPNRCtx(ctx, p, tauS, tauH, opts)
+}
+
 // TraceContour runs Euler-Newton continuation from a seed guess (paper
 // Section IIIE). Most callers want the higher-level Characterize, which
 // also handles calibration and seeding.
 func TraceContour(p Problem, seedS, seedH float64, opts TraceOptions) (*Contour, error) {
 	return core.TraceContour(p, seedS, seedH, opts)
+}
+
+// TraceContourCtx is TraceContour with a cancellation context. An
+// interrupted trace returns the partial contour accepted so far together
+// with a *CanceledError.
+func TraceContourCtx(ctx context.Context, p Problem, seedS, seedH float64, opts TraceOptions) (*Contour, error) {
+	return core.TraceContourCtx(ctx, p, seedS, seedH, opts)
 }
 
 // Tangent returns the unit tangent induced by the Jacobian [gs, gh]
@@ -128,4 +148,9 @@ func Lint(cell *Cell) ([]string, error) {
 // the form library table generators want.
 func ResampleContour(p Problem, c *Contour, n int, opts MPNROptions) (*Contour, error) {
 	return core.ResampleContour(p, c, n, opts)
+}
+
+// ResampleContourCtx is ResampleContour with a cancellation context.
+func ResampleContourCtx(ctx context.Context, p Problem, c *Contour, n int, opts MPNROptions) (*Contour, error) {
+	return core.ResampleContourCtx(ctx, p, c, n, opts)
 }

@@ -53,11 +53,14 @@ func run(args []string) error {
 		Obs:    obsRun,
 	}
 	evalCfg := latchchar.EvalConfig{Obs: obsRun}
-	sNR, hNR, err := latchchar.IndependentTimes(cell, evalCfg, opts)
+	// ^C cancels whichever search is in flight mid-transient.
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	sNR, hNR, err := latchchar.IndependentTimesCtx(ctx, cell, evalCfg, opts)
 	if err != nil {
 		return err
 	}
-	sBis, hBis, err := latchchar.IndependentBaseline(cell, evalCfg, opts)
+	sBis, hBis, err := latchchar.IndependentBaselineCtx(ctx, cell, evalCfg, opts)
 	if err != nil {
 		return err
 	}

@@ -103,7 +103,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := latchchar.CharacterizeWithEvaluator(ev, opts)
+	// ^C cancels the trace mid-transient; the partial contour is discarded
+	// and the structured cancellation error rendered.
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	res, err := latchchar.CharacterizeWithEvaluatorCtx(ctx, ev, opts)
 	if err != nil {
 		return err
 	}

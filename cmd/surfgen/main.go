@@ -81,20 +81,24 @@ func run(args []string) error {
 		Workers: *workers,
 		Obs:     obsRun,
 	}
+	// ^C cancels the grid sweep; pending rows are abandoned within one
+	// transient step each.
+	ctx, stop := cli.SignalContext()
+	defer stop()
 	var sf *latchchar.Surface
 	var contour []latchchar.Polyline
 	var sims int
 	var elapsed time.Duration
 	var v [][]float64
 	if *delayMode {
-		res, err := latchchar.BruteForceDelay(cell, surfOpts)
+		res, err := latchchar.BruteForceDelayCtx(ctx, cell, surfOpts)
 		if err != nil {
 			return err
 		}
 		sf, contour, sims, elapsed = res.Surface, res.Contour, res.Sims, res.Elapsed
 		v = res.Surface.V // delays in seconds
 	} else {
-		res, err := latchchar.BruteForce(cell, surfOpts)
+		res, err := latchchar.BruteForceCtx(ctx, cell, surfOpts)
 		if err != nil {
 			return err
 		}

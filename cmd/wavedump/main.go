@@ -64,7 +64,11 @@ func run(args []string) error {
 		names[i] = inst.Circuit.NodeName(circuit.UnknownID(i))
 	}
 	tEnd := inst.Edge50 + *postNS*1e-9
-	res, err := transient.RunAdaptive(inst.Circuit, x0, 0, tEnd, transient.AdaptiveOptions{
+	// ^C stops the integration between step attempts; the partial waveform
+	// is discarded along with the error.
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	res, err := transient.RunAdaptiveCtx(ctx, inst.Circuit, x0, 0, tEnd, transient.AdaptiveOptions{
 		RelTol: *rtol,
 		Probes: probes,
 	})

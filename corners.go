@@ -1,9 +1,9 @@
 package latchchar
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"sync"
-	"sync/atomic"
 
 	"latchchar/internal/obs"
 )
@@ -45,40 +45,59 @@ type CornerResult struct {
 	Err    error
 }
 
-// SweepCorners characterizes one register type across process corners
-// concurrently (one independent circuit per corner). mk builds the cell for
-// a given process — e.g. a closure over TSPCCell with fixed timing. Results
-// are returned in corner order.
-func SweepCorners(mk func(Process) *Cell, nominal Process, corners []Corner, opts Options) []CornerResult {
-	out := make([]CornerResult, len(corners))
-	var done atomic.Int64
-	var wg sync.WaitGroup
-	for i, c := range corners {
-		wg.Add(1)
-		go func(i int, c Corner) {
-			defer wg.Done()
-			out[i].Corner = c.Name
-			if c.Apply == nil {
-				out[i].Err = fmt.Errorf("latchchar: corner %q has no Apply", c.Name)
-				return
-			}
-			sp := opts.Obs.StartSpan(obs.SpanCorner)
-			if sp.Enabled() {
-				sp.Logf("corner %s", c.Name)
-			}
-			copts := opts
-			copts.Obs = sp
-			cell := mk(c.Apply(nominal))
-			res, err := Characterize(cell, copts)
-			sp.End()
-			opts.Obs.Progress(obs.Progress{
-				Phase: obs.SpanCorner,
-				Done:  int(done.Add(1)), Total: len(corners),
-			})
-			out[i].Result = res
-			out[i].Err = err
-		}(i, c)
+// CornerResults is the ordered outcome of a corner sweep.
+type CornerResults []CornerResult
+
+// Err aggregates every failed corner into one error (errors.Join), each
+// annotated with its corner name, or nil when every corner succeeded.
+// Callers that previously had to loop over the slice to notice failures can
+// now gate on a single value.
+func (rs CornerResults) Err() error {
+	var errs []error
+	for _, r := range rs {
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("corner %s: %w", r.Corner, r.Err))
+		}
 	}
-	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// SweepCorners characterizes one register type across process corners on
+// the shared engine pool (one independent circuit per corner). mk builds the
+// cell for a given process — e.g. a closure over TSPCCell with fixed timing.
+// Results are returned in corner order.
+func SweepCorners(mk func(Process) *Cell, nominal Process, corners []Corner, opts Options) CornerResults {
+	return SweepCornersCtx(context.Background(), mk, nominal, corners, opts)
+}
+
+// SweepCornersCtx is SweepCorners with a cancellation context, running on
+// the shared DefaultEngine: corner jobs draw from the engine's bounded pool
+// instead of spawning one goroutine per corner, the first corner's traced
+// contour warm-starts the rest (one MPNR correction replaces each
+// bracketing search), and cancellation stops in-flight traces mid-transient
+// with partial contours in the results.
+func SweepCornersCtx(ctx context.Context, mk func(Process) *Cell, nominal Process, corners []Corner, opts Options) CornerResults {
+	return DefaultEngine().SweepCorners(ctx, mk, nominal, corners, opts)
+}
+
+// SweepCorners runs the corner sweep on this engine; see SweepCornersCtx.
+func (e *Engine) SweepCorners(ctx context.Context, mk func(Process) *Cell, nominal Process, corners []Corner, opts Options) CornerResults {
+	jobs := make([]Job, len(corners))
+	pre := make([]error, len(corners))
+	for i, c := range corners {
+		if c.Apply == nil {
+			pre[i] = fmt.Errorf("latchchar: corner %q has no Apply", c.Name)
+			continue
+		}
+		jobs[i] = Job{Name: c.Name, Cell: mk(c.Apply(nominal)), Opts: opts}
+	}
+	res := e.characterizeBatch(ctx, jobs, batchConfig{span: obs.SpanCorner, phase: obs.SpanCorner})
+	out := make(CornerResults, len(corners))
+	for i := range corners {
+		out[i] = CornerResult{Corner: corners[i].Name, Result: res[i].Result, Err: res[i].Err}
+		if pre[i] != nil {
+			out[i].Err = pre[i]
+		}
+	}
 	return out
 }

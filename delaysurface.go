@@ -1,8 +1,8 @@
 package latchchar
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"time"
 
 	"latchchar/internal/obs"
@@ -42,27 +42,35 @@ type DelaySurfaceResult struct {
 // an N×N clock-to-Q delay surface with the 10%-degradation iso-contour
 // extracted by marching squares.
 func BruteForceDelay(cell *Cell, opts SurfaceOptions) (*DelaySurfaceResult, error) {
+	return BruteForceDelayCtx(context.Background(), cell, opts)
+}
+
+// BruteForceDelayCtx is BruteForceDelay with a cancellation context, running
+// the grid on the shared DefaultEngine pool.
+func BruteForceDelayCtx(ctx context.Context, cell *Cell, opts SurfaceOptions) (*DelaySurfaceResult, error) {
+	return DefaultEngine().BruteForceDelay(ctx, cell, opts)
+}
+
+// BruteForceDelay runs the delay-surface baseline on this engine's pool; see
+// Engine.BruteForce.
+func (e *Engine) BruteForceDelay(ctx context.Context, cell *Cell, opts SurfaceOptions) (*DelaySurfaceResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	if opts.N <= 0 {
 		opts.N = 40
 	}
 	if (opts.Domain == Rect{}) {
 		opts.Domain = Rect{MinS: 10e-12, MaxS: 0.8e-9, MinH: 10e-12, MaxH: 0.8e-9}
 	}
-	if opts.Workers <= 0 {
-		opts.Workers = runtime.GOMAXPROCS(0)
-	}
+	workers := effectiveParallelism(opts.Parallelism, opts.Workers, e.pool.NumWorkers())
 	start := time.Now()
 	sp := opts.Obs.StartSpan(obs.SpanSurface)
 	defer sp.End()
-	refInst, err := cell.Build()
+	cal, _, err := e.calibrationFor(cell, opts.Eval, sp)
 	if err != nil {
-		return nil, fmt.Errorf("latchchar: build %s: %w", cell.Name, err)
+		return nil, err
 	}
-	refEv, err := stf.NewEvaluator(refInst, opts.Eval)
-	if err != nil {
-		return nil, fmt.Errorf("latchchar: evaluator: %w", err)
-	}
-	cal := refEv.Calibration()
 	failDelay := 3 * cal.CharDelay
 
 	factory := func() (surface.EvalFunc, error) {
@@ -76,6 +84,7 @@ func BruteForceDelay(cell *Cell, opts SurfaceOptions) (*DelaySurfaceResult, erro
 		if err != nil {
 			return nil, err
 		}
+		ev.SetContext(ctx)
 		return func(s, h float64) (float64, error) {
 			d, ok, err := ev.ClockToQ(s, h)
 			if err != nil {
@@ -89,7 +98,7 @@ func BruteForceDelay(cell *Cell, opts SurfaceOptions) (*DelaySurfaceResult, erro
 	}
 	sAxis := surface.Linspace(opts.Domain.MinS, opts.Domain.MaxS, opts.N)
 	hAxis := surface.Linspace(opts.Domain.MinH, opts.Domain.MaxH, opts.N)
-	sf, err := surface.GenerateObs(sp, sAxis, hAxis, factory, opts.Workers)
+	sf, err := surface.GenerateCtx(ctx, sp, sAxis, hAxis, factory, e.pool, workers)
 	if err != nil {
 		return nil, fmt.Errorf("latchchar: delay surface: %w", err)
 	}

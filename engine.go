@@ -1,0 +1,315 @@
+// The batch characterization engine: one bounded, work-stealing worker pool
+// shared by SweepCorners, MonteCarlo, BruteForce and CharacterizeBatch, with
+// an LRU cache of calibrations and warm-start seeding — the first traced
+// contour of each cell group seeds its neighbors through a single MPNR
+// correction instead of the full bracketing search. This is the v2 entry
+// surface the paper's library-scale workload wants: "setup/hold times need
+// to be characterized for every register/cell of every standard cell
+// library ... for all process-voltage-temperature (PVT) corners or
+// statistical process samples."
+package latchchar
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"latchchar/internal/obs"
+	"latchchar/internal/sched"
+	"latchchar/internal/stf"
+)
+
+// EngineOptions configure a batch characterization engine.
+type EngineOptions struct {
+	// Parallelism bounds the shared worker pool (default GOMAXPROCS). This
+	// single knob replaces the v1 per-call Workers fields: corners,
+	// Monte-Carlo samples and surface-grid rows all draw from the same pool.
+	Parallelism int
+	// CacheSize bounds the calibration LRU in entries (default 64; negative
+	// disables caching). Calibrations are keyed by (cell name, process,
+	// timing, evaluator config), so cells that share those but differ in
+	// hand-built topology should use distinct names or a negative CacheSize.
+	CacheSize int
+	// Obs attaches engine-level observability: each batch runs inside a
+	// "batch" span. Per-job spans nest under the job's own Options.Obs.
+	Obs *ObsRun
+}
+
+// Engine runs characterization jobs on a shared, bounded worker pool.
+// Construct with NewEngine and Close when done; the package-level ctx-first
+// functions (SweepCornersCtx, MonteCarloCtx, BruteForceCtx) use the shared
+// DefaultEngine. All methods are safe for concurrent use.
+type Engine struct {
+	pool  *sched.Pool
+	cache *sched.LRU[calKey, Calibration]
+	obs   *ObsRun
+}
+
+// NewEngine starts an engine with its own worker pool.
+func NewEngine(opts EngineOptions) (*Engine, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	size := opts.CacheSize
+	if size == 0 {
+		size = 64
+	}
+	if size < 0 {
+		size = 0 // sched.LRU treats a non-positive capacity as disabled
+	}
+	return &Engine{
+		pool:  sched.NewPool(opts.Parallelism),
+		cache: sched.NewLRU[calKey, Calibration](size),
+		obs:   opts.Obs,
+	}, nil
+}
+
+// Close stops the engine's workers after draining queued jobs. The shared
+// DefaultEngine is never closed.
+func (e *Engine) Close() { e.pool.Close() }
+
+// Parallelism returns the worker-pool bound.
+func (e *Engine) Parallelism() int { return e.pool.NumWorkers() }
+
+// CacheStats returns the calibration cache's cumulative hit/miss counts.
+func (e *Engine) CacheStats() (hits, misses int64) { return e.cache.Stats() }
+
+var (
+	defaultEngineOnce sync.Once
+	defaultEngine     *Engine
+)
+
+// DefaultEngine returns the process-wide shared engine (GOMAXPROCS workers,
+// default cache) backing the package-level ctx-first functions.
+func DefaultEngine() *Engine {
+	defaultEngineOnce.Do(func() {
+		defaultEngine, _ = NewEngine(EngineOptions{}) // zero options never fail validation
+	})
+	return defaultEngine
+}
+
+// calKey identifies a calibration for cache purposes. Process and Timing are
+// all-scalar comparable structs; the evaluator config is normalized
+// (defaults applied, observability stripped) so explicit defaults and zero
+// values share an entry.
+type calKey struct {
+	cell string
+	proc Process
+	tim  Timing
+	cfg  EvalConfig
+}
+
+func calKeyOf(cell *Cell, cfg EvalConfig) calKey {
+	c := cfg.WithDefaults()
+	c.Obs = nil
+	return calKey{cell: cell.Name, proc: cell.Process, tim: cell.Timing, cfg: c}
+}
+
+// Job is one unit of batch characterization.
+type Job struct {
+	// Name labels the job in results and observability (default: the cell
+	// name).
+	Name string
+	// Cell is the register to characterize.
+	Cell *Cell
+	// Opts configure the characterization exactly as for CharacterizeCtx.
+	Opts Options
+	// Cold opts this job out of warm-start seeding: it always runs the full
+	// bracketing search and never serves as a seed donor.
+	Cold bool
+}
+
+// JobResult is one job's outcome.
+type JobResult struct {
+	// Name echoes the job label; Index its position in the request.
+	Name  string
+	Index int
+	// Result is the characterization outcome. On cancellation it may be
+	// non-nil alongside Err, carrying the partial contour traced so far.
+	Result *Result
+	// Err reports a failed or canceled job.
+	Err error
+	// WarmStarted reports the trace was seeded from its group leader's
+	// contour, skipping the bracketing search.
+	WarmStarted bool
+	// CalibrationReused reports the calibration came from the engine cache
+	// instead of a fresh calibration transient.
+	CalibrationReused bool
+}
+
+// batchConfig adapts characterizeBatch to its callers: the per-job span
+// name (batch-job, corner, mc-sample), the progress phase, and an optional
+// extra in-flight cap honoring the deprecated per-call Workers fields.
+type batchConfig struct {
+	span  string
+	phase string
+	limit int
+}
+
+// CharacterizeBatch runs the jobs on the shared pool and returns results in
+// job order. Jobs are grouped by cell name; each group's first job runs the
+// cold flow (calibration, bracketing search, trace) and its traced contour
+// warm-starts the rest of the group: the follower seeds from the donor's
+// contour point at the largest hold skew — where the setup time decouples
+// and the MPNR basin is widest — so one corrector solve replaces the whole
+// bracketing search. Calibrations are cached across jobs with identical
+// (cell, process, timing, config).
+//
+// A canceled ctx stops in-flight traces mid-transient; their JobResults
+// carry partial contours and errors wrapping ErrCanceled, and queued jobs
+// fail fast.
+func (e *Engine) CharacterizeBatch(ctx context.Context, jobs []Job) []JobResult {
+	return e.characterizeBatch(ctx, jobs, batchConfig{span: obs.SpanBatchJob, phase: obs.SpanBatch})
+}
+
+func (e *Engine) characterizeBatch(ctx context.Context, jobs []Job, bc batchConfig) []JobResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]JobResult, len(jobs))
+	bsp := e.obs.StartSpan(obs.SpanBatch)
+	defer bsp.End()
+	var sem chan struct{}
+	if bc.limit > 0 {
+		sem = make(chan struct{}, bc.limit)
+	}
+	var done atomic.Int64
+	grp := e.pool.NewGroup(ctx)
+	runJob := func(i int, warm *ContourPoint) {
+		if sem != nil {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+		}
+		e.runJob(ctx, jobs[i], warm, &out[i], bc)
+		jobs[i].Opts.Obs.Progress(obs.Progress{
+			Phase: bc.phase,
+			Done:  int(done.Add(1)), Total: len(jobs),
+		})
+	}
+
+	// Partition: jobs that fail validation are reported without running;
+	// Cold jobs and group leaders run immediately; followers are submitted
+	// by their leader once its contour (the warm seed donor) exists.
+	groups := map[string][]int{}
+	var groupOrder []string
+	var singles []int
+	for i := range jobs {
+		name := jobs[i].Name
+		if name == "" && jobs[i].Cell != nil {
+			name = jobs[i].Cell.Name
+		}
+		out[i] = JobResult{Name: name, Index: i}
+		if jobs[i].Cell == nil {
+			out[i].Err = optErr(fmt.Sprintf("jobs[%d].Cell", i), nil, "must be set")
+			continue
+		}
+		if err := jobs[i].Opts.Validate(); err != nil {
+			out[i].Err = err
+			continue
+		}
+		if jobs[i].Cold {
+			singles = append(singles, i)
+			continue
+		}
+		key := jobs[i].Cell.Name
+		if _, ok := groups[key]; !ok {
+			groupOrder = append(groupOrder, key)
+		}
+		groups[key] = append(groups[key], i)
+	}
+	for _, i := range singles {
+		grp.Go(func(context.Context) { runJob(i, nil) })
+	}
+	for _, key := range groupOrder {
+		idxs := groups[key]
+		leader, followers := idxs[0], idxs[1:]
+		grp.Go(func(context.Context) {
+			runJob(leader, nil)
+			warm := warmPointOf(&out[leader])
+			for _, f := range followers {
+				grp.Go(func(context.Context) { runJob(f, warm) })
+			}
+		})
+	}
+	grp.Wait()
+	return out
+}
+
+// warmPointOf picks the donor seed from a completed leader job: the contour
+// point at the largest hold skew, nearest the region the bracketing search
+// itself probes. A failed leader donates nothing (followers run cold).
+func warmPointOf(r *JobResult) *ContourPoint {
+	if r.Err != nil || r.Result == nil || r.Result.Contour == nil || len(r.Result.Contour.Points) == 0 {
+		return nil
+	}
+	pts := r.Result.Contour.Points
+	best := pts[0]
+	for _, p := range pts[1:] {
+		if p.TauH > best.TauH {
+			best = p
+		}
+	}
+	return &best
+}
+
+// runJob builds the instance and evaluator (reusing a cached calibration
+// when available) and runs the characterization, filling res in place.
+func (e *Engine) runJob(ctx context.Context, job Job, warm *ContourPoint, res *JobResult, bc batchConfig) {
+	sp := job.Opts.Obs.StartSpan(bc.span)
+	defer sp.End()
+	if sp.Enabled() {
+		sp.Logf("%s %s", bc.span, res.Name)
+	}
+	copts := job.Opts
+	copts.Obs = sp
+	inst, err := job.Cell.Build()
+	if err != nil {
+		res.Err = fmt.Errorf("latchchar: build %s: %w", job.Cell.Name, err)
+		return
+	}
+	cfg := copts.Eval
+	cfg.Obs = sp
+	var ev *Evaluator
+	key := calKeyOf(job.Cell, copts.Eval)
+	if cal, ok := e.cache.Get(key); ok {
+		ev, err = stf.NewEvaluatorWithCalibration(inst, cfg, cal)
+		if err == nil {
+			res.CalibrationReused = true
+			sp.Count(obs.CtrCalReused, 1)
+		}
+	} else {
+		ev, err = stf.NewEvaluator(inst, cfg)
+		if err == nil {
+			e.cache.Put(key, ev.Calibration())
+		}
+	}
+	if err != nil {
+		res.Err = fmt.Errorf("latchchar: evaluator: %w", err)
+		return
+	}
+	res.Result, res.WarmStarted, res.Err = characterizeCtx(ctx, ev, copts, warm)
+}
+
+// calibrationFor returns the cell's calibration, from the cache when
+// available, otherwise by building a reference evaluator (whose calibration
+// transient runs under sp) and caching the measurement.
+func (e *Engine) calibrationFor(cell *Cell, cfg EvalConfig, sp *ObsRun) (Calibration, bool, error) {
+	key := calKeyOf(cell, cfg)
+	if cal, ok := e.cache.Get(key); ok {
+		sp.Count(obs.CtrCalReused, 1)
+		return cal, true, nil
+	}
+	inst, err := cell.Build()
+	if err != nil {
+		return Calibration{}, false, fmt.Errorf("latchchar: build %s: %w", cell.Name, err)
+	}
+	c := cfg
+	c.Obs = sp
+	ev, err := stf.NewEvaluator(inst, c)
+	if err != nil {
+		return Calibration{}, false, fmt.Errorf("latchchar: evaluator: %w", err)
+	}
+	e.cache.Put(key, ev.Calibration())
+	return ev.Calibration(), false, nil
+}

@@ -1,0 +1,366 @@
+package latchchar
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"latchchar/internal/obs"
+)
+
+// tspcCornerJobs builds the acceptance workload: one TSPC characterization
+// job per standard corner.
+func tspcCornerJobs(points int) []Job {
+	tm := DefaultTiming()
+	jobs := make([]Job, 0, 4)
+	for _, c := range StandardCorners() {
+		jobs = append(jobs, Job{
+			Name: c.Name,
+			Cell: TSPCCell(c.Apply(DefaultProcess()), tm),
+			Opts: Options{Points: points},
+		})
+	}
+	return jobs
+}
+
+// TestBatchWarmStartFewerSims is the tentpole acceptance check: a
+// warm-started 4-corner TSPC sweep must spend measurably fewer transients
+// than four independent characterizations, because the nominal contour's
+// widest-basin point replaces each follower's ~8-transient bracketing
+// search with one MPNR correction.
+func TestBatchWarmStartFewerSims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("eight characterizations")
+	}
+	const points = 10
+
+	coldSims := 0
+	for _, job := range tspcCornerJobs(points) {
+		res, err := Characterize(job.Cell, job.Opts)
+		if err != nil {
+			t.Fatalf("cold %s: %v", job.Name, err)
+		}
+		coldSims += res.TotalSims()
+	}
+
+	eng, err := NewEngine(EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	run := obs.New()
+	jobs := tspcCornerJobs(points)
+	for i := range jobs {
+		jobs[i].Opts.Obs = run
+	}
+	results := eng.CharacterizeBatch(context.Background(), jobs)
+	sum := run.Summary()
+	run.Close()
+
+	warmSims, warmStarted := 0, 0
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("batch %s: %v", r.Name, r.Err)
+		}
+		if len(r.Result.Contour.Points) < 5 {
+			t.Errorf("batch %s: only %d contour points", r.Name, len(r.Result.Contour.Points))
+		}
+		warmSims += r.Result.TotalSims()
+		if r.WarmStarted {
+			warmStarted++
+		}
+	}
+	if results[0].WarmStarted {
+		t.Error("group leader claims a warm start")
+	}
+	if warmStarted == 0 {
+		t.Fatal("no corner warm-started from the nominal contour")
+	}
+	if got := int(sum.Counters[obs.CtrWarmSeeds]); got != warmStarted {
+		t.Errorf("warm_seeds counter %d, but %d results warm-started", got, warmStarted)
+	}
+	if warmSims >= coldSims {
+		t.Errorf("warm-started batch spent %d transients, cold baseline %d — no saving",
+			warmSims, coldSims)
+	}
+	t.Logf("batch %d transients vs %d cold (%d/%d corners warm-started)",
+		warmSims, coldSims, warmStarted, len(results)-1)
+}
+
+// TestBatchCalibrationReuse: identical jobs share one calibration transient
+// through the engine LRU.
+func TestBatchCalibrationReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two characterizations")
+	}
+	eng, err := NewEngine(EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	cell := TSPCCell(DefaultProcess(), DefaultTiming())
+	jobs := []Job{
+		{Name: "a", Cell: cell, Opts: Options{Points: 5}},
+		{Name: "b", Cell: cell, Opts: Options{Points: 5}},
+	}
+	results := eng.CharacterizeBatch(context.Background(), jobs)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Name, r.Err)
+		}
+	}
+	if results[0].CalibrationReused {
+		t.Error("first job cannot reuse a calibration")
+	}
+	if !results[1].CalibrationReused {
+		t.Error("second identical job did not reuse the cached calibration")
+	}
+	if hits, _ := eng.CacheStats(); hits < 1 {
+		t.Errorf("cache hits = %d", hits)
+	}
+	if results[0].Result.Calibration != results[1].Result.Calibration {
+		t.Error("reused calibration differs from the measured one")
+	}
+}
+
+// cancelAfterGrads wraps a Problem and cancels the context after a fixed
+// number of gradient evaluations — a deterministic mid-trace interruption.
+type cancelAfterGrads struct {
+	Problem
+	after  int32
+	count  atomic.Int32
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfterGrads) EvalGrad(tauS, tauH float64) (h, dhdS, dhdH float64, err error) {
+	if c.count.Add(1) == c.after {
+		c.cancel()
+	}
+	return c.Problem.EvalGrad(tauS, tauH)
+}
+
+// TestCancellationMidTracePartialContour: canceling the context mid-trace
+// must stop promptly and hand back the partial contour with a structured
+// *CanceledError wrapping both ErrCanceled and the context cause.
+func TestCancellationMidTracePartialContour(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization-scale transients")
+	}
+	ev, err := NewEvaluator(TSPCCell(DefaultProcess(), DefaultTiming()), EvalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := FindSeed(ev, SeedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// The seed correction plus the first few contour points cost a handful
+	// of gradient evaluations; canceling after 8 lands mid-trace.
+	p := &cancelAfterGrads{Problem: ev, after: 8, cancel: cancel}
+	ct, err := TraceContourCtx(ctx, p, seed.TauS, seed.TauH, TraceOptions{
+		Step: 5e-12, MaxPoints: 40,
+		Bounds: Rect{MinS: 1e-12, MaxS: 1e-9, MinH: 1e-12, MaxH: 1e-9},
+	})
+	if err == nil {
+		t.Fatal("canceled trace returned no error")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("error does not wrap ErrCanceled: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", err)
+	}
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("no *CanceledError in chain: %v", err)
+	}
+	if ct == nil {
+		t.Fatal("canceled trace dropped the partial contour")
+	}
+	if len(ct.Points) == 0 || len(ct.Points) >= 40 {
+		t.Fatalf("partial contour has %d points, want 0 < n < 40", len(ct.Points))
+	}
+	// Cancellation must take effect within about one corrector round: the
+	// tracer may finish the in-flight gradient evaluation but not start
+	// another full point.
+	if extra := p.count.Load() - p.after; extra > 3 {
+		t.Errorf("%d gradient evaluations after cancellation", extra)
+	}
+}
+
+// TestCharacterizeCtxCanceledUpFront: an already-canceled context fails fast
+// in the seed search without burning the transient budget.
+func TestCharacterizeCtxCanceledUpFront(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds an evaluator (one calibration transient)")
+	}
+	ev, err := NewEvaluator(TSPCCell(DefaultProcess(), DefaultTiming()), EvalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := ev.PlainEvals + ev.GradEvals
+	_, err = CharacterizeWithEvaluatorCtx(ctx, ev, Options{Points: 10})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if spent := ev.PlainEvals + ev.GradEvals - before; spent > 1 {
+		t.Errorf("canceled run still spent %d transients", spent)
+	}
+}
+
+// TestEngineMixedLoadRace drives one engine from concurrent corner, batch
+// and Monte-Carlo callers — the shared-pool interleaving the race detector
+// watches (run with go test -race).
+func TestEngineMixedLoadRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many concurrent characterizations")
+	}
+	eng, err := NewEngine(EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	tm := DefaultTiming()
+	mk := func(p Process) *Cell { return TSPCCell(p, tm) }
+	corners := StandardCorners()[:2]
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		rs := eng.SweepCorners(ctx, mk, DefaultProcess(), corners, Options{Points: 5})
+		if err := rs.Err(); err != nil {
+			t.Errorf("corners: %v", err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for _, s := range eng.MonteCarlo(ctx, mk, DefaultProcess(), MCOptions{
+			Samples: 2, Seed: 11, Characterize: Options{Points: 5},
+		}) {
+			if s.Err != nil {
+				t.Errorf("mc sample %d: %v", s.Index, s.Err)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		rs := eng.CharacterizeBatch(ctx, []Job{
+			{Name: "x", Cell: mk(DefaultProcess()), Opts: Options{Points: 5}},
+			{Name: "y", Cell: mk(DefaultProcess()), Opts: Options{Points: 5}},
+		})
+		for _, r := range rs {
+			if r.Err != nil {
+				t.Errorf("batch %s: %v", r.Name, r.Err)
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestOptionsValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		err   error
+		field string
+	}{
+		{"negative points", Options{Points: -1}.Validate(), "Points"},
+		{"resample one", Options{Resample: 1}.Validate(), "Resample"},
+		{"degrade one", Options{Eval: EvalConfig{Degrade: 1}}.Validate(), "Eval.Degrade"},
+		{"inverted bounds", Options{Bounds: Rect{MinS: 2, MaxS: 1, MinH: 1, MaxH: 2}}.Validate(), "Bounds"},
+		{"fine above coarse", Options{Eval: EvalConfig{CoarseStep: 1e-12, FineStep: 2e-12}}.Validate(), "Eval.FineStep"},
+		{"surface n one", SurfaceOptions{N: 1}.Validate(), "N"},
+		{"surface negative workers", SurfaceOptions{Workers: -1}.Validate(), "Workers"},
+		{"mc negative samples", MCOptions{Samples: -1}.Validate(), "Samples"},
+		{"mc negative parallelism", MCOptions{Parallelism: -2}.Validate(), "Parallelism"},
+		{"engine negative parallelism", EngineOptions{Parallelism: -1}.Validate(), "Parallelism"},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !errors.Is(c.err, ErrInvalidOptions) {
+			t.Errorf("%s: does not wrap ErrInvalidOptions: %v", c.name, c.err)
+		}
+		var oe *OptionError
+		if !errors.As(c.err, &oe) {
+			t.Errorf("%s: no *OptionError: %v", c.name, c.err)
+		} else if oe.Field != c.field {
+			t.Errorf("%s: field %q, want %q", c.name, oe.Field, c.field)
+		}
+	}
+	// Zero values select defaults and must stay valid.
+	for name, err := range map[string]error{
+		"Options":        Options{}.Validate(),
+		"SurfaceOptions": SurfaceOptions{}.Validate(),
+		"MCOptions":      MCOptions{}.Validate(),
+		"EngineOptions":  EngineOptions{}.Validate(),
+	} {
+		if err != nil {
+			t.Errorf("zero %s rejected: %v", name, err)
+		}
+	}
+	// The deprecated MaxStep < 0 idiom (disable clamping) must survive v2.
+	if err := (Options{MPNR: MPNROptions{MaxStep: -1}}).Validate(); err != nil {
+		t.Errorf("MPNR.MaxStep < 0 rejected: %v", err)
+	}
+}
+
+func TestCharacterizeBatchRejectsBadJobs(t *testing.T) {
+	eng, err := NewEngine(EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	rs := eng.CharacterizeBatch(context.Background(), []Job{
+		{Name: "nil-cell"},
+		{Name: "bad-opts", Cell: TSPCCell(DefaultProcess(), DefaultTiming()), Opts: Options{Points: -3}},
+	})
+	for i, r := range rs {
+		if !errors.Is(r.Err, ErrInvalidOptions) {
+			t.Errorf("job %d: want ErrInvalidOptions, got %v", i, r.Err)
+		}
+	}
+}
+
+func TestCornerResultsErr(t *testing.T) {
+	ok := CornerResults{{Corner: "tt"}, {Corner: "ff"}}
+	if err := ok.Err(); err != nil {
+		t.Fatalf("clean sweep reports %v", err)
+	}
+	bad := CornerResults{
+		{Corner: "tt"},
+		{Corner: "ss", Err: errors.New("trace diverged")},
+		{Corner: "lv", Err: errors.New("no seed bracket")},
+	}
+	err := bad.Err()
+	if err == nil {
+		t.Fatal("failed corners not aggregated")
+	}
+	for _, want := range []string{"corner ss", "trace diverged", "corner lv", "no seed bracket"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("aggregate error misses %q: %v", want, err)
+		}
+	}
+}
+
+func TestEffectiveParallelism(t *testing.T) {
+	if got := effectiveParallelism(3, 5, 8); got != 3 {
+		t.Errorf("Parallelism should win: %d", got)
+	}
+	if got := effectiveParallelism(0, 5, 8); got != 5 {
+		t.Errorf("deprecated Workers should be honored: %d", got)
+	}
+	if got := effectiveParallelism(0, 0, 8); got != 8 {
+		t.Errorf("default should apply: %d", got)
+	}
+}

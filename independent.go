@@ -1,6 +1,7 @@
 package latchchar
 
 import (
+	"context"
 	"fmt"
 
 	"latchchar/internal/core"
@@ -26,18 +27,24 @@ const (
 // direct-Newton strategy of the paper's companion work. The returned
 // results include simulation counts.
 func IndependentTimes(cell *Cell, evalCfg EvalConfig, opts IndependentOptions) (setup, hold IndependentResult, err error) {
+	return IndependentTimesCtx(context.Background(), cell, evalCfg, opts)
+}
+
+// IndependentTimesCtx is IndependentTimes with a cancellation context,
+// checked at every probe and threaded into the transient step loop.
+func IndependentTimesCtx(ctx context.Context, cell *Cell, evalCfg EvalConfig, opts IndependentOptions) (setup, hold IndependentResult, err error) {
 	ev, err := NewEvaluator(cell, evalCfg)
 	if err != nil {
 		return setup, hold, err
 	}
 	o := opts
 	o.Axis = SetupAxis
-	setup, err = core.IndependentNR(ev, o)
+	setup, err = core.IndependentNRCtx(ctx, ev, o)
 	if err != nil {
 		return setup, hold, fmt.Errorf("latchchar: independent setup: %w", err)
 	}
 	o.Axis = HoldAxis
-	hold, err = core.IndependentNR(ev, o)
+	hold, err = core.IndependentNRCtx(ctx, ev, o)
 	if err != nil {
 		return setup, hold, fmt.Errorf("latchchar: independent hold: %w", err)
 	}
@@ -48,18 +55,23 @@ func IndependentTimes(cell *Cell, evalCfg EvalConfig, opts IndependentOptions) (
 // quantities, for cost comparison (reproducing the 4–10× prior-work
 // speedup).
 func IndependentBaseline(cell *Cell, evalCfg EvalConfig, opts IndependentOptions) (setup, hold IndependentResult, err error) {
+	return IndependentBaselineCtx(context.Background(), cell, evalCfg, opts)
+}
+
+// IndependentBaselineCtx is IndependentBaseline with a cancellation context.
+func IndependentBaselineCtx(ctx context.Context, cell *Cell, evalCfg EvalConfig, opts IndependentOptions) (setup, hold IndependentResult, err error) {
 	ev, err := NewEvaluator(cell, evalCfg)
 	if err != nil {
 		return setup, hold, err
 	}
 	o := opts
 	o.Axis = SetupAxis
-	setup, err = core.IndependentBisection(ev, o)
+	setup, err = core.IndependentBisectionCtx(ctx, ev, o)
 	if err != nil {
 		return setup, hold, fmt.Errorf("latchchar: baseline setup: %w", err)
 	}
 	o.Axis = HoldAxis
-	hold, err = core.IndependentBisection(ev, o)
+	hold, err = core.IndependentBisectionCtx(ctx, ev, o)
 	if err != nil {
 		return setup, hold, fmt.Errorf("latchchar: baseline hold: %w", err)
 	}

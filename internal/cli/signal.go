@@ -1,0 +1,17 @@
+package cli
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalContext returns a context canceled on SIGINT or SIGTERM, so a ^C
+// during a long sweep stops in-flight traces mid-transient instead of
+// killing the process with partial output files left behind. The returned
+// stop function releases the signal registration; a second signal after the
+// first falls through to the default handler and terminates immediately.
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}

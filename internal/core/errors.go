@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -14,6 +16,85 @@ import (
 // they were given when done.
 type ObsAttachable interface {
 	SetObs(*obs.Run)
+}
+
+// CtxAttachable is implemented by Problems that propagate a cancellation
+// context into their evaluations (internal/stf.Evaluator passes it to the
+// transient step loop). The ctx-first solvers attach their context for the
+// duration of the solve and restore Background when done, so a canceled
+// deadline stops the simulation mid-transient, not just between solver
+// iterations.
+type CtxAttachable interface {
+	SetContext(context.Context)
+}
+
+// attachCtx points p's evaluation context at ctx and returns a restore
+// function (a no-op when p does not participate or ctx is Background).
+func attachCtx(ctx context.Context, p Problem) func() {
+	if ctx == nil || ctx == context.Background() {
+		return func() {}
+	}
+	a, ok := p.(CtxAttachable)
+	if !ok {
+		return func() {}
+	}
+	a.SetContext(ctx)
+	return func() { a.SetContext(context.Background()) }
+}
+
+// ErrCanceled is the sentinel for solves stopped by context cancellation.
+// The structured *CanceledError carrying the interruption site wraps it.
+var ErrCanceled = errors.New("core: canceled")
+
+// CanceledError reports a solve stopped by context cancellation, carrying
+// where the work stopped so callers can resume or report partial progress.
+// TraceContourCtx pairs it with the partial contour traced so far.
+type CanceledError struct {
+	// Op identifies the interrupted stage: "seed", "mpnr", "trace",
+	// "resample", "independent".
+	Op string
+	// At is the last solved point before the interruption (zero when the
+	// solve was canceled before producing one).
+	At Point
+	// Points is the number of contour points already accepted (trace only).
+	Points int
+	// Err is the underlying cause (the context error, possibly wrapped by
+	// the transient engine's own cancellation report).
+	Err error
+}
+
+// Error renders a one-line summary.
+func (e *CanceledError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: %s canceled near (τs=%.4g s, τh=%.4g s)", e.Op, e.At.TauS, e.At.TauH)
+	if e.Points > 0 {
+		fmt.Fprintf(&b, " after %d contour points", e.Points)
+	}
+	if e.Err != nil {
+		fmt.Fprintf(&b, ": %v", e.Err)
+	}
+	return b.String()
+}
+
+// Unwrap exposes both the ErrCanceled sentinel and the context cause, so
+// errors.Is(err, core.ErrCanceled) and errors.Is(err, context.Canceled)
+// both hold.
+func (e *CanceledError) Unwrap() []error { return []error{ErrCanceled, e.Err} }
+
+// canceled classifies an evaluation error as a cancellation: either the
+// solver's own ctx fired, or a nested stage (the transient engine, an inner
+// solve) already reported one.
+func canceled(err error) bool {
+	return err != nil && (errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ErrCanceled))
+}
+
+// ctxErr returns a CanceledError for op when ctx is done, else nil.
+func ctxErr(ctx context.Context, op string, at Point) error {
+	if ctx == nil || ctx.Err() == nil {
+		return nil
+	}
+	return &CanceledError{Op: op, At: at, Err: context.Cause(ctx)}
 }
 
 // attachObs points p's observability at span and returns a restore function

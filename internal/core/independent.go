@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -117,21 +118,40 @@ func (o IndependentOptions) evalGrad(p Problem, v float64) (h, dh float64, err e
 // the latch/fail boundary down to Tol. Every probe costs one plain
 // transient.
 func IndependentBisection(p Problem, opts IndependentOptions) (IndependentResult, error) {
+	return IndependentBisectionCtx(context.Background(), p, opts)
+}
+
+// IndependentBisectionCtx is IndependentBisection with a cancellation
+// context, checked before every probe and threaded into the problem's
+// transients (CtxAttachable). Interrupted solves return a *CanceledError.
+func IndependentBisectionCtx(ctx context.Context, p Problem, opts IndependentOptions) (IndependentResult, error) {
 	o := opts.withDefaults()
 	res := IndependentResult{}
 	sp := o.Obs.StartSpan(obs.SpanIndependent)
-	detach := attachObs(p, sp, o.Obs)
+	detachObs := attachObs(p, sp, o.Obs)
+	detachCtx := attachCtx(ctx, p)
 	defer func() {
-		detach()
+		detachCtx()
+		detachObs()
 		sp.End()
 	}()
+	eval := func(v float64) (float64, error) {
+		if err := ctxErr(ctx, "independent", Point{}); err != nil {
+			return 0, err
+		}
+		h, err := o.eval(p, v)
+		if err != nil && canceled(err) {
+			err = &CanceledError{Op: "independent", Err: err}
+		}
+		return h, err
+	}
 	lo, hi := o.Lo, o.Hi
-	hLo, err := o.eval(p, lo)
+	hLo, err := eval(lo)
 	if err != nil {
 		return res, err
 	}
 	res.PlainEvals++
-	hHi, err := o.eval(p, hi)
+	hHi, err := eval(hi)
 	if err != nil {
 		return res, err
 	}
@@ -141,7 +161,7 @@ func IndependentBisection(p Problem, opts IndependentOptions) (IndependentResult
 	}
 	for iter := 0; hi-lo > o.Tol && iter < o.MaxIter; iter++ {
 		mid := 0.5 * (lo + hi)
-		hMid, err := o.eval(p, mid)
+		hMid, err := eval(mid)
 		if err != nil {
 			return res, err
 		}
@@ -153,7 +173,7 @@ func IndependentBisection(p Problem, opts IndependentOptions) (IndependentResult
 		}
 	}
 	res.Skew = 0.5 * (lo + hi)
-	res.H, err = o.eval(p, res.Skew)
+	res.H, err = eval(res.Skew)
 	if err != nil {
 		return res, err
 	}
@@ -165,25 +185,44 @@ func IndependentBisection(p Problem, opts IndependentOptions) (IndependentResult
 // bisection narrows the bracket into the Newton basin, then scalar
 // Newton-Raphson polishes to Tol using the sensitivity-computed dh/dτ.
 func IndependentNR(p Problem, opts IndependentOptions) (IndependentResult, error) {
+	return IndependentNRCtx(context.Background(), p, opts)
+}
+
+// IndependentNRCtx is IndependentNR with a cancellation context, checked
+// before every probe and Newton iteration and threaded into the problem's
+// transients (CtxAttachable). Interrupted solves return a *CanceledError.
+func IndependentNRCtx(ctx context.Context, p Problem, opts IndependentOptions) (IndependentResult, error) {
 	o := opts.withDefaults()
 	res := IndependentResult{}
 	sp := o.Obs.StartSpan(obs.SpanIndependent)
-	detach := attachObs(p, sp, o.Obs)
+	detachObs := attachObs(p, sp, o.Obs)
+	detachCtx := attachCtx(ctx, p)
 	defer func() {
-		detach()
+		detachCtx()
+		detachObs()
 		sp.End()
 	}()
+	eval := func(v float64) (float64, error) {
+		if err := ctxErr(ctx, "independent", Point{}); err != nil {
+			return 0, err
+		}
+		h, err := o.eval(p, v)
+		if err != nil && canceled(err) {
+			err = &CanceledError{Op: "independent", Err: err}
+		}
+		return h, err
+	}
 	lo, hi := o.Lo, o.Hi
 	var v float64
 	if o.Guess > 0 {
 		v = o.Guess
 	} else {
-		hLo, err := o.eval(p, lo)
+		hLo, err := eval(lo)
 		if err != nil {
 			return res, err
 		}
 		res.PlainEvals++
-		hHi, err := o.eval(p, hi)
+		hHi, err := eval(hi)
 		if err != nil {
 			return res, err
 		}
@@ -193,7 +232,7 @@ func IndependentNR(p Problem, opts IndependentOptions) (IndependentResult, error
 		}
 		for hi-lo > o.CoarseWidth {
 			mid := 0.5 * (lo + hi)
-			hMid, err := o.eval(p, mid)
+			hMid, err := eval(mid)
 			if err != nil {
 				return res, err
 			}
@@ -207,8 +246,14 @@ func IndependentNR(p Problem, opts IndependentOptions) (IndependentResult, error
 		v = 0.5 * (lo + hi)
 	}
 	for iter := 0; iter < o.MaxIter; iter++ {
+		if err := ctxErr(ctx, "independent", Point{}); err != nil {
+			return res, err
+		}
 		h, dh, err := o.evalGrad(p, v)
 		if err != nil {
+			if canceled(err) {
+				return res, &CanceledError{Op: "independent", Err: err}
+			}
 			return res, err
 		}
 		res.GradEvals++

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"math"
 
 	"latchchar/internal/num"
@@ -69,21 +69,37 @@ type MPNRResult struct {
 // Under the usual regularity conditions the iteration converges to the
 // point of the h = 0 curve nearest the initial guess.
 func SolveMPNR(p Problem, tauS0, tauH0 float64, opts MPNROptions) (MPNRResult, error) {
+	return SolveMPNRCtx(context.Background(), p, tauS0, tauH0, opts)
+}
+
+// SolveMPNRCtx is SolveMPNR with a cancellation context: ctx is checked
+// before every gradient evaluation and threaded into the problem's
+// transients (CtxAttachable), so a canceled deadline stops the solve within
+// one transient step. Interrupted solves return a *CanceledError.
+func SolveMPNRCtx(ctx context.Context, p Problem, tauS0, tauH0 float64, opts MPNROptions) (MPNRResult, error) {
 	o := opts.withDefaults()
 	res := MPNRResult{}
 	sp := o.Obs.StartSpan(obs.SpanCorrector)
-	detach := attachObs(p, sp, o.Obs)
+	detachObs := attachObs(p, sp, o.Obs)
+	detachCtx := attachCtx(ctx, p)
 	defer func() {
-		detach()
+		detachCtx()
+		detachObs()
 		sp.Observe(obs.HistCorrectorIters, res.Point.CorrectorIters)
 		sp.End()
 	}()
 	var ring iterRing
 	tauS, tauH := tauS0, tauH0
 	for iter := 1; iter <= o.MaxIter; iter++ {
+		if err := ctxErr(ctx, "mpnr", res.Point); err != nil {
+			return res, err
+		}
 		h, gs, gh, err := p.EvalGrad(tauS, tauH)
 		if err != nil {
-			return res, fmt.Errorf("core: MPNR gradient evaluation: %w", err)
+			if canceled(err) {
+				return res, &CanceledError{Op: "mpnr", At: res.Point, Err: err}
+			}
+			return res, &ConvergenceError{Op: "mpnr", At: res.Point, Iterates: ring.slice(), Err: err}
 		}
 		res.GradEvals++
 		if o.Record {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -16,6 +17,13 @@ import (
 // typically needs a single iteration per point, so the cost is ≈n gradient
 // evaluations.
 func ResampleContour(p Problem, c *Contour, n int, opts MPNROptions) (*Contour, error) {
+	return ResampleContourCtx(context.Background(), p, c, n, opts)
+}
+
+// ResampleContourCtx is ResampleContour with a cancellation context; an
+// interrupted resample returns the points polished so far together with a
+// *CanceledError.
+func ResampleContourCtx(ctx context.Context, p Problem, c *Contour, n int, opts MPNROptions) (*Contour, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("core: ResampleContour needs n ≥ 2, got %d", n)
 	}
@@ -49,9 +57,12 @@ func ResampleContour(p Problem, c *Contour, n int, opts MPNROptions) (*Contour, 
 		}
 		s := a.TauS + u*(b.TauS-a.TauS)
 		h := a.TauH + u*(b.TauH-a.TauH)
-		res, err := SolveMPNR(p, s, h, opts)
+		res, err := SolveMPNRCtx(ctx, p, s, h, opts)
 		out.GradEvals += res.GradEvals
 		if err != nil {
+			if canceled(err) {
+				return out, &CanceledError{Op: "resample", At: res.Point, Points: len(out.Points), Err: err}
+			}
 			return out, fmt.Errorf("core: resample point %d at (%.4g, %.4g): %w", k, s, h, err)
 		}
 		out.Points = append(out.Points, res.Point)

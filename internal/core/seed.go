@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"latchchar/internal/obs"
@@ -57,17 +58,33 @@ type SeedResult struct {
 // the bracket ends, expands the bracket if needed, then bisects until the
 // interval width reaches NarrowTo and returns the midpoint.
 func FindSeed(p Problem, opts SeedOptions) (SeedResult, error) {
+	return FindSeedCtx(context.Background(), p, opts)
+}
+
+// FindSeedCtx is FindSeed with a cancellation context: the search checks
+// ctx before every bracketing evaluation and threads it into the problem's
+// transients (CtxAttachable), returning a *CanceledError when interrupted.
+func FindSeedCtx(ctx context.Context, p Problem, opts SeedOptions) (SeedResult, error) {
 	o := opts.withDefaults()
 	res := SeedResult{TauH: o.TauHLarge}
 	sp := o.Obs.StartSpan(obs.SpanSeed)
-	detach := attachObs(p, sp, o.Obs)
+	detachObs := attachObs(p, sp, o.Obs)
+	detachCtx := attachCtx(ctx, p)
 	defer func() {
-		detach()
+		detachCtx()
+		detachObs()
 		sp.End()
 	}()
 	eval := func(s float64) (float64, error) {
+		if err := ctxErr(ctx, "seed", Point{TauS: s, TauH: o.TauHLarge}); err != nil {
+			return 0, err
+		}
 		res.PlainEvals++
-		return p.Eval(s, o.TauHLarge)
+		h, err := p.Eval(s, o.TauHLarge)
+		if err != nil && canceled(err) {
+			err = &CanceledError{Op: "seed", At: Point{TauS: s, TauH: o.TauHLarge}, Err: err}
+		}
+		return h, err
 	}
 	lo, hi := o.Lo, o.Hi
 	hLo, err := eval(lo)

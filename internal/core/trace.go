@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -117,6 +119,16 @@ func (c *Contour) SetupHoldPairs() [][2]float64 {
 // along the tangent induced by the Jacobian (Euler predictor) and re-correct
 // with MPNR, adapting the step length to corrector performance.
 func TraceContour(p Problem, seedS, seedH float64, opts TraceOptions) (*Contour, error) {
+	return TraceContourCtx(context.Background(), p, seedS, seedH, opts)
+}
+
+// TraceContourCtx is TraceContour with a cancellation context, checked at
+// every predictor-corrector cycle and threaded into the problem's
+// transients (CtxAttachable) so cancellation lands within one transient
+// step. An interrupted trace returns the partial contour accepted so far —
+// still a valid prefix (or two arms) of the constant clock-to-Q curve —
+// together with a *CanceledError.
+func TraceContourCtx(ctx context.Context, p Problem, seedS, seedH float64, opts TraceOptions) (*Contour, error) {
 	o := opts.withDefaults()
 	ct := &Contour{}
 
@@ -126,26 +138,27 @@ func TraceContour(p Problem, seedS, seedH float64, opts TraceOptions) (*Contour,
 
 	seedOpts := o.MPNR
 	seedOpts.Obs = sp
-	seedRes, err := SolveMPNR(p, seedS, seedH, seedOpts)
+	seedRes, err := SolveMPNRCtx(ctx, p, seedS, seedH, seedOpts)
 	ct.GradEvals += seedRes.GradEvals
 	if err != nil {
+		if canceled(err) {
+			return ct, &CanceledError{Op: "trace", At: seedRes.Point, Err: err}
+		}
 		return ct, fmt.Errorf("core: seed correction failed: %w", err)
 	}
 	seed := seedRes.Point
 	sp.Point(seed.TauS, seed.TauH, seed.CorrectorIters)
 	sp.Count(obs.CtrPoints, 1)
 
-	fwd, closed, err := traceOneDirection(p, seed, +1, o, ct)
-	if err != nil {
-		return ct, err
-	}
+	// Assemble whatever both arms produced even when a direction fails or
+	// is canceled: the error reports why tracing stopped, the points are
+	// the partial contour.
+	fwd, closed, errF := traceOneDirection(ctx, p, seed, +1, o, ct)
 	ct.Closed = closed
 	var bwd []Point
-	if o.BothDirections && !closed {
-		bwd, _, err = traceOneDirection(p, seed, -1, o, ct)
-		if err != nil {
-			return ct, err
-		}
+	var errB error
+	if o.BothDirections && !closed && errF == nil {
+		bwd, _, errB = traceOneDirection(ctx, p, seed, -1, o, ct)
 	}
 	// Assemble: reversed backward arm, seed, forward arm.
 	pts := make([]Point, 0, len(bwd)+1+len(fwd))
@@ -155,13 +168,24 @@ func TraceContour(p Problem, seedS, seedH float64, opts TraceOptions) (*Contour,
 	pts = append(pts, seed)
 	pts = append(pts, fwd...)
 	ct.Points = pts
+	err = errF
+	if err == nil {
+		err = errB
+	}
+	if err != nil {
+		var ce *CanceledError
+		if errors.As(err, &ce) {
+			ce.Points = len(ct.Points)
+		}
+		return ct, err
+	}
 	return ct, nil
 }
 
 // traceOneDirection walks the curve from seed with initial orientation
 // sign·T(seed). It returns the accepted points (excluding the seed) and
 // whether the walk closed back onto the seed.
-func traceOneDirection(p Problem, seed Point, sign float64, o TraceOptions, ct *Contour) ([]Point, bool, error) {
+func traceOneDirection(ctx context.Context, p Problem, seed Point, sign float64, o TraceOptions, ct *Contour) ([]Point, bool, error) {
 	var pts []Point
 	cur := seed
 	havePrev := false
@@ -174,6 +198,9 @@ func traceOneDirection(p Problem, seed Point, sign float64, o TraceOptions, ct *
 	alpha := o.Step
 
 	for len(pts) < o.MaxPoints {
+		if err := ctxErr(ctx, "trace", cur); err != nil {
+			return pts, false, err
+		}
 		ts, th, err := Tangent(cur.DhdS, cur.DhdH)
 		if err != nil {
 			return pts, false, err
@@ -197,7 +224,7 @@ func traceOneDirection(p Problem, seed Point, sign float64, o TraceOptions, ct *
 		for {
 			predS := cur.TauS + alpha*ts
 			predH := cur.TauH + alpha*th
-			res, err := SolveMPNR(p, predS, predH, stepOpts)
+			res, err := SolveMPNRCtx(ctx, p, predS, predH, stepOpts)
 			ct.GradEvals += res.GradEvals
 			step := TraceStep{From: cur, PredS: predS, PredH: predH, Alpha: alpha, OK: err == nil}
 			if err == nil {
@@ -213,6 +240,12 @@ func traceOneDirection(p Problem, seed Point, sign float64, o TraceOptions, ct *
 					alpha = math.Min(o.MaxStep, alpha*1.4)
 				}
 				break
+			}
+			if canceled(err) {
+				// A canceled corrector is not a struggling corrector: stop
+				// here with the points accepted so far.
+				stepSpan.End()
+				return pts, false, &CanceledError{Op: "trace", At: cur, Points: len(pts), Err: err}
 			}
 			// Corrector struggled: shrink and retry.
 			stepSpan.Count(obs.CtrStepRejects, 1)

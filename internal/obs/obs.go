@@ -46,6 +46,8 @@ const (
 	SpanIndependent  = "independent"
 	SpanCorner       = "corner"
 	SpanMCSample     = "mc-sample"
+	SpanBatch        = "batch"
+	SpanBatchJob     = "batch-job"
 )
 
 // Counter names.
@@ -60,6 +62,8 @@ const (
 	CtrSensFactReused = "sens_factorizations_reused"
 	CtrPoints         = "contour_points"
 	CtrStepRejects    = "step_rejects"
+	CtrWarmSeeds      = "warm_seeds"
+	CtrCalReused      = "calibrations_reused"
 )
 
 // Histogram names.

@@ -1,0 +1,115 @@
+package sched
+
+import "sync"
+
+// LRU is a fixed-capacity least-recently-used cache, safe for concurrent
+// use. The batch engine keys it by (cell, process, timing) to reuse built
+// calibrations and warm-start contours across jobs, corners and batches.
+type LRU[K comparable, V any] struct {
+	mu  sync.Mutex
+	cap int
+	m   map[K]*lruEntry[K, V]
+	// Doubly linked list, most recent at head.
+	head, tail *lruEntry[K, V]
+
+	// Hits and Misses count lookups for cache-efficiency reporting.
+	hits, misses int64
+}
+
+type lruEntry[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *lruEntry[K, V]
+}
+
+// NewLRU creates a cache holding at most capacity entries. A non-positive
+// capacity yields a disabled cache: Get always misses and Put is a no-op.
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	return &LRU[K, V]{cap: capacity, m: make(map[K]*lruEntry[K, V])}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *LRU[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		c.misses++
+		var zero V
+		return zero, false
+	}
+	c.hits++
+	c.moveToFront(e)
+	return e.val, true
+}
+
+// Put inserts or refreshes a value, evicting the least recently used entry
+// when over capacity.
+func (c *LRU[K, V]) Put(key K, val V) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok {
+		e.val = val
+		c.moveToFront(e)
+		return
+	}
+	e := &lruEntry[K, V]{key: key, val: val}
+	c.m[key] = e
+	c.pushFront(e)
+	if len(c.m) > c.cap {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.m, lru.key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *LRU[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Stats returns cumulative hit/miss counts.
+func (c *LRU[K, V]) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+func (c *LRU[K, V]) pushFront(e *lruEntry[K, V]) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *LRU[K, V]) unlink(e *lruEntry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *LRU[K, V]) moveToFront(e *lruEntry[K, V]) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

@@ -1,0 +1,71 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLRUBasicAndEviction(t *testing.T) {
+	c := NewLRU[string, int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	c.Put("c", 3) // evicts b (a was refreshed by the Get)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("a evicted instead of b: %d, %v", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Fatalf("Get(c) = %d, %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUPutRefreshesValue(t *testing.T) {
+	c := NewLRU[int, string](4)
+	c.Put(1, "x")
+	c.Put(1, "y")
+	if v, _ := c.Get(1); v != "y" {
+		t.Fatalf("Get(1) = %q, want y", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := NewLRU[string, int](0)
+	c.Put("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache stored a value")
+	}
+	hits, misses := c.Stats()
+	if hits != 0 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses", hits, misses)
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	c := NewLRU[int, int](16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.Put(i%32, w)
+				c.Get(i % 32)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("Len = %d exceeds capacity", c.Len())
+	}
+}

@@ -1,0 +1,228 @@
+// Package sched provides the shared execution substrate of the batch
+// characterization engine: a single bounded, work-stealing worker pool that
+// SweepCorners, MonteCarlo, BruteForce and Engine.CharacterizeBatch all
+// draw from, plus the LRU cache backing calibration and warm-seed reuse.
+//
+// The paper's motivating workload is library-scale — "setup/hold times need
+// to be characterized for every register/cell of every standard cell
+// library ... for all PVT corners" — which previously spawned one goroutine
+// per corner (unbounded), one per Monte-Carlo sample (Workers = Samples by
+// default) and a third, separate worker count for surface grids. The pool
+// replaces all three with one Parallelism bound.
+//
+// Design: each worker owns a LIFO deque guarded by the pool lock (task
+// granularity here is milliseconds of transient simulation, so a single
+// lock is nowhere near contended); Submit distributes round-robin, workers
+// pop their own tail and steal other deques' heads when idle. Group.Wait
+// lends the waiting goroutine as an extra worker — it executes queued tasks
+// instead of parking — so nested fan-out (a batch job that itself fans a
+// surface grid onto the pool) can never deadlock the fixed worker set.
+package sched
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Task is one unit of pool work.
+type Task func()
+
+// Pool is a bounded work-stealing worker pool. The zero value is not
+// usable; construct with NewPool. All methods are safe for concurrent use.
+type Pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	deques [][]Task // per-worker; push tail, owner pops tail, thieves pop head
+	rr     int      // round-robin submit cursor
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewPool starts a pool with n workers (n <= 0 selects GOMAXPROCS).
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{deques: make([][]Task, n)}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(n)
+	for w := 0; w < n; w++ {
+		go p.worker(w)
+	}
+	return p
+}
+
+// NumWorkers returns the pool's worker count (its Parallelism bound).
+func (p *Pool) NumWorkers() int { return len(p.deques) }
+
+// Submit enqueues a task. It panics on a closed pool.
+func (p *Pool) Submit(t Task) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("sched: Submit on closed pool")
+	}
+	w := p.rr % len(p.deques)
+	p.rr++
+	p.deques[w] = append(p.deques[w], t)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// Close drains the queues and stops the workers. Submit after Close panics;
+// Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}
+
+// worker runs tasks until the pool closes and its queues drain.
+func (p *Pool) worker(id int) {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		t := p.takeLocked(id)
+		for t == nil && !p.closed {
+			p.cond.Wait()
+			t = p.takeLocked(id)
+		}
+		p.mu.Unlock()
+		if t == nil {
+			return // closed and empty
+		}
+		t()
+	}
+}
+
+// takeLocked pops the worker's own newest task, or failing that steals the
+// oldest task of another deque. Callers hold p.mu.
+func (p *Pool) takeLocked(id int) Task {
+	if q := p.deques[id]; len(q) > 0 {
+		t := q[len(q)-1]
+		q[len(q)-1] = nil
+		p.deques[id] = q[:len(q)-1]
+		return t
+	}
+	for off := 1; off < len(p.deques); off++ {
+		v := (id + off) % len(p.deques)
+		if q := p.deques[v]; len(q) > 0 {
+			t := q[0]
+			copy(q, q[1:])
+			q[len(q)-1] = nil
+			p.deques[v] = q[:len(q)-1]
+			return t
+		}
+	}
+	return nil
+}
+
+// trySteal removes one queued task for an external helper (Group.Wait).
+// Returns nil when every deque is empty.
+func (p *Pool) trySteal() Task {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for w := range p.deques {
+		if q := p.deques[w]; len(q) > 0 {
+			t := q[0]
+			copy(q, q[1:])
+			q[len(q)-1] = nil
+			p.deques[w] = q[:len(q)-1]
+			return t
+		}
+	}
+	return nil
+}
+
+// Group tracks a set of related tasks submitted to one pool under a shared
+// context. Tasks receive the group context and are expected to observe its
+// cancellation themselves (the pool always runs them, so result slots are
+// written exactly once and Wait never returns while work is in flight).
+type Group struct {
+	p   *Pool
+	ctx context.Context
+
+	mu      sync.Mutex
+	pending int
+	tick    chan struct{} // nudged on task completion and submission
+}
+
+// NewGroup creates a task group over the pool. A nil ctx means Background.
+func (p *Pool) NewGroup(ctx context.Context) *Group {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Group{p: p, ctx: ctx, tick: make(chan struct{}, 1)}
+}
+
+// Context returns the group's context.
+func (g *Group) Context() context.Context { return g.ctx }
+
+// Go submits fn to the pool as part of the group. It may be called from
+// inside another group task (warm-start followers are submitted by the
+// leader's task when its contour becomes available).
+func (g *Group) Go(fn func(ctx context.Context)) {
+	g.mu.Lock()
+	g.pending++
+	g.mu.Unlock()
+	g.p.Submit(func() {
+		defer g.taskDone()
+		fn(g.ctx)
+	})
+	g.nudge()
+}
+
+func (g *Group) taskDone() {
+	g.mu.Lock()
+	g.pending--
+	g.mu.Unlock()
+	g.nudge()
+}
+
+func (g *Group) nudge() {
+	select {
+	case g.tick <- struct{}{}:
+	default:
+	}
+}
+
+// Wait blocks until every task of the group (including tasks they spawned)
+// has finished, then returns the context error, if any. While waiting it
+// helps the pool: queued tasks — this group's or others' — run on the
+// waiting goroutine, so a task that itself submits to the pool and waits
+// cannot deadlock a fully busy worker set.
+func (g *Group) Wait() error {
+	for {
+		g.mu.Lock()
+		done := g.pending == 0
+		g.mu.Unlock()
+		if done {
+			return context.Cause(g.ctx)
+		}
+		if t := g.p.trySteal(); t != nil {
+			t()
+			continue
+		}
+		<-g.tick
+	}
+}
+
+// String describes the pool for diagnostics.
+func (p *Pool) String() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	queued := 0
+	for _, q := range p.deques {
+		queued += len(q)
+	}
+	return fmt.Sprintf("sched.Pool{workers: %d, queued: %d, closed: %v}", len(p.deques), queued, p.closed)
+}

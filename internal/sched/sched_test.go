@@ -1,0 +1,170 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsAllTasks(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	g := p.NewGroup(context.Background())
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		g.Go(func(context.Context) { n.Add(1) })
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if n.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", n.Load())
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	defer p.Close()
+	g := p.NewGroup(context.Background())
+	var cur, peak atomic.Int64
+	for i := 0; i < 30; i++ {
+		g.Go(func(context.Context) {
+			c := cur.Add(1)
+			for {
+				old := peak.Load()
+				if c <= old || peak.CompareAndSwap(old, c) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			cur.Add(-1)
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	// The waiting goroutine may lend itself as one extra worker.
+	if got := peak.Load(); got > workers+1 {
+		t.Fatalf("peak concurrency %d exceeds bound %d", got, workers+1)
+	}
+}
+
+func TestGroupNestedSubmitDoesNotDeadlock(t *testing.T) {
+	// One worker; a task submits subtasks and a second group waits on the
+	// pool from outside. The helping Wait must execute queued tasks itself.
+	p := NewPool(1)
+	defer p.Close()
+	g := p.NewGroup(context.Background())
+	var n atomic.Int64
+	g.Go(func(context.Context) {
+		for i := 0; i < 8; i++ {
+			g.Go(func(context.Context) { n.Add(1) })
+		}
+		n.Add(1)
+	})
+	done := make(chan struct{})
+	go func() {
+		g.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("nested submit deadlocked")
+	}
+	if n.Load() != 9 {
+		t.Fatalf("ran %d tasks, want 9", n.Load())
+	}
+}
+
+func TestGroupWaitReturnsContextError(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	g := p.NewGroup(ctx)
+	var sawCancel atomic.Bool
+	g.Go(func(ctx context.Context) {
+		cancel()
+		<-ctx.Done()
+		sawCancel.Store(true)
+	})
+	err := g.Wait()
+	if err == nil {
+		t.Fatal("Wait returned nil after cancellation")
+	}
+	if !sawCancel.Load() {
+		t.Fatal("task did not observe cancellation before Wait returned")
+	}
+}
+
+func TestPoolCloseIdempotentAndDrains(t *testing.T) {
+	p := NewPool(2)
+	g := p.NewGroup(context.Background())
+	var n atomic.Int64
+	for i := 0; i < 10; i++ {
+		g.Go(func(context.Context) { n.Add(1) })
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	p.Close()
+	p.Close()
+	if n.Load() != 10 {
+		t.Fatalf("ran %d tasks, want 10", n.Load())
+	}
+}
+
+func TestPoolStealsAcrossDeques(t *testing.T) {
+	// Round-robin submission puts tasks on every deque; with a single slow
+	// task pinning one worker, the others (or the helper) must steal the
+	// rest. Completion within the timeout is the assertion.
+	p := NewPool(2)
+	defer p.Close()
+	g := p.NewGroup(context.Background())
+	release := make(chan struct{})
+	g.Go(func(context.Context) { <-release })
+	var n atomic.Int64
+	for i := 0; i < 20; i++ {
+		g.Go(func(context.Context) { n.Add(1) })
+	}
+	deadline := time.After(10 * time.Second)
+	for n.Load() < 20 {
+		select {
+		case <-deadline:
+			t.Fatalf("stole only %d/20 tasks while one worker was pinned", n.Load())
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(release)
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+}
+
+func TestGroupConcurrentGoAndWait(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	g := p.NewGroup(context.Background())
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				g.Go(func(context.Context) { n.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if n.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", n.Load())
+	}
+}

@@ -11,6 +11,7 @@
 package stf
 
 import (
+	"context"
 	"fmt"
 
 	"latchchar/internal/circuit"
@@ -103,6 +104,7 @@ type Evaluator struct {
 	x0   []float64
 	grid transient.Grid
 	run  *obs.Run
+	ctx  context.Context
 
 	engPlain *transient.Engine
 	engGrad  *transient.Engine
@@ -130,7 +132,7 @@ func NewEvaluatorWithCalibration(inst *registers.Instance, cfg Config, cal Calib
 
 func newEvaluator(inst *registers.Instance, cfg Config, cal *Calibration) (*Evaluator, error) {
 	c := cfg.withDefaults()
-	e := &Evaluator{inst: inst, cfg: c, run: c.Obs}
+	e := &Evaluator{inst: inst, cfg: c, run: c.Obs, ctx: context.Background()}
 
 	// Fixed initial condition: the DC operating point at t = 0 with the
 	// data line at rest (independent of the skews, paper step 1b/1c).
@@ -165,6 +167,16 @@ func newEvaluator(inst *registers.Instance, cfg Config, cal *Calibration) (*Eval
 // (via core.ObsAttachable) to nest the transients they request under their
 // own span. A nil handle disables collection.
 func (e *Evaluator) SetObs(run *obs.Run) { e.run = run }
+
+// SetContext re-points the evaluator's cancellation context; the ctx-first
+// solvers use this (via core.CtxAttachable) so a canceled context stops the
+// transient step loop mid-simulation. nil restores Background.
+func (e *Evaluator) SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.ctx = ctx
+}
 
 // calibrate measures tc, the characteristic delay and tf (Section IV).
 func (e *Evaluator) calibrate() error {
@@ -229,7 +241,7 @@ func (e *Evaluator) Instance() *registers.Instance { return e.inst }
 // Eval computes h(τs, τh) = cᵀx(tf) − r with one transient simulation.
 func (e *Evaluator) Eval(tauS, tauH float64) (float64, error) {
 	e.inst.Data.SetSkews(tauS, tauH)
-	res, err := e.engPlain.RunObs(e.run, e.x0, e.grid)
+	res, err := e.engPlain.RunCtx(e.ctx, e.run, e.x0, e.grid)
 	if err != nil {
 		return 0, err
 	}
@@ -243,7 +255,7 @@ func (e *Evaluator) Eval(tauS, tauH float64) (float64, error) {
 // simulation carrying forward sensitivities.
 func (e *Evaluator) EvalGrad(tauS, tauH float64) (h, dhdS, dhdH float64, err error) {
 	e.inst.Data.SetSkews(tauS, tauH)
-	res, err := e.engGrad.RunObs(e.run, e.x0, e.grid)
+	res, err := e.engGrad.RunCtx(e.ctx, e.run, e.x0, e.grid)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -262,7 +274,7 @@ func (e *Evaluator) OutputAt(tauS, tauH float64) (times, out []float64, err erro
 		Method: e.cfg.Method,
 		Probes: []circuit.UnknownID{e.inst.Out},
 	})
-	res, err := eng.RunObs(e.run, e.x0, e.grid)
+	res, err := eng.RunCtx(e.ctx, e.run, e.x0, e.grid)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -290,7 +302,7 @@ func (e *Evaluator) OutputUntil(tauS, tauH, tEnd float64) (times, out []float64,
 		Method: e.cfg.Method,
 		Probes: []circuit.UnknownID{e.inst.Out},
 	})
-	res, err := eng.RunObs(e.run, e.x0, grid)
+	res, err := eng.RunCtx(e.ctx, e.run, e.x0, grid)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -337,7 +349,7 @@ func (e *Evaluator) SupplyEnergy(tauS, tauH float64) (float64, error) {
 		Method: e.cfg.Method,
 		Probes: []circuit.UnknownID{e.inst.Supply},
 	})
-	res, err := eng.RunObs(e.run, e.x0, e.grid)
+	res, err := eng.RunCtx(e.ctx, e.run, e.x0, e.grid)
 	if err != nil {
 		return 0, err
 	}

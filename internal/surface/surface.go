@@ -8,12 +8,14 @@
 package surface
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"latchchar/internal/obs"
+	"latchchar/internal/sched"
 )
 
 // Surface holds samples of a scalar field on a regular grid:
@@ -58,6 +60,11 @@ func Generate(sAxis, hAxis []float64, factory Factory, workers int) (*Surface, e
 // parents the worker transients correctly). A nil run behaves exactly like
 // Generate.
 func GenerateObs(run *obs.Run, sAxis, hAxis []float64, factory Factory, workers int) (*Surface, error) {
+	return GenerateCtx(context.Background(), run, sAxis, hAxis, factory, nil, workers)
+}
+
+// newSurface validates the axes and allocates the sample grid.
+func newSurface(sAxis, hAxis []float64) (*Surface, error) {
 	if len(sAxis) < 2 || len(hAxis) < 2 {
 		return nil, fmt.Errorf("surface: axes need at least 2 points")
 	}
@@ -71,12 +78,6 @@ func GenerateObs(run *obs.Run, sAxis, hAxis []float64, factory Factory, workers 
 			return nil, fmt.Errorf("surface: h axis not increasing")
 		}
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(sAxis) {
-		workers = len(sAxis)
-	}
 	sf := &Surface{
 		S: append([]float64(nil), sAxis...),
 		H: append([]float64(nil), hAxis...),
@@ -84,6 +85,38 @@ func GenerateObs(run *obs.Run, sAxis, hAxis []float64, factory Factory, workers 
 	}
 	for i := range sf.V {
 		sf.V[i] = make([]float64, len(hAxis))
+	}
+	return sf, nil
+}
+
+// GenerateCtx is GenerateObs with cancellation and optional execution on a
+// shared scheduler pool. A canceled ctx stops the sweep between grid points
+// (and, through evaluators that honor it, mid-transient) and returns the
+// context's cause. When pool is non-nil each row becomes one pool task — the
+// batch engine routes brute-force sweeps here so surface grids, corners and
+// Monte-Carlo samples all share one Parallelism bound; workers then caps how
+// many evaluators the factory builds. A nil pool spawns the classic
+// row-worker goroutines.
+func GenerateCtx(ctx context.Context, run *obs.Run, sAxis, hAxis []float64, factory Factory, pool *sched.Pool, workers int) (*Surface, error) {
+	sf, err := newSurface(sAxis, hAxis)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		if pool != nil {
+			workers = pool.NumWorkers()
+		} else {
+			workers = runtime.GOMAXPROCS(0)
+		}
+	}
+	if workers > len(sAxis) {
+		workers = len(sAxis)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if pool != nil {
+		return generateOnPool(ctx, run, sf, factory, pool, workers)
 	}
 
 	rows := make(chan int)
@@ -101,6 +134,10 @@ func GenerateObs(run *obs.Run, sAxis, hAxis []float64, factory Factory, workers 
 			}
 			for i := range rows {
 				for j, h := range sf.H {
+					if ctx.Err() != nil {
+						errs <- fmt.Errorf("surface: canceled at row τs=%g: %w", sf.S[i], context.Cause(ctx))
+						return
+					}
 					v, err := eval(sf.S[i], h)
 					if err != nil {
 						errs <- fmt.Errorf("surface: point (%g, %g): %w", sf.S[i], h, err)
@@ -132,6 +169,80 @@ func GenerateObs(run *obs.Run, sAxis, hAxis []float64, factory Factory, workers 
 	case err := <-errs:
 		return nil, err
 	default:
+	}
+	return sf, nil
+}
+
+// generateOnPool runs the sweep as one pool task per row. Evaluators are
+// built lazily (at most workers of them) and recycled through a channel, so
+// the calibration-sharing factory economics of the goroutine path carry
+// over: the number of evaluator builds stays bounded by the concurrency, not
+// the row count.
+func generateOnPool(ctx context.Context, run *obs.Run, sf *Surface, factory Factory, pool *sched.Pool, workers int) (*Surface, error) {
+	inner, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	evs := make(chan EvalFunc, workers)
+	var built atomic.Int32
+	var once sync.Once
+	var firstErr error
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			cancel(err)
+		})
+	}
+	var rowsDone atomic.Int64
+	grp := pool.NewGroup(inner)
+	for i := range sf.S {
+		grp.Go(func(context.Context) {
+			if inner.Err() != nil {
+				return
+			}
+			var eval EvalFunc
+			select {
+			case eval = <-evs:
+			default:
+				if int(built.Add(1)) <= workers {
+					var err error
+					if eval, err = factory(); err != nil {
+						fail(err)
+						return
+					}
+				} else {
+					built.Add(-1)
+					select {
+					case eval = <-evs:
+					case <-inner.Done():
+						return
+					}
+				}
+			}
+			defer func() { evs <- eval }()
+			for j, h := range sf.H {
+				if inner.Err() != nil {
+					return
+				}
+				v, err := eval(sf.S[i], h)
+				if err != nil {
+					fail(fmt.Errorf("surface: point (%g, %g): %w", sf.S[i], h, err))
+					return
+				}
+				sf.V[i][j] = v
+			}
+			run.Count(obs.CtrPoints, int64(len(sf.H)))
+			run.Progress(obs.Progress{
+				Phase: obs.SpanSurface,
+				Done:  int(rowsDone.Add(1)), Total: len(sf.S),
+				TauS: sf.S[i],
+			})
+		})
+	}
+	waitErr := grp.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if waitErr != nil {
+		return nil, fmt.Errorf("surface: canceled: %w", waitErr)
 	}
 	return sf, nil
 }

@@ -1,6 +1,7 @@
 package transient
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -86,6 +87,13 @@ type AdaptiveResult struct {
 // RunAdaptive integrates the circuit from x0 at t0 to t1 with LTE-based
 // step control. The circuit must be finalized; x0 is not modified.
 func RunAdaptive(ckt *circuit.Circuit, x0 []float64, t0, t1 float64, opts AdaptiveOptions) (*AdaptiveResult, error) {
+	return RunAdaptiveCtx(context.Background(), ckt, x0, t0, t1, opts)
+}
+
+// RunAdaptiveCtx is RunAdaptive with a cancellation context, checked between
+// step attempts: a canceled run returns the waveform accepted so far together
+// with an error wrapping context.Cause(ctx).
+func RunAdaptiveCtx(ctx context.Context, ckt *circuit.Circuit, x0 []float64, t0, t1 float64, opts AdaptiveOptions) (*AdaptiveResult, error) {
 	if t1 <= t0 {
 		return nil, fmt.Errorf("transient: RunAdaptive needs t1 > t0")
 	}
@@ -131,6 +139,9 @@ func RunAdaptive(ckt *circuit.Circuit, x0 []float64, t0, t1 float64, opts Adapti
 	h := math.Min(o.HInit, t1-t0)
 	hPrev := 0.0
 	for t < t1 {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("transient: adaptive canceled at t=%g: %w", t, context.Cause(ctx))
+		}
 		if len(res.Times)-1 >= o.MaxSteps {
 			return res, fmt.Errorf("%w at t=%g", ErrStepLimit, t)
 		}

@@ -37,6 +37,11 @@ func (m Method) String() string {
 // engine cannot retry with a smaller step; choose a finer grid instead.
 var ErrNewtonFailure = errors.New("transient: Newton did not converge")
 
+// ErrCanceled indicates a run stopped by context cancellation between time
+// steps. Errors returned for canceled runs wrap both this sentinel and the
+// context cause, so errors.Is works against either.
+var ErrCanceled = errors.New("transient: run canceled")
+
 // Options configure a transient run.
 type Options struct {
 	Method Method
@@ -203,7 +208,7 @@ func (e *Engine) Options() Options { return e.opts }
 
 // Run integrates from x0 at grid.Start() to grid.End(). x0 is copied.
 func (e *Engine) Run(x0 []float64, grid Grid) (*Result, error) {
-	return e.RunObs(nil, x0, grid)
+	return e.RunCtx(context.Background(), nil, x0, grid)
 }
 
 // RunObs is Run with observability attached: the simulation runs inside a
@@ -213,6 +218,17 @@ func (e *Engine) Run(x0 []float64, grid Grid) (*Result, error) {
 // attribute time to the transient vs. LU phases. A nil run behaves exactly
 // like Run and adds no allocations.
 func (e *Engine) RunObs(run *obs.Run, x0 []float64, grid Grid) (*Result, error) {
+	return e.RunCtx(context.Background(), run, x0, grid)
+}
+
+// RunCtx is RunObs with a cancellation context: the step loop checks ctx
+// between time steps, so a canceled deadline stops the integration within
+// one step instead of running the grid to completion. A canceled run
+// returns an error wrapping ErrCanceled and the context cause; the partial
+// state is discarded (transients are cheap relative to a characterization —
+// cancellation granularity for partial *results* is the contour point, see
+// internal/core). A Background context adds one channel-poll per step.
+func (e *Engine) RunCtx(ctx context.Context, run *obs.Run, x0 []float64, grid Grid) (*Result, error) {
 	e.timed = e.opts.Timing || run.Enabled()
 	e.hist = run.Enabled()
 	if e.hist {
@@ -226,7 +242,7 @@ func (e *Engine) RunObs(run *obs.Run, x0 []float64, grid Grid) (*Result, error) 
 	}
 	sp := run.StartSpan(obs.SpanTransient)
 	luF0, luR0 := e.lu.Factorizations, e.lu.Refactorizations
-	res, err := e.run(x0, grid)
+	res, err := e.run(ctx, x0, grid)
 	if run.Enabled() {
 		sp.Count(obs.CtrLUFactor, int64(e.lu.Factorizations-luF0))
 		sp.Count(obs.CtrLURefactor, int64(e.lu.Refactorizations-luR0))
@@ -243,7 +259,7 @@ func (e *Engine) RunObs(run *obs.Run, x0 []float64, grid Grid) (*Result, error) 
 	return res, err
 }
 
-func (e *Engine) run(x0 []float64, grid Grid) (*Result, error) {
+func (e *Engine) run(ctx context.Context, x0 []float64, grid Grid) (*Result, error) {
 	n := e.c.N()
 	if len(x0) != n {
 		return nil, fmt.Errorf("transient: x0 length %d, want %d", len(x0), n)
@@ -297,7 +313,16 @@ func (e *Engine) run(x0 []float64, grid Grid) (*Result, error) {
 	}
 
 	luF0, luR0 := e.lu.Factorizations, e.lu.Refactorizations
+	done := ctx.Done()
 	for k := 1; k < len(pts); k++ {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, fmt.Errorf("%w at t=%.6g s (step %d of %d): %w",
+					ErrCanceled, pts[k], k, len(pts)-1, context.Cause(ctx))
+			default:
+			}
+		}
 		if err := e.step(pts[k-1], pts[k]); err != nil {
 			return nil, fmt.Errorf("%w at t=%.6g s (step %d)", err, pts[k], k)
 		}

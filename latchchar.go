@@ -29,8 +29,9 @@
 package latchchar
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"runtime"
 	"time"
 
 	"latchchar/internal/core"
@@ -165,10 +166,33 @@ type Result struct {
 // TotalSims returns the total transient count, the paper's cost metric.
 func (r *Result) TotalSims() int { return r.PlainSims + r.GradSims }
 
+// ErrCanceled is the sentinel wrapped by every cancellation report; test
+// with errors.Is. Canceled characterizations return it alongside a Result
+// carrying the partial contour traced so far.
+var ErrCanceled = core.ErrCanceled
+
+// CanceledError is the structured cancellation report: the interrupted
+// stage, the last solved point and the partial-contour size.
+type CanceledError = core.CanceledError
+
 // Characterize runs the complete Euler-Newton flow of the paper on a fresh
 // instance of the cell: calibrate, bracket a seed at large hold skew,
 // correct it with MPNR, and trace the constant clock-to-Q contour.
 func Characterize(cell *Cell, opts Options) (*Result, error) {
+	return CharacterizeCtx(context.Background(), cell, opts)
+}
+
+// CharacterizeCtx is Characterize with a cancellation context — the v2
+// ctx-first entry point. The context threads through the seed search, the
+// tracer and into the transient step loop, so cancellation takes effect
+// within one integration step. A canceled run returns an error wrapping
+// ErrCanceled together with a non-nil Result holding the partial contour
+// (when the trace had begun) — still a valid prefix of the setup/hold
+// tradeoff curve.
+func CharacterizeCtx(ctx context.Context, cell *Cell, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	inst, err := cell.Build()
 	if err != nil {
 		return nil, fmt.Errorf("latchchar: build %s: %w", cell.Name, err)
@@ -177,16 +201,34 @@ func Characterize(cell *Cell, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("latchchar: evaluator: %w", err)
 	}
-	return characterize(ev, opts)
+	res, _, err := characterizeCtx(ctx, ev, opts, nil)
+	return res, err
 }
 
 // CharacterizeWithEvaluator runs the flow on an existing evaluator
 // (e.g. to reuse one across parameter sweeps).
 func CharacterizeWithEvaluator(ev *Evaluator, opts Options) (*Result, error) {
-	return characterize(ev, opts)
+	return CharacterizeWithEvaluatorCtx(context.Background(), ev, opts)
 }
 
-func characterize(ev *Evaluator, opts Options) (*Result, error) {
+// CharacterizeWithEvaluatorCtx is CharacterizeWithEvaluator with a
+// cancellation context; see CharacterizeCtx.
+func CharacterizeWithEvaluatorCtx(ctx context.Context, ev *Evaluator, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	res, _, err := characterizeCtx(ctx, ev, opts, nil)
+	return res, err
+}
+
+// characterizeCtx is the shared characterization core. A non-nil warm point
+// (a contour point donated by a previously traced neighbor — another PVT
+// corner or Monte-Carlo sample of the same cell) replaces the bracketing
+// search entirely: the tracer's own MPNR seed correction pulls it onto this
+// instance's curve in a couple of gradient evaluations. If the warm trace
+// fails or degenerates, the cold flow runs as a fallback. The returned bool
+// reports whether the warm seed was actually used.
+func characterizeCtx(ctx context.Context, ev *Evaluator, opts Options, warm *ContourPoint) (*Result, bool, error) {
 	start := time.Now()
 	ev.ResetCounters()
 	sp := opts.Obs.StartSpan(obs.SpanCharacterize)
@@ -199,15 +241,6 @@ func characterize(ev *Evaluator, opts Options) (*Result, error) {
 	maxS := cfg.MaxSetupSkew
 	if maxS <= 0 {
 		maxS = 1.0e-9 // stf default
-	}
-	seedOpts := opts.Seed
-	if seedOpts.Hi <= 0 || seedOpts.Hi > maxS {
-		seedOpts.Hi = 0.8 * maxS
-	}
-	seedOpts.Obs = sp
-	seed, err := core.FindSeed(ev, seedOpts)
-	if err != nil {
-		return nil, fmt.Errorf("latchchar: seeding: %w", err)
 	}
 	bounds := opts.Bounds
 	if (bounds == Rect{}) {
@@ -222,30 +255,73 @@ func characterize(ev *Evaluator, opts Options) (*Result, error) {
 		RecordSteps:    opts.RecordSteps,
 		Obs:            sp,
 	}
-	ct, err := core.TraceContour(ev, seed.TauS, seed.TauH, traceOpts)
-	if err != nil {
-		return nil, fmt.Errorf("latchchar: tracing: %w", err)
+	finish := func(ct *Contour) *Result {
+		if ct == nil {
+			ct = &Contour{}
+		}
+		res := &Result{
+			Contour:     ct,
+			Calibration: ev.Calibration(),
+			PlainSims:   ev.PlainEvals,
+			GradSims:    ev.GradEvals,
+			Stats:       ev.Work,
+			Elapsed:     time.Since(start),
+		}
+		if len(ct.Points) > 0 {
+			res.Seed = ct.Points[0]
+		}
+		return res
+	}
+
+	warmUsed := false
+	var ct *Contour
+	var err error
+	if warm != nil {
+		ct, err = core.TraceContourCtx(ctx, ev, warm.TauS, warm.TauH, traceOpts)
+		switch {
+		case err == nil && len(ct.Points) >= 2:
+			warmUsed = true
+			sp.Count(obs.CtrWarmSeeds, 1)
+		case err != nil && errors.Is(err, ErrCanceled):
+			return finish(ct), true, fmt.Errorf("latchchar: tracing: %w", err)
+		}
+		// Any other outcome (seed correction diverged on this instance's
+		// curve, degenerate contour) falls back to the cold flow below; the
+		// transients already spent stay in the counters.
+	}
+	if !warmUsed {
+		seedOpts := opts.Seed
+		if seedOpts.Hi <= 0 || seedOpts.Hi > maxS {
+			seedOpts.Hi = 0.8 * maxS
+		}
+		seedOpts.Obs = sp
+		seed, serr := core.FindSeedCtx(ctx, ev, seedOpts)
+		if serr != nil {
+			return nil, false, fmt.Errorf("latchchar: seeding: %w", serr)
+		}
+		ct, err = core.TraceContourCtx(ctx, ev, seed.TauS, seed.TauH, traceOpts)
+		if err != nil {
+			if errors.Is(err, ErrCanceled) {
+				return finish(ct), false, fmt.Errorf("latchchar: tracing: %w", err)
+			}
+			return nil, false, fmt.Errorf("latchchar: tracing: %w", err)
+		}
 	}
 	if opts.Resample >= 2 {
 		resampleOpts := opts.MPNR
 		resampleOpts.Obs = sp
-		ct, err = core.ResampleContour(ev, ct, opts.Resample, resampleOpts)
-		if err != nil {
-			return nil, fmt.Errorf("latchchar: resampling: %w", err)
+		rs, rerr := core.ResampleContourCtx(ctx, ev, ct, opts.Resample, resampleOpts)
+		if rerr != nil {
+			if errors.Is(rerr, ErrCanceled) {
+				// Keep the fully traced contour; only the redistribution
+				// was interrupted.
+				return finish(ct), warmUsed, fmt.Errorf("latchchar: resampling: %w", rerr)
+			}
+			return nil, warmUsed, fmt.Errorf("latchchar: resampling: %w", rerr)
 		}
+		ct = rs
 	}
-	res := &Result{
-		Contour:     ct,
-		Calibration: ev.Calibration(),
-		PlainSims:   ev.PlainEvals,
-		GradSims:    ev.GradEvals,
-		Stats:       ev.Work,
-		Elapsed:     time.Since(start),
-	}
-	if len(ct.Points) > 0 {
-		res.Seed = ct.Points[0]
-	}
-	return res, nil
+	return finish(ct), warmUsed, nil
 }
 
 // SurfaceOptions configure brute-force surface generation.
@@ -255,8 +331,14 @@ type SurfaceOptions struct {
 	N int
 	// Domain is the swept skew rectangle (default [10 ps, 0.8 ns]²).
 	Domain Rect
-	// Workers bounds the concurrency (default GOMAXPROCS). The paper's
-	// cost comparison counts simulations, which is independent of Workers.
+	// Parallelism bounds the sweep's concurrency (default: the engine
+	// pool's worker count). The paper's cost comparison counts simulations,
+	// which is independent of Parallelism.
+	Parallelism int
+	// Workers bounds the concurrency.
+	//
+	// Deprecated: use Parallelism, the single v2 concurrency knob shared
+	// with the batch engine. Workers is honored when Parallelism is zero.
 	Workers int
 	// Eval tunes the per-worker evaluators.
 	Eval EvalConfig
@@ -286,29 +368,38 @@ type SurfaceResult struct {
 // surface on an N×N grid of trial skews and extract the constant clock-to-Q
 // contour by interpolation.
 func BruteForce(cell *Cell, opts SurfaceOptions) (*SurfaceResult, error) {
+	return BruteForceCtx(context.Background(), cell, opts)
+}
+
+// BruteForceCtx is BruteForce with a cancellation context, running the grid
+// on the shared DefaultEngine pool.
+func BruteForceCtx(ctx context.Context, cell *Cell, opts SurfaceOptions) (*SurfaceResult, error) {
+	return DefaultEngine().BruteForce(ctx, cell, opts)
+}
+
+// BruteForce runs the brute-force baseline on this engine's pool: one task
+// per grid row, sharing the Parallelism bound (and the calibration cache)
+// with any concurrently running batch.
+func (e *Engine) BruteForce(ctx context.Context, cell *Cell, opts SurfaceOptions) (*SurfaceResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	if opts.N <= 0 {
 		opts.N = 40
 	}
 	if (opts.Domain == Rect{}) {
 		opts.Domain = Rect{MinS: 10e-12, MaxS: 0.8e-9, MinH: 10e-12, MaxH: 0.8e-9}
 	}
-	if opts.Workers <= 0 {
-		opts.Workers = runtime.GOMAXPROCS(0)
-	}
+	workers := effectiveParallelism(opts.Parallelism, opts.Workers, e.pool.NumWorkers())
 	start := time.Now()
 	sp := opts.Obs.StartSpan(obs.SpanSurface)
 	defer sp.End()
-	// Calibrate once on a reference instance; workers reuse the numbers.
-	refInst, err := cell.Build()
+	// Calibrate once (or fetch from the engine cache); workers reuse the
+	// numbers, keeping the cost accounting at exactly N² grid transients.
+	cal, _, err := e.calibrationFor(cell, opts.Eval, sp)
 	if err != nil {
-		return nil, fmt.Errorf("latchchar: build %s: %w", cell.Name, err)
+		return nil, err
 	}
-	refEv, err := stf.NewEvaluator(refInst, opts.Eval)
-	if err != nil {
-		return nil, fmt.Errorf("latchchar: evaluator: %w", err)
-	}
-	cal := refEv.Calibration()
-
 	factory := func() (surface.EvalFunc, error) {
 		inst, err := cell.Build()
 		if err != nil {
@@ -320,11 +411,12 @@ func BruteForce(cell *Cell, opts SurfaceOptions) (*SurfaceResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		ev.SetContext(ctx)
 		return ev.Eval, nil
 	}
 	sAxis := surface.Linspace(opts.Domain.MinS, opts.Domain.MaxS, opts.N)
 	hAxis := surface.Linspace(opts.Domain.MinH, opts.Domain.MaxH, opts.N)
-	sf, err := surface.GenerateObs(sp, sAxis, hAxis, factory, opts.Workers)
+	sf, err := surface.GenerateCtx(ctx, sp, sAxis, hAxis, factory, e.pool, workers)
 	if err != nil {
 		return nil, fmt.Errorf("latchchar: surface generation: %w", err)
 	}

@@ -64,12 +64,14 @@ func TestLoadedTSPCDeckCharacterizes(t *testing.T) {
 		t.Fatal(err)
 	}
 	cell := d.Cell("tspc-loaded")
-	warns, err := Lint(cell)
+	rep, err := Vet(cell, VetSpec{}, VetOptions{
+		Enable: []string{"floating-node", "no-ground-path", "single-terminal"},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(warns) != 0 {
-		t.Fatalf("lint warnings on the loaded deck: %v", warns)
+	if len(rep.Diagnostics) != 0 {
+		t.Fatalf("vet diagnostics on the loaded deck: %v", rep.Diagnostics)
 	}
 	inst, err := cell.Build()
 	if err != nil {

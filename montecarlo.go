@@ -1,12 +1,11 @@
 package latchchar
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"latchchar/internal/obs"
 )
@@ -22,7 +21,14 @@ type MCOptions struct {
 	// SigmaVT and SigmaKP are the relative 1σ variations applied to the
 	// threshold voltages and transconductances (defaults 3% and 5%).
 	SigmaVT, SigmaKP float64
-	// Workers bounds concurrency (default: all samples at once).
+	// Parallelism caps how many samples run at once (default: the engine
+	// pool's worker bound — previously every sample ran at once, which on a
+	// library-scale sample count oversubscribed the machine).
+	Parallelism int
+	// Workers bounds concurrency.
+	//
+	// Deprecated: use Parallelism, the single v2 concurrency knob shared
+	// with the batch engine. Workers is honored when Parallelism is zero.
 	Workers int
 	// Characterize configures each sample's characterization.
 	Characterize Options
@@ -37,9 +43,6 @@ func (o MCOptions) withDefaults() MCOptions {
 	}
 	if o.SigmaKP <= 0 {
 		o.SigmaKP = 0.05
-	}
-	if o.Workers <= 0 {
-		o.Workers = o.Samples
 	}
 	return o
 }
@@ -62,6 +65,24 @@ type MCStats struct {
 // mk builds the cell for a given process. Samples run concurrently on
 // independent circuits; results are returned in sample order.
 func MonteCarlo(mk func(Process) *Cell, nominal Process, opts MCOptions) []MCSample {
+	return MonteCarloCtx(context.Background(), mk, nominal, opts)
+}
+
+// MonteCarloCtx is MonteCarlo with a cancellation context, running on the
+// shared DefaultEngine: samples draw from the engine's bounded pool (the v1
+// default of Workers = Samples is gone), the first sample's traced contour
+// warm-starts the rest, and cancellation stops in-flight traces
+// mid-transient. The draw sequence depends only on Seed, exactly as before.
+func MonteCarloCtx(ctx context.Context, mk func(Process) *Cell, nominal Process, opts MCOptions) []MCSample {
+	return DefaultEngine().MonteCarlo(ctx, mk, nominal, opts)
+}
+
+// MonteCarlo runs the statistical sweep on this engine; see MonteCarloCtx.
+// Invalid MCOptions yield a single sample carrying the *OptionError.
+func (e *Engine) MonteCarlo(ctx context.Context, mk func(Process) *Cell, nominal Process, opts MCOptions) []MCSample {
+	if err := opts.Validate(); err != nil {
+		return []MCSample{{Err: err}}
+	}
 	o := opts.withDefaults()
 	rng := rand.New(rand.NewSource(o.Seed))
 	// Draw all processes up front so the sequence depends only on Seed,
@@ -75,40 +96,30 @@ func MonteCarlo(mk func(Process) *Cell, nominal Process, opts MCOptions) []MCSam
 		p.PMOS.KP *= 1 + o.SigmaKP*rng.NormFloat64()
 		samples[i] = MCSample{Index: i, Process: p}
 	}
-	sem := make(chan struct{}, o.Workers)
-	var done atomic.Int64
-	var wg sync.WaitGroup
+	jobs := make([]Job, len(samples))
+	pre := make([]error, len(samples))
 	for i := range samples {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			s := &samples[i]
-			if err := s.Process.NMOS.Validate(); err != nil {
-				s.Err = fmt.Errorf("latchchar: sample %d: %w", i, err)
-				return
-			}
-			if err := s.Process.PMOS.Validate(); err != nil {
-				s.Err = fmt.Errorf("latchchar: sample %d: %w", i, err)
-				return
-			}
-			run := o.Characterize.Obs
-			sp := run.StartSpan(obs.SpanMCSample)
-			if sp.Enabled() {
-				sp.Logf("sample %d", i)
-			}
-			copts := o.Characterize
-			copts.Obs = sp
-			s.Result, s.Err = Characterize(mk(s.Process), copts)
-			sp.End()
-			run.Progress(obs.Progress{
-				Phase: obs.SpanMCSample,
-				Done:  int(done.Add(1)), Total: len(samples),
-			})
-		}(i)
+		s := &samples[i]
+		if err := s.Process.NMOS.Validate(); err != nil {
+			pre[i] = fmt.Errorf("latchchar: sample %d: %w", i, err)
+			continue
+		}
+		if err := s.Process.PMOS.Validate(); err != nil {
+			pre[i] = fmt.Errorf("latchchar: sample %d: %w", i, err)
+			continue
+		}
+		jobs[i] = Job{Name: fmt.Sprintf("%d", i), Cell: mk(s.Process), Opts: o.Characterize}
 	}
-	wg.Wait()
+	limit := effectiveParallelism(o.Parallelism, o.Workers, 0)
+	res := e.characterizeBatch(ctx, jobs, batchConfig{
+		span: obs.SpanMCSample, phase: obs.SpanMCSample, limit: limit,
+	})
+	for i := range samples {
+		samples[i].Result, samples[i].Err = res[i].Result, res[i].Err
+		if pre[i] != nil {
+			samples[i].Err = pre[i]
+		}
+	}
 	return samples
 }
 
