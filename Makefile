@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet vulncheck charvet tracesmoke batchsmoke ci clean
+.PHONY: all build test race vet vulncheck charvet tracesmoke batchsmoke servesmoke ci clean
 
 all: build
 
@@ -49,7 +49,13 @@ tracesmoke:
 batchsmoke:
 	$(GO) test -run TestBatchWarmStartFewerSims -v .
 
-ci: build vet vulncheck race tracesmoke batchsmoke
+# servesmoke boots the latchchard daemon on a random port, characterizes the
+# TSPC cell through the HTTP API, checks the metrics exposition and drains it
+# via SIGTERM (the serving-layer acceptance test).
+servesmoke:
+	$(GO) test -run TestServeSmoke -v ./cmd/latchchard
+
+ci: build vet vulncheck race tracesmoke batchsmoke servesmoke
 
 clean:
 	$(GO) clean ./...

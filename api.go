@@ -27,43 +27,43 @@ type SeedResult = core.SeedResult
 // MPNRResult re-exports the Moore-Penrose Newton solve outcome.
 type MPNRResult = core.MPNRResult
 
-// FindSeed locates an initial (τs, τh) guess near the h = 0 curve by
-// bracketing the setup time at a large pinned hold skew (paper Fig. 7).
-func FindSeed(p Problem, opts SeedOptions) (SeedResult, error) {
-	return core.FindSeed(p, opts)
-}
-
-// FindSeedCtx is FindSeed with a cancellation context, threaded into the
-// problem's transients so cancellation lands within one integration step.
+// FindSeedCtx locates an initial (τs, τh) guess near the h = 0 curve by
+// bracketing the setup time at a large pinned hold skew (paper Fig. 7). The
+// context threads into the problem's transients so cancellation lands
+// within one integration step.
 func FindSeedCtx(ctx context.Context, p Problem, opts SeedOptions) (SeedResult, error) {
 	return core.FindSeedCtx(ctx, p, opts)
 }
 
-// SolveMPNR runs the Moore-Penrose pseudo-inverse Newton-Raphson corrector
-// from an initial guess, converging to the nearest point of the constant
-// clock-to-Q curve (paper Section IIIC).
-func SolveMPNR(p Problem, tauS, tauH float64, opts MPNROptions) (MPNRResult, error) {
-	return core.SolveMPNR(p, tauS, tauH, opts)
+// FindSeed is FindSeedCtx with context.Background().
+func FindSeed(p Problem, opts SeedOptions) (SeedResult, error) {
+	return core.FindSeed(p, opts)
 }
 
-// SolveMPNRCtx is SolveMPNR with a cancellation context; interrupted solves
-// return a *CanceledError wrapping ErrCanceled.
+// SolveMPNRCtx runs the Moore-Penrose pseudo-inverse Newton-Raphson
+// corrector from an initial guess, converging to the nearest point of the
+// constant clock-to-Q curve (paper Section IIIC). Interrupted solves return
+// a *CanceledError wrapping ErrCanceled.
 func SolveMPNRCtx(ctx context.Context, p Problem, tauS, tauH float64, opts MPNROptions) (MPNRResult, error) {
 	return core.SolveMPNRCtx(ctx, p, tauS, tauH, opts)
 }
 
-// TraceContour runs Euler-Newton continuation from a seed guess (paper
-// Section IIIE). Most callers want the higher-level Characterize, which
-// also handles calibration and seeding.
-func TraceContour(p Problem, seedS, seedH float64, opts TraceOptions) (*Contour, error) {
-	return core.TraceContour(p, seedS, seedH, opts)
+// SolveMPNR is SolveMPNRCtx with context.Background().
+func SolveMPNR(p Problem, tauS, tauH float64, opts MPNROptions) (MPNRResult, error) {
+	return core.SolveMPNR(p, tauS, tauH, opts)
 }
 
-// TraceContourCtx is TraceContour with a cancellation context. An
-// interrupted trace returns the partial contour accepted so far together
-// with a *CanceledError.
+// TraceContourCtx runs Euler-Newton continuation from a seed guess (paper
+// Section IIIE). An interrupted trace returns the partial contour accepted
+// so far together with a *CanceledError. Most callers want the higher-level
+// CharacterizeCtx, which also handles calibration and seeding.
 func TraceContourCtx(ctx context.Context, p Problem, seedS, seedH float64, opts TraceOptions) (*Contour, error) {
 	return core.TraceContourCtx(ctx, p, seedS, seedH, opts)
+}
+
+// TraceContour is TraceContourCtx with context.Background().
+func TraceContour(p Problem, seedS, seedH float64, opts TraceOptions) (*Contour, error) {
+	return core.TraceContour(p, seedS, seedH, opts)
 }
 
 // Tangent returns the unit tangent induced by the Jacobian [gs, gh]
@@ -118,39 +118,14 @@ func Vet(cell *Cell, spec VetSpec, opts VetOptions) (*VetReport, error) {
 	return vet.VetInstance(cell.Name, inst, spec, opts)
 }
 
-// Lint builds one instance of the cell and returns structural warnings
-// (floating nodes, nodes without a DC path to ground, dangling
-// single-terminal nodes) as formatted strings.
-//
-// Deprecated: use Vet, which runs the same topology checks plus the
-// stimulus- and configuration-level analyzers and returns structured
-// diagnostics. Lint remains as a thin adapter over the vet driver.
-func Lint(cell *Cell) ([]string, error) {
-	inst, err := cell.Build()
-	if err != nil {
-		return nil, err
-	}
-	rep, err := vet.VetInstance(cell.Name, inst, VetSpec{}, VetOptions{
-		Enable: []string{"floating-node", "no-ground-path", "single-terminal"},
-	})
-	if err != nil {
-		return nil, err
-	}
-	out := make([]string, len(rep.Diagnostics))
-	for i, d := range rep.Diagnostics {
-		out[i] = d.String()
-	}
-	return out, nil
-}
-
-// ResampleContour redistributes a traced contour into exactly n points
+// ResampleContourCtx redistributes a traced contour into exactly n points
 // evenly spaced in arc length, polishing each onto the curve with MPNR —
 // the form library table generators want.
-func ResampleContour(p Problem, c *Contour, n int, opts MPNROptions) (*Contour, error) {
-	return core.ResampleContour(p, c, n, opts)
-}
-
-// ResampleContourCtx is ResampleContour with a cancellation context.
 func ResampleContourCtx(ctx context.Context, p Problem, c *Contour, n int, opts MPNROptions) (*Contour, error) {
 	return core.ResampleContourCtx(ctx, p, c, n, opts)
+}
+
+// ResampleContour is ResampleContourCtx with context.Background().
+func ResampleContour(p Problem, c *Contour, n int, opts MPNROptions) (*Contour, error) {
+	return core.ResampleContour(p, c, n, opts)
 }

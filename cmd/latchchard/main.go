@@ -1,0 +1,116 @@
+// Command latchchard serves interdependent setup/hold characterization over
+// HTTP/JSON: a long-running daemon wrapping latchchar.Engine with request
+// coalescing, a result cache, a bounded job queue with backpressure, and
+// graceful drain on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	latchchard -addr :8080
+//	latchchard -addr 127.0.0.1:0 -addrfile /tmp/latchchard.addr
+//
+// Endpoints: POST /v1/characterize, POST /v1/batch, GET /v1/jobs/{id},
+// GET /v1/jobs/{id}/events (NDJSON), /healthz, /metrics, /debug/pprof.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"latchchar"
+	"latchchar/internal/cli"
+	"latchchar/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprint(os.Stderr, "latchchard: ")
+		cli.RenderError(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("latchchard", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address (host:port, port 0 picks a free one)")
+		addrFile     = fs.String("addrfile", "", "write the bound address to this file once listening (for scripts and tests)")
+		parallelism  = fs.Int("parallelism", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+		cacheSize    = fs.Int("cache", 0, "calibration LRU capacity in entries (0 = default 64, negative disables)")
+		queueDepth   = fs.Int("queue", 64, "job queue depth; a full queue answers 429")
+		workers      = fs.Int("workers", 0, "concurrently running jobs (0 = engine parallelism)")
+		jobTimeout   = fs.Duration("job-timeout", 10*time.Minute, "server-side per-job deadline (negative disables)")
+		resultCache  = fs.Int("result-cache", 128, "result cache capacity in entries (negative disables)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful drain budget after SIGTERM before in-flight jobs are canceled")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	eng, err := latchchar.NewEngine(latchchar.EngineOptions{
+		Parallelism: *parallelism,
+		CacheSize:   *cacheSize,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	srv, err := serve.New(serve.Config{
+		Engine:          eng,
+		QueueDepth:      *queueDepth,
+		Workers:         *workers,
+		JobTimeout:      *jobTimeout,
+		ResultCacheSize: *resultCache,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("writing addrfile: %w", err)
+		}
+	}
+	hs := &http.Server{Handler: srv}
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "latchchard: listening on %s (parallelism %d, queue %d)\n",
+		ln.Addr(), eng.Parallelism(), *queueDepth)
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	// Signal received: a second one now kills the process the default way.
+	stop()
+	fmt.Fprintf(os.Stderr, "latchchard: draining (budget %s)\n", *drainTimeout)
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(dctx)
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "latchchard: shutdown: %v\n", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if drainErr != nil {
+		return fmt.Errorf("drain: in-flight jobs canceled after %s: %w", *drainTimeout, drainErr)
+	}
+	fmt.Fprintln(os.Stderr, "latchchard: drained cleanly")
+	return nil
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke is the end-to-end daemon exercise behind `make servesmoke`:
+// start latchchard on a random port, characterize the TSPC cell through the
+// HTTP API, poll the job to completion, check the metrics exposition, then
+// drain via SIGTERM and require a clean exit.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full characterization")
+	}
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-addrfile", addrFile,
+			"-parallelism", "2",
+			"-drain-timeout", "120s",
+		})
+	}()
+
+	var base string
+	for deadline := time.Now().Add(15 * time.Second); ; {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			base = "http://" + strings.TrimSpace(string(b))
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited before listening: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon did not write the addrfile")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Post(base+"/v1/characterize", "application/json",
+		strings.NewReader(`{"cell":"tspc","options":{"points":4}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("characterize: status %d: %s", resp.StatusCode, body)
+	}
+	var job struct {
+		ID     string `json:"id"`
+		State  string `json:"state"`
+		Error  string `json:"error"`
+		Result *struct {
+			Contour []json.RawMessage `json:"contour"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+	if job.ID == "" {
+		t.Fatalf("no job id in %s", body)
+	}
+
+	for deadline := time.Now().Add(120 * time.Second); ; {
+		r, err := http.Get(base + "/v1/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("job poll: status %d: %s", r.StatusCode, b)
+		}
+		if err := json.Unmarshal(b, &job); err != nil {
+			t.Fatal(err)
+		}
+		if job.State == "done" {
+			break
+		}
+		if job.State == "failed" || job.State == "canceled" {
+			t.Fatalf("job %s: %s", job.State, job.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %q", job.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if job.Result == nil || len(job.Result.Contour) == 0 {
+		t.Fatal("finished job has an empty contour")
+	}
+
+	r, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	for _, want := range []string{"calibrations_reused", "latchchard_jobs_done_total 1"} {
+		if !strings.Contains(string(met), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, met)
+		}
+	}
+
+	// SIGTERM drains: the daemon must exit cleanly on its own.
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit after SIGTERM: %v", err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("daemon still listening after drain")
+	}
+}
+
+// The flag set must reject unknown flags rather than silently serving.
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -62,20 +62,19 @@ func (rs CornerResults) Err() error {
 	return errors.Join(errs...)
 }
 
-// SweepCorners characterizes one register type across process corners on
-// the shared engine pool (one independent circuit per corner). mk builds the
-// cell for a given process — e.g. a closure over TSPCCell with fixed timing.
-// Results are returned in corner order.
+// SweepCorners is SweepCornersCtx with context.Background().
 func SweepCorners(mk func(Process) *Cell, nominal Process, corners []Corner, opts Options) CornerResults {
 	return SweepCornersCtx(context.Background(), mk, nominal, corners, opts)
 }
 
-// SweepCornersCtx is SweepCorners with a cancellation context, running on
-// the shared DefaultEngine: corner jobs draw from the engine's bounded pool
-// instead of spawning one goroutine per corner, the first corner's traced
-// contour warm-starts the rest (one MPNR correction replaces each
-// bracketing search), and cancellation stops in-flight traces mid-transient
-// with partial contours in the results.
+// SweepCornersCtx characterizes one register type across process corners on
+// the shared DefaultEngine (one independent circuit per corner). mk builds
+// the cell for a given process — e.g. a closure over TSPCCell with fixed
+// timing — and results are returned in corner order. Corner jobs draw from
+// the engine's bounded pool instead of spawning one goroutine per corner,
+// the first corner's traced contour warm-starts the rest (one MPNR
+// correction replaces each bracketing search), and cancellation stops
+// in-flight traces mid-transient with partial contours in the results.
 func SweepCornersCtx(ctx context.Context, mk func(Process) *Cell, nominal Process, corners []Corner, opts Options) CornerResults {
 	return DefaultEngine().SweepCorners(ctx, mk, nominal, corners, opts)
 }

@@ -38,15 +38,15 @@ type DelaySurfaceResult struct {
 	Elapsed time.Duration
 }
 
-// BruteForceDelay generates the paper's primary prior-practice baseline:
-// an N×N clock-to-Q delay surface with the 10%-degradation iso-contour
-// extracted by marching squares.
+// BruteForceDelay is BruteForceDelayCtx with context.Background().
 func BruteForceDelay(cell *Cell, opts SurfaceOptions) (*DelaySurfaceResult, error) {
 	return BruteForceDelayCtx(context.Background(), cell, opts)
 }
 
-// BruteForceDelayCtx is BruteForceDelay with a cancellation context, running
-// the grid on the shared DefaultEngine pool.
+// BruteForceDelayCtx generates the paper's primary prior-practice baseline:
+// an N×N clock-to-Q delay surface with the 10%-degradation iso-contour
+// extracted by marching squares, running the grid on the shared
+// DefaultEngine pool with cancellation.
 func BruteForceDelayCtx(ctx context.Context, cell *Cell, opts SurfaceOptions) (*DelaySurfaceResult, error) {
 	return DefaultEngine().BruteForceDelay(ctx, cell, opts)
 }

@@ -147,6 +147,33 @@ type batchConfig struct {
 	limit int
 }
 
+// Characterize runs one characterization job on the engine's pool — the
+// single-job sibling of CharacterizeBatch and the canonical entry point for
+// long-running services: the job draws a worker from the bounded pool
+// (instead of running on the caller's goroutine) and reuses the calibration
+// LRU, so a daemon serving many clients never bypasses either. The context
+// threads into the transient step loop exactly as in CharacterizeCtx; a
+// canceled run returns the partial contour alongside an error wrapping
+// ErrCanceled.
+func (e *Engine) Characterize(ctx context.Context, cell *Cell, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cell == nil {
+		return nil, optErr("cell", nil, "must be set")
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	res := JobResult{Name: cell.Name}
+	grp := e.pool.NewGroup(ctx)
+	grp.Go(func(context.Context) {
+		e.runJob(ctx, Job{Cell: cell, Opts: opts}, nil, &res, batchConfig{span: obs.SpanJob})
+	})
+	grp.Wait()
+	return res.Result, res.Err
+}
+
 // CharacterizeBatch runs the jobs on the shared pool and returns results in
 // job order. Jobs are grouped by cell name; each group's first job runs the
 // cold flow (calibration, bracketing search, trace) and its traced contour

@@ -22,16 +22,16 @@ const (
 	HoldAxis  = core.HoldAxis
 )
 
-// IndependentTimes characterizes the setup and hold times independently of
-// each other (Section IIIB) on a fresh instance of the cell, using the
-// direct-Newton strategy of the paper's companion work. The returned
-// results include simulation counts.
+// IndependentTimes is IndependentTimesCtx with context.Background().
 func IndependentTimes(cell *Cell, evalCfg EvalConfig, opts IndependentOptions) (setup, hold IndependentResult, err error) {
 	return IndependentTimesCtx(context.Background(), cell, evalCfg, opts)
 }
 
-// IndependentTimesCtx is IndependentTimes with a cancellation context,
-// checked at every probe and threaded into the transient step loop.
+// IndependentTimesCtx characterizes the setup and hold times independently
+// of each other (Section IIIB) on a fresh instance of the cell, using the
+// direct-Newton strategy of the paper's companion work. The returned
+// results include simulation counts. The context is checked at every probe
+// and threaded into the transient step loop.
 func IndependentTimesCtx(ctx context.Context, cell *Cell, evalCfg EvalConfig, opts IndependentOptions) (setup, hold IndependentResult, err error) {
 	ev, err := NewEvaluator(cell, evalCfg)
 	if err != nil {
@@ -51,14 +51,14 @@ func IndependentTimesCtx(ctx context.Context, cell *Cell, evalCfg EvalConfig, op
 	return setup, hold, nil
 }
 
-// IndependentBaseline runs the industry-practice binary search for the same
-// quantities, for cost comparison (reproducing the 4–10× prior-work
-// speedup).
+// IndependentBaseline is IndependentBaselineCtx with context.Background().
 func IndependentBaseline(cell *Cell, evalCfg EvalConfig, opts IndependentOptions) (setup, hold IndependentResult, err error) {
 	return IndependentBaselineCtx(context.Background(), cell, evalCfg, opts)
 }
 
-// IndependentBaselineCtx is IndependentBaseline with a cancellation context.
+// IndependentBaselineCtx runs the industry-practice binary search for the
+// same quantities as IndependentTimesCtx, for cost comparison (reproducing
+// the 4–10× prior-work speedup).
 func IndependentBaselineCtx(ctx context.Context, cell *Cell, evalCfg EvalConfig, opts IndependentOptions) (setup, hold IndependentResult, err error) {
 	ev, err := NewEvaluator(cell, evalCfg)
 	if err != nil {

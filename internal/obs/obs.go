@@ -48,6 +48,7 @@ const (
 	SpanMCSample     = "mc-sample"
 	SpanBatch        = "batch"
 	SpanBatchJob     = "batch-job"
+	SpanJob          = "job"
 )
 
 // Counter names.
@@ -135,11 +136,13 @@ type collector struct {
 	cmu      sync.RWMutex
 	counters map[string]*atomic.Int64
 
-	mu     sync.Mutex
-	closed bool
-	sinks  []Sink
-	phases map[string]*phaseAgg
-	hists  map[string]*Hist
+	mu        sync.Mutex
+	closed    bool
+	sinks     []Sink
+	nextSubID uint64
+	subs      map[uint64]func(Event)
+	phases    map[string]*phaseAgg
+	hists     map[string]*Hist
 }
 
 // New creates an enabled observability run.
@@ -184,7 +187,8 @@ func (r *Run) AddSink(s Sink) {
 
 func (c *collector) since() time.Duration { return c.clock().Sub(c.start) }
 
-// emit serializes an event to every sink. The caller fills everything but V.
+// emit serializes an event to every sink and subscriber. The caller fills
+// everything but V.
 func (c *collector) emit(e *Event) {
 	e.V = SchemaVersion
 	c.mu.Lock()
@@ -194,6 +198,36 @@ func (c *collector) emit(e *Event) {
 	}
 	for _, s := range c.sinks {
 		s.Event(e)
+	}
+	for _, fn := range c.subs {
+		fn(*e)
+	}
+}
+
+// Subscribe registers fn to receive a copy of every subsequent event, and
+// returns a cancel function that unregisters it. Unlike AddSink, a
+// subscription can be dropped while the run is live — the hook the serving
+// layer's NDJSON event streaming attaches and detaches per HTTP client.
+// fn is invoked under the collector lock and must not block or call back
+// into the run; hand the event off to a buffered channel and drop on
+// overflow instead of stalling the solvers.
+func (r *Run) Subscribe(fn func(Event)) (cancel func()) {
+	if r == nil || fn == nil {
+		return func() {}
+	}
+	c := r.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextSubID++
+	id := c.nextSubID
+	if c.subs == nil {
+		c.subs = make(map[uint64]func(Event))
+	}
+	c.subs[id] = fn
+	return func() {
+		c.mu.Lock()
+		delete(c.subs, id)
+		c.mu.Unlock()
 	}
 }
 

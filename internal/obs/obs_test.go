@@ -266,3 +266,54 @@ func TestHistOverflowAndMerge(t *testing.T) {
 		t.Fatalf("overflow not rendered: %s", s.String())
 	}
 }
+
+func TestSubscribeReceivesAndCancels(t *testing.T) {
+	run := New(WithClock(fakeClock(time.Millisecond)))
+	var mu sync.Mutex
+	var got []Event
+	cancel := run.Subscribe(func(e Event) {
+		mu.Lock()
+		got = append(got, e)
+		mu.Unlock()
+	})
+
+	sp := run.StartSpan(SpanCharacterize)
+	sp.End()
+	mu.Lock()
+	n := len(got)
+	mu.Unlock()
+	if n != 2 {
+		t.Fatalf("subscriber saw %d events, want span begin+end", n)
+	}
+	if got[0].Kind != KindSpanBegin || got[1].Kind != KindSpanEnd {
+		t.Fatalf("kinds = %s, %s", got[0].Kind, got[1].Kind)
+	}
+
+	// After cancel, further events are not delivered.
+	cancel()
+	sp2 := run.StartSpan(SpanTrace)
+	sp2.End()
+	mu.Lock()
+	after := len(got)
+	mu.Unlock()
+	if after != n {
+		t.Errorf("canceled subscriber still receives events: %d -> %d", n, after)
+	}
+
+	// A second subscriber sees the run_end emitted by Close.
+	var last Event
+	run.Subscribe(func(e Event) { last = e })
+	if err := run.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if last.Kind != KindRunEnd {
+		t.Errorf("final event kind = %q, want run_end", last.Kind)
+	}
+}
+
+func TestSubscribeNilRun(t *testing.T) {
+	var run *Run
+	cancel := run.Subscribe(func(Event) { t.Error("nil run delivered an event") })
+	cancel() // must not panic
+	run.StartSpan(SpanTrace).End()
+}

@@ -1,0 +1,300 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"latchchar"
+	"latchchar/internal/transient"
+)
+
+// The wire schema of the v1 HTTP API. Requests name a built-in cell or carry
+// an inline netlist deck plus optional Process/Timing overrides and a stable
+// subset of the characterization options; responses render Result, Contour
+// and Stats with picosecond skews matching the CLI formats. The schema is a
+// deliberate subset of latchchar.Options — fields with process-local
+// semantics (Obs, RecordSteps, evaluator step tuning) stay server-side.
+
+// CharacterizeRequest is the body of POST /v1/characterize.
+type CharacterizeRequest struct {
+	// Cell names a built-in register ("tspc", "c2mos", "tgate").
+	Cell string `json:"cell,omitempty"`
+	// Netlist is an inline SPICE-like deck; it overrides Cell (which then
+	// only labels the deck). Process/Timing overrides do not apply to decks,
+	// which carry their own stimulus.
+	Netlist string `json:"netlist,omitempty"`
+	// Process and Timing partially override the built-in cell's defaults;
+	// absent fields keep their default values.
+	Process json.RawMessage `json:"process,omitempty"`
+	Timing  json.RawMessage `json:"timing,omitempty"`
+	// Options select the characterization query.
+	Options OptionsRequest `json:"options"`
+	// Wait blocks the request until the job finishes and returns the full
+	// result inline instead of 202 + job id.
+	Wait bool `json:"wait,omitempty"`
+	// NoCache bypasses the result cache (the request still coalesces onto
+	// an identical in-flight job).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// OptionsRequest is the wire form of the characterization options.
+type OptionsRequest struct {
+	// Points is the contour point budget per trace direction (default 40).
+	Points int `json:"points,omitempty"`
+	// StepPS is the Euler step length α in picoseconds (default 5).
+	StepPS float64 `json:"step_ps,omitempty"`
+	// BothDirections traces the curve both ways from the seed.
+	BothDirections bool `json:"both_directions,omitempty"`
+	// Resample redistributes the contour into exactly N arc-length-uniform
+	// points (0 = off).
+	Resample int `json:"resample,omitempty"`
+	// Degrade is the clock-to-Q degradation fraction defining setup/hold
+	// (default 0.10).
+	Degrade float64 `json:"degrade,omitempty"`
+	// MaxSetupSkewPS bounds the skew domain in picoseconds.
+	MaxSetupSkewPS float64 `json:"max_setup_skew_ps,omitempty"`
+	// Method selects the integration scheme: "be" (default) or "trap".
+	Method string `json:"method,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch: the jobs run as one engine
+// batch, so jobs sharing a cell warm-start from their group leader exactly
+// as in Engine.CharacterizeBatch.
+type BatchRequest struct {
+	Jobs []BatchJobRequest `json:"jobs"`
+	Wait bool              `json:"wait,omitempty"`
+}
+
+// BatchJobRequest is one job of a batch. Wait and NoCache on the embedded
+// request are ignored for batch items.
+type BatchJobRequest struct {
+	CharacterizeRequest
+	// Name labels the job in the results (default: the cell name).
+	Name string `json:"name,omitempty"`
+	// Cold opts the job out of warm-start seeding.
+	Cold bool `json:"cold,omitempty"`
+}
+
+// JobStatus is the response of GET /v1/jobs/{id} and of synchronous
+// characterize/batch requests.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"` // queued, running, done, failed, canceled
+	// Coalesced counts the extra requests that attached to this job instead
+	// of running their own characterization.
+	Coalesced int `json:"coalesced,omitempty"`
+	// Cached reports the response was served from the result cache.
+	Cached bool `json:"cached,omitempty"`
+	// QueuedMS, RunMS report wall-clock spent queued and running.
+	QueuedMS float64 `json:"queued_ms,omitempty"`
+	RunMS    float64 `json:"run_ms,omitempty"`
+	Error    string  `json:"error,omitempty"`
+	// Partial reports a canceled job that still carries the contour prefix
+	// traced before cancellation.
+	Partial bool        `json:"partial,omitempty"`
+	Result  *ResultJSON `json:"result,omitempty"`
+	// Results holds per-job outcomes for batch jobs, in request order.
+	Results []BatchItemJSON `json:"results,omitempty"`
+}
+
+// ResultJSON renders a characterization result.
+type ResultJSON struct {
+	Cell        string          `json:"cell"`
+	Contour     []PointJSON     `json:"contour"`
+	Calibration CalibrationJSON `json:"calibration"`
+	PlainSims   int             `json:"plain_sims"`
+	GradSims    int             `json:"grad_sims"`
+	TotalSims   int             `json:"total_sims"`
+	ElapsedMS   float64         `json:"elapsed_ms"`
+	Stats       StatsJSON       `json:"stats"`
+}
+
+// PointJSON is one contour point, skews in picoseconds as in the CLI CSV.
+type PointJSON struct {
+	TauSPs float64 `json:"tau_s_ps"`
+	TauHPs float64 `json:"tau_h_ps"`
+	H      float64 `json:"h_volts"`
+	Iters  int     `json:"corrector_iters"`
+}
+
+// CalibrationJSON renders the measured characteristic timing.
+type CalibrationJSON struct {
+	CharDelayPS float64 `json:"char_delay_ps"`
+	TCNs        float64 `json:"tc_ns"`
+	TfNs        float64 `json:"tf_ns"`
+	R           float64 `json:"r_volts"`
+	Rising      bool    `json:"rising"`
+}
+
+// StatsJSON renders the integrator-level work aggregate.
+type StatsJSON struct {
+	Steps          int     `json:"steps"`
+	NewtonIters    int     `json:"newton_iters"`
+	Factorizations int     `json:"factorizations"`
+	SensSolves     int     `json:"sens_solves"`
+	WallMS         float64 `json:"wall_ms"`
+}
+
+// BatchItemJSON is one batch job's outcome.
+type BatchItemJSON struct {
+	Name              string      `json:"name"`
+	Index             int         `json:"index"`
+	Error             string      `json:"error,omitempty"`
+	WarmStarted       bool        `json:"warm_started,omitempty"`
+	CalibrationReused bool        `json:"calibration_reused,omitempty"`
+	Result            *ResultJSON `json:"result,omitempty"`
+}
+
+// errorJSON is the uniform error body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// resolveCell turns a request into a buildable cell: an inline deck, or a
+// built-in cell with Process/Timing overrides decoded on top of its
+// defaults.
+func resolveCell(req *CharacterizeRequest) (*latchchar.Cell, error) {
+	if req.Netlist != "" {
+		if len(req.Process) > 0 || len(req.Timing) > 0 {
+			return nil, fmt.Errorf("process/timing overrides do not apply to inline netlists (the deck carries its own stimulus)")
+		}
+		deck, err := latchchar.ParseNetlistString(req.Netlist)
+		if err != nil {
+			return nil, err
+		}
+		name := req.Cell
+		if name == "" {
+			name = "netlist"
+		}
+		return deck.Cell(name), nil
+	}
+	name := req.Cell
+	if name == "" {
+		return nil, fmt.Errorf("request needs a cell name or an inline netlist")
+	}
+	base, err := latchchar.CellByName(name)
+	if err != nil {
+		return nil, err
+	}
+	p, tm := base.Process, base.Timing
+	if len(req.Process) > 0 {
+		if err := json.Unmarshal(req.Process, &p); err != nil {
+			return nil, fmt.Errorf("process override: %w", err)
+		}
+	}
+	if len(req.Timing) > 0 {
+		if err := json.Unmarshal(req.Timing, &tm); err != nil {
+			return nil, fmt.Errorf("timing override: %w", err)
+		}
+	}
+	if len(req.Process) == 0 && len(req.Timing) == 0 {
+		return base, nil
+	}
+	switch name {
+	case "tspc":
+		return latchchar.TSPCCell(p, tm), nil
+	case "c2mos":
+		return latchchar.C2MOSCell(p, tm, 0), nil // 0 selects the default clk̄ delay
+	case "tgate":
+		return latchchar.TGateCell(p, tm), nil
+	}
+	return nil, fmt.Errorf("cell %q does not accept process/timing overrides", name)
+}
+
+// toOptions converts the wire options to characterization options. The
+// engine's own Options.Validate runs downstream and covers ranges; only
+// wire-level choices (the method name) are checked here.
+func (o OptionsRequest) toOptions() (latchchar.Options, error) {
+	opts := latchchar.Options{
+		Points:         o.Points,
+		Step:           o.StepPS * 1e-12,
+		BothDirections: o.BothDirections,
+		Resample:       o.Resample,
+		Eval: latchchar.EvalConfig{
+			Degrade:      o.Degrade,
+			MaxSetupSkew: o.MaxSetupSkewPS * 1e-12,
+		},
+	}
+	switch o.Method {
+	case "", "be":
+		opts.Eval.Method = transient.BE
+	case "trap":
+		opts.Eval.Method = transient.TRAP
+	default:
+		return opts, fmt.Errorf("unknown method %q (have be, trap)", o.Method)
+	}
+	return opts, nil
+}
+
+// requestKey derives the coalescing/result-cache key: a digest over the
+// resolved cell identity (name, process, timing — or the raw deck text) and
+// the normalized wire options, mirroring the engine's calibration LRU key
+// plus the query parameters.
+func requestKey(req *CharacterizeRequest, cell *latchchar.Cell) string {
+	canonical := struct {
+		Netlist string
+		Name    string
+		Process latchchar.Process
+		Timing  latchchar.Timing
+		Options OptionsRequest
+	}{
+		Netlist: req.Netlist,
+		Name:    cell.Name,
+		Process: cell.Process,
+		Timing:  cell.Timing,
+		Options: req.Options,
+	}
+	b, err := json.Marshal(canonical)
+	if err != nil {
+		// Process/Timing/OptionsRequest are plain scalar structs; Marshal
+		// cannot fail on them. Fall back to an uncoalescable key.
+		return fmt.Sprintf("unkeyed-%p", req)
+	}
+	sum := sha256.Sum256(b)
+	return "v1:" + hex.EncodeToString(sum[:])
+}
+
+// resultJSON renders a Result (nil-safe: canceled jobs may carry none).
+func resultJSON(cell string, res *latchchar.Result) *ResultJSON {
+	if res == nil {
+		return nil
+	}
+	out := &ResultJSON{
+		Cell:      cell,
+		Contour:   []PointJSON{},
+		PlainSims: res.PlainSims,
+		GradSims:  res.GradSims,
+		TotalSims: res.TotalSims(),
+		ElapsedMS: durMS(res.Elapsed),
+		Calibration: CalibrationJSON{
+			CharDelayPS: res.Calibration.CharDelay * 1e12,
+			TCNs:        res.Calibration.TC * 1e9,
+			TfNs:        res.Calibration.Tf * 1e9,
+			R:           res.Calibration.R,
+			Rising:      res.Calibration.Rising,
+		},
+		Stats: StatsJSON{
+			Steps:          res.Stats.Steps,
+			NewtonIters:    res.Stats.NewtonIters,
+			Factorizations: res.Stats.Factorizations,
+			SensSolves:     res.Stats.SensSolves,
+			WallMS:         durMS(res.Stats.Wall),
+		},
+	}
+	if res.Contour != nil {
+		for _, p := range res.Contour.Points {
+			out.Contour = append(out.Contour, PointJSON{
+				TauSPs: p.TauS * 1e12,
+				TauHPs: p.TauH * 1e12,
+				H:      p.H,
+				Iters:  p.CorrectorIters,
+			})
+		}
+	}
+	return out
+}
+
+func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

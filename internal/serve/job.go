@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"latchchar"
+	"latchchar/internal/obs"
+)
+
+// Job states.
+const (
+	stateQueued   = "queued"
+	stateRunning  = "running"
+	stateDone     = "done"
+	stateFailed   = "failed"
+	stateCanceled = "canceled"
+)
+
+// maxJobEvents bounds the per-job event replay buffer; live subscribers
+// keep receiving past the cap, only the replay history stops growing.
+const maxJobEvents = 16384
+
+// job is one queued/running/finished characterization (or batch) with its
+// observability run and event log. The done channel closes after the final
+// state and the run's run_end event are in place, so waiters and event
+// streamers never observe a half-finished record.
+type job struct {
+	id  string
+	key string // coalescing key; "" for batch jobs (never coalesced)
+
+	cell  *latchchar.Cell
+	opts  latchchar.Options
+	batch []latchchar.Job // non-nil selects the batch flow
+
+	run     *obs.Run
+	created time.Time
+	done    chan struct{}
+
+	mu        sync.Mutex
+	state     string
+	started   time.Time
+	finished  time.Time
+	coalesced int
+	result    *latchchar.Result
+	batchRes  []latchchar.JobResult
+	err       error
+	events    []obs.Event
+	subs      map[int]chan obs.Event
+	nextSub   int
+}
+
+// newJob creates a queued job with a live observability run capturing every
+// event (including progress at progressInterval cadence) into the job's
+// replay buffer and fanning it out to subscribers.
+func newJob(id, key string, progressInterval time.Duration) *job {
+	j := &job{
+		id:      id,
+		key:     key,
+		created: time.Now(),
+		state:   stateQueued,
+		done:    make(chan struct{}),
+		subs:    make(map[int]chan obs.Event),
+	}
+	// The empty progress callback turns on progress *events* (the stream
+	// consumers render those); the callback itself has nothing to do.
+	j.run = obs.New(obs.WithProgress(func(obs.Progress) {}, progressInterval))
+	j.run.Subscribe(j.capture)
+	return j
+}
+
+// capture receives one obs event under the collector lock: append to the
+// bounded replay buffer and fan out non-blocking (slow readers drop events
+// rather than stalling the solvers).
+func (j *job) capture(e obs.Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.events) < maxJobEvents {
+		j.events = append(j.events, e)
+	}
+	for _, ch := range j.subs {
+		select {
+		case ch <- e:
+		default:
+		}
+	}
+}
+
+// subscribe returns a copy of the event history plus a channel carrying
+// subsequent events, and a cancel function. The copy and the registration
+// happen atomically, so no event is missed or duplicated at the boundary.
+func (j *job) subscribe(buf int) (history []obs.Event, ch chan obs.Event, cancel func()) {
+	ch = make(chan obs.Event, buf)
+	j.mu.Lock()
+	history = append([]obs.Event(nil), j.events...)
+	id := j.nextSub
+	j.nextSub++
+	j.subs[id] = ch
+	j.mu.Unlock()
+	return history, ch, func() {
+		j.mu.Lock()
+		delete(j.subs, id)
+		j.mu.Unlock()
+	}
+}
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.state = stateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+// complete records a single-job outcome. Cancellation (server drain or job
+// timeout) is distinguished from failure so clients can tell a partial
+// contour from a broken setup.
+func (j *job) complete(res *latchchar.Result, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	j.result, j.err = res, err
+	switch {
+	case err == nil:
+		j.state = stateDone
+	case errors.Is(err, latchchar.ErrCanceled):
+		j.state = stateCanceled
+	default:
+		j.state = stateFailed
+	}
+}
+
+// completeBatch records a batch outcome; the job fails only if every item
+// failed.
+func (j *job) completeBatch(res []latchchar.JobResult) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	j.batchRes = res
+	j.state = stateDone
+	allFailed := len(res) > 0
+	for _, r := range res {
+		if r.Err == nil {
+			allFailed = false
+			break
+		}
+	}
+	if allFailed {
+		j.state = stateFailed
+		j.err = errors.Join(func() []error {
+			errs := make([]error, 0, len(res))
+			for _, r := range res {
+				errs = append(errs, r.Err)
+			}
+			return errs
+		}()...)
+	}
+}
+
+// status snapshots the job as its wire representation.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Coalesced: j.coalesced,
+	}
+	if !j.started.IsZero() {
+		st.QueuedMS = durMS(j.started.Sub(j.created))
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		st.RunMS = durMS(end.Sub(j.started))
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+		var ce *latchchar.CanceledError
+		if errors.As(j.err, &ce) && j.result != nil && j.result.Contour != nil && len(j.result.Contour.Points) > 0 {
+			st.Partial = true
+		}
+	}
+	if j.batch != nil {
+		st.Results = make([]BatchItemJSON, len(j.batchRes))
+		for i, r := range j.batchRes {
+			item := BatchItemJSON{
+				Name:              r.Name,
+				Index:             r.Index,
+				WarmStarted:       r.WarmStarted,
+				CalibrationReused: r.CalibrationReused,
+				Result:            resultJSON(r.Name, r.Result),
+			}
+			if r.Err != nil {
+				item.Error = r.Err.Error()
+			}
+			st.Results[i] = item
+		}
+		return st
+	}
+	if j.result != nil && (j.err == nil || st.Partial) {
+		name := ""
+		if j.cell != nil {
+			name = j.cell.Name
+		}
+		st.Result = resultJSON(name, j.result)
+	}
+	return st
+}

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"latchchar/internal/obs"
+)
+
+// metrics holds the server-level request counters exposed on /metrics.
+type metrics struct {
+	requests         atomic.Int64
+	jobsDone         atomic.Int64
+	jobsFailed       atomic.Int64
+	jobsCanceled     atomic.Int64
+	coalesced        atomic.Int64
+	cacheHits        atomic.Int64
+	rejectedFull     atomic.Int64
+	rejectedDraining atomic.Int64
+}
+
+// obsAgg accumulates per-job obs.Run summaries into a server-lifetime view:
+// every obs counter plus per-phase count and wall-clock. All known counter
+// names are pre-seeded at zero so scrapers see a stable metric set from the
+// first request (and the smoke test can assert calibrations_reused exists
+// before any reuse happened).
+type obsAgg struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	phases   map[string]obs.PhaseStat
+}
+
+func (a *obsAgg) init() {
+	a.counters = map[string]int64{
+		obs.CtrTransients:     0,
+		obs.CtrTransientsGrad: 0,
+		obs.CtrSteps:          0,
+		obs.CtrNewtonIters:    0,
+		obs.CtrLUFactor:       0,
+		obs.CtrLURefactor:     0,
+		obs.CtrSensSolves:     0,
+		obs.CtrSensFactReused: 0,
+		obs.CtrPoints:         0,
+		obs.CtrStepRejects:    0,
+		obs.CtrWarmSeeds:      0,
+		obs.CtrCalReused:      0,
+	}
+	a.phases = map[string]obs.PhaseStat{}
+}
+
+func (a *obsAgg) fold(s obs.Summary) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for name, v := range s.Counters {
+		a.counters[name] += v
+	}
+	for _, p := range s.Phases {
+		agg := a.phases[p.Name]
+		agg.Name = p.Name
+		agg.Count += p.Count
+		agg.Total += p.Total
+		a.phases[p.Name] = agg
+	}
+}
+
+// summary renders the aggregate as an obs.Summary for tests and embedders.
+func (a *obsAgg) summary() obs.Summary {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := obs.Summary{Counters: make(map[string]int64, len(a.counters))}
+	for name, v := range a.counters {
+		s.Counters[name] = v
+	}
+	for _, p := range a.phases {
+		s.Phases = append(s.Phases, p)
+	}
+	sort.Slice(s.Phases, func(i, j int) bool { return s.Phases[i].Name < s.Phases[j].Name })
+	return s
+}
+
+// writeMetrics renders the Prometheus text exposition format (v0.0.4) by
+// hand: serve-level request counters, engine calibration-cache stats, the
+// folded obs counters, and per-phase count/seconds.
+func (s *Server) writeMetrics(w io.Writer) {
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+
+	counter("latchchard_requests_total", "Characterize and batch requests received.", float64(s.met.requests.Load()))
+	counter("latchchard_jobs_done_total", "Jobs finished successfully.", float64(s.met.jobsDone.Load()))
+	counter("latchchard_jobs_failed_total", "Jobs finished with an error.", float64(s.met.jobsFailed.Load()))
+	counter("latchchard_jobs_canceled_total", "Jobs canceled by drain or timeout.", float64(s.met.jobsCanceled.Load()))
+	counter("latchchard_requests_coalesced_total", "Requests attached to an identical in-flight job.", float64(s.met.coalesced.Load()))
+	counter("latchchard_result_cache_hits_total", "Requests served from the result cache.", float64(s.met.cacheHits.Load()))
+	counter("latchchard_rejected_queue_full_total", "Requests rejected with 429 because the job queue was full.", float64(s.met.rejectedFull.Load()))
+	counter("latchchard_rejected_draining_total", "Requests rejected with 503 while draining.", float64(s.met.rejectedDraining.Load()))
+
+	s.mu.Lock()
+	queued := len(s.queue)
+	inflight := len(s.inflight)
+	draining := s.draining
+	s.mu.Unlock()
+	gauge("latchchard_queue_depth", "Jobs waiting in the bounded queue.", float64(queued))
+	gauge("latchchard_inflight_jobs", "Distinct coalescing keys currently queued or running.", float64(inflight))
+	drainVal := 0.0
+	if draining {
+		drainVal = 1
+	}
+	gauge("latchchard_draining", "1 while the server refuses new work.", drainVal)
+
+	hits, misses := s.eng.CacheStats()
+	counter("latchchard_calibration_cache_hits_total", "Engine calibration LRU hits.", float64(hits))
+	counter("latchchard_calibration_cache_misses_total", "Engine calibration LRU misses.", float64(misses))
+
+	sum := s.agg.summary()
+	names := make([]string, 0, len(sum.Counters))
+	for name := range sum.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		counter("latchchard_obs_"+name+"_total",
+			"Observability counter "+name+" summed over finished jobs.",
+			float64(sum.Counters[name]))
+	}
+	for _, p := range sum.Phases {
+		counter("latchchard_phase_"+p.Name+"_count_total",
+			"Completed "+p.Name+" spans over finished jobs.", float64(p.Count))
+		counter("latchchard_phase_"+p.Name+"_seconds_total",
+			"Wall-clock seconds in "+p.Name+" spans over finished jobs.",
+			p.Total.Seconds())
+	}
+}

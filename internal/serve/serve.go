@@ -1,0 +1,591 @@
+// Package serve is the characterization service layer: a long-running
+// HTTP/JSON front end over latchchar.Engine for the paper's library-scale
+// workload — every register of every standard-cell library, at every PVT
+// corner, queried repeatedly by downstream STA tools.
+//
+// The server adds what the engine lacks for traffic: singleflight request
+// coalescing (N concurrent identical requests run one characterization and
+// fan the result out to all waiters), an LRU result cache keyed like the
+// engine's calibration cache, a bounded job queue with backpressure (429 +
+// Retry-After when full), per-job server-side timeouts, and graceful drain
+// (new requests get 503 while queued and in-flight jobs complete; past the
+// drain deadline they return partial contours as canceled jobs).
+//
+// Endpoints:
+//
+//	POST /v1/characterize   one job (async 202 + job id, or "wait": true)
+//	POST /v1/batch          one engine batch with warm-start grouping
+//	GET  /v1/jobs/{id}        job status + result
+//	GET  /v1/jobs/{id}/events NDJSON live event stream (obs schema v1)
+//	GET  /healthz           liveness (503 while draining)
+//	GET  /metrics           Prometheus text: serve + engine + obs counters
+//	GET  /debug/pprof/      standard Go profiling handlers
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"time"
+
+	"latchchar"
+	"latchchar/internal/obs"
+	"latchchar/internal/sched"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Engine runs the characterizations (required). The server never
+	// bypasses it: every job draws a pool worker and shares the calibration
+	// LRU.
+	Engine *latchchar.Engine
+	// QueueDepth bounds accepted-but-unfinished jobs (default 64). A full
+	// queue rejects with 429 + Retry-After.
+	QueueDepth int
+	// Workers bounds concurrently running jobs (default: the engine's
+	// parallelism). The engine pool bounds simulation concurrency either
+	// way; this bounds how many jobs hold a queue slot as "running".
+	Workers int
+	// JobTimeout is the server-side per-job deadline (default 10 min;
+	// negative disables). Timed-out jobs return partial contours as
+	// canceled.
+	JobTimeout time.Duration
+	// ResultCacheSize bounds the result LRU in entries (default 128;
+	// negative disables). Only fully successful single-job results are
+	// cached.
+	ResultCacheSize int
+	// MaxJobs bounds retained job records (default 1024); the oldest
+	// finished records are evicted first.
+	MaxJobs int
+	// RetryAfter is the backpressure hint on 429/503 responses (default 2s).
+	RetryAfter time.Duration
+	// ProgressInterval is the progress-event cadence on job event streams
+	// (default 250ms).
+	ProgressInterval time.Duration
+	// Logf logs serving events (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = c.Engine.Parallelism()
+	}
+	if c.JobTimeout == 0 {
+		c.JobTimeout = 10 * time.Minute
+	}
+	if c.ResultCacheSize == 0 {
+		c.ResultCacheSize = 128
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 2 * time.Second
+	}
+	if c.ProgressInterval <= 0 {
+		c.ProgressInterval = 250 * time.Millisecond
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// Server is the characterization service. Construct with New; it implements
+// http.Handler. Stop with Drain (graceful) and/or Close.
+type Server struct {
+	cfg        Config
+	eng        *latchchar.Engine
+	mux        *http.ServeMux
+	base       context.Context
+	baseCancel context.CancelFunc
+	queue      chan *job
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	nextID   uint64
+	jobs     map[string]*job
+	order    []string // job ids in creation order, for record eviction
+	inflight map[string]*job
+	results  *sched.LRU[string, *job]
+
+	met metrics
+	agg obsAgg
+}
+
+// New starts a server: its workers pull jobs from the bounded queue and run
+// them on cfg.Engine. The caller owns the engine's lifetime.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("serve: Config.Engine must be set")
+	}
+	cfg = cfg.withDefaults()
+	base, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		eng:        cfg.Engine,
+		base:       base,
+		baseCancel: cancel,
+		queue:      make(chan *job, cfg.QueueDepth),
+		jobs:       make(map[string]*job),
+		inflight:   make(map[string]*job),
+		results:    sched.NewLRU[string, *job](max(cfg.ResultCacheSize, 0)),
+	}
+	s.agg.init()
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/characterize", s.handleCharacterize)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain stops accepting new work (requests get 503 + Retry-After) and waits
+// for queued and running jobs to finish. If ctx expires first, in-flight
+// characterizations are canceled — they record partial contours as canceled
+// jobs — and Drain still waits for the workers to wind down before
+// returning the context error. Drain is idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue) // workers finish the buffered jobs, then exit
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close cancels everything immediately: equivalent to a drain whose
+// deadline already passed.
+func (s *Server) Close() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = s.Drain(ctx)
+}
+
+// Draining reports whether the server has stopped accepting work.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// submitErr distinguishes the two rejection modes.
+type submitErr struct {
+	status int
+	msg    string
+}
+
+func (e *submitErr) Error() string { return e.msg }
+
+// submit coalesces or enqueues a single-characterization job. The returned
+// job is either a cached finished job (cached=true), an in-flight job the
+// request attached to, or a freshly queued one.
+func (s *Server) submit(key string, cell *latchchar.Cell, opts latchchar.Options, noCache bool) (j *job, cached bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.met.rejectedDraining.Add(1)
+		return nil, false, &submitErr{http.StatusServiceUnavailable, "server is draining"}
+	}
+	if !noCache {
+		if hit, ok := s.results.Get(key); ok {
+			s.met.cacheHits.Add(1)
+			return hit, true, nil
+		}
+	}
+	if fl := s.inflight[key]; fl != nil {
+		fl.mu.Lock()
+		fl.coalesced++
+		fl.mu.Unlock()
+		s.met.coalesced.Add(1)
+		return fl, false, nil
+	}
+	j = s.newJobLocked(key)
+	j.cell, j.opts = cell, opts
+	select {
+	case s.queue <- j:
+	default:
+		s.dropJobLocked(j)
+		s.met.rejectedFull.Add(1)
+		return nil, false, &submitErr{http.StatusTooManyRequests, "job queue is full"}
+	}
+	s.inflight[key] = j
+	return j, false, nil
+}
+
+// submitBatch enqueues a batch job (no coalescing; warm-start grouping
+// happens inside the engine batch).
+func (s *Server) submitBatch(jobs []latchchar.Job) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.met.rejectedDraining.Add(1)
+		return nil, &submitErr{http.StatusServiceUnavailable, "server is draining"}
+	}
+	j := s.newJobLocked("")
+	j.batch = jobs
+	select {
+	case s.queue <- j:
+	default:
+		s.dropJobLocked(j)
+		s.met.rejectedFull.Add(1)
+		return nil, &submitErr{http.StatusTooManyRequests, "job queue is full"}
+	}
+	return j, nil
+}
+
+// newJobLocked creates and registers a job record, evicting the oldest
+// finished records past MaxJobs. Callers hold s.mu.
+func (s *Server) newJobLocked(key string) *job {
+	s.nextID++
+	id := fmt.Sprintf("j%08d", s.nextID)
+	j := newJob(id, key, s.cfg.ProgressInterval)
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	for len(s.order) > s.cfg.MaxJobs {
+		victim := s.jobs[s.order[0]]
+		if victim == nil {
+			s.order = s.order[1:]
+			continue
+		}
+		select {
+		case <-victim.done:
+			delete(s.jobs, victim.id)
+			s.order = s.order[1:]
+		default:
+			// Oldest record still live: stop evicting, the window grows
+			// temporarily instead of dropping unfinished work.
+			return j
+		}
+	}
+	return j
+}
+
+func (s *Server) dropJobLocked(j *job) {
+	delete(s.jobs, j.id)
+	if len(s.order) > 0 && s.order[len(s.order)-1] == j.id {
+		s.order = s.order[:len(s.order)-1]
+	}
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// worker pulls jobs until the queue closes on drain.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job end to end: engine run, state transition, result
+// caching, observability fold, and the done broadcast.
+func (s *Server) runJob(j *job) {
+	ctx := s.base
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+	j.setRunning()
+	if j.batch != nil {
+		for i := range j.batch {
+			j.batch[i].Opts.Obs = j.run
+		}
+		j.completeBatch(s.eng.CharacterizeBatch(ctx, j.batch))
+	} else {
+		opts := j.opts
+		opts.Obs = j.run
+		res, err := s.eng.Characterize(ctx, j.cell, opts)
+		j.complete(res, err)
+	}
+	s.mu.Lock()
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	j.mu.Lock()
+	state := j.state
+	j.mu.Unlock()
+	if j.batch == nil && state == stateDone && j.key != "" {
+		s.results.Put(j.key, j)
+	}
+	s.mu.Unlock()
+	switch state {
+	case stateDone:
+		s.met.jobsDone.Add(1)
+	case stateCanceled:
+		s.met.jobsCanceled.Add(1)
+	default:
+		s.met.jobsFailed.Add(1)
+	}
+	s.agg.fold(j.run.Summary())
+	if err := j.run.Close(); err != nil {
+		s.cfg.Logf("serve: job %s: closing obs run: %v", j.id, err)
+	}
+	close(j.done)
+}
+
+// --- HTTP handlers ---
+
+const maxBodyBytes = 8 << 20
+
+func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
+	s.met.requests.Add(1)
+	var req CharacterizeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	cell, err := resolveCell(&req)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err)
+		return
+	}
+	opts, err := req.Options.toOptions()
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := opts.Validate(); err != nil {
+		s.error(w, http.StatusBadRequest, err)
+		return
+	}
+	j, cached, err := s.submit(requestKey(&req, cell), cell, opts, req.NoCache)
+	if err != nil {
+		s.reject(w, err)
+		return
+	}
+	if cached {
+		st := j.status()
+		st.Cached = true
+		s.json(w, http.StatusOK, st)
+		return
+	}
+	if req.Wait {
+		s.waitAndRespond(w, r, j)
+		return
+	}
+	s.accepted(w, j)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.met.requests.Add(1)
+	var req BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Jobs) == 0 {
+		s.error(w, http.StatusBadRequest, fmt.Errorf("batch needs at least one job"))
+		return
+	}
+	jobs := make([]latchchar.Job, len(req.Jobs))
+	for i := range req.Jobs {
+		item := &req.Jobs[i]
+		cell, err := resolveCell(&item.CharacterizeRequest)
+		if err != nil {
+			s.error(w, http.StatusBadRequest, fmt.Errorf("jobs[%d]: %w", i, err))
+			return
+		}
+		opts, err := item.Options.toOptions()
+		if err != nil {
+			s.error(w, http.StatusBadRequest, fmt.Errorf("jobs[%d]: %w", i, err))
+			return
+		}
+		if err := opts.Validate(); err != nil {
+			s.error(w, http.StatusBadRequest, fmt.Errorf("jobs[%d]: %w", i, err))
+			return
+		}
+		jobs[i] = latchchar.Job{Name: item.Name, Cell: cell, Opts: opts, Cold: item.Cold}
+	}
+	j, err := s.submitBatch(jobs)
+	if err != nil {
+		s.reject(w, err)
+		return
+	}
+	if req.Wait {
+		s.waitAndRespond(w, r, j)
+		return
+	}
+	s.accepted(w, j)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		s.error(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	s.json(w, http.StatusOK, j.status())
+}
+
+// handleJobEvents streams the job's obs events as NDJSON: the full replay
+// history first, then live events until the job finishes or the client
+// disconnects.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		s.error(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	history, live, cancel := j.subscribe(1024)
+	defer cancel()
+	enc := json.NewEncoder(w)
+	for i := range history {
+		if enc.Encode(&history[i]) != nil {
+			return
+		}
+	}
+	flush()
+	for {
+		select {
+		case e := <-live:
+			if enc.Encode(&e) != nil {
+				return
+			}
+			flush()
+		case <-j.done:
+			// Drain what the subscription buffered before done closed.
+			for {
+				select {
+				case e := <-live:
+					if enc.Encode(&e) != nil {
+						return
+					}
+				default:
+					flush()
+					return
+				}
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		s.retryAfter(w)
+		s.json(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	s.json(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writeMetrics(w)
+}
+
+// --- response helpers ---
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		s.error(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+// waitAndRespond blocks until the job finishes (200/500 with the full
+// status) or the client gives up (the job keeps running; other waiters and
+// pollers still get it).
+func (s *Server) waitAndRespond(w http.ResponseWriter, r *http.Request, j *job) {
+	select {
+	case <-j.done:
+		st := j.status()
+		code := http.StatusOK
+		if st.State == stateFailed {
+			code = http.StatusInternalServerError
+		}
+		s.json(w, code, st)
+	case <-r.Context().Done():
+		// Client disconnected; nothing useful to write.
+	}
+}
+
+func (s *Server) accepted(w http.ResponseWriter, j *job) {
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	s.json(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) reject(w http.ResponseWriter, err error) {
+	if se, ok := err.(*submitErr); ok {
+		s.retryAfter(w)
+		s.json(w, se.status, errorJSON{Error: se.msg})
+		return
+	}
+	s.error(w, http.StatusInternalServerError, err)
+}
+
+func (s *Server) retryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Round(time.Second)/time.Second)))
+}
+
+func (s *Server) error(w http.ResponseWriter, code int, err error) {
+	s.json(w, code, errorJSON{Error: err.Error()})
+}
+
+func (s *Server) json(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		s.cfg.Logf("serve: writing response: %v", err)
+	}
+}
+
+// Summary returns the server's aggregated observability counters and phase
+// stats over all finished jobs (the data behind /metrics), for embedding
+// callers and tests.
+func (s *Server) Summary() obs.Summary { return s.agg.summary() }

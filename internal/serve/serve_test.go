@@ -1,0 +1,451 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"latchchar"
+	"latchchar/internal/obs"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Engine == nil {
+		eng, err := latchchar.NewEngine(latchchar.EngineOptions{Parallelism: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(eng.Close)
+		cfg.Engine = eng
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// Eight concurrent identical requests must produce equal results while the
+// engine runs exactly one characterization: the first request runs it, the
+// rest coalesce onto the in-flight job or hit the result cache. The proof is
+// the server's folded obs counters — one "characterize" span total.
+func TestCoalescingEightConcurrentRequests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full characterization")
+	}
+	srv, ts := newTestServer(t, Config{})
+	req := CharacterizeRequest{
+		Cell:    "tspc",
+		Options: OptionsRequest{Points: 3},
+		Wait:    true,
+	}
+	const n = 8
+	var wg sync.WaitGroup
+	bodies := make([][]byte, n)
+	codes := make([]int, n)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			resp, body := postJSON(t, ts.URL+"/v1/characterize", req)
+			codes[i] = resp.StatusCode
+			bodies[i] = body
+		}(i)
+	}
+	wg.Wait()
+
+	var want JobStatus
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, codes[i], bodies[i])
+		}
+		var st JobStatus
+		if err := json.Unmarshal(bodies[i], &st); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if st.State != stateDone {
+			t.Fatalf("request %d: state %q (error %q)", i, st.State, st.Error)
+		}
+		if st.Result == nil || len(st.Result.Contour) == 0 {
+			t.Fatalf("request %d: empty contour", i)
+		}
+		if i == 0 {
+			want = st
+			continue
+		}
+		got, _ := json.Marshal(st.Result)
+		ref, _ := json.Marshal(want.Result)
+		if !bytes.Equal(got, ref) {
+			t.Errorf("request %d: result differs from request 0", i)
+		}
+	}
+
+	// Exactly one characterization ran, per the obs span aggregate.
+	if got := srv.Summary().Phase(obs.SpanCharacterize).Count; got != 1 {
+		t.Errorf("characterize span count = %d, want 1", got)
+	}
+	// The other seven either attached in-flight or hit the result cache.
+	co, ch := srv.met.coalesced.Load(), srv.met.cacheHits.Load()
+	if co+ch != n-1 {
+		t.Errorf("coalesced=%d cacheHits=%d, want sum %d", co, ch, n-1)
+	}
+
+	// A later identical request is a pure cache hit.
+	resp, body := postJSON(t, ts.URL+"/v1/characterize", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached request: status %d", resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Cached {
+		t.Error("follow-up request not served from the result cache")
+	}
+
+	// The metrics endpoint exposes the folded obs counters by name.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"calibrations_reused",
+		"latchchard_requests_total",
+		"latchchard_phase_characterize_count_total 1",
+	} {
+		if !strings.Contains(string(met), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The job's NDJSON event stream replays the full history and closes.
+	loc := want.ID
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + loc + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("events content-type = %q", ct)
+	}
+	kinds := map[string]int{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var e obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		kinds[string(e.Kind)]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{string(obs.KindSpanBegin), string(obs.KindSpanEnd), string(obs.KindRunEnd)} {
+		if kinds[k] == 0 {
+			t.Errorf("event stream missing kind %q (got %v)", k, kinds)
+		}
+	}
+}
+
+// A drain must finish the queued jobs while new requests get 503 +
+// Retry-After, and healthz must flip to draining.
+func TestDrainCompletesQueuedRejectsNew(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full characterizations")
+	}
+	eng, err := latchchar.NewEngine(latchchar.EngineOptions{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	srv, ts := newTestServer(t, Config{Engine: eng, Workers: 1})
+
+	// Two distinct jobs: with one worker the second waits in the queue.
+	var ids []string
+	for _, points := range []int{2, 3} {
+		resp, body := postJSON(t, ts.URL+"/v1/characterize", CharacterizeRequest{
+			Cell:    "tspc",
+			Options: OptionsRequest{Points: points},
+		})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain(context.Background()) }()
+	for !srv.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+
+	// New work is refused while the queued jobs keep running.
+	resp, body := postJSON(t, ts.URL+"/v1/characterize", CharacterizeRequest{
+		Cell: "tspc", Options: OptionsRequest{Points: 4},
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("during drain: status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	if hc, _ := http.Get(ts.URL + "/healthz"); hc.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz during drain: %d", hc.StatusCode)
+	}
+
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, id := range ids {
+		r, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		var st JobStatus
+		if err := json.Unmarshal(b, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State != stateDone {
+			t.Errorf("job %s after drain: state %q (error %q)", id, st.State, st.Error)
+		}
+		if st.Result == nil || len(st.Result.Contour) == 0 {
+			t.Errorf("job %s after drain: empty contour", id)
+		}
+	}
+}
+
+// blockingCell returns a cell whose Build blocks until release is closed,
+// pinning a job inside the engine without burning simulation time.
+func blockingCell(name string, release <-chan struct{}) *latchchar.Cell {
+	return &latchchar.Cell{Name: name, Build: func() (*latchchar.Instance, error) {
+		<-release
+		return nil, errors.New("released")
+	}}
+}
+
+// A full queue rejects with 429 and frees the slot again once a job drains.
+func TestQueueFullBackpressure(t *testing.T) {
+	eng, err := latchchar.NewEngine(latchchar.EngineOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	srv, _ := newTestServer(t, Config{Engine: eng, Workers: 1, QueueDepth: 1})
+
+	release := make(chan struct{})
+	submit := func(key string) (*job, error) {
+		j, cached, err := srv.submit(key, blockingCell(key, release), latchchar.Options{}, false)
+		if cached {
+			t.Fatalf("unexpected cache hit for %s", key)
+		}
+		return j, err
+	}
+	a, err := submit("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the single worker holds job a, so job b occupies the one
+	// queue slot deterministically.
+	for {
+		if st := a.status(); st.State == stateRunning {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b, err := submit("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = submit("c")
+	var se *submitErr
+	if !errors.As(err, &se) || se.status != http.StatusTooManyRequests {
+		t.Fatalf("third submit: %v, want 429", err)
+	}
+
+	close(release)
+	<-a.done
+	<-b.done
+	// Both blocked jobs failed their build — but they freed the queue.
+	if st := a.status(); st.State != stateFailed {
+		t.Errorf("job a: state %q", st.State)
+	}
+	if srv.met.rejectedFull.Load() != 1 {
+		t.Errorf("rejectedFull = %d", srv.met.rejectedFull.Load())
+	}
+	if _, err := submit("d"); err != nil {
+		t.Errorf("submit after drain of queue: %v", err)
+	}
+}
+
+// Identical concurrent submissions coalesce at the submit layer too (unit
+// version of the HTTP test, no simulations involved).
+func TestSubmitCoalescesInflight(t *testing.T) {
+	eng, err := latchchar.NewEngine(latchchar.EngineOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	srv, _ := newTestServer(t, Config{Engine: eng, Workers: 1})
+
+	release := make(chan struct{})
+	first, _, err := srv.submit("k", blockingCell("k", release), latchchar.Options{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, cached, err := srv.submit("k", blockingCell("k", release), latchchar.Options{}, false)
+	if err != nil || cached {
+		t.Fatalf("second submit: cached=%v err=%v", cached, err)
+	}
+	if second != first {
+		t.Error("identical submission did not coalesce onto the in-flight job")
+	}
+	if st := first.status(); st.Coalesced != 1 {
+		t.Errorf("coalesced = %d", st.Coalesced)
+	}
+	close(release)
+	<-first.done
+	// Failed jobs must not populate the result cache.
+	if _, ok := srv.results.Get("k"); ok {
+		t.Error("failed job cached")
+	}
+}
+
+// The batch endpoint runs one engine batch: same-cell jobs share one
+// calibration and the followers warm-start from the leader's contour.
+func TestBatchEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full characterizations")
+	}
+	_, ts := newTestServer(t, Config{})
+	req := BatchRequest{
+		Wait: true,
+		Jobs: []BatchJobRequest{
+			{Name: "lead", CharacterizeRequest: CharacterizeRequest{Cell: "tspc", Options: OptionsRequest{Points: 3}}},
+			{Name: "follow", CharacterizeRequest: CharacterizeRequest{Cell: "tspc", Options: OptionsRequest{Points: 3}}},
+		},
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Results) != 2 {
+		t.Fatalf("results = %d", len(st.Results))
+	}
+	for i, r := range st.Results {
+		if r.Error != "" || r.Result == nil || len(r.Result.Contour) == 0 {
+			t.Fatalf("item %d: error %q", i, r.Error)
+		}
+	}
+	if !st.Results[1].WarmStarted && !st.Results[1].CalibrationReused {
+		t.Error("second batch job neither warm-started nor calibration-reused")
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		url  string
+		body string
+		code int
+	}{
+		{"unknown cell", "/v1/characterize", `{"cell":"zzz"}`, http.StatusBadRequest},
+		{"no cell or netlist", "/v1/characterize", `{}`, http.StatusBadRequest},
+		{"bad method", "/v1/characterize", `{"cell":"tspc","options":{"method":"rk4"}}`, http.StatusBadRequest},
+		{"unknown field", "/v1/characterize", `{"cell":"tspc","bogus":1}`, http.StatusBadRequest},
+		{"negative points", "/v1/characterize", `{"cell":"tspc","options":{"points":-1}}`, http.StatusBadRequest},
+		{"override on netlist", "/v1/characterize", `{"netlist":"x","process":{}}`, http.StatusBadRequest},
+		{"empty batch", "/v1/batch", `{"jobs":[]}`, http.StatusBadRequest},
+		{"bad batch item", "/v1/batch", `{"jobs":[{"cell":"zzz"}]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+tc.url, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.code, b)
+		}
+		var e errorJSON
+		if err := json.Unmarshal(b, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: malformed error body %q", tc.name, b)
+		}
+	}
+
+	if resp, err := http.Get(ts.URL + "/v1/jobs/nope"); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: %v %v", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+func TestConfigRequiresEngine(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil engine accepted")
+	}
+}
+
+func TestRequestKeyStability(t *testing.T) {
+	cell, err := latchchar.CellByName("tspc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := &CharacterizeRequest{Cell: "tspc", Options: OptionsRequest{Points: 3}}
+	r2 := &CharacterizeRequest{Cell: "tspc", Options: OptionsRequest{Points: 3}, Wait: true, NoCache: true}
+	if requestKey(r1, cell) != requestKey(r2, cell) {
+		t.Error("wait/no_cache must not affect the coalescing key")
+	}
+	r3 := &CharacterizeRequest{Cell: "tspc", Options: OptionsRequest{Points: 4}}
+	if requestKey(r1, cell) == requestKey(r3, cell) {
+		t.Error("different options share a key")
+	}
+	if !strings.HasPrefix(requestKey(r1, cell), "v1:") {
+		t.Error("key missing version prefix")
+	}
+}

@@ -175,20 +175,22 @@ var ErrCanceled = core.ErrCanceled
 // stage, the last solved point and the partial-contour size.
 type CanceledError = core.CanceledError
 
-// Characterize runs the complete Euler-Newton flow of the paper on a fresh
-// instance of the cell: calibrate, bracket a seed at large hold skew,
-// correct it with MPNR, and trace the constant clock-to-Q contour.
+// Characterize is CharacterizeCtx with context.Background().
 func Characterize(cell *Cell, opts Options) (*Result, error) {
 	return CharacterizeCtx(context.Background(), cell, opts)
 }
 
-// CharacterizeCtx is Characterize with a cancellation context — the v2
-// ctx-first entry point. The context threads through the seed search, the
-// tracer and into the transient step loop, so cancellation takes effect
-// within one integration step. A canceled run returns an error wrapping
-// ErrCanceled together with a non-nil Result holding the partial contour
-// (when the trace had begun) — still a valid prefix of the setup/hold
-// tradeoff curve.
+// CharacterizeCtx runs the complete Euler-Newton flow of the paper on a
+// fresh instance of the cell: calibrate, bracket a seed at large hold skew,
+// correct it with MPNR, and trace the constant clock-to-Q contour. It is
+// the canonical characterization entry point; the context threads through
+// the seed search, the tracer and into the transient step loop, so
+// cancellation takes effect within one integration step. A canceled run
+// returns an error wrapping ErrCanceled together with a non-nil Result
+// holding the partial contour (when the trace had begun) — still a valid
+// prefix of the setup/hold tradeoff curve. Services and batch workloads
+// want Engine.Characterize instead, which runs the same flow on a bounded
+// worker pool with calibration reuse.
 func CharacterizeCtx(ctx context.Context, cell *Cell, opts Options) (*Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -205,14 +207,15 @@ func CharacterizeCtx(ctx context.Context, cell *Cell, opts Options) (*Result, er
 	return res, err
 }
 
-// CharacterizeWithEvaluator runs the flow on an existing evaluator
-// (e.g. to reuse one across parameter sweeps).
+// CharacterizeWithEvaluator is CharacterizeWithEvaluatorCtx with
+// context.Background().
 func CharacterizeWithEvaluator(ev *Evaluator, opts Options) (*Result, error) {
 	return CharacterizeWithEvaluatorCtx(context.Background(), ev, opts)
 }
 
-// CharacterizeWithEvaluatorCtx is CharacterizeWithEvaluator with a
-// cancellation context; see CharacterizeCtx.
+// CharacterizeWithEvaluatorCtx runs the characterization flow on an
+// existing evaluator (e.g. to reuse one across parameter sweeps); see
+// CharacterizeCtx for the cancellation semantics.
 func CharacterizeWithEvaluatorCtx(ctx context.Context, ev *Evaluator, opts Options) (*Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -364,15 +367,15 @@ type SurfaceResult struct {
 	Elapsed time.Duration
 }
 
-// BruteForce reproduces the prior-practice baseline: sample the output
-// surface on an N×N grid of trial skews and extract the constant clock-to-Q
-// contour by interpolation.
+// BruteForce is BruteForceCtx with context.Background().
 func BruteForce(cell *Cell, opts SurfaceOptions) (*SurfaceResult, error) {
 	return BruteForceCtx(context.Background(), cell, opts)
 }
 
-// BruteForceCtx is BruteForce with a cancellation context, running the grid
-// on the shared DefaultEngine pool.
+// BruteForceCtx reproduces the prior-practice baseline: sample the output
+// surface on an N×N grid of trial skews and extract the constant clock-to-Q
+// contour by interpolation, running the grid on the shared DefaultEngine
+// pool with cancellation.
 func BruteForceCtx(ctx context.Context, cell *Cell, opts SurfaceOptions) (*SurfaceResult, error) {
 	return DefaultEngine().BruteForce(ctx, cell, opts)
 }

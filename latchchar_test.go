@@ -177,9 +177,10 @@ func TestVetBuiltinCellsTopologyClean(t *testing.T) {
 	}
 }
 
-// The deprecated Lint adapter must keep returning the vet topology findings
-// as formatted strings until its scheduled removal (see DESIGN.md).
-func TestLintAdapterFlagsBrokenDeck(t *testing.T) {
+// The vet topology checks must flag a deck whose load capacitor dangles
+// behind a typo'd node (the workload the removed Lint adapter covered; its
+// callers migrated to Vet per DESIGN.md §8).
+func TestVetFlagsBrokenDeck(t *testing.T) {
 	d, err := ParseNetlistString(`
 .model nch nmos VT0=0.43 KP=115u
 Vdd vdd 0 DC 2.5
@@ -193,17 +194,19 @@ Cload qq 0 10f
 	if err != nil {
 		t.Fatal(err)
 	}
-	warns, err := Lint(d.Cell("typo"))
+	rep, err := Vet(d.Cell("typo"), VetSpec{}, VetOptions{
+		Enable: []string{"floating-node", "no-ground-path", "single-terminal"},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	found := false
-	for _, w := range warns {
-		if strings.Contains(w, "qq") {
+	for _, diag := range rep.Diagnostics {
+		if strings.Contains(diag.String(), "qq") {
 			found = true
 		}
 	}
 	if !found {
-		t.Errorf("typo node not flagged: %v", warns)
+		t.Errorf("typo node not flagged: %v", rep.Diagnostics)
 	}
 }

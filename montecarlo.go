@@ -61,18 +61,18 @@ type MCStats struct {
 	Mean, Std, Min, Max float64
 }
 
-// MonteCarlo characterizes the register across randomized process samples.
-// mk builds the cell for a given process. Samples run concurrently on
-// independent circuits; results are returned in sample order.
+// MonteCarlo is MonteCarloCtx with context.Background().
 func MonteCarlo(mk func(Process) *Cell, nominal Process, opts MCOptions) []MCSample {
 	return MonteCarloCtx(context.Background(), mk, nominal, opts)
 }
 
-// MonteCarloCtx is MonteCarlo with a cancellation context, running on the
-// shared DefaultEngine: samples draw from the engine's bounded pool (the v1
-// default of Workers = Samples is gone), the first sample's traced contour
-// warm-starts the rest, and cancellation stops in-flight traces
-// mid-transient. The draw sequence depends only on Seed, exactly as before.
+// MonteCarloCtx characterizes the register across randomized process
+// samples on the shared DefaultEngine. mk builds the cell for a given
+// process; samples run concurrently on independent circuits and results
+// are returned in sample order. Samples draw from the engine's bounded pool
+// (the v1 default of Workers = Samples is gone), the first sample's traced
+// contour warm-starts the rest, and cancellation stops in-flight traces
+// mid-transient. The draw sequence depends only on Seed.
 func MonteCarloCtx(ctx context.Context, mk func(Process) *Cell, nominal Process, opts MCOptions) []MCSample {
 	return DefaultEngine().MonteCarlo(ctx, mk, nominal, opts)
 }

@@ -3,7 +3,9 @@ package latchchar
 import (
 	"errors"
 	"fmt"
+	"log"
 	"math"
+	"sync"
 )
 
 // ErrInvalidOptions is the sentinel every options-validation failure wraps;
@@ -205,13 +207,23 @@ func (o EngineOptions) Validate() error {
 	return nil
 }
 
+// workersDeprecationOnce gates the legacy-Workers warning to one line per
+// process: sweeps call effectiveParallelism per batch, and a library must
+// not turn a deprecation notice into log spam.
+var workersDeprecationOnce sync.Once
+
 // effectiveParallelism resolves the v2 Parallelism knob against a deprecated
-// v1 Workers field and a final default.
+// v1 Workers field and a final default. Honoring a legacy Workers value logs
+// a one-time deprecation warning; the alias is scheduled for removal in v3
+// (DESIGN.md §8).
 func effectiveParallelism(parallelism, workers, def int) int {
 	if parallelism > 0 {
 		return parallelism
 	}
 	if workers > 0 {
+		workersDeprecationOnce.Do(func() {
+			log.Printf("latchchar: the per-call Workers field is deprecated and will be removed in v3; set Parallelism instead")
+		})
 		return workers
 	}
 	return def
