@@ -1,8 +1,12 @@
 # Build, test and static-analysis entry points. CI runs `make ci`.
 
 GO ?= go
+# BENCHTIME scales the benchmark harness: 1x for smoke runs (the default),
+# a duration like 2s for stable regression numbers.
+BENCHTIME ?= 1x
+BENCHOUT ?= BENCH_core.json
 
-.PHONY: all build test race vet vulncheck charvet tracesmoke batchsmoke servesmoke ci clean
+.PHONY: all build test race vet vulncheck charvet tracesmoke batchsmoke servesmoke bench benchsmoke ci clean
 
 all: build
 
@@ -55,7 +59,27 @@ batchsmoke:
 servesmoke:
 	$(GO) test -run TestServeSmoke -v ./cmd/latchchard
 
-ci: build vet vulncheck race tracesmoke batchsmoke servesmoke
+# bench runs the core benchmark set — root characterization contours,
+# the transient inner loop and the sparse LU kernels — and converts the
+# combined benchfmt stream into $(BENCHOUT) (benchjson JSON: ns/op plus the
+# custom sims / sims/point / factorizations metrics). The exact-vs-fast
+# sub-benchmarks of BenchmarkEulerNewton* carry the chord/bypass regression
+# numbers. Use BENCHTIME=2s for stable wall-clock comparisons.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) \
+		. ./internal/transient ./internal/sparse | tee bench.out.txt
+	$(GO) run ./cmd/benchjson -o $(BENCHOUT) bench.out.txt
+	@rm -f bench.out.txt
+
+# benchsmoke is the CI gate: a 1x pass over the same set, requiring the
+# harness to run end to end and the fast-path sub-benchmarks to be present
+# in the JSON.
+benchsmoke:
+	$(MAKE) bench BENCHTIME=1x BENCHOUT=$(BENCHOUT)
+	@grep -q 'BenchmarkEulerNewtonTSPC/fast' $(BENCHOUT) || \
+		{ echo "benchsmoke: fast-path benchmark missing from $(BENCHOUT)"; exit 1; }
+
+ci: build vet vulncheck race tracesmoke batchsmoke servesmoke benchsmoke
 
 clean:
 	$(GO) clean ./...

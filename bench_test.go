@@ -22,32 +22,47 @@ func mustCell(b *testing.B, name string) *Cell {
 	return cell
 }
 
-// benchCharacterize traces a full contour and reports cost metrics.
-func benchCharacterize(b *testing.B, cellName string, points int, method transient.Method) {
+// benchCharacterize traces a full contour and reports cost metrics. The
+// factorizations metric is the fast path's acceptance measure: the chord/
+// bypass configuration must cut it by ≥ 25% on the TSPC contour.
+func benchCharacterize(b *testing.B, cellName string, points int, eval EvalConfig) {
 	cell := mustCell(b, cellName)
 	b.ResetTimer()
-	var sims, pts int
+	var sims, pts, facts int
 	for i := 0; i < b.N; i++ {
 		res, err := Characterize(cell, Options{
 			Points:         points,
 			BothDirections: true,
-			Eval:           EvalConfig{Method: method},
+			Eval:           eval,
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
 		sims = res.TotalSims()
 		pts = len(res.Contour.Points)
+		facts = res.Stats.Factorizations
 	}
 	b.ReportMetric(float64(sims), "sims")
 	b.ReportMetric(float64(sims)/float64(pts), "sims/point")
+	b.ReportMetric(float64(facts), "factorizations")
 }
 
-// E2 / Fig. 8: TSPC constant clock-to-Q contour by Euler-Newton tracing.
-func BenchmarkEulerNewtonTSPC(b *testing.B) { benchCharacterize(b, "tspc", 40, transient.BE) }
+// fastEval is the chord/bypass fast-path configuration benchmarked against
+// the exact inner loop (DESIGN §10).
+func fastEval() EvalConfig { return EvalConfig{Chord: true, DeviceBypass: true} }
+
+// E2 / Fig. 8: TSPC constant clock-to-Q contour by Euler-Newton tracing,
+// exact Newton vs the chord/bypass fast path.
+func BenchmarkEulerNewtonTSPC(b *testing.B) {
+	b.Run("exact", func(b *testing.B) { benchCharacterize(b, "tspc", 40, EvalConfig{}) })
+	b.Run("fast", func(b *testing.B) { benchCharacterize(b, "tspc", 40, fastEval()) })
+}
 
 // E9 / Fig. 12(a): C²MOS contour by Euler-Newton tracing.
-func BenchmarkEulerNewtonC2MOS(b *testing.B) { benchCharacterize(b, "c2mos", 40, transient.BE) }
+func BenchmarkEulerNewtonC2MOS(b *testing.B) {
+	b.Run("exact", func(b *testing.B) { benchCharacterize(b, "c2mos", 40, EvalConfig{}) })
+	b.Run("fast", func(b *testing.B) { benchCharacterize(b, "c2mos", 40, fastEval()) })
+}
 
 // benchSurface generates a brute-force surface and reports cost metrics.
 func benchSurface(b *testing.B, cellName string, n int) {
@@ -136,8 +151,8 @@ func BenchmarkIndependentChar(b *testing.B) {
 // L-stable; both must trace the same contour, and the bench contrasts their
 // corrector effort and wall-clock.
 func BenchmarkAblationIntegrator(b *testing.B) {
-	b.Run("be", func(b *testing.B) { benchCharacterize(b, "tspc", 20, transient.BE) })
-	b.Run("trap", func(b *testing.B) { benchCharacterize(b, "tspc", 20, transient.TRAP) })
+	b.Run("be", func(b *testing.B) { benchCharacterize(b, "tspc", 20, EvalConfig{Method: transient.BE}) })
+	b.Run("trap", func(b *testing.B) { benchCharacterize(b, "tspc", 20, EvalConfig{Method: transient.TRAP}) })
 }
 
 // A2: ablation — Euler-Newton tangent continuation vs natural-parameter

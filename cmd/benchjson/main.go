@@ -1,0 +1,163 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document (BENCH_core.json in this repo's harness). The parser follows
+// the Go benchmark format: `key: value` configuration lines scope over the
+// benchmark lines after them, and each benchmark line carries an iteration
+// count followed by value/unit pairs — ns/op plus any custom b.ReportMetric
+// units (sims, sims/point, factorizations). The JSON keeps that structure
+// one-to-one, so the document can be rendered back to benchfmt for
+// benchstat or diffed directly by the regression harness.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . ./... | benchjson -o BENCH_core.json
+//	benchjson -o BENCH_core.json bench-root.txt bench-transient.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result: the scoped configuration keys active when
+// the line was read, the iteration count and every value/unit pair.
+type Record struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Goos       string             `json:"goos,omitempty"`
+	Goarch     string             `json:"goarch,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Document is the BENCH_core.json schema.
+type Document struct {
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "-", "output path (- for stdout)")
+	flag.Parse()
+	if err := run(*out, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(outPath string, inputs []string) error {
+	doc := &Document{Benchmarks: []Record{}}
+	if len(inputs) == 0 {
+		if err := parse(os.Stdin, doc); err != nil {
+			return err
+		}
+	}
+	for _, p := range inputs {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		err = parse(f, doc)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines in input")
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if outPath == "-" || outPath == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(outPath, b, 0o644)
+}
+
+// parse scans one benchfmt stream, appending records to doc. A FAIL line is
+// an error: a failing benchmark run must fail the harness, not produce a
+// silently truncated document.
+func parse(r io.Reader, doc *Document) error {
+	var goos, goarch, pkg, cpu string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "PASS" || strings.HasPrefix(line, "ok "), strings.HasPrefix(line, "ok\t"):
+			continue
+		case strings.HasPrefix(line, "FAIL"):
+			return fmt.Errorf("input contains a FAIL line: %q", line)
+		}
+		if k, v, ok := configLine(line); ok {
+			switch k {
+			case "goos":
+				goos = v
+			case "goarch":
+				goarch = v
+			case "pkg":
+				pkg = v
+			case "cpu":
+				cpu = v
+			}
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		rec, err := parseBenchLine(line)
+		if err != nil {
+			return err
+		}
+		rec.Goos, rec.Goarch, rec.Pkg, rec.CPU = goos, goarch, pkg, cpu
+		doc.Benchmarks = append(doc.Benchmarks, *rec)
+	}
+	return sc.Err()
+}
+
+// configLine matches benchfmt configuration lines: a lowercase key, a colon,
+// a value ("goos: linux").
+func configLine(line string) (key, val string, ok bool) {
+	i := strings.IndexByte(line, ':')
+	if i <= 0 {
+		return "", "", false
+	}
+	key = line[:i]
+	for _, c := range key {
+		if !(c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '-' || c == '_' || c == '/') {
+			return "", "", false
+		}
+	}
+	return key, strings.TrimSpace(line[i+1:]), true
+}
+
+// parseBenchLine splits "BenchmarkX-8  10  123 ns/op  4.5 sims" into a
+// record: name, iterations, then value/unit pairs.
+func parseBenchLine(line string) (*Record, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return nil, fmt.Errorf("malformed benchmark line: %q", line)
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("iteration count in %q: %w", line, err)
+	}
+	rec := &Record{Name: f[0], Iterations: iters, Metrics: make(map[string]float64, (len(f)-2)/2)}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("metric value in %q: %w", line, err)
+		}
+		rec.Metrics[f[i+1]] = v
+	}
+	return rec, nil
+}

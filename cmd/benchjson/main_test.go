@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: latchchar
+cpu: Example CPU @ 2.00GHz
+BenchmarkEulerNewtonTSPC/exact-8   	       1	534954236 ns/op	       923 sims	        22.0 sims/point	     32658 factorizations
+BenchmarkEulerNewtonTSPC/fast-8    	       1	301202100 ns/op	       923 sims	        22.0 sims/point	     11295 factorizations
+PASS
+ok  	latchchar	1.203s
+`
+
+func TestParseBenchStream(t *testing.T) {
+	var doc Document
+	if err := parse(strings.NewReader(sample), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d records, want 2", len(doc.Benchmarks))
+	}
+	r := doc.Benchmarks[0]
+	if r.Name != "BenchmarkEulerNewtonTSPC/exact-8" {
+		t.Errorf("name = %q", r.Name)
+	}
+	if r.Pkg != "latchchar" || r.Goos != "linux" || r.Goarch != "amd64" || !strings.Contains(r.CPU, "Example") {
+		t.Errorf("config scope not applied: %+v", r)
+	}
+	if r.Iterations != 1 {
+		t.Errorf("iterations = %d", r.Iterations)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 534954236, "sims": 923, "sims/point": 22.0, "factorizations": 32658,
+	} {
+		if got := r.Metrics[unit]; got != want {
+			t.Errorf("metric %q = %g, want %g", unit, got, want)
+		}
+	}
+	if got := doc.Benchmarks[1].Metrics["factorizations"]; got != 11295 {
+		t.Errorf("fast factorizations = %g, want 11295", got)
+	}
+}
+
+func TestParseRejectsFail(t *testing.T) {
+	var doc Document
+	err := parse(strings.NewReader("BenchmarkX-8 1 5 ns/op\nFAIL\n"), &doc)
+	if err == nil || !strings.Contains(err.Error(), "FAIL") {
+		t.Fatalf("err = %v, want FAIL rejection", err)
+	}
+}
+
+func TestParseMalformedLine(t *testing.T) {
+	var doc Document
+	if err := parse(strings.NewReader("BenchmarkX-8 1 5\n"), &doc); err == nil {
+		t.Fatal("odd field count accepted")
+	}
+}

@@ -32,6 +32,7 @@ func run(args []string) error {
 		deckPath = fs.String("netlist", "", "netlist deck path (overrides -cell)")
 		pinnedPS = fs.Float64("pinned", 500, "pinned opposite skew (ps)")
 		tolPS    = fs.Float64("tol", 0.05, "skew accuracy target (ps)")
+		fast     = fs.Bool("fast", false, "enable the chord/bypass Newton fast path (chord iterations + device-eval latency)")
 	)
 	var obsFlags cli.ObsFlags
 	obsFlags.Register(fs)
@@ -52,7 +53,7 @@ func run(args []string) error {
 		Tol:    *tolPS * 1e-12,
 		Obs:    obsRun,
 	}
-	evalCfg := latchchar.EvalConfig{Obs: obsRun}
+	evalCfg := latchchar.EvalConfig{Obs: obsRun, Chord: *fast, DeviceBypass: *fast}
 	// ^C cancels whichever search is in flight mid-transient.
 	ctx, stop := cli.SignalContext()
 	defer stop()

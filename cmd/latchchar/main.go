@@ -42,6 +42,7 @@ func run(args []string) error {
 		resample = fs.Int("resample", 0, "resample the contour to exactly N arc-length-uniform points (0 = off)")
 		energy   = fs.Bool("energy", false, "add a per-point supply-energy column (csv format only)")
 		method   = fs.String("method", "be", "integration method: be or trap")
+		fast     = fs.Bool("fast", false, "enable the chord/bypass Newton fast path (chord iterations + device-eval latency)")
 		degrade  = fs.Float64("degrade", 0.10, "clock-to-Q degradation defining setup/hold")
 		maxSkew  = fs.Float64("maxskew", 1000, "skew domain bound in picoseconds")
 		format   = fs.String("format", "csv", "output format: csv, json or lib (Liberty fragment)")
@@ -71,6 +72,8 @@ func run(args []string) error {
 			Eval: stf.Config{
 				Degrade:      *degrade,
 				MaxSetupSkew: *maxSkew * 1e-12,
+				Chord:        *fast,
+				DeviceBypass: *fast,
 			},
 			Step:      *stepPS * 1e-12,
 			MaxPoints: *points,
@@ -88,6 +91,8 @@ func run(args []string) error {
 		Eval: latchchar.EvalConfig{
 			Degrade:      *degrade,
 			MaxSetupSkew: *maxSkew * 1e-12,
+			Chord:        *fast,
+			DeviceBypass: *fast,
 			Obs:          obsRun,
 		},
 	}

@@ -39,6 +39,7 @@ func run(args []string) error {
 		hMin      = fs.Float64("hmin", 10, "minimum hold skew (ps)")
 		hMax      = fs.Float64("hmax", 800, "maximum hold skew (ps)")
 		workers   = fs.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+		fast      = fs.Bool("fast", false, "enable the chord/bypass Newton fast path (chord iterations + device-eval latency)")
 		delayMode = fs.Bool("delay", false, "generate the clock-to-Q delay surface (the paper's primary formulation) instead of the output-level surface")
 		surfOut   = fs.String("surface", "-", "surface CSV path (- for stdout)")
 		contOut   = fs.String("contour", "", "extracted-contour CSV path (empty = skip)")
@@ -63,6 +64,7 @@ func run(args []string) error {
 		// The n² grid makes a broken setup especially expensive: vet the
 		// netlist and the sweep box before dispatching workers.
 		spec := vet.Spec{
+			Eval: latchchar.EvalConfig{Chord: *fast, DeviceBypass: *fast},
 			Bounds: latchchar.Rect{
 				MinS: *sMin * 1e-12, MaxS: *sMax * 1e-12,
 				MinH: *hMin * 1e-12, MaxH: *hMax * 1e-12,
@@ -73,7 +75,8 @@ func run(args []string) error {
 		}
 	}
 	surfOpts := latchchar.SurfaceOptions{
-		N: *n,
+		N:    *n,
+		Eval: latchchar.EvalConfig{Chord: *fast, DeviceBypass: *fast},
 		Domain: latchchar.Rect{
 			MinS: *sMin * 1e-12, MaxS: *sMax * 1e-12,
 			MinH: *hMin * 1e-12, MaxH: *hMax * 1e-12,

@@ -65,6 +65,9 @@ const (
 	CtrStepRejects    = "step_rejects"
 	CtrWarmSeeds      = "warm_seeds"
 	CtrCalReused      = "calibrations_reused"
+	CtrChordIters     = "chord_iters"
+	CtrJacobianReuses = "jacobian_reuses"
+	CtrDeviceBypasses = "device_bypasses"
 )
 
 // Histogram names.

@@ -58,6 +58,10 @@ type OptionsRequest struct {
 	MaxSetupSkewPS float64 `json:"max_setup_skew_ps,omitempty"`
 	// Method selects the integration scheme: "be" (default) or "trap".
 	Method string `json:"method,omitempty"`
+	// FastPath enables the chord/bypass Newton fast path: chord iterations
+	// reusing the standing LU factorization plus the device-eval latency
+	// bypass, with transparent full-Newton fallback (DESIGN §10).
+	FastPath bool `json:"fast_path,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/batch: the jobs run as one engine
@@ -135,6 +139,9 @@ type StatsJSON struct {
 	NewtonIters    int     `json:"newton_iters"`
 	Factorizations int     `json:"factorizations"`
 	SensSolves     int     `json:"sens_solves"`
+	ChordIters     int     `json:"chord_iters,omitempty"`
+	JacobianReuses int     `json:"jacobian_reuses,omitempty"`
+	DeviceBypasses int     `json:"device_bypasses,omitempty"`
 	WallMS         float64 `json:"wall_ms"`
 }
 
@@ -216,6 +223,8 @@ func (o OptionsRequest) toOptions() (latchchar.Options, error) {
 		Eval: latchchar.EvalConfig{
 			Degrade:      o.Degrade,
 			MaxSetupSkew: o.MaxSetupSkewPS * 1e-12,
+			Chord:        o.FastPath,
+			DeviceBypass: o.FastPath,
 		},
 	}
 	switch o.Method {
@@ -281,6 +290,9 @@ func resultJSON(cell string, res *latchchar.Result) *ResultJSON {
 			NewtonIters:    res.Stats.NewtonIters,
 			Factorizations: res.Stats.Factorizations,
 			SensSolves:     res.Stats.SensSolves,
+			ChordIters:     res.Stats.ChordIters,
+			JacobianReuses: res.Stats.JacobianReuses,
+			DeviceBypasses: res.Stats.DeviceBypasses,
 			WallMS:         durMS(res.Stats.Wall),
 		},
 	}

@@ -47,6 +47,9 @@ func (a *obsAgg) init() {
 		obs.CtrStepRejects:    0,
 		obs.CtrWarmSeeds:      0,
 		obs.CtrCalReused:      0,
+		obs.CtrChordIters:     0,
+		obs.CtrJacobianReuses: 0,
+		obs.CtrDeviceBypasses: 0,
 	}
 	a.phases = map[string]obs.PhaseStat{}
 }

@@ -449,3 +449,32 @@ func TestRequestKeyStability(t *testing.T) {
 		t.Error("key missing version prefix")
 	}
 }
+
+func TestFastPathOptionMapping(t *testing.T) {
+	opts, err := OptionsRequest{FastPath: true}.toOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opts.Eval.Chord || !opts.Eval.DeviceBypass {
+		t.Errorf("fast_path must enable both chord and device bypass, got Chord=%v DeviceBypass=%v",
+			opts.Eval.Chord, opts.Eval.DeviceBypass)
+	}
+	opts, err = OptionsRequest{}.toOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Eval.Chord || opts.Eval.DeviceBypass {
+		t.Error("fast path must stay off by default")
+	}
+	cell, err := latchchar.CellByName("tspc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fast_path selects a different inner loop — it must not coalesce with
+	// exact-path requests.
+	exact := &CharacterizeRequest{Cell: "tspc", Options: OptionsRequest{Points: 3}}
+	fast := &CharacterizeRequest{Cell: "tspc", Options: OptionsRequest{Points: 3, FastPath: true}}
+	if requestKey(exact, cell) == requestKey(fast, cell) {
+		t.Error("fast_path requests share a coalescing key with exact requests")
+	}
+}

@@ -12,6 +12,10 @@ type Reusable struct {
 	// numeric refactorizations.
 	Factorizations   int
 	Refactorizations int
+	// Age counts Solve calls against the current factorization since it was
+	// last rebuilt — the staleness measure chord-Newton policies consult to
+	// decide when a factorization is too old to keep reusing.
+	Age int
 }
 
 // Factorize prepares the factorization of a, reusing the previous pivot
@@ -20,6 +24,7 @@ func (r *Reusable) Factorize(a *CSR) error {
 	if r.lu != nil {
 		if err := r.lu.Refactor(a); err == nil {
 			r.Refactorizations++
+			r.Age = 0
 			return nil
 		}
 		// Pivot order went stale; fall through to a full analysis.
@@ -30,8 +35,14 @@ func (r *Reusable) Factorize(a *CSR) error {
 	}
 	r.lu = lu
 	r.Factorizations++
+	r.Age = 0
 	return nil
 }
+
+// Factorized reports whether a factorization is available, i.e. whether
+// Solve may be called. Chord iterations use this to guard against solving
+// before the first full Newton iteration has built a Jacobian.
+func (r *Reusable) Factorized() bool { return r.lu != nil }
 
 // Solve solves with the last successful factorization. It panics if
 // Factorize has never succeeded.
@@ -40,4 +51,5 @@ func (r *Reusable) Solve(b, x []float64) {
 		panic("sparse: Reusable.Solve before Factorize")
 	}
 	r.lu.Solve(b, x)
+	r.Age++
 }

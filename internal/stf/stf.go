@@ -44,6 +44,26 @@ type Config struct {
 	// PostWindow is how far past the active edge the calibration transient
 	// runs while hunting for the crossing (default 3 ns).
 	PostWindow float64
+	// MaxNewtonIter bounds the per-step Newton iterations of every transient
+	// the evaluator launches (default 50, transient.Options). Chord mode
+	// needs headroom here: stalled chord iterations spend budget before the
+	// full-Newton fallback finishes the step.
+	MaxNewtonIter int
+	// Chord enables chord (modified-Newton) iterations in the transient
+	// inner loop: reuse the standing LU factorization while the iteration
+	// contracts, fall back to full Newton on stall or divergence
+	// (transient.Options.Chord).
+	Chord bool
+	// ChordContraction is the chord stall threshold θ ∈ (0, 1)
+	// (default 0.5); ChordMaxAge bounds back-substitutions per factorization
+	// (default 20). Both only apply with Chord.
+	ChordContraction float64
+	ChordMaxAge      int
+	// DeviceBypass enables the device-eval latency bypass: MOSFETs whose
+	// terminal voltages moved less than BypassVTol volts replay cached
+	// stamps instead of re-evaluating (default tolerance 1 µV).
+	DeviceBypass bool
+	BypassVTol   float64
 	// Obs attaches observability: every transient the evaluator launches is
 	// tagged and counted under the currently attached span (solvers re-parent
 	// it via SetObs while they own the evaluator). nil disables collection.
@@ -77,7 +97,32 @@ func (c Config) withDefaults() Config {
 	if c.PostWindow <= 0 {
 		c.PostWindow = 3e-9
 	}
+	if c.MaxNewtonIter <= 0 {
+		c.MaxNewtonIter = 50
+	}
+	if c.ChordContraction <= 0 {
+		c.ChordContraction = 0.5
+	}
+	if c.ChordMaxAge <= 0 {
+		c.ChordMaxAge = 20
+	}
 	return c
+}
+
+// transientOptions renders the integrator-level options every transient the
+// evaluator launches shares; skews and probes vary per call site.
+func (c Config) transientOptions(skews bool, probes ...circuit.UnknownID) transient.Options {
+	return transient.Options{
+		Method:           c.Method,
+		Skews:            skews,
+		MaxNewtonIter:    c.MaxNewtonIter,
+		Chord:            c.Chord,
+		ChordContraction: c.ChordContraction,
+		ChordMaxAge:      c.ChordMaxAge,
+		DeviceBypass:     c.DeviceBypass,
+		BypassVTol:       c.BypassVTol,
+		Probes:           probes,
+	}
 }
 
 // Calibration is the outcome of the characteristic-delay measurement.
@@ -158,8 +203,8 @@ func newEvaluator(inst *registers.Instance, cfg Config, cal *Calibration) (*Eval
 		return nil, fmt.Errorf("stf: measurement grid: %w", err)
 	}
 	e.grid = grid
-	e.engPlain = transient.NewEngine(inst.Circuit, transient.Options{Method: c.Method})
-	e.engGrad = transient.NewEngine(inst.Circuit, transient.Options{Method: c.Method, Skews: true})
+	e.engPlain = transient.NewEngine(inst.Circuit, c.transientOptions(false))
+	e.engGrad = transient.NewEngine(inst.Circuit, c.transientOptions(true))
 	return e, nil
 }
 
@@ -203,10 +248,7 @@ func (e *Evaluator) calibrate() error {
 	if err != nil {
 		return fmt.Errorf("stf: calibration grid: %w", err)
 	}
-	eng := transient.NewEngine(inst.Circuit, transient.Options{
-		Method: c.Method,
-		Probes: []circuit.UnknownID{inst.Out},
-	})
+	eng := transient.NewEngine(inst.Circuit, c.transientOptions(false, inst.Out))
 	inst.Data.SetSkews(c.CalSkew, c.CalSkew)
 	res, err := eng.RunObs(sp, e.x0, grid)
 	if err != nil {
@@ -270,10 +312,7 @@ func (e *Evaluator) EvalGrad(tauS, tauH float64) (h, dhdS, dhdH float64, err err
 // used for waveform figures (Fig. 3(a), Fig. 11(b)).
 func (e *Evaluator) OutputAt(tauS, tauH float64) (times, out []float64, err error) {
 	e.inst.Data.SetSkews(tauS, tauH)
-	eng := transient.NewEngine(e.inst.Circuit, transient.Options{
-		Method: e.cfg.Method,
-		Probes: []circuit.UnknownID{e.inst.Out},
-	})
+	eng := transient.NewEngine(e.inst.Circuit, e.cfg.transientOptions(false, e.inst.Out))
 	res, err := eng.RunCtx(e.ctx, e.run, e.x0, e.grid)
 	if err != nil {
 		return nil, nil, err
@@ -298,10 +337,7 @@ func (e *Evaluator) OutputUntil(tauS, tauH, tEnd float64) (times, out []float64,
 		return nil, nil, err
 	}
 	e.inst.Data.SetSkews(tauS, tauH)
-	eng := transient.NewEngine(e.inst.Circuit, transient.Options{
-		Method: e.cfg.Method,
-		Probes: []circuit.UnknownID{e.inst.Out},
-	})
+	eng := transient.NewEngine(e.inst.Circuit, e.cfg.transientOptions(false, e.inst.Out))
 	res, err := eng.RunCtx(e.ctx, e.run, e.x0, grid)
 	if err != nil {
 		return nil, nil, err
@@ -345,10 +381,7 @@ func (e *Evaluator) SupplyEnergy(tauS, tauH float64) (float64, error) {
 		return 0, fmt.Errorf("stf: instance has no supply branch for energy measurement")
 	}
 	e.inst.Data.SetSkews(tauS, tauH)
-	eng := transient.NewEngine(e.inst.Circuit, transient.Options{
-		Method: e.cfg.Method,
-		Probes: []circuit.UnknownID{e.inst.Supply},
-	})
+	eng := transient.NewEngine(e.inst.Circuit, e.cfg.transientOptions(false, e.inst.Supply))
 	res, err := eng.RunCtx(e.ctx, e.run, e.x0, e.grid)
 	if err != nil {
 		return 0, err

@@ -44,21 +44,32 @@ func benchCircuit(b *testing.B, stages int) (*circuit.Circuit, []float64) {
 	return ckt, make([]float64, ckt.N())
 }
 
-func benchRun(b *testing.B, method Method, skews bool) {
+func benchRun(b *testing.B, opts Options) {
 	ckt, x0 := benchCircuit(b, 10)
 	g, err := UniformGrid(0, 6e-9, 600)
 	if err != nil {
 		b.Fatal(err)
 	}
-	eng := NewEngine(ckt, Options{Method: method, Skews: skews})
+	eng := NewEngine(ckt, opts)
+	var facts int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.Run(x0, g); err != nil {
+		res, err := eng.Run(x0, g)
+		if err != nil {
 			b.Fatal(err)
 		}
+		facts = res.Stats.Factorizations
 	}
+	b.ReportMetric(float64(facts), "factorizations")
 }
 
-func BenchmarkTransientBE(b *testing.B)            { benchRun(b, BE, false) }
-func BenchmarkTransientTRAP(b *testing.B)          { benchRun(b, TRAP, false) }
-func BenchmarkTransientBESensitivity(b *testing.B) { benchRun(b, BE, true) }
+func BenchmarkTransientBE(b *testing.B)            { benchRun(b, Options{}) }
+func BenchmarkTransientTRAP(b *testing.B)          { benchRun(b, Options{Method: TRAP}) }
+func BenchmarkTransientBESensitivity(b *testing.B) { benchRun(b, Options{Skews: true}) }
+
+// Chord fast-path counterparts of the exact benchmarks above (the RC ladder
+// has no bypassable devices, so only the chord half of the fast path runs).
+func BenchmarkTransientBEChord(b *testing.B) { benchRun(b, Options{Chord: true}) }
+func BenchmarkTransientBESensitivityChord(b *testing.B) {
+	benchRun(b, Options{Skews: true, Chord: true})
+}

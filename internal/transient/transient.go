@@ -59,6 +59,38 @@ type Options struct {
 	// RunObs; with neither, only Stats.Wall is measured and the step loop
 	// carries no timing overhead.
 	Timing bool
+
+	// Chord enables chord (modified-Newton) iterations: the Newton update is
+	// back-substituted against the standing LU factorization — skipping the
+	// Combine assembly and refactorization — for as long as the iteration
+	// keeps contracting. The residual is always exact, so a converged chord
+	// iteration satisfies the same tolerances as full Newton; a stalled or
+	// diverging one transparently falls back to a full iteration on the same
+	// residual. Chord also unlocks the sensitivity-factorization reuse below.
+	Chord bool
+	// ChordContraction is the contraction-rate threshold θ: a chord update
+	// with ‖dx_k‖ > θ·‖dx_{k−1}‖ counts as a stall and forces the next
+	// iteration to rebuild the Jacobian (default 0.5). Values ≥ 1 accept
+	// non-contracting chord steps and are rejected by the options layer.
+	ChordContraction float64
+	// ChordMaxAge bounds how many back-substitutions one factorization may
+	// serve before a rebuild is forced regardless of contraction (default 20).
+	ChordMaxAge int
+	// SensReuseTol is the total-iterate-drift tolerance (volts) under which a
+	// Skews run reuses the standing factorization for the sensitivity solves
+	// instead of building the converged-state one (default 1e-6). Only active
+	// with Chord; reuses are counted in Stats.JacobianReuses.
+	SensReuseTol float64
+	// DeviceBypass enables the device-eval latency bypass: devices whose
+	// terminal voltages moved less than BypassVTol since their last true
+	// evaluation replay cached stamps (circuit.Eval.EnableBypass). The bypass
+	// serves only the first Newton iteration of each step — quiescent steps,
+	// where it pays — and is held for the rest of the step so a frozen
+	// residual can never pin the iteration above the convergence tolerance.
+	DeviceBypass bool
+	// BypassVTol is the bypass terminal-voltage tolerance in volts
+	// (default circuit.DefaultBypassVTol, 1 µV).
+	BypassVTol float64
 }
 
 func (o Options) withDefaults() Options {
@@ -73,6 +105,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RelTol <= 0 {
 		o.RelTol = 1e-5
+	}
+	if o.ChordContraction <= 0 {
+		o.ChordContraction = 0.5
+	}
+	if o.ChordMaxAge <= 0 {
+		o.ChordMaxAge = 20
+	}
+	if o.SensReuseTol <= 0 {
+		o.SensReuseTol = 1e-6
 	}
 	return o
 }
@@ -89,6 +130,16 @@ type Stats struct {
 	// the mechanism behind the paper's "essentially free gradient" (one
 	// factorization serves both Newton and the mₛ/m_h solves, DESIGN §5).
 	SensFactorizationsReused int
+	// ChordIters counts Newton iterations served by a chord back-substitution
+	// (no Combine, no refactorization); always ≤ NewtonIters.
+	ChordIters int
+	// JacobianReuses counts Skews steps whose sensitivity solves reused the
+	// standing Newton factorization in place of a fresh converged-state one
+	// (Options.SensReuseTol).
+	JacobianReuses int
+	// DeviceBypasses counts device evaluations replayed from cached stamps
+	// by the latency bypass (Options.DeviceBypass).
+	DeviceBypasses int
 
 	// Wall-clock attribution. Wall is always measured; LU (factorize +
 	// solve), DeviceEval (model evaluation/assembly) and Sens (sensitivity
@@ -107,6 +158,9 @@ func (s *Stats) Add(other Stats) {
 	s.Factorizations += other.Factorizations
 	s.SensSolves += other.SensSolves
 	s.SensFactorizationsReused += other.SensFactorizationsReused
+	s.ChordIters += other.ChordIters
+	s.JacobianReuses += other.JacobianReuses
+	s.DeviceBypasses += other.DeviceBypasses
 	s.Wall += other.Wall
 	s.LU += other.LU
 	s.DeviceEval += other.DeviceEval
@@ -151,6 +205,15 @@ type Engine struct {
 
 	stats Stats
 
+	// Chord-policy state. chordReady gates chord solves (set after every
+	// fresh factorization, cleared on stall and at run start), chordAlpha is
+	// the α the standing factorization was assembled with, and drift
+	// accumulates the ‖dx‖∞ applied since the factorization was built — the
+	// staleness measure for the sensitivity-factorization reuse.
+	chordReady bool
+	chordAlpha float64
+	drift      float64
+
 	// Per-run observability state (set by RunObs, cleared by default Run).
 	timed      bool     // collect fine-grained wall-clock attribution
 	hist       bool     // accumulate the per-step Newton histogram
@@ -192,6 +255,9 @@ func NewEngine(c *circuit.Circuit, opts Options) *Engine {
 	}
 	e.j, e.mapC, e.mapG = sparse.UnionPattern(ev.C, ev.G)
 	e.cPrev = ev.C.Clone()
+	if o.DeviceBypass {
+		ev.EnableBypass(o.BypassVTol)
+	}
 	e.qdotPrev = make([]float64, n)
 	e.msdotPrev = make([]float64, n)
 	e.mhdot = make([]float64, n)
@@ -252,6 +318,9 @@ func (e *Engine) RunCtx(ctx context.Context, run *obs.Run, x0 []float64, grid Gr
 			sp.Count(obs.CtrNewtonIters, int64(st.NewtonIters))
 			sp.Count(obs.CtrSensSolves, int64(st.SensSolves))
 			sp.Count(obs.CtrSensFactReused, int64(st.SensFactorizationsReused))
+			sp.Count(obs.CtrChordIters, int64(st.ChordIters))
+			sp.Count(obs.CtrJacobianReuses, int64(st.JacobianReuses))
+			sp.Count(obs.CtrDeviceBypasses, int64(st.DeviceBypasses))
 		}
 		sp.Merge(obs.HistNewtonIters, &e.newtonHist)
 	}
@@ -290,7 +359,10 @@ func (e *Engine) run(ctx context.Context, x0 []float64, grid Grid) (*Result, err
 	// charge derivative qdot0 = −(f + src).
 	e.evalAt(pts[0])
 	copy(e.qPrev, e.ev.Q)
-	copy(e.cPrev.Val, e.ev.C.Val)
+	if e.opts.Skews {
+		// cPrev only feeds the sensitivity recursions (eqs. (11)–(14)).
+		copy(e.cPrev.Val, e.ev.C.Val)
+	}
 	if e.opts.Method == TRAP {
 		for i := 0; i < n; i++ {
 			e.qdotPrev[i] = -(e.ev.F[i] + e.ev.Src[i])
@@ -312,7 +384,12 @@ func (e *Engine) run(ctx context.Context, x0 []float64, grid Grid) (*Result, err
 		}
 	}
 
+	// The standing factorization (if any) predates this run's state, so chord
+	// iterations must not trust it: the first iteration factorizes fresh.
+	e.chordReady = false
+	e.drift = 0
 	luF0, luR0 := e.lu.Factorizations, e.lu.Refactorizations
+	byp0 := e.ev.Bypasses
 	done := ctx.Done()
 	for k := 1; k < len(pts); k++ {
 		if done != nil {
@@ -336,6 +413,7 @@ func (e *Engine) run(ctx context.Context, x0 []float64, grid Grid) (*Result, err
 	res.Stats = e.stats
 	res.Stats.Steps = len(pts) - 1
 	res.Stats.Factorizations = (e.lu.Factorizations - luF0) + (e.lu.Refactorizations - luR0)
+	res.Stats.DeviceBypasses = e.ev.Bypasses - byp0
 	res.Stats.Wall = time.Since(wall0)
 	return res, nil
 }
@@ -374,6 +452,22 @@ func (e *Engine) factorSolve() error {
 	return err
 }
 
+// solveOnly back-substitutes the residual against the standing factorization
+// (a chord iteration): no assembly, no factorization.
+func (e *Engine) solveOnly() {
+	if e.prof.active {
+		pprof.SetGoroutineLabels(e.prof.lu)
+		defer pprof.SetGoroutineLabels(e.prof.transient)
+	}
+	if !e.timed {
+		e.lu.Solve(e.r, e.dx)
+		return
+	}
+	t0 := time.Now()
+	e.lu.Solve(e.r, e.dx)
+	e.stats.LU += time.Since(t0)
+}
+
 // factorize is factorSolve without the solve (the converged-state
 // factorization the sensitivity solves reuse).
 func (e *Engine) factorize() error {
@@ -397,6 +491,13 @@ func (e *Engine) zeroZ() {
 	}
 }
 
+// sameAlpha reports whether the standing factorization's α matches the
+// step's. Grid spacings of one phase can differ in the last ulp, so the
+// comparison is relative rather than exact.
+func sameAlpha(alpha, ref float64) bool {
+	return math.Abs(alpha-ref) <= 1e-9*math.Abs(alpha)
+}
+
 // step advances the state from t0 to t1, updating x, qPrev, cPrev and the
 // sensitivities in place.
 func (e *Engine) step(t0, t1 float64) error {
@@ -409,11 +510,19 @@ func (e *Engine) step(t0, t1 float64) error {
 		alpha = 1 / dt
 	}
 	numNodes := e.c.NumNodes()
+	chord := e.opts.Chord
 	converged := false
 	iters := 0
+	prevNorm := math.Inf(1) // ‖dx‖∞ of the previous iteration of this step
 	for iter := 0; iter < e.opts.MaxNewtonIter; iter++ {
+		if e.opts.DeviceBypass {
+			// Replay only on the first iteration; later iterations evaluate
+			// exactly so the residual can keep shrinking (bypass livelock).
+			e.ev.HoldBypass(iter > 0)
+		}
 		e.evalAt(t1)
-		// Residual.
+		// Residual — always exact, also under chord iterations, so the fast
+		// path converges to the same solution as full Newton.
 		switch e.opts.Method {
 		case TRAP:
 			for i := 0; i < n; i++ {
@@ -424,26 +533,65 @@ func (e *Engine) step(t0, t1 float64) error {
 				e.r[i] = alpha*(e.ev.Q[i]-e.qPrev[i]) + e.ev.F[i] + e.ev.Src[i]
 			}
 		}
-		sparse.Combine(e.j, alpha, e.ev.C, e.mapC, 1, e.ev.G, e.mapG)
-		if err := e.factorSolve(); err != nil {
-			return fmt.Errorf("transient: Jacobian factorization failed: %w", err)
+		// Chord path: back-substitute against the standing factorization and
+		// keep the update only while it still contracts. A non-finite or
+		// growing update is discarded and the same residual is redone as a
+		// full Newton iteration — the transparent fallback.
+		full := true
+		if chord && e.chordReady && e.lu.Age < e.opts.ChordMaxAge && sameAlpha(alpha, e.chordAlpha) {
+			e.solveOnly()
+			nrm, finite := 0.0, true
+			for i := 0; i < n; i++ {
+				v := math.Abs(e.dx[i])
+				if !num.IsFinite(v) {
+					finite = false
+					break
+				}
+				if v > nrm {
+					nrm = v
+				}
+			}
+			if finite && nrm <= prevNorm {
+				full = false
+				e.stats.ChordIters++
+				if nrm > e.opts.ChordContraction*prevNorm {
+					// Stalling: keep this update but rebuild next iteration.
+					e.chordReady = false
+				}
+			}
+		}
+		if full {
+			sparse.Combine(e.j, alpha, e.ev.C, e.mapC, 1, e.ev.G, e.mapG)
+			if err := e.factorSolve(); err != nil {
+				return fmt.Errorf("transient: Jacobian factorization failed: %w", err)
+			}
+			e.chordReady = chord
+			e.chordAlpha = alpha
+			e.drift = 0
 		}
 		e.stats.NewtonIters++
 		iters++
 		conv := true
+		nrm := 0.0
 		for i := 0; i < n; i++ {
 			if !num.IsFinite(e.dx[i]) {
 				return ErrNewtonFailure
 			}
 			e.x[i] -= e.dx[i]
+			ad := math.Abs(e.dx[i])
+			if ad > nrm {
+				nrm = ad
+			}
 			atol := e.opts.VTol
 			if i >= numNodes {
 				atol = e.opts.ITol
 			}
-			if math.Abs(e.dx[i]) > atol+e.opts.RelTol*math.Abs(e.x[i]) {
+			if ad > atol+e.opts.RelTol*math.Abs(e.x[i]) {
 				conv = false
 			}
 		}
+		prevNorm = nrm
+		e.drift += nrm
 		if conv {
 			converged = true
 			break
@@ -456,15 +604,25 @@ func (e *Engine) step(t0, t1 float64) error {
 		e.newtonHist.Observe(iters, 1)
 	}
 
-	// Final assembly at the converged state: exact C, G for the sensitivity
-	// solves and the next step's charge history.
-	e.evalAt(t1)
-	sparse.Combine(e.j, alpha, e.ev.C, e.mapC, 1, e.ev.G, e.mapG)
-	if err := e.factorize(); err != nil {
-		return fmt.Errorf("transient: converged-state factorization failed: %w", err)
-	}
-
 	if e.opts.Skews {
+		// The sensitivity solves back-substitute against a factorization of
+		// α·C + G at the converged state. Build it — unless the fast path is
+		// on and the iterate barely drifted since the standing factorization
+		// was assembled, in which case reusing it perturbs the sensitivities
+		// by O(drift) only.
+		if chord && e.drift <= e.opts.SensReuseTol && sameAlpha(alpha, e.chordAlpha) {
+			e.stats.JacobianReuses++
+		} else {
+			e.evalAt(t1)
+			sparse.Combine(e.j, alpha, e.ev.C, e.mapC, 1, e.ev.G, e.mapG)
+			if err := e.factorize(); err != nil {
+				return fmt.Errorf("transient: converged-state factorization failed: %w", err)
+			}
+			e.chordReady = chord
+			e.chordAlpha = alpha
+			e.drift = 0
+		}
+
 		e.zeroZ()
 		e.ev.AddSkewSens(t1, e.zsVec, e.zhVec)
 		var t0 time.Time
@@ -480,10 +638,14 @@ func (e *Engine) step(t0, t1 float64) error {
 		if e.timed {
 			e.stats.Sens += time.Since(t0)
 		}
-		// The sensitivity solves back-substitute against the converged-state
-		// factorization above — no factorization of their own.
+		// The sensitivity solves back-substitute against the factorization
+		// above — no factorization of their own.
 		e.stats.SensFactorizationsReused++
 	}
+	// With Skews off there is nothing to rebuild: the last Newton evaluation
+	// already carries Q (and, for TRAP, F+Src) within the convergence
+	// tolerance of the accepted state, so the converged-state eval and
+	// factorization are elided entirely.
 
 	if e.opts.Method == TRAP {
 		for i := 0; i < n; i++ {
@@ -491,7 +653,9 @@ func (e *Engine) step(t0, t1 float64) error {
 		}
 	}
 	copy(e.qPrev, e.ev.Q)
-	copy(e.cPrev.Val, e.ev.C.Val)
+	if e.opts.Skews {
+		copy(e.cPrev.Val, e.ev.C.Val)
+	}
 	return nil
 }
 

@@ -84,7 +84,20 @@ func validateEval(prefix string, c EvalConfig) error {
 	if c.CoarseStep > 0 && c.FineStep > 0 && c.FineStep > c.CoarseStep {
 		return optErr(prefix+".FineStep", c.FineStep, "must not exceed CoarseStep")
 	}
-	return nil
+	if c.MaxNewtonIter < 0 {
+		return optErr(prefix+".MaxNewtonIter", c.MaxNewtonIter, "must be ≥ 0 (0 selects the default)")
+	}
+	if err := checkNonNeg(prefix+".ChordContraction", c.ChordContraction); err != nil {
+		return err
+	}
+	if c.ChordContraction >= 1 {
+		return optErr(prefix+".ChordContraction", c.ChordContraction,
+			"must be a contraction rate below 1 (e.g. 0.5); ≥ 1 would accept non-contracting chord iterations")
+	}
+	if c.ChordMaxAge < 0 {
+		return optErr(prefix+".ChordMaxAge", c.ChordMaxAge, "must be ≥ 0 (0 selects the default)")
+	}
+	return checkNonNeg(prefix+".BypassVTol", c.BypassVTol)
 }
 
 // validateRect checks a bounds rectangle; the zero Rect is the documented
