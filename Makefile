@@ -5,8 +5,12 @@ GO ?= go
 # a duration like 2s for stable regression numbers.
 BENCHTIME ?= 1x
 BENCHOUT ?= BENCH_core.json
+# Pinned static-analysis tool versions: CI installs exactly these, so a
+# toolchain release never changes what the gate enforces under your feet.
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build test race vet vulncheck charvet tracesmoke batchsmoke servesmoke bench benchsmoke ci clean
+.PHONY: all build test race vet lint latchlint vulncheck charvet tracesmoke batchsmoke servesmoke bench benchsmoke ci clean
 
 all: build
 
@@ -16,13 +20,32 @@ build:
 test:
 	$(GO) test ./...
 
+# race is the concurrency gate: the race detector plus shuffled test order,
+# so order-dependent state (write-once globals, cached singletons) cannot
+# hide behind a fixed schedule.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # vet runs Go's own static analysis plus charvet over every shipped
 # characterization setup: the built-in cells and each example netlist.
 vet: charvet
 	$(GO) vet ./...
+
+# lint is the full source-level gate: go vet, charvet over the shipped
+# setups, the latchlint pass suite over the whole tree, and staticcheck when
+# installed at the pinned version (environments without it skip with a
+# notice instead of failing the build).
+lint: vet latchlint
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+
+# latchlint enforces the codebase's own invariants (ctxpair, obsspan,
+# counterreg, optvalidate, nakedgoroutine, deprecated — see DESIGN.md §11).
+latchlint:
+	$(GO) run ./cmd/latchlint ./...
 
 # vulncheck scans the module against the Go vulnerability database when
 # govulncheck is installed; environments without it (or without network
@@ -31,7 +54,7 @@ vulncheck:
 	@if command -v govulncheck >/dev/null 2>&1; then \
 		govulncheck ./...; \
 	else \
-		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
 	fi
 
 charvet:
@@ -79,7 +102,7 @@ benchsmoke:
 	@grep -q 'BenchmarkEulerNewtonTSPC/fast' $(BENCHOUT) || \
 		{ echo "benchsmoke: fast-path benchmark missing from $(BENCHOUT)"; exit 1; }
 
-ci: build vet vulncheck race tracesmoke batchsmoke servesmoke benchsmoke
+ci: build lint vulncheck race tracesmoke batchsmoke servesmoke benchsmoke
 
 clean:
 	$(GO) clean ./...

@@ -37,7 +37,7 @@ func FindSeedCtx(ctx context.Context, p Problem, opts SeedOptions) (SeedResult, 
 
 // FindSeed is FindSeedCtx with context.Background().
 func FindSeed(p Problem, opts SeedOptions) (SeedResult, error) {
-	return core.FindSeed(p, opts)
+	return core.FindSeedCtx(context.Background(), p, opts)
 }
 
 // SolveMPNRCtx runs the Moore-Penrose pseudo-inverse Newton-Raphson
@@ -50,7 +50,7 @@ func SolveMPNRCtx(ctx context.Context, p Problem, tauS, tauH float64, opts MPNRO
 
 // SolveMPNR is SolveMPNRCtx with context.Background().
 func SolveMPNR(p Problem, tauS, tauH float64, opts MPNROptions) (MPNRResult, error) {
-	return core.SolveMPNR(p, tauS, tauH, opts)
+	return core.SolveMPNRCtx(context.Background(), p, tauS, tauH, opts)
 }
 
 // TraceContourCtx runs Euler-Newton continuation from a seed guess (paper
@@ -63,7 +63,7 @@ func TraceContourCtx(ctx context.Context, p Problem, seedS, seedH float64, opts 
 
 // TraceContour is TraceContourCtx with context.Background().
 func TraceContour(p Problem, seedS, seedH float64, opts TraceOptions) (*Contour, error) {
-	return core.TraceContour(p, seedS, seedH, opts)
+	return core.TraceContourCtx(context.Background(), p, seedS, seedH, opts)
 }
 
 // Tangent returns the unit tangent induced by the Jacobian [gs, gh]
@@ -127,5 +127,5 @@ func ResampleContourCtx(ctx context.Context, p Problem, c *Contour, n int, opts 
 
 // ResampleContour is ResampleContourCtx with context.Background().
 func ResampleContour(p Problem, c *Contour, n int, opts MPNROptions) (*Contour, error) {
-	return core.ResampleContour(p, c, n, opts)
+	return core.ResampleContourCtx(context.Background(), p, c, n, opts)
 }

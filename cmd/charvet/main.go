@@ -145,7 +145,7 @@ func run(stdout, stderr io.Writer, args []string) error {
 			}
 			merged.Diagnostics = append(merged.Diagnostics, rep.Diagnostics...)
 		}
-		if err := merged.WriteSARIF(stdout, reg); err != nil {
+		if err := merged.WriteSARIF(stdout, reg.RuleMetas(merged.Checks)); err != nil {
 			return err
 		}
 	case *jsonOut:

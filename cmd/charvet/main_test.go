@@ -93,6 +93,18 @@ func TestSARIFOutput(t *testing.T) {
 	var log struct {
 		Version string `json:"version"`
 		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						HelpURI          string `json:"helpUri"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
 			Results []struct {
 				RuleID string `json:"ruleId"`
 				Level  string `json:"level"`
@@ -104,6 +116,15 @@ func TestSARIFOutput(t *testing.T) {
 	}
 	if log.Version != "2.1.0" || len(log.Runs) != 1 || len(log.Runs[0].Results) == 0 {
 		t.Errorf("malformed SARIF log:\n%s", stdout)
+	}
+	rules := log.Runs[0].Tool.Driver.Rules
+	if len(rules) == 0 {
+		t.Fatalf("SARIF log carries no rule metadata:\n%s", stdout)
+	}
+	for _, r := range rules {
+		if r.HelpURI == "" || r.ShortDescription.Text == "" {
+			t.Errorf("rule %q missing helpUri or shortDescription", r.ID)
+		}
 	}
 }
 

@@ -1,0 +1,322 @@
+// Command latchlint runs the internal/lint pass suite — the source-level
+// invariants of this codebase (context pairing, span hygiene, counter
+// registration, options validation, goroutine discipline, deprecation) — over
+// Go packages, as a standalone multichecker or as a `go vet` tool.
+//
+// Usage:
+//
+//	latchlint ./...                        # lint the whole module
+//	latchlint -list                        # list the registered passes
+//	latchlint -enable ctxpair ./internal/… # selection by stable pass ID
+//	latchlint -sarif ./... > lint.sarif    # SARIF-lite for CI annotation
+//	go vet -vettool=$(which latchlint) ./...   # unitchecker mode
+//
+// In unitchecker mode the command speaks the cmd/go vet protocol: it answers
+// -V=full and -flags probes, consumes the JSON vet config, type-checks
+// against the export data cmd/go hands over, and writes the (empty) facts
+// file cmd/go expects. Test files are skipped — the invariants police
+// production code, matching the standalone driver.
+//
+// Exit status: 0 when clean, 1 when any finding is reported, 2 on usage or
+// load failures.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"latchchar/internal/cli"
+	"latchchar/internal/lint"
+)
+
+// version is the fingerprint reported to the cmd/go -V=full probe; bump it
+// whenever pass behavior changes so stale vet caches are invalidated.
+const version = "v1.0.0"
+
+// errFindings marks a diagnostic outcome (exit 1), as opposed to an
+// operational failure (exit 2).
+var errFindings = errors.New("latchlint: findings")
+
+func main() {
+	args := os.Args[1:]
+	// cmd/go probes and the unitchecker entry point come before normal flag
+	// parsing: `go vet -vettool` invokes the tool as `latchlint -V=full`,
+	// `latchlint -flags`, then `latchlint <pkg>.cfg`.
+	if len(args) == 1 && (args[0] == "-V=full" || args[0] == "--V=full") {
+		fmt.Printf("latchlint version %s\n", version)
+		return
+	}
+	if len(args) == 1 && (args[0] == "-flags" || args[0] == "--flags") {
+		fmt.Println("[]")
+		return
+	}
+	if len(args) > 0 && strings.HasSuffix(args[len(args)-1], ".cfg") {
+		findings, err := unitcheck(args[len(args)-1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "latchlint:", err)
+			os.Exit(2)
+		}
+		if findings {
+			os.Exit(1)
+		}
+		return
+	}
+	err := run(os.Stdout, os.Stderr, args)
+	switch {
+	case err == nil:
+	case errors.Is(err, errFindings):
+		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, "latchlint:", err)
+		os.Exit(2)
+	}
+}
+
+// run is the standalone multichecker: load, analyze, render.
+func run(stdout, stderr io.Writer, args []string) error {
+	fs := flag.NewFlagSet("latchlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir      = fs.String("C", ".", "directory to resolve package patterns in")
+		jsonOut  = fs.Bool("json", false, "emit findings as JSON")
+		sarifOut = fs.Bool("sarif", false, "emit findings as SARIF-lite 2.1.0")
+		list     = fs.Bool("list", false, "list registered passes and exit")
+		enable   = fs.String("enable", "", "comma-separated pass IDs: run only these")
+		disable  = fs.String("disable", "", "comma-separated pass IDs to skip")
+		quiet    = fs.Bool("q", false, "suppress the summary line on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+	analyzers, err := selectAnalyzers(cli.SplitChecks(*enable), cli.SplitChecks(*disable))
+	if err != nil {
+		return err
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, mod, err := lint.Load(*dir, patterns)
+	if err != nil {
+		return err
+	}
+	findings, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		return err
+	}
+	rep := lint.ToVetReport(mod.Dir, analyzers, findings)
+	rep.Target = strings.Join(patterns, " ")
+	switch {
+	case *jsonOut:
+		if err := rep.WriteJSON(stdout); err != nil {
+			return err
+		}
+	case *sarifOut:
+		if err := rep.WriteSARIF(stdout, lint.RuleMetas(analyzers)); err != nil {
+			return err
+		}
+	default:
+		for _, f := range findings {
+			if _, err := fmt.Fprintf(stdout, "%s: [%s] %s\n", f.Position, f.Analyzer.Name, f.Message); err != nil {
+				return err
+			}
+		}
+	}
+	if !*quiet {
+		fmt.Fprintf(stderr, "latchlint: %d pass(es) over %d package(s): %d finding(s)\n",
+			len(analyzers), len(pkgs), len(findings))
+	}
+	if len(findings) > 0 {
+		return errFindings
+	}
+	return nil
+}
+
+// selectAnalyzers applies -enable/-disable to the registry; unknown pass IDs
+// are operational errors so typos never silently disable a gate.
+func selectAnalyzers(enable, disable []string) ([]*lint.Analyzer, error) {
+	for _, name := range append(append([]string(nil), enable...), disable...) {
+		if lint.Lookup(name) == nil {
+			return nil, fmt.Errorf("unknown pass %q", name)
+		}
+	}
+	skip := map[string]bool{}
+	for _, name := range disable {
+		skip[name] = true
+	}
+	var out []*lint.Analyzer
+	for _, a := range lint.All() {
+		if len(enable) > 0 {
+			ok := false
+			for _, e := range enable {
+				if e == a.Name {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+		}
+		if skip[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("selection leaves no passes to run")
+	}
+	return out, nil
+}
+
+// vetConfig is the subset of the cmd/go vet config JSON the unitchecker
+// mode consumes (the same contract x/tools unitchecker speaks).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one package described by a cmd/go vet config and
+// reports whether findings were emitted. The facts file is written in every
+// non-error outcome — cmd/go records it as the action's output even when the
+// tool has nothing to say.
+func unitcheck(cfgPath string) (findings bool, err error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return false, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return false, fmt.Errorf("parsing vet config %s: %v", cfgPath, err)
+	}
+	if cfg.VetxOnly || cfg.Standard[cfg.ImportPath] {
+		return false, writeVetx(cfg.VetxOutput)
+	}
+	// The invariants police production code: drop test files, and with them
+	// external test packages entirely.
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return false, writeVetx(cfg.VetxOutput)
+	}
+	moduleDir, modulePath, ok := findModule(cfg.Dir)
+	if !ok {
+		// Outside any module (GOPATH dependency): none of our invariants
+		// apply there.
+		return false, writeVetx(cfg.VetxOutput)
+	}
+	mod, err := lint.BuildModuleIndex(moduleDir, modulePath)
+	if err != nil {
+		return false, err
+	}
+	// ImportMap carries source-level path → canonical path; PackageFile maps
+	// canonical path → export data. The importer looks up source-level paths.
+	exports := map[string]string{}
+	for canon, file := range cfg.PackageFile {
+		exports[canon] = file
+	}
+	for src, canon := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[canon]; ok {
+			exports[src] = file
+		}
+	}
+	fset := token.NewFileSet()
+	pkgPath := cleanImportPath(cfg.ImportPath)
+	pkg, err := lint.CheckPackage(fset, pkgPath, cfg.Dir, files, lint.ExportImporter(fset, exports), mod)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return false, writeVetx(cfg.VetxOutput)
+		}
+		return false, err
+	}
+	found, err := lint.RunAnalyzers([]*lint.Package{pkg}, lint.All())
+	if err != nil {
+		return false, err
+	}
+	if err := writeVetx(cfg.VetxOutput); err != nil {
+		return false, err
+	}
+	w := bufio.NewWriter(os.Stderr)
+	for _, f := range found {
+		fmt.Fprintf(w, "%s: [%s] %s\n", f.Position, f.Analyzer.Name, f.Message)
+	}
+	if err := w.Flush(); err != nil {
+		return false, err
+	}
+	return len(found) > 0, nil
+}
+
+// writeVetx writes the (empty) facts file cmd/go expects as the vet action's
+// output. The pass suite exports no cross-package facts — the ModuleIndex
+// syntax scan supplies those instead.
+func writeVetx(path string) error {
+	if path == "" {
+		return nil
+	}
+	return os.WriteFile(path, []byte{}, 0o666)
+}
+
+// cleanImportPath strips the test-variant suffix cmd/go appends to
+// recompiled-for-test packages ("pkg [pkg.test]"), so pass logic keyed on
+// package paths sees the production identity.
+func cleanImportPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modulePath string, ok bool) {
+	for d := dir; ; {
+		gomod := filepath.Join(d, "go.mod")
+		if data, err := os.ReadFile(gomod); err == nil {
+			return d, parseModulePath(data), true
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", false
+		}
+		d = parent
+	}
+}
+
+// parseModulePath extracts the module path from go.mod contents.
+func parseModulePath(data []byte) string {
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			return strings.Trim(rest, `"`)
+		}
+	}
+	return ""
+}

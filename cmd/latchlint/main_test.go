@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runLatchlint(t *testing.T, args ...string) (stdout, stderr string, err error) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	err = run(&out, &errw, args)
+	return out.String(), errw.String(), err
+}
+
+func TestListPasses(t *testing.T) {
+	stdout, _, err := runLatchlint(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) < 6 {
+		t.Errorf("-list printed %d passes, want ≥ 6:\n%s", len(lines), stdout)
+	}
+	for _, want := range []string{"ctxpair", "obsspan", "counterreg", "optvalidate", "nakedgoroutine", "deprecated"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("-list output missing pass %q", want)
+		}
+	}
+}
+
+func TestModuleIsClean(t *testing.T) {
+	// The tree-wide gate: every pass over every module package, zero
+	// findings. internal/lint's load test enforces the same invariant at the
+	// library layer; this exercises the CLI wiring (selection, summary).
+	stdout, stderr, err := runLatchlint(t, "-C", "../..", "./...")
+	if err != nil {
+		t.Fatalf("module must lint clean, got %v:\n%s", err, stdout)
+	}
+	if !strings.Contains(stderr, "0 finding(s)") {
+		t.Errorf("summary line missing: %q", stderr)
+	}
+}
+
+func TestSARIFEnvelope(t *testing.T) {
+	stdout, _, err := runLatchlint(t, "-C", "../..", "-sarif", "-q", "./internal/lint/...")
+	if err != nil {
+		t.Fatalf("want clean run, got %v", err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID      string `json:"id"`
+						HelpURI string `json:"helpUri"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct{} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &log); err != nil {
+		t.Fatalf("invalid SARIF: %v\n%s", err, stdout)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("malformed SARIF log:\n%s", stdout)
+	}
+	driver := log.Runs[0].Tool.Driver
+	if driver.Name != "latchlint" {
+		t.Errorf("driver name = %q, want latchlint", driver.Name)
+	}
+	if len(driver.Rules) != 6 {
+		t.Errorf("SARIF carries %d rules, want 6 (all passes, even on clean runs)", len(driver.Rules))
+	}
+	for _, r := range driver.Rules {
+		if r.HelpURI == "" {
+			t.Errorf("rule %q missing helpUri", r.ID)
+		}
+	}
+}
+
+func TestUnknownPassIsOperationalError(t *testing.T) {
+	_, _, err := runLatchlint(t, "-enable", "no-such-pass")
+	if err == nil || errors.Is(err, errFindings) {
+		t.Errorf("unknown pass must be an operational error, got %v", err)
+	}
+}
+
+func TestSelectionCannotBeEmpty(t *testing.T) {
+	_, _, err := runLatchlint(t, "-enable", "ctxpair", "-disable", "ctxpair")
+	if err == nil || errors.Is(err, errFindings) {
+		t.Errorf("empty selection must be an operational error, got %v", err)
+	}
+}
+
+func TestCleanImportPath(t *testing.T) {
+	cases := map[string]string{
+		"latchchar/internal/lint":                                "latchchar/internal/lint",
+		"latchchar/internal/lint [latchchar/internal/lint.test]": "latchchar/internal/lint",
+	}
+	for in, want := range cases {
+		if got := cleanImportPath(in); got != want {
+			t.Errorf("cleanImportPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseModulePath(t *testing.T) {
+	if got := parseModulePath([]byte("// comment\nmodule latchchar\n\ngo 1.22\n")); got != "latchchar" {
+		t.Errorf("parseModulePath = %q, want latchchar", got)
+	}
+	if got := parseModulePath([]byte("module \"quoted/path\"\n")); got != "quoted/path" {
+		t.Errorf("parseModulePath quoted = %q, want quoted/path", got)
+	}
+}
+
+func TestFindModule(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, path, ok := findModule(wd)
+	if !ok {
+		t.Fatal("findModule failed from inside the module")
+	}
+	if path != "latchchar" {
+		t.Errorf("module path = %q, want latchchar", path)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Errorf("reported root %s has no go.mod: %v", root, err)
+	}
+	if _, _, ok := findModule(t.TempDir()); ok {
+		t.Error("findModule must fail outside any module")
+	}
+}
+
+func TestUnitcheckVetxOnlySkips(t *testing.T) {
+	dir := t.TempDir()
+	vetx := filepath.Join(dir, "out.vetx")
+	cfgPath := filepath.Join(dir, "pkg.cfg")
+	cfg := vetConfig{ImportPath: "example.com/dep", VetxOnly: true, VetxOutput: vetx}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := unitcheck(cfgPath)
+	if err != nil || findings {
+		t.Fatalf("VetxOnly config: findings=%v err=%v, want clean skip", findings, err)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("facts file not written: %v", err)
+	}
+}

@@ -81,8 +81,8 @@ func run(args []string) error {
 			MinS: *sMin * 1e-12, MaxS: *sMax * 1e-12,
 			MinH: *hMin * 1e-12, MaxH: *hMax * 1e-12,
 		},
-		Workers: *workers,
-		Obs:     obsRun,
+		Parallelism: *workers,
+		Obs:         obsRun,
 	}
 	// ^C cancels the grid sweep; pending rows are abandoned within one
 	// transient step each.

@@ -1,0 +1,101 @@
+package latchchar
+
+import (
+	"bytes"
+	"log"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWorkersDeprecationWarnsOnce hammers the legacy-Workers resolution path
+// from many goroutines and demands exactly one deprecation line: the warning
+// is a write-once global guarded by sync.Once, and under -race this test is
+// the audit that the guard actually covers the logging.
+func TestWorkersDeprecationWarnsOnce(t *testing.T) {
+	resetWorkersDeprecationForTest()
+	var buf bytes.Buffer
+	prev := log.Writer()
+	log.SetOutput(&buf)
+	defer log.SetOutput(prev)
+
+	const goroutines = 32
+	var wg sync.WaitGroup
+	for range goroutines {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := effectiveParallelism(0, 4, 2); got != 4 {
+				t.Errorf("effectiveParallelism(0, 4, 2) = %d, want 4", got)
+			}
+		}()
+	}
+	wg.Wait()
+
+	count := func() int {
+		n := 0
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if strings.Contains(line, "deprecated") {
+				n++
+			}
+		}
+		return n
+	}
+	if n := count(); n != 1 {
+		t.Fatalf("deprecation warning logged %d times across %d concurrent calls, want exactly 1:\n%s",
+			n, goroutines, buf.String())
+	}
+	// A later legacy call in the same process must stay silent.
+	if got := effectiveParallelism(0, 8, 2); got != 8 {
+		t.Fatalf("effectiveParallelism(0, 8, 2) = %d, want 8", got)
+	}
+	if n := count(); n != 1 {
+		t.Fatalf("second legacy call re-logged the warning (%d lines)", n)
+	}
+}
+
+// TestEffectiveParallelismPrecedence pins the resolution order: Parallelism
+// wins, legacy Workers second, default last — and neither of the quiet paths
+// touches the warning.
+func TestEffectiveParallelismPrecedence(t *testing.T) {
+	resetWorkersDeprecationForTest()
+	var buf bytes.Buffer
+	prev := log.Writer()
+	log.SetOutput(&buf)
+	defer log.SetOutput(prev)
+
+	if got := effectiveParallelism(3, 4, 2); got != 3 {
+		t.Errorf("Parallelism must win: got %d, want 3", got)
+	}
+	if got := effectiveParallelism(0, 0, 2); got != 2 {
+		t.Errorf("default must apply: got %d, want 2", got)
+	}
+	if strings.Contains(buf.String(), "deprecated") {
+		t.Errorf("non-legacy paths logged the deprecation warning:\n%s", buf.String())
+	}
+}
+
+// TestDefaultEngineSingleton: the process-wide engine is a write-once global
+// behind sync.Once; concurrent first calls must all observe the same
+// instance (the -race audit for defaultEngine).
+func TestDefaultEngineSingleton(t *testing.T) {
+	const goroutines = 16
+	engines := make([]*Engine, goroutines)
+	var wg sync.WaitGroup
+	for i := range engines {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			engines[i] = DefaultEngine()
+		}()
+	}
+	wg.Wait()
+	if engines[0] == nil {
+		t.Fatal("DefaultEngine returned nil")
+	}
+	for i, e := range engines {
+		if e != engines[0] {
+			t.Fatalf("goroutine %d saw a different engine instance", i)
+		}
+	}
+}

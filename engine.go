@@ -30,6 +30,7 @@ type EngineOptions struct {
 	// disables caching). Calibrations are keyed by (cell name, process,
 	// timing, evaluator config), so cells that share those but differ in
 	// hand-built topology should use distinct names or a negative CacheSize.
+	// latchlint:ignore optvalidate every value is meaningful: 0 = default 64, negative = caching disabled
 	CacheSize int
 	// Obs attaches engine-level observability: each batch runs inside a
 	// "batch" span. Per-job spans nest under the job's own Options.Obs.

@@ -1,0 +1,9 @@
+package latchchar
+
+import "sync"
+
+// resetWorkersDeprecationForTest re-arms the one-shot legacy-Workers warning
+// so the deprecation test owns its firing regardless of test order (-shuffle).
+func resetWorkersDeprecationForTest() {
+	workersDeprecationOnce = sync.Once{}
+}

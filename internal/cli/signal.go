@@ -9,9 +9,39 @@ import (
 
 // SignalContext returns a context canceled on SIGINT or SIGTERM, so a ^C
 // during a long sweep stops in-flight traces mid-transient instead of
-// killing the process with partial output files left behind. The returned
-// stop function releases the signal registration; a second signal after the
-// first falls through to the default handler and terminates immediately.
+// killing the process with partial output files left behind — the engine
+// hands back the partial contour traced so far. The first signal cancels the
+// context and releases the registration, so a second signal falls through to
+// the default handler and terminates immediately: ^C to stop cleanly, ^C^C
+// to get out now. The returned stop function releases the registration.
 func SignalContext() (context.Context, context.CancelFunc) {
-	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	return signalContext(context.Background(), signal.Notify, signal.Stop,
+		os.Interrupt, syscall.SIGTERM)
+}
+
+// signalContext implements SignalContext over injectable registration
+// functions, so tests can drive the handler with a synthetic channel and
+// observe the release instead of delivering real signals.
+func signalContext(parent context.Context,
+	notify func(chan<- os.Signal, ...os.Signal),
+	stop func(chan<- os.Signal),
+	sigs ...os.Signal) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 1)
+	notify(ch, sigs...)
+	go func() {
+		select {
+		case <-ch:
+			// First signal: restore the default disposition before canceling,
+			// so a second signal during teardown hard-exits.
+			stop(ch)
+			cancel()
+		case <-ctx.Done():
+			stop(ch)
+		}
+	}()
+	return ctx, func() {
+		stop(ch)
+		cancel()
+	}
 }

@@ -1,0 +1,203 @@
+package cli
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// fakeSignals records registrations against a synthetic signal channel.
+type fakeSignals struct {
+	mu         sync.Mutex
+	ch         chan<- os.Signal
+	registered bool
+	stopped    chan struct{} // closed on the first stop call
+}
+
+func newFakeSignals() *fakeSignals {
+	return &fakeSignals{stopped: make(chan struct{})}
+}
+
+func (f *fakeSignals) notify(ch chan<- os.Signal, sigs ...os.Signal) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ch = ch
+	f.registered = true
+}
+
+func (f *fakeSignals) stop(ch chan<- os.Signal) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.registered && ch == f.ch {
+		f.registered = false
+		close(f.stopped)
+	}
+}
+
+func (f *fakeSignals) deliver(sig os.Signal) {
+	f.mu.Lock()
+	ch := f.ch
+	f.mu.Unlock()
+	ch <- sig
+}
+
+// TestFirstSignalCancelsAndReleases: one synthetic SIGINT cancels the
+// context AND deregisters the channel, so the next real signal would reach
+// the default handler (process termination).
+func TestFirstSignalCancelsAndReleases(t *testing.T) {
+	f := newFakeSignals()
+	ctx, cancel := signalContext(context.Background(), f.notify, f.stop, os.Interrupt)
+	defer cancel()
+	if !f.registered {
+		t.Fatal("signalContext did not register a channel")
+	}
+	select {
+	case <-ctx.Done():
+		t.Fatal("context canceled before any signal")
+	default:
+	}
+	f.deliver(os.Interrupt)
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not canceled after first signal")
+	}
+	select {
+	case <-f.stopped:
+	case <-time.After(5 * time.Second):
+		t.Fatal("registration not released after first signal: a second ^C would not hard-exit")
+	}
+}
+
+// TestStopReleasesWithoutSignal: the returned stop function deregisters and
+// cancels even when no signal ever arrives (the deferred-cleanup path every
+// cmd/ main takes on normal completion).
+func TestStopReleasesWithoutSignal(t *testing.T) {
+	f := newFakeSignals()
+	ctx, stop := signalContext(context.Background(), f.notify, f.stop, os.Interrupt)
+	stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop did not cancel the context")
+	}
+	select {
+	case <-f.stopped:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop did not release the registration")
+	}
+}
+
+// TestParentCancellationReleases: canceling the parent context releases the
+// registration without a signal, so no handler goroutine or registration
+// leaks past the run's lifetime.
+func TestParentCancellationReleases(t *testing.T) {
+	f := newFakeSignals()
+	parent, cancelParent := context.WithCancel(context.Background())
+	_, stop := signalContext(parent, f.notify, f.stop, os.Interrupt)
+	defer stop()
+	cancelParent()
+	select {
+	case <-f.stopped:
+	case <-time.After(5 * time.Second):
+		t.Fatal("parent cancellation did not release the registration")
+	}
+}
+
+// TestHelperSignalLoop is the subprocess body for the hard-exit test: it
+// installs the real handler, reports readiness, reports cancellation, then
+// lingers so only a default-disposition signal can end it.
+func TestHelperSignalLoop(t *testing.T) {
+	if os.Getenv("LATCHCHAR_SIGNAL_HELPER") != "1" {
+		t.Skip("helper process body, driven by TestSecondSignalHardExits")
+	}
+	ctx, stop := SignalContext()
+	defer stop()
+	fmt.Println("helper:ready")
+	<-ctx.Done()
+	fmt.Println("helper:canceled")
+	time.Sleep(time.Minute) // only a hard exit gets past this
+}
+
+// TestSecondSignalHardExits drives the real handler in a subprocess: the
+// first SIGINT cancels the context (graceful path), the second kills the
+// process through the restored default disposition.
+func TestSecondSignalHardExits(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("POSIX signal dispositions")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-test.run=TestHelperSignalLoop$", "-test.v")
+	cmd.Env = append(os.Environ(), "LATCHCHAR_SIGNAL_HELPER=1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	lines := make(chan string, 16)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	waitFor := func(marker string) {
+		t.Helper()
+		deadline := time.After(30 * time.Second)
+		for {
+			select {
+			case line, ok := <-lines:
+				if !ok {
+					t.Fatalf("helper exited before printing %q", marker)
+				}
+				if strings.Contains(line, marker) {
+					return
+				}
+			case <-deadline:
+				t.Fatalf("timeout waiting for %q", marker)
+			}
+		}
+	}
+
+	waitFor("helper:ready")
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("helper:canceled")
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		var ee *exec.ExitError
+		if err == nil {
+			t.Fatal("helper exited cleanly; second SIGINT must hard-exit")
+		} else if !errors.As(err, &ee) {
+			t.Fatalf("unexpected wait error: %v", err)
+		} else if ws, ok := ee.Sys().(syscall.WaitStatus); !ok || !ws.Signaled() || ws.Signal() != syscall.SIGINT {
+			t.Fatalf("helper did not die from SIGINT: %v (sys %v)", ee, ee.Sys())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("helper survived the second SIGINT")
+	}
+}

@@ -2,6 +2,7 @@ package device
 
 import (
 	"fmt"
+	"math"
 
 	"latchchar/internal/circuit"
 )
@@ -62,6 +63,9 @@ func (m MOSModel) Validate() error {
 	}
 	if m.Cox < 0 || m.CJ < 0 {
 		return fmt.Errorf("device: capacitance parameters must be non-negative")
+	}
+	if m.NLDelta < 0 || math.IsNaN(m.NLDelta) || math.IsInf(m.NLDelta, 0) {
+		return fmt.Errorf("device: NLDelta must be a finite non-negative window, got %g", m.NLDelta)
 	}
 	return nil
 }

@@ -1,0 +1,348 @@
+// Package analysistest runs a single lint pass over GOPATH-style fixture
+// packages and checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the repository's own driver.
+//
+// Fixtures live under testdata/src/<import/path>/ relative to the calling
+// test's directory; an import path is fixture-local exactly when that
+// directory exists, everything else resolves as standard library through
+// compiler export data (fetched once per process with `go list -export`, so
+// runs stay offline). A flagged line carries a comment of the form
+//
+//	code() // want `regexp` `another`
+//
+// with one backquoted or double-quoted regexp per expected diagnostic on
+// that line. Unmatched wants and unexpected diagnostics both fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"latchchar/internal/lint"
+)
+
+// Run loads each fixture package (plus its local imports), applies the
+// analyzer through the production driver — so latchlint:ignore suppression is
+// active — and diffs the findings against the fixtures' want comments.
+func Run(t *testing.T, a *lint.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	src, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	mod, err := lint.BuildModuleIndex(src, "")
+	if err != nil {
+		t.Fatalf("analysistest: building fixture index: %v", err)
+	}
+
+	l := &loader{src: src, fset: token.NewFileSet(), mod: mod, pkgs: map[string]*lint.Package{}}
+	stdPaths, err := l.scanStdImports(pkgPaths)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	exports, err := stdExports(stdPaths)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	l.std = lint.ExportImporter(l.fset, exports)
+
+	var targets []*lint.Package
+	for _, path := range pkgPaths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		targets = append(targets, pkg)
+	}
+
+	findings, err := lint.RunAnalyzers(targets, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+	checkWants(t, targets, findings)
+}
+
+// loader parses and type-checks fixture packages on demand; it doubles as the
+// types.Importer for fixture-local import paths.
+type loader struct {
+	src  string
+	fset *token.FileSet
+	mod  *lint.ModuleIndex
+	std  types.Importer
+	pkgs map[string]*lint.Package
+}
+
+func (l *loader) load(path string) (*lint.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	files, err := fixtureFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := lint.CheckPackage(l.fset, path, dir, files, l, l.mod)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer: fixture directories first, export data
+// for everything else.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if l.isLocal(path) {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) isLocal(path string) bool {
+	st, err := os.Stat(filepath.Join(l.src, filepath.FromSlash(path)))
+	return err == nil && st.IsDir()
+}
+
+// scanStdImports walks the fixture import graph (imports-only parses) and
+// returns every non-local import path reached.
+func (l *loader) scanStdImports(roots []string) ([]string, error) {
+	seen := map[string]bool{}
+	std := map[string]bool{}
+	var visit func(path string) error
+	visit = func(path string) error {
+		if seen[path] {
+			return nil
+		}
+		seen[path] = true
+		dir := filepath.Join(l.src, filepath.FromSlash(path))
+		files, err := fixtureFiles(dir)
+		if err != nil {
+			return err
+		}
+		for _, name := range files {
+			f, err := parser.ParseFile(token.NewFileSet(), name, nil, parser.ImportsOnly)
+			if err != nil {
+				return fmt.Errorf("scanning %s: %w", name, err)
+			}
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if l.isLocal(p) {
+					if err := visit(p); err != nil {
+						return err
+					}
+				} else {
+					std[p] = true
+				}
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := visit(r); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]string, 0, len(std))
+	for p := range std {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func fixtureFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture %s: %w", dir, err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture %s: no Go files", dir)
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// stdExportCache memoizes export-data locations across Run calls: `go list`
+// is the only subprocess the harness spawns, and only for paths not yet seen.
+var stdExportCache = struct {
+	sync.Mutex
+	m map[string]string
+}{m: map[string]string{}}
+
+// stdExports resolves export-data files for the paths and their transitive
+// dependencies via `go list -deps -export`.
+func stdExports(paths []string) (map[string]string, error) {
+	stdExportCache.Lock()
+	defer stdExportCache.Unlock()
+	var missing []string
+	for _, p := range paths {
+		if _, ok := stdExportCache.m[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		args := append([]string{"list", "-deps", "-export", "-f",
+			`{{if .Export}}{{.ImportPath}}={{.Export}}{{end}}`}, missing...)
+		out, err := exec.Command("go", args...).Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list -export %s: %v", strings.Join(missing, " "), err)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+			if path, file, ok := strings.Cut(line, "="); ok {
+				stdExportCache.m[path] = file
+			}
+		}
+	}
+	// Hand back a snapshot so the importer reads without the lock.
+	snap := make(map[string]string, len(stdExportCache.m))
+	for k, v := range stdExportCache.m {
+		snap[k] = v
+	}
+	return snap, nil
+}
+
+// wantEntry is one expected diagnostic: a regexp from a want comment.
+type wantEntry struct {
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// checkWants diffs findings against the want comments of the analyzed
+// packages, matching per line.
+func checkWants(t *testing.T, pkgs []*lint.Package, findings []lint.Finding) {
+	t.Helper()
+	wants := map[wantKey][]*wantEntry{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			collectFileWants(t, pkg.Fset, f, wants)
+		}
+	}
+	for _, f := range findings {
+		key := wantKey{file: f.Position.Filename, line: f.Position.Line}
+		ok := false
+		for _, w := range wants[key] {
+			if !w.matched && w.rx.MatchString(f.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Position, f.Message)
+		}
+	}
+	var keys []wantKey
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s:%d: missing diagnostic matching %q", k.file, k.line, w.raw)
+			}
+		}
+	}
+}
+
+// collectFileWants parses the want comments of one file.
+func collectFileWants(t *testing.T, fset *token.FileSet, f *ast.File, wants map[wantKey][]*wantEntry) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			patterns, err := parseWantPatterns(strings.TrimPrefix(text, "want "))
+			if err != nil {
+				t.Fatalf("%s: malformed want comment: %v", pos, err)
+			}
+			key := wantKey{file: pos.Filename, line: pos.Line}
+			for _, p := range patterns {
+				rx, err := regexp.Compile(p)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", pos, p, err)
+				}
+				wants[key] = append(wants[key], &wantEntry{rx: rx, raw: p})
+			}
+		}
+	}
+}
+
+// parseWantPatterns splits a want payload into its quoted regexps.
+func parseWantPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote in %q", s)
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[2+end:])
+		case '"':
+			i := 1
+			for i < len(s) && s[i] != '"' {
+				if s[i] == '\\' {
+					i++
+				}
+				i++
+			}
+			if i >= len(s) {
+				return nil, fmt.Errorf("unterminated quote in %q", s)
+			}
+			unq, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted pattern in %q: %v", s, err)
+			}
+			out = append(out, unq)
+			s = strings.TrimSpace(s[i+1:])
+		default:
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want comment")
+	}
+	return out, nil
+}

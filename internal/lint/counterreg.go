@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AnalyzerCounterReg enforces Prometheus pre-seed completeness (DESIGN.md
+// §9): the serving layer renders every obs counter as a
+// latchchard_obs_*_total metric and pre-seeds all known counter names at
+// zero so scrapers see a stable metric set from the first request. A counter
+// constant added to internal/obs but missing from the pre-seed map appears
+// only after the first job that happens to increment it — a silent schema
+// drift this pass turns into a build-time finding.
+//
+// The pass triggers on any map[string]int64 composite literal keyed by Ctr*
+// constants of an obs package, and requires the literal to name every Ctr*
+// constant that package exports.
+var AnalyzerCounterReg = &Analyzer{
+	Name: "counterreg",
+	Doc:  "the Prometheus pre-seed map must register every obs.Ctr* counter constant",
+	URL:  "DESIGN.md#lint-counterreg",
+	Run:  runCounterReg,
+}
+
+func runCounterReg(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[lit]
+			if !ok || !isStringInt64Map(tv.Type) {
+				return true
+			}
+			var obsPkg *types.Package
+			present := map[string]bool{}
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				c := counterConst(pass, kv.Key)
+				if c == nil {
+					continue
+				}
+				obsPkg = c.Pkg()
+				present[c.Name()] = true
+			}
+			if obsPkg == nil {
+				return true // not a counter pre-seed map
+			}
+			var missing []string
+			scope := obsPkg.Scope()
+			for _, name := range scope.Names() {
+				if !strings.HasPrefix(name, "Ctr") || name == "Ctr" {
+					continue
+				}
+				if _, ok := scope.Lookup(name).(*types.Const); !ok {
+					continue
+				}
+				if !present[name] {
+					missing = append(missing, name)
+				}
+			}
+			sort.Strings(missing)
+			for _, name := range missing {
+				pass.Reportf(lit.Pos(),
+					"counter pre-seed map is missing %s.%s: register it so the Prometheus exposition is stable from the first scrape",
+					obsPkg.Name(), name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isStringInt64Map matches map[string]int64 (after alias resolution).
+func isStringInt64Map(t types.Type) bool {
+	m, ok := t.Underlying().(*types.Map)
+	if !ok {
+		return false
+	}
+	k, ok := m.Key().Underlying().(*types.Basic)
+	if !ok || k.Kind() != types.String {
+		return false
+	}
+	v, ok := m.Elem().Underlying().(*types.Basic)
+	return ok && v.Kind() == types.Int64
+}
+
+// counterConst resolves a map key to a Ctr* constant declared in an obs
+// package, nil otherwise.
+func counterConst(pass *Pass, key ast.Expr) *types.Const {
+	var obj types.Object
+	switch k := ast.Unparen(key).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[k]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[k.Sel]
+	default:
+		return nil
+	}
+	c, ok := obj.(*types.Const)
+	if !ok || c.Pkg() == nil || !strings.HasPrefix(c.Name(), "Ctr") {
+		return nil
+	}
+	if p := c.Pkg().Path(); p != "obs" && !strings.HasSuffix(p, "/obs") {
+		return nil
+	}
+	return c
+}

@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerCtxPair enforces the public API's context contract (DESIGN.md §8):
+// every exported FooCtx function or method whose first parameter is a
+// context.Context must have an exported non-Ctx sibling Foo, and that
+// sibling must be a pure Background wrapper — a single return delegating to
+// FooCtx with context.Background() as the first argument. Internal packages
+// must call the Ctx variant directly: the wrappers exist for external
+// callers, and an internal call site that drops the context silently breaks
+// end-to-end cancellation.
+var AnalyzerCtxPair = &Analyzer{
+	Name: "ctxpair",
+	Doc:  "exported ...Ctx API needs a conforming Background wrapper; internal code must call the Ctx variant",
+	URL:  "DESIGN.md#lint-ctxpair",
+	Run:  runCtxPair,
+}
+
+func runCtxPair(pass *Pass) error {
+	// Index the package's function declarations by receiver/name.
+	decls := map[string]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				decls[funcKey(fd)] = fd
+			}
+		}
+	}
+
+	for key, fd := range decls {
+		name := fd.Name.Name
+		if !fd.Name.IsExported() || !strings.HasSuffix(name, "Ctx") || name == "Ctx" {
+			continue
+		}
+		if !firstParamIsContext(pass, fd) {
+			continue
+		}
+		base := strings.TrimSuffix(name, "Ctx")
+		wrapperKey := strings.TrimSuffix(key, "Ctx")
+		wrapper, ok := decls[wrapperKey]
+		if !ok {
+			pass.Reportf(fd.Name.Pos(),
+				"exported %s has no non-Ctx wrapper %s (every ...Ctx API needs a documented context.Background() sibling)",
+				name, base)
+			continue
+		}
+		if !isBackgroundWrapper(pass, wrapper, name) {
+			pass.Reportf(wrapper.Name.Pos(),
+				"%s must be a pure wrapper: a single return calling %s with context.Background() as the context",
+				base, name)
+		}
+	}
+
+	// Caller-side rule, internal packages only: calling the non-Ctx wrapper
+	// of another module package discards the caller's context.
+	if !hasPathSegment(pass.Pkg.Path(), "internal") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg() == pass.Pkg {
+				return true
+			}
+			if !pass.InModule(fn.Pkg().Path()) || strings.HasSuffix(fn.Name(), "Ctx") {
+				return true
+			}
+			sib := ctxSibling(fn)
+			if sib == nil || !sigFirstParamIsContext(sib) {
+				return true
+			}
+			// A same-name wrapper delegating down a wrapper chain is itself a
+			// Background wrapper and may call one.
+			if encl := enclosingFuncName(pass, call); encl == fn.Name() {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"internal package calls %s.%s: call %sCtx and thread the context (the non-Ctx wrapper is for external callers)",
+				fn.Pkg().Name(), fn.Name(), fn.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// firstParamIsContext reports whether the declared function's first
+// parameter is a context.Context.
+func firstParamIsContext(pass *Pass, fd *ast.FuncDecl) bool {
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	return sigFirstParamIsContext(obj)
+}
+
+func sigFirstParamIsContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return false
+	}
+	return isContextType(sig.Params().At(0).Type())
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isBackgroundWrapper reports whether the wrapper body is exactly
+// `return <...>FooCtx(context.Background(), args...)`.
+func isBackgroundWrapper(pass *Pass, wrapper *ast.FuncDecl, ctxName string) bool {
+	if wrapper.Body == nil || len(wrapper.Body.List) != 1 {
+		return false
+	}
+	ret, ok := wrapper.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) == 0 {
+		return false
+	}
+	call, ok := ret.Results[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	// Callee must be named FooCtx (possibly pkg- or receiver-qualified).
+	switch callee := call.Fun.(type) {
+	case *ast.Ident:
+		if callee.Name != ctxName {
+			return false
+		}
+	case *ast.SelectorExpr:
+		if callee.Sel.Name != ctxName {
+			return false
+		}
+	default:
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	// First argument must be context.Background() (or context.TODO(), which
+	// still satisfies "no caller context exists here").
+	argCall, ok := call.Args[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	argFn := calleeFunc(pass, argCall)
+	return argFn != nil && argFn.Pkg() != nil && argFn.Pkg().Path() == "context" &&
+		(argFn.Name() == "Background" || argFn.Name() == "TODO")
+}
+
+// ctxSibling finds the FooCtx sibling of a package-level function or method.
+func ctxSibling(fn *types.Func) *types.Func {
+	want := fn.Name() + "Ctx"
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return nil
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); m.Name() == want {
+				return m
+			}
+		}
+		return nil
+	}
+	if fn.Pkg() == nil {
+		return nil
+	}
+	sib, _ := fn.Pkg().Scope().Lookup(want).(*types.Func)
+	return sib
+}
+
+// calleeFunc resolves the *types.Func a call expression invokes, nil for
+// calls through function values, conversions and builtins.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// enclosingFuncName returns the name of the function declaration containing
+// pos ("" when inside a function literal or at file scope).
+func enclosingFuncName(pass *Pass, n ast.Node) string {
+	for _, f := range pass.Files {
+		if n.Pos() < f.Pos() || n.Pos() > f.End() {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= n.Pos() && n.Pos() <= fd.End() {
+				return fd.Name.Name
+			}
+		}
+	}
+	return ""
+}

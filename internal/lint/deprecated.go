@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerDeprecated contains deprecated aliases (DESIGN.md §8): an
+// identifier whose declaration carries a "Deprecated:" doc paragraph — the
+// legacy Workers fields, the removed Lint entry points — must not be
+// referenced from any other package of the module. The declaring package
+// keeps its compatibility shims (effectiveParallelism still honors Workers),
+// but internal consumers migrating late would resurrect the alias and block
+// the scheduled removal.
+//
+// Deprecation facts come from the module-wide syntax index, so the pass sees
+// markers on packages other than the one being analyzed — including in
+// single-package unitchecker runs under go vet.
+var AnalyzerDeprecated = &Analyzer{
+	Name: "deprecated",
+	Doc:  "no cross-package use of deprecated identifiers (legacy Workers fields, removed Lint entry points)",
+	URL:  "DESIGN.md#lint-deprecated",
+	Run:  runDeprecated,
+}
+
+func runDeprecated(pass *Pass) error {
+	if pass.Module == nil || len(pass.Module.Deprecated) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				// Field, method or package-qualified selection: check the Sel
+				// here and descend only into X, so the Sel identifier is not
+				// re-reported by the Ident case below.
+				reportDeprecated(pass, e.Sel, selectorKeys(pass, e))
+				ast.Inspect(e.X, visit)
+				return false
+			case *ast.CompositeLit:
+				checkLitKeys(pass, e)
+				return true // values still visited; field keys skip via IsField
+			case *ast.Ident:
+				obj := pass.TypesInfo.Uses[e]
+				if v, ok := obj.(*types.Var); ok && v.IsField() {
+					return true // handled by the selector/composite-literal cases
+				}
+				if obj != nil && obj.Pkg() != nil {
+					reportDeprecated(pass, e, []string{obj.Pkg().Path() + "." + obj.Name()})
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, visit)
+	}
+	return nil
+}
+
+// reportDeprecated flags the identifier when one of the candidate index keys
+// is deprecated and the use crosses a package boundary inside the module.
+func reportDeprecated(pass *Pass, id *ast.Ident, keys []string) {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg() == pass.Pkg || !pass.InModule(obj.Pkg().Path()) {
+		return
+	}
+	for _, key := range keys {
+		if note, ok := pass.Module.Deprecated[key]; ok {
+			pass.Reportf(id.Pos(), "use of deprecated %s: %s", key, note)
+			return
+		}
+	}
+}
+
+// selectorKeys builds the candidate index keys of a selection:
+// "pkgpath.Type.Sel" for fields and methods, plus "pkgpath.Sel" for
+// package-qualified identifiers.
+func selectorKeys(pass *Pass, sel *ast.SelectorExpr) []string {
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	var keys []string
+	if s, ok := pass.TypesInfo.Selections[sel]; ok {
+		if named := namedRecv(s.Recv()); named != nil {
+			keys = append(keys, named.Obj().Pkg().Path()+"."+named.Obj().Name()+"."+obj.Name())
+		}
+	}
+	return append(keys, obj.Pkg().Path()+"."+obj.Name())
+}
+
+// checkLitKeys flags deprecated struct fields used as composite-literal keys
+// (`Config{Workers: 1}`), which carry no SelectorExpr to hang the check on.
+func checkLitKeys(pass *Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	named := namedRecv(tv.Type)
+	if named == nil {
+		return
+	}
+	typeKey := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok {
+			reportDeprecated(pass, id, []string{typeKey + "." + id.Name})
+		}
+	}
+}
+
+// namedRecv unwraps pointers down to a named type, nil otherwise.
+func namedRecv(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

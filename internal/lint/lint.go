@@ -1,0 +1,206 @@
+// Package lint is the source-level static-analysis suite of this repository:
+// a registry of go/analysis-style passes that encode the codebase's own
+// cross-cutting invariants — the Ctx/Background wrapper contract of the
+// public API, span hygiene in the observability layer, Prometheus counter
+// pre-seeding, options-validation and coalescing-key completeness, goroutine
+// discipline outside the scheduler, and deprecated-alias containment.
+//
+// The kernel deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
+// Pass, Diagnostic, Reportf) so passes can be lifted onto the upstream
+// driver verbatim if that dependency ever becomes available; here they run
+// on a self-contained driver built only from the standard library: packages
+// are enumerated with `go list -export -json` and type-checked against the
+// compiler's export data (no source re-typechecking of dependencies, no
+// network, no third-party modules).
+//
+// Suppression policy: a finding may be silenced with a comment
+//
+//	// latchlint:ignore <pass>[,<pass>...] <reason>
+//
+// placed on the flagged line or the line directly above it (struct-field
+// findings accept the marker as the last line of the field's doc comment).
+// The reason is mandatory by convention — a bare marker still suppresses,
+// but reviews treat it as a defect. See DESIGN.md §11 for the pass catalog
+// and the policy rationale.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one independent source-level check, shaped like
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name is the stable pass ID (lowercase, one word); it tags every
+	// diagnostic and addresses the pass in -enable/-disable and in
+	// latchlint:ignore comments.
+	Name string
+	// Doc is the one-line description shown by latchlint -list and used as
+	// the SARIF rule shortDescription.
+	Doc string
+	// URL points at the pass's catalog entry (the SARIF rule helpUri).
+	URL string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one analyzer's view of one type-checked package, shaped like
+// golang.org/x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Module carries module-wide syntax facts (the deprecation index) and
+	// the module path, for checks that cross package boundaries.
+	Module *ModuleIndex
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InModule reports whether path names a package of the analyzed module (the
+// deprecated and ctxpair passes only police module-local API use). With no
+// module index every non-standard-library-looking path counts, which is what
+// the analysistest fixtures need.
+func (p *Pass) InModule(path string) bool {
+	if p.Module == nil || p.Module.ModulePath == "" {
+		return !isStdPath(path)
+	}
+	return path == p.Module.ModulePath || strings.HasPrefix(path, p.Module.ModulePath+"/")
+}
+
+// isStdPath heuristically identifies standard-library import paths: their
+// first segment never contains a dot and the go list driver only ever hands
+// non-module paths to the type checker for the standard library.
+func isStdPath(path string) bool {
+	first := path
+	if i := strings.IndexByte(first, '/'); i >= 0 {
+		first = first[:i]
+	}
+	return !strings.Contains(first, ".")
+}
+
+// hasPathSegment reports whether one of the /-separated segments of an
+// import path equals seg.
+func hasPathSegment(path, seg string) bool {
+	for _, s := range strings.Split(path, "/") {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}
+
+// Finding is one driver-level result: a diagnostic resolved to a file
+// position and its originating analyzer.
+type Finding struct {
+	Analyzer *Analyzer
+	Position token.Position
+	Message  string
+}
+
+// RunAnalyzers applies the analyzers to each package and returns the
+// surviving findings sorted by position. latchlint:ignore comments are
+// honored here, so every pass gets suppression for free.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Module:    pkg.Module,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			for _, d := range pass.diags {
+				pos := pkg.Fset.Position(d.Pos)
+				if ignores.suppressed(a.Name, pos) {
+					continue
+				}
+				out = append(out, Finding{Analyzer: a, Position: pos, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Position, out[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out, nil
+}
+
+// ignoreIndex maps file -> line -> pass names suppressed on that line.
+type ignoreIndex map[string]map[int][]string
+
+// collectIgnores scans every comment of the package for latchlint:ignore
+// markers. A marker suppresses findings on its own line and on the line
+// directly below it.
+func collectIgnores(pkg *Package) ignoreIndex {
+	idx := ignoreIndex{}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "latchlint:ignore") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "latchlint:ignore"))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					idx[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], names...)
+				byLine[pos.Line+1] = append(byLine[pos.Line+1], names...)
+			}
+		}
+	}
+	return idx
+}
+
+func (idx ignoreIndex) suppressed(name string, pos token.Position) bool {
+	for _, n := range idx[pos.Filename][pos.Line] {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	Module    *ModuleIndex
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct {
+		Path string
+		Dir  string
+	}
+	Error *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns with
+// `go list -deps -export -json`, parses the non-dependency matches and
+// type-checks them against the compiler's export data. It returns the
+// checked packages (tests excluded — the invariants police production code)
+// plus the module index shared by cross-package facts.
+//
+// The export-data importer is the same mechanism the real go vet driver
+// uses: `go list -export` populates the build cache, and each import
+// resolves through the cached export file instead of re-type-checking
+// dependency source. The whole flow works offline.
+func Load(dir string, patterns []string) ([]*Package, *ModuleIndex, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly,Module,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var targets []*listPackage
+	exports := map[string]string{}
+	moduleDir, modulePath := "", ""
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, nil, fmt.Errorf("lint: go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if lp.Module != nil && moduleDir == "" {
+			moduleDir, modulePath = lp.Module.Dir, lp.Module.Path
+		}
+		p := lp
+		if !p.DepOnly && !p.Standard && p.Name != "" {
+			targets = append(targets, &p)
+		}
+	}
+	if moduleDir == "" {
+		moduleDir = dir
+	}
+	mod, err := BuildModuleIndex(moduleDir, modulePath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: building module index: %w", err)
+	}
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := CheckPackage(fset, t.ImportPath, t.Dir, absFiles(t.Dir, t.GoFiles), imp, mod)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, mod, nil
+}
+
+// absFiles joins relative file names onto the package directory.
+func absFiles(dir string, files []string) []string {
+	out := make([]string, len(files))
+	for i, f := range files {
+		if filepath.IsAbs(f) {
+			out[i] = f
+		} else {
+			out[i] = filepath.Join(dir, f)
+		}
+	}
+	return out
+}
+
+// ExportImporter returns a types.Importer resolving import paths through
+// compiler export-data files (the mapping produced by `go list -export` or
+// handed over in a unitchecker vet config).
+func ExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// CheckPackage parses and type-checks one package from explicit file lists —
+// the shared core of Load and the unitchecker mode.
+func CheckPackage(fset *token.FileSet, pkgPath, dir string, files []string, imp types.Importer, mod *ModuleIndex) (*Package, error) {
+	var syntax []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		syntax = append(syntax, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", pkgPath, err)
+	}
+	return &Package{
+		PkgPath:   pkgPath,
+		Dir:       dir,
+		Fset:      fset,
+		Syntax:    syntax,
+		Types:     tpkg,
+		TypesInfo: info,
+		Module:    mod,
+	}, nil
+}

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadModule exercises the offline driver end to end on the repository
+// itself: go list -export enumeration, export-data type checking, the module
+// index, and a full run of the suite (which must be clean — CI enforces the
+// same via cmd/latchlint).
+func TestLoadModule(t *testing.T) {
+	pkgs, mod, err := Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.ModulePath != "latchchar" {
+		t.Fatalf("module path = %q, want latchchar", mod.ModulePath)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages, expected the whole module", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if p.Types == nil || p.TypesInfo == nil || len(p.Syntax) == 0 {
+			t.Fatalf("package %s loaded without types or syntax", p.PkgPath)
+		}
+	}
+	// The deprecation index must see the known legacy identifiers.
+	found := false
+	for key := range mod.Deprecated {
+		if strings.HasSuffix(key, ".Workers") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("module index did not record the deprecated Workers fields: %v", mod.Deprecated)
+	}
+
+	findings, err := RunAnalyzers(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("latchlint finding on the tree: %s: [%s] %s", f.Position, f.Analyzer.Name, f.Message)
+	}
+}

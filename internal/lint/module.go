@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ModuleIndex is the module-wide syntax fact base shared by every pass. It
+// is built once per driver invocation from a comments-preserving parse of
+// the whole module (no type checking), so even the single-package unitchecker
+// mode of `go vet -vettool` sees cross-package facts like deprecation
+// markers.
+type ModuleIndex struct {
+	// ModulePath is the module's import path ("latchchar").
+	ModulePath string
+	// Dir is the module root directory.
+	Dir string
+	// Deprecated maps qualified object names to their deprecation note.
+	// Keys: "pkgpath.Func", "pkgpath.Type", "pkgpath.Type.Method" and
+	// "pkgpath.Type.Field" for struct fields.
+	Deprecated map[string]string
+}
+
+// BuildModuleIndex parses every non-test Go file under the module root
+// (skipping testdata, vendor and dot-directories) and extracts the
+// declarations whose doc comments carry a "Deprecated:" paragraph, in the
+// standard Go convention.
+func BuildModuleIndex(dir, modulePath string) (*ModuleIndex, error) {
+	idx := &ModuleIndex{ModulePath: modulePath, Dir: dir, Deprecated: map[string]string{}}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != dir && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			// A module tree under active edit may hold broken files; the
+			// index is advisory, so skip them instead of failing the run.
+			return nil
+		}
+		rel, rerr := filepath.Rel(dir, filepath.Dir(path))
+		if rerr != nil {
+			return rerr
+		}
+		pkgPath := modulePath
+		if rel != "." {
+			if modulePath == "" {
+				// GOPATH-style tree (the analysistest fixtures): package
+				// paths are directory paths relative to the root.
+				pkgPath = filepath.ToSlash(rel)
+			} else {
+				pkgPath = modulePath + "/" + filepath.ToSlash(rel)
+			}
+		}
+		idx.indexFile(pkgPath, f)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// indexFile records the deprecated declarations of one parsed file.
+func (idx *ModuleIndex) indexFile(pkgPath string, f *ast.File) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if note, ok := deprecationNote(d.Doc); ok {
+				idx.Deprecated[pkgPath+"."+funcKey(d)] = note
+			}
+		case *ast.GenDecl:
+			declNote, declDep := deprecationNote(d.Doc)
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if note, ok := specNote(s.Doc, s.Comment, declNote, declDep); ok {
+						idx.Deprecated[pkgPath+"."+s.Name.Name] = note
+					}
+					if st, ok := s.Type.(*ast.StructType); ok {
+						idx.indexFields(pkgPath+"."+s.Name.Name, st)
+					}
+				case *ast.ValueSpec:
+					if note, ok := specNote(s.Doc, s.Comment, declNote, declDep); ok {
+						for _, name := range s.Names {
+							idx.Deprecated[pkgPath+"."+name.Name] = note
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// indexFields records deprecated struct fields under "pkgpath.Type.Field".
+func (idx *ModuleIndex) indexFields(typeKey string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		note, ok := specNote(field.Doc, field.Comment, "", false)
+		if !ok {
+			continue
+		}
+		for _, name := range field.Names {
+			idx.Deprecated[typeKey+"."+name.Name] = note
+		}
+	}
+}
+
+// funcKey names a function or "Recv.Method" for methods.
+func funcKey(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	return recvTypeName(d.Recv.List[0].Type) + "." + d.Name.Name
+}
+
+// recvTypeName unwraps a receiver type expression to its type name.
+func recvTypeName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	}
+	return ""
+}
+
+// specNote resolves the effective deprecation note of a spec: its own doc or
+// line comment first, then the enclosing GenDecl's doc.
+func specNote(doc, comment *ast.CommentGroup, declNote string, declDep bool) (string, bool) {
+	if note, ok := deprecationNote(doc); ok {
+		return note, true
+	}
+	if note, ok := deprecationNote(comment); ok {
+		return note, true
+	}
+	return declNote, declDep
+}
+
+// deprecationNote extracts the "Deprecated:" paragraph from a doc comment.
+func deprecationNote(doc *ast.CommentGroup) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, line := range strings.Split(doc.Text(), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "Deprecated:") {
+			return strings.TrimSpace(strings.TrimPrefix(line, "Deprecated:")), true
+		}
+	}
+	return "", false
+}

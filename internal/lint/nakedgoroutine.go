@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerNakedGoroutine enforces goroutine discipline (DESIGN.md §8): all
+// characterization concurrency runs on the internal/sched pool, and the few
+// goroutines outside it must be cancelable or joinable. A `go` statement
+// outside internal/sched is flagged unless the spawned code (the function
+// literal, or the body of a same-package function/method it calls, plus the
+// call's arguments) shows one of the accepted disciplines:
+//
+//   - it references a context.Context (cancelable),
+//   - it calls a sync.WaitGroup method (joined),
+//   - it sends on or closes a channel (its completion is observable), or
+//   - it touches the sched pool (the pool owns its lifecycle).
+//
+// Fire-and-forget goroutines leak under test -race -shuffle and defeat
+// graceful drain; a legitimately detached goroutine takes a
+// latchlint:ignore annotation explaining its lifecycle.
+var AnalyzerNakedGoroutine = &Analyzer{
+	Name: "nakedgoroutine",
+	Doc:  "no fire-and-forget go statements outside internal/sched: thread a ctx, join, or use the pool",
+	URL:  "DESIGN.md#lint-nakedgoroutine",
+	Run:  runNakedGoroutine,
+}
+
+func runNakedGoroutine(pass *Pass) error {
+	if hasPathSegment(pass.Pkg.Path(), "sched") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goroutineDisciplined(pass, g) {
+				return true
+			}
+			pass.Reportf(g.Pos(),
+				"naked goroutine: fire-and-forget go statement outside internal/sched — thread a ctx, join via sync.WaitGroup or a channel, or run it on the sched pool")
+			return true
+		})
+	}
+	return nil
+}
+
+// goroutineDisciplined checks the spawned code for an accepted lifecycle
+// signal.
+func goroutineDisciplined(pass *Pass, g *ast.GoStmt) bool {
+	// The call's own arguments and callee expression count: passing a ctx or
+	// a WaitGroup into the goroutine is the discipline itself.
+	for _, arg := range g.Call.Args {
+		if nodeShowsDiscipline(pass, arg) {
+			return true
+		}
+	}
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return nodeShowsDiscipline(pass, fun.Body)
+	default:
+		if nodeShowsDiscipline(pass, g.Call.Fun) {
+			return true
+		}
+		// Same-package named function or method: inspect its body.
+		if fn := calleeFunc(pass, g.Call); fn != nil && fn.Pkg() == pass.Pkg {
+			if body := funcBody(pass, fn); body != nil {
+				return nodeShowsDiscipline(pass, body)
+			}
+		}
+	}
+	return false
+}
+
+// nodeShowsDiscipline scans a subtree for a ctx reference, a WaitGroup
+// method call, a channel send/close, or a sched-pool use.
+func nodeShowsDiscipline(pass *Pass, root ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.Ident:
+			if tv, ok := pass.TypesInfo.Types[ast.Expr(e)]; ok && isContextType(tv.Type) {
+				found = true
+			}
+		case *ast.CallExpr:
+			switch fun := e.Fun.(type) {
+			case *ast.Ident:
+				// close(ch) observable completion.
+				if fun.Name == "close" {
+					if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+						found = true
+					}
+				}
+			case *ast.SelectorExpr:
+				if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+					if isWaitGroupMethod(fn) || isSchedFunc(fn) {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupMethod matches sync.WaitGroup.Add/Done/Wait.
+func isWaitGroupMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// isSchedFunc matches functions and methods of a sched package.
+func isSchedFunc(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	p := fn.Pkg().Path()
+	return p == "sched" || strings.HasSuffix(p, "/sched")
+}
+
+// funcBody finds the declaration body of a package-local function.
+func funcBody(pass *Pass, fn *types.Func) *ast.BlockStmt {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if pass.TypesInfo.Defs[fd.Name] == fn {
+					return fd.Body
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// AnalyzerOptValidate enforces the options contract (DESIGN.md §8): every
+// plain numeric field of an options struct must be covered by the package's
+// validation code, and every field of the HTTP wire options must participate
+// in the canonical coalescing key.
+//
+// Concretely, for each struct that is named Options or carries a Validate
+// method, each exported field of unnamed numeric type (int, float64, ...)
+// must be mentioned — as a selector or inside a field-path string literal —
+// in some function of the package whose name is Validate or starts with
+// "validate". Named field types (enums like transient.Method, nested option
+// structs validated by their own rule or by the consumer's options.go) are
+// exempt; a field that is genuinely valid for all values takes a
+// latchlint:ignore annotation in its doc comment.
+//
+// Separately, every field of a struct named OptionsRequest must carry a json
+// tag other than "-": the serving layer's coalescing key is a digest of the
+// canonical JSON encoding, so an unserialized field silently coalesces
+// requests that differ in that knob — the exact bug class the fast_path
+// option nearly shipped.
+var AnalyzerOptValidate = &Analyzer{
+	Name: "optvalidate",
+	Doc:  "options-struct numeric fields must be covered by Validate; wire options must serialize into the coalescing key",
+	URL:  "DESIGN.md#lint-optvalidate",
+	Run:  runOptValidate,
+}
+
+func runOptValidate(pass *Pass) error {
+	mentioned := validatorMentions(pass)
+	hasValidators := mentioned != nil
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				if ts.Name.Name == "OptionsRequest" {
+					checkWireOptions(pass, ts.Name.Name, st)
+				}
+				if !isOptionsStruct(pass, ts) || !hasPlainNumericField(pass, st) {
+					continue
+				}
+				if !hasValidators {
+					pass.Reportf(ts.Name.Pos(),
+						"options struct %s has no validation: add a Validate method covering its numeric fields (see options.go)",
+						ts.Name.Name)
+					continue
+				}
+				checkOptionsFields(pass, ts.Name.Name, st, mentioned)
+			}
+		}
+	}
+	return nil
+}
+
+// isOptionsStruct reports whether the type participates in the validation
+// contract: it is named Options, or it has a Validate method.
+func isOptionsStruct(pass *Pass, ts *ast.TypeSpec) bool {
+	if ts.Name.Name == "Options" {
+		return true
+	}
+	obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return false
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "Validate" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkOptionsFields flags exported plain-numeric fields absent from the
+// package's validation vocabulary.
+func checkOptionsFields(pass *Pass, typeName string, st *ast.StructType, mentioned map[string]bool) {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if !name.IsExported() {
+				continue
+			}
+			v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if !ok || !isPlainNumeric(v.Type()) {
+				continue
+			}
+			if !mentioned[name.Name] {
+				pass.Reportf(name.Pos(),
+					"field %s.%s is not checked by any validator: add it to Validate (or annotate why every value is valid)",
+					typeName, name.Name)
+			}
+		}
+	}
+}
+
+// hasPlainNumericField reports whether the struct has at least one exported
+// field subject to the validation rule.
+func hasPlainNumericField(pass *Pass, st *ast.StructType) bool {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if !name.IsExported() {
+				continue
+			}
+			if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok && isPlainNumeric(v.Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isPlainNumeric matches unnamed basic numeric types; named types (enums,
+// units) are exempt because their validation belongs to their own package.
+func isPlainNumeric(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+// validatorMentions collects every field name referenced by the package's
+// validation functions: selector names plus the identifier-shaped tokens of
+// field-path string literals ("Eval.Degrade" mentions Eval and Degrade).
+// Returns nil when the package has no validators at all.
+func validatorMentions(pass *Pass) map[string]bool {
+	mentioned := map[string]bool{}
+	found := false
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if name != "Validate" && !strings.HasPrefix(name, "validate") {
+				continue
+			}
+			found = true
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.SelectorExpr:
+					mentioned[e.Sel.Name] = true
+				case *ast.BasicLit:
+					if e.Kind.String() == "STRING" {
+						for _, tok := range splitIdentTokens(strings.Trim(e.Value, "`\"")) {
+							mentioned[tok] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if !found {
+		return nil
+	}
+	return mentioned
+}
+
+// splitIdentTokens splits a string on non-identifier characters.
+func splitIdentTokens(s string) []string {
+	return strings.FieldsFunc(s, func(r rune) bool {
+		return !(r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9')
+	})
+}
+
+// checkWireOptions requires every field of the wire options struct to land
+// in the canonical JSON used for the coalescing key.
+func checkWireOptions(pass *Pass, typeName string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		tag := ""
+		if field.Tag != nil {
+			tag = reflect.StructTag(strings.Trim(field.Tag.Value, "`")).Get("json")
+		}
+		jsonName, _, _ := strings.Cut(tag, ",")
+		for _, name := range field.Names {
+			if !name.IsExported() {
+				continue
+			}
+			switch jsonName {
+			case "-":
+				pass.Reportf(name.Pos(),
+					"field %s.%s is excluded from JSON: it would not reach the canonical coalescing key, so requests differing in it would coalesce onto one job",
+					typeName, name.Name)
+			case "":
+				pass.Reportf(name.Pos(),
+					"field %s.%s has no json tag: give it a stable snake_case wire name so it participates in the canonical coalescing key",
+					typeName, name.Name)
+			}
+		}
+	}
+}

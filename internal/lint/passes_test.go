@@ -1,0 +1,62 @@
+package lint_test
+
+import (
+	"testing"
+
+	"latchchar/internal/lint"
+	"latchchar/internal/lint/analysistest"
+)
+
+func TestCtxPair(t *testing.T) {
+	analysistest.Run(t, lint.AnalyzerCtxPair, "example.com/ctxpair", "example.com/internal/caller")
+}
+
+func TestObsSpan(t *testing.T) {
+	analysistest.Run(t, lint.AnalyzerObsSpan, "example.com/obsspan")
+}
+
+func TestCounterReg(t *testing.T) {
+	analysistest.Run(t, lint.AnalyzerCounterReg, "example.com/counterreg")
+}
+
+func TestOptValidate(t *testing.T) {
+	analysistest.Run(t, lint.AnalyzerOptValidate,
+		"example.com/optvalidate",
+		"example.com/optvalidate/novalidate",
+		"example.com/optvalidate/wire")
+}
+
+func TestNakedGoroutine(t *testing.T) {
+	analysistest.Run(t, lint.AnalyzerNakedGoroutine,
+		"example.com/nakedgoroutine",
+		"example.com/sched")
+}
+
+func TestDeprecated(t *testing.T) {
+	analysistest.Run(t, lint.AnalyzerDeprecated,
+		"example.com/dep/old",
+		"example.com/dep/use")
+}
+
+func TestRegistry(t *testing.T) {
+	all := lint.All()
+	if len(all) != 6 {
+		t.Fatalf("All() returned %d analyzers, want 6", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.URL == "" || a.Run == nil {
+			t.Errorf("analyzer %q has incomplete metadata", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if lint.Lookup(a.Name) != a {
+			t.Errorf("Lookup(%q) did not return the registered analyzer", a.Name)
+		}
+	}
+	if lint.Lookup("nope") != nil {
+		t.Errorf("Lookup of unknown name should return nil")
+	}
+}

@@ -1,0 +1,25 @@
+package lint
+
+// All returns the full pass suite in catalog order (DESIGN.md §11). The
+// order is stable: it is the -list order of cmd/latchlint and the rule order
+// of the SARIF output.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerCtxPair,
+		AnalyzerObsSpan,
+		AnalyzerCounterReg,
+		AnalyzerOptValidate,
+		AnalyzerNakedGoroutine,
+		AnalyzerDeprecated,
+	}
+}
+
+// Lookup resolves a pass by its stable name, nil if unknown.
+func Lookup(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"path/filepath"
+
+	"latchchar/internal/vet"
+)
+
+// ToVetReport converts lint findings into the shared vet report type so the
+// latchlint CLI renders JSON and SARIF through internal/vet/render.go — one
+// envelope shape for both the circuit-level and source-level analyzers.
+//
+// analyzers is the full set that ran (findings or not): their names populate
+// Report.Checks so SARIF rule metadata stays complete on clean runs. baseDir,
+// when non-empty, relativizes finding paths (SARIF artifact URIs should be
+// repo-relative); paths outside baseDir stay absolute.
+func ToVetReport(baseDir string, analyzers []*Analyzer, findings []Finding) *vet.Report {
+	rep := &vet.Report{Tool: "latchlint", Target: "source"}
+	for _, a := range analyzers {
+		rep.Checks = append(rep.Checks, a.Name)
+	}
+	for _, f := range findings {
+		rep.Diagnostics = append(rep.Diagnostics, vet.Diagnostic{
+			Check:    f.Analyzer.Name,
+			Severity: vet.Error,
+			Message:  f.Message,
+			File:     relPath(baseDir, f.Position.Filename),
+			Line:     f.Position.Line,
+		})
+	}
+	return rep
+}
+
+// RuleMetas exposes the analyzers' metadata in the renderer-facing shape.
+func RuleMetas(analyzers []*Analyzer) []vet.RuleMeta {
+	metas := make([]vet.RuleMeta, 0, len(analyzers))
+	for _, a := range analyzers {
+		metas = append(metas, vet.RuleMeta{ID: a.Name, Doc: a.Doc, HelpURI: a.URL})
+	}
+	return metas
+}
+
+func relPath(baseDir, path string) string {
+	if baseDir == "" || path == "" {
+		return path
+	}
+	rel, err := filepath.Rel(baseDir, path)
+	if err != nil || rel == ".." || len(rel) > 2 && rel[:3] == ".."+string(filepath.Separator) {
+		return path
+	}
+	return filepath.ToSlash(rel)
+}

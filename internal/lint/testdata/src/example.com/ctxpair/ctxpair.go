@@ -1,0 +1,48 @@
+package ctxpair
+
+import "context"
+
+// Conforming pair: exported Ctx variant plus a pure Background wrapper.
+
+func DoCtx(ctx context.Context, x int) int { return x }
+
+func Do(x int) int { return DoCtx(context.Background(), x) }
+
+// context.TODO also satisfies the wrapper contract.
+
+func PlanCtx(ctx context.Context, n int) int { return n }
+
+func Plan(n int) int { return PlanCtx(context.TODO(), n) }
+
+// Method pair on a receiver.
+
+type Engine struct{}
+
+func (e *Engine) SolveCtx(ctx context.Context, n int) int { return n }
+
+func (e *Engine) Solve(n int) int { return e.SolveCtx(context.Background(), n) }
+
+// Missing wrapper.
+
+func RunCtx(ctx context.Context) error { return nil } // want `exported RunCtx has no non-Ctx wrapper Run`
+
+// Wrapper exists but does real work instead of delegating.
+
+func FetchCtx(ctx context.Context, k string) string { return k }
+
+func Fetch(k string) string { // want `Fetch must be a pure wrapper`
+	return fetchImpl(k)
+}
+
+func fetchImpl(k string) string { return k }
+
+// Suppression: the marker on the line above silences the finding.
+
+// latchlint:ignore ctxpair fixture exercises the suppression path
+func LegacyCtx(ctx context.Context) error { return nil }
+
+// Unexported and non-context first parameters are out of scope.
+
+func helperCtx(ctx context.Context) {}
+
+func IndexCtx(name string) int { return len(name) }

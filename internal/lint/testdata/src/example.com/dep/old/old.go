@@ -1,0 +1,25 @@
+// Package old declares deprecated identifiers; its own compatibility shims
+// may keep using them, other packages may not.
+package old
+
+// Old is the legacy entry point.
+//
+// Deprecated: use New instead.
+func Old() int { return 1 }
+
+func New() int { return 2 }
+
+type Config struct {
+	// Deprecated: use Parallelism.
+	Workers int
+
+	Parallelism int
+}
+
+// effective keeps honoring the legacy field — same-package use is allowed.
+func effective(c Config) int {
+	if c.Workers != 0 {
+		return c.Workers
+	}
+	return c.Parallelism
+}

@@ -1,0 +1,23 @@
+package use
+
+import "example.com/dep/old"
+
+func f() int {
+	n := old.Old() // want `use of deprecated example.com/dep/old.Old: use New instead.`
+	c := old.Config{Parallelism: 2}
+	c.Workers = n // want `use of deprecated example.com/dep/old.Config.Workers: use Parallelism.`
+	return old.New() + c.Parallelism
+}
+
+// Composite-literal keys are caught too.
+func g() old.Config {
+	return old.Config{Workers: 1} // want `use of deprecated example.com/dep/old.Config.Workers: use Parallelism.`
+}
+
+// Suppression applies here like everywhere else.
+func h() int {
+	c := old.Config{}
+	// latchlint:ignore deprecated migration scheduled separately
+	c.Workers = 4
+	return c.Workers // want `use of deprecated example.com/dep/old.Config.Workers: use Parallelism.`
+}

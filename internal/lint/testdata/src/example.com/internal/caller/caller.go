@@ -1,0 +1,31 @@
+// Package caller sits under an internal path segment, so the caller-side
+// ctxpair rule applies: module code must use the Ctx variants.
+package caller
+
+import (
+	"context"
+
+	"example.com/ctxpair"
+)
+
+func run(ctx context.Context) int {
+	good := ctxpair.DoCtx(ctx, 1)
+	bad := ctxpair.Do(2) // want `internal package calls ctxpair.Do: call DoCtx`
+	return good + bad
+}
+
+func methods(ctx context.Context) int {
+	var e ctxpair.Engine
+	good := e.SolveCtx(ctx, 1)
+	bad := e.Solve(2) // want `internal package calls ctxpair.Solve: call SolveCtx`
+	return good + bad
+}
+
+// A same-name wrapper may delegate down a wrapper chain: it is itself the
+// Background shim, not a context-dropping call site.
+
+func Do(x int) int { return ctxpair.Do(x) }
+
+// fetchImpl has no Ctx sibling, so calling it is fine.
+
+func plain() string { return ctxpair.Fetch("k") } // want `internal package calls ctxpair.Fetch: call FetchCtx`

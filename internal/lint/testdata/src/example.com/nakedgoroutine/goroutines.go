@@ -1,0 +1,73 @@
+package nakedgoroutine
+
+import (
+	"context"
+	"sync"
+
+	"example.com/sched"
+)
+
+func bad() {
+	go func() { // want `naked goroutine`
+		work()
+	}()
+}
+
+func badNamed() {
+	go work() // want `naked goroutine`
+}
+
+// A context reference anywhere in the spawned code is the discipline.
+func goodCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		work()
+	}()
+}
+
+// Passing a ctx into the goroutine counts even without a closure.
+func goodNamedCtx(ctx context.Context) {
+	go pump(ctx)
+}
+
+func pump(ctx context.Context) { <-ctx.Done() }
+
+// WaitGroup join.
+func goodWG(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// Completion observable through a channel send or close.
+func goodSend(res chan int) {
+	go func() {
+		res <- compute()
+	}()
+}
+
+func goodClose(done chan struct{}) {
+	go func() {
+		work()
+		close(done)
+	}()
+}
+
+// The sched pool owns the lifecycle of what runs on it.
+func goodPool(p *sched.Pool) {
+	go func() {
+		p.Drain()
+	}()
+}
+
+// A spawned same-package function is inspected through its body.
+func goodNamedBody(wg *sync.WaitGroup) {
+	go joined(wg)
+}
+
+func joined(wg *sync.WaitGroup) { defer wg.Done(); work() }
+
+func work()        {}
+func compute() int { return 0 }

@@ -1,0 +1,23 @@
+// Package obs is a minimal stand-in for the repository's observability
+// layer: the Span*/Ctr* vocabulary, a Run handle and a Span with End.
+package obs
+
+const (
+	SpanTrace = "trace"
+	SpanSeed  = "seed"
+)
+
+const (
+	CtrSteps   = "steps"
+	CtrRetries = "retries"
+)
+
+type Run struct{}
+
+func (r *Run) StartSpan(name string) *Span { return &Span{} }
+
+type Span struct{}
+
+func (s *Span) End() {}
+
+func (s *Span) SetErr(err error) {}

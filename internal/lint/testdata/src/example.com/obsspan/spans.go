@@ -1,0 +1,77 @@
+package obsspan
+
+import (
+	"errors"
+
+	"example.com/obs"
+)
+
+var errNope = errors.New("nope")
+
+// Deferred End covers every path.
+func good(r *obs.Run) {
+	sp := r.StartSpan(obs.SpanTrace)
+	defer sp.End()
+	work()
+}
+
+// Explicit End before each return also conforms.
+func goodExplicit(r *obs.Run, fail bool) error {
+	sp := r.StartSpan(obs.SpanSeed)
+	if fail {
+		sp.End()
+		return errNope
+	}
+	sp.End()
+	return nil
+}
+
+// Deferred closure counts as a deferred End.
+func goodDeferredClosure(r *obs.Run, err error) {
+	sp := r.StartSpan(obs.SpanTrace)
+	defer func() {
+		sp.SetErr(err)
+		sp.End()
+	}()
+	work()
+}
+
+// A handle that escapes transfers ownership to the caller.
+func goodEscape(r *obs.Run) *obs.Span {
+	sp := r.StartSpan(obs.SpanSeed)
+	return sp
+}
+
+// One return path leaves the span open.
+func badReturn(r *obs.Run, fail bool) error {
+	sp := r.StartSpan(obs.SpanTrace)
+	if fail {
+		return errNope // want `return leaves span sp open`
+	}
+	sp.End()
+	return nil
+}
+
+// The span falls out of scope without an End.
+func badScope(r *obs.Run) {
+	sp := r.StartSpan(obs.SpanTrace) // want `span sp is not ended on every path`
+	work()
+	sp.SetErr(nil)
+}
+
+// Raw literals are flagged even when the value is in the vocabulary: the
+// constants are the schema.
+func badRawName(r *obs.Run) {
+	sp := r.StartSpan("trace") // want `span name "trace" is a raw literal`
+	defer sp.End()
+}
+
+const localSpan = "not-in-schema"
+
+// Constants outside the Span* vocabulary are flagged.
+func badVocab(r *obs.Run) {
+	sp := r.StartSpan(localSpan) // want `span name "not-in-schema" is not in the schema-v1 vocabulary`
+	defer sp.End()
+}
+
+func work() {}

@@ -1,0 +1,8 @@
+package novalidate
+
+// An options struct with numeric knobs but no validation anywhere in the
+// package is reported once, on the type.
+
+type Options struct { // want `options struct Options has no validation`
+	Window int
+}

@@ -1,0 +1,39 @@
+package optvalidate
+
+import "errors"
+
+type Options struct {
+	// Mentioned as a selector in Validate.
+	MaxIter int
+	// Mentioned only inside a validator's message string, which counts.
+	Window int
+	// Never validated.
+	Tol float64 // want `field Options.Tol is not checked by any validator`
+	// Every finite value is accepted.
+	// latchlint:ignore optvalidate clamped to [0,1] by the consumer
+	Bias float64
+	// Non-numeric fields are out of scope.
+	Name string
+	// Named types validate in their own package.
+	Mode Mode
+}
+
+type Mode int
+
+func (o Options) Validate() error {
+	if o.MaxIter <= 0 {
+		return errors.New("MaxIter must be positive")
+	}
+	return validateAux(o)
+}
+
+// validate-prefixed helpers contribute mentions too, including field paths
+// inside message strings.
+func validateAux(o Options) error {
+	if aux(o) {
+		return errors.New("options: Window must be positive")
+	}
+	return nil
+}
+
+func aux(o Options) bool { return false }

@@ -1,0 +1,10 @@
+package wire
+
+// Every field of the wire options must serialize into the canonical JSON
+// that feeds the request-coalescing key.
+
+type OptionsRequest struct {
+	Steps int     `json:"steps"`
+	Tol   float64 // want `field OptionsRequest.Tol has no json tag`
+	Debug bool    `json:"-"` // want `field OptionsRequest.Debug is excluded from JSON`
+}

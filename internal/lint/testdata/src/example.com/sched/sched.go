@@ -1,0 +1,15 @@
+// Package sched stands in for the repository's scheduler: the one package
+// exempt from the nakedgoroutine rule, and the owner of pool lifecycles.
+package sched
+
+type Pool struct{}
+
+func (p *Pool) Drain() {}
+
+// The exemption covers the whole package: workers are joined by the pool's
+// own accounting, invisible to the per-site check.
+func spawn() {
+	go loop()
+}
+
+func loop() {}

@@ -86,8 +86,8 @@ func Validate(events []Event) error {
 	if len(events) == 0 {
 		return fmt.Errorf("obs: empty event stream")
 	}
-	open := map[uint64]Event{}   // span id -> begin event
-	closed := map[uint64]bool{}  // ended spans (still valid parents)
+	open := map[uint64]Event{}  // span id -> begin event
+	closed := map[uint64]bool{} // ended spans (still valid parents)
 	var lastT int64
 	for i, e := range events {
 		where := fmt.Sprintf("event %d (%s)", i, e.Kind)

@@ -50,7 +50,7 @@ type Factory func() (EvalFunc, error)
 // concurrent evaluators (default: GOMAXPROCS). Both axes must be strictly
 // increasing.
 func Generate(sAxis, hAxis []float64, factory Factory, workers int) (*Surface, error) {
-	return GenerateObs(nil, sAxis, hAxis, factory, workers)
+	return GenerateCtx(context.Background(), nil, sAxis, hAxis, factory, nil, workers)
 }
 
 // GenerateObs is Generate with observability attached: it counts grid

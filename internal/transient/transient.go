@@ -93,6 +93,37 @@ type Options struct {
 	BypassVTol float64
 }
 
+// Validate rejects option values the defaulting pass cannot repair:
+// non-finite tolerances, a non-contracting chord threshold and negative
+// iteration bounds. The zero value is valid — withDefaults fills every
+// unset knob — and Options built from a validated stf.Config never trip it;
+// RunCtx re-checks so hand-built engines fail fast instead of iterating on
+// NaN.
+func (o Options) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"VTol", o.VTol},
+		{"ITol", o.ITol},
+		{"RelTol", o.RelTol},
+		{"ChordContraction", o.ChordContraction},
+		{"SensReuseTol", o.SensReuseTol},
+		{"BypassVTol", o.BypassVTol},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("transient: %s must be finite, got %g", f.name, f.v)
+		}
+	}
+	if o.ChordContraction >= 1 {
+		return fmt.Errorf("transient: ChordContraction must contract (θ < 1), got %g", o.ChordContraction)
+	}
+	if o.MaxNewtonIter < 0 || o.ChordMaxAge < 0 {
+		return fmt.Errorf("transient: MaxNewtonIter and ChordMaxAge must be non-negative")
+	}
+	return nil
+}
+
 func (o Options) withDefaults() Options {
 	if o.MaxNewtonIter <= 0 {
 		o.MaxNewtonIter = 50
@@ -295,6 +326,9 @@ func (e *Engine) RunObs(run *obs.Run, x0 []float64, grid Grid) (*Result, error) 
 // cancellation granularity for partial *results* is the contour point, see
 // internal/core). A Background context adds one channel-poll per step.
 func (e *Engine) RunCtx(ctx context.Context, run *obs.Run, x0 []float64, grid Grid) (*Result, error) {
+	if err := e.opts.Validate(); err != nil {
+		return nil, err
+	}
 	e.timed = e.opts.Timing || run.Enabled()
 	e.hist = run.Enabled()
 	if e.hist {

@@ -9,8 +9,9 @@ import "fmt"
 // rate — θ ≥ 1 would keep reusing a factorization through a non-converging
 // iteration until MaxNewtonIter runs out.
 var analyzerChordConfig = &Analyzer{
-	Name: "chord-config",
-	Doc:  "chord fast-path config sane: iteration headroom, contraction threshold a real contraction",
+	Name:    "chord-config",
+	Doc:     "chord fast-path config sane: iteration headroom, contraction threshold a real contraction",
+	HelpURI: "DESIGN.md#vet-chord-config",
 	Run: func(t *Target) []Diagnostic {
 		cfg := t.Spec.Eval
 		if !cfg.Chord {

@@ -10,8 +10,9 @@ import (
 // against the supply rails — the preconditions of the MPNR corrector and
 // Euler-Newton tracer (paper Sections IIIC–IIIE).
 var analyzerMPNRConfig = &Analyzer{
-	Name: "mpnr-config",
-	Doc:  "continuation config sane: step α vs. sweep box, degradation in (0,1), crossing level r between rails",
+	Name:    "mpnr-config",
+	Doc:     "continuation config sane: step α vs. sweep box, degradation in (0,1), crossing level r between rails",
+	HelpURI: "DESIGN.md#vet-mpnr-config",
 	Run: func(t *Target) []Diagnostic {
 		var out []Diagnostic
 		box := t.Spec.Bounds
@@ -97,8 +98,9 @@ var analyzerMPNRConfig = &Analyzer{
 // ordering, clock resolvability, calibration skew coverage and the
 // post-edge hunt window.
 var analyzerSimWindow = &Analyzer{
-	Name: "sim-window",
-	Doc:  "integration windows sane: step ordering, calibration skew, post-edge window",
+	Name:    "sim-window",
+	Doc:     "integration windows sane: step ordering, calibration skew, post-edge window",
+	HelpURI: "DESIGN.md#vet-sim-window",
 	Run: func(t *Target) []Diagnostic {
 		cfg := t.Spec.Eval
 		var out []Diagnostic

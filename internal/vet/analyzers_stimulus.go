@@ -47,8 +47,9 @@ func supplyRails(t *Target) (lo, hi float64, ok bool) {
 // resolve, phases must fit the period, and the first ramp must not precede
 // the simulation start.
 var analyzerClockWindow = &Analyzer{
-	Name: "clock-window",
-	Doc:  "clock edges inside the simulation window, monotone ramps vs. the min timestep",
+	Name:    "clock-window",
+	Doc:     "clock edges inside the simulation window, monotone ramps vs. the min timestep",
+	HelpURI: "DESIGN.md#vet-clock-window",
 	Run: func(t *Target) []Diagnostic {
 		if t.Inst == nil {
 			return nil
@@ -125,8 +126,9 @@ var analyzerClockWindow = &Analyzer{
 // extreme skews of the box the pulse must stay inside the simulated window,
 // otherwise the crossing time tf of eq. (4) is unreachable.
 var analyzerEventOrder = &Analyzer{
-	Name: "event-order",
-	Doc:  "data/clock event ordering consistent with the (τs, τh) sweep box",
+	Name:    "event-order",
+	Doc:     "data/clock event ordering consistent with the (τs, τh) sweep box",
+	HelpURI: "DESIGN.md#vet-event-order",
 	Run: func(t *Target) []Diagnostic {
 		if t.Inst == nil || t.Inst.Data == nil {
 			return nil
@@ -177,8 +179,9 @@ var analyzerEventOrder = &Analyzer{
 // analyzerOutputNode validates the monitored output (the paper's c-vector):
 // it must select an existing node voltage that devices actually drive.
 var analyzerOutputNode = &Analyzer{
-	Name: "output-node",
-	Doc:  "monitored output node present and driven",
+	Name:    "output-node",
+	Doc:     "monitored output node present and driven",
+	HelpURI: "DESIGN.md#vet-output-node",
 	Run: func(t *Target) []Diagnostic {
 		if t.Inst == nil {
 			return nil
@@ -237,8 +240,9 @@ var analyzerOutputNode = &Analyzer{
 // a supply source should exist for energy metrics, and the clock and data
 // waveforms should swing inside the supply rails.
 var analyzerSupplyRail = &Analyzer{
-	Name: "supply-rail",
-	Doc:  "supply source present; clock and data levels inside the rails",
+	Name:    "supply-rail",
+	Doc:     "supply source present; clock and data levels inside the rails",
+	HelpURI: "DESIGN.md#vet-supply-rail",
 	Run: func(t *Target) []Diagnostic {
 		if t.Inst == nil {
 			return nil

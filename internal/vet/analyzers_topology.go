@@ -9,8 +9,9 @@ import "strconv"
 // all: only capacitors (or nothing) connect to them, so their DC level is
 // set solely by the gmin leak and the DC operating point is meaningless.
 var analyzerFloatingNode = &Analyzer{
-	Name: "floating-node",
-	Doc:  "node touched only by non-conductive devices (DC level set by gmin alone)",
+	Name:    "floating-node",
+	Doc:     "node touched only by non-conductive devices (DC level set by gmin alone)",
+	HelpURI: "DESIGN.md#vet-floating-node",
 	Run: func(t *Target) []Diagnostic {
 		top := t.Topology()
 		var out []Diagnostic
@@ -34,8 +35,9 @@ var analyzerFloatingNode = &Analyzer{
 // contain ground. MOSFET channels count as conductive regardless of bias, so
 // dynamic storage nodes behind pass devices do not trigger this.
 var analyzerNoGroundPath = &Analyzer{
-	Name: "no-ground-path",
-	Doc:  "node with no conductive path to ground (missing connection or name typo)",
+	Name:    "no-ground-path",
+	Doc:     "node with no conductive path to ground (missing connection or name typo)",
+	HelpURI: "DESIGN.md#vet-no-ground-path",
 	Run: func(t *Target) []Diagnostic {
 		top := t.Topology()
 		var out []Diagnostic
@@ -55,8 +57,9 @@ var analyzerNoGroundPath = &Analyzer{
 // analyzerSingleTerminal flags nodes exactly one device terminal touches —
 // almost always a misspelled node name splitting a net in two.
 var analyzerSingleTerminal = &Analyzer{
-	Name: "single-terminal",
-	Doc:  "node touched by exactly one device terminal (dangling net, likely typo)",
+	Name:    "single-terminal",
+	Doc:     "node touched by exactly one device terminal (dangling net, likely typo)",
+	HelpURI: "DESIGN.md#vet-single-terminal",
 	Run: func(t *Target) []Diagnostic {
 		top := t.Topology()
 		var out []Diagnostic

@@ -24,8 +24,9 @@ const (
 // typo: farad-scale capacitors, millimetre-scale MOSFET channels, extreme
 // resistances and implausible supply voltages.
 var analyzerValueSanity = &Analyzer{
-	Name: "value-sanity",
-	Doc:  "component values inside plausible magnitude ranges (unit-typo detection)",
+	Name:    "value-sanity",
+	Doc:     "component values inside plausible magnitude ranges (unit-typo detection)",
+	HelpURI: "DESIGN.md#vet-value-sanity",
 	Run: func(t *Target) []Diagnostic {
 		var out []Diagnostic
 		for _, d := range t.Circuit.Devices() {

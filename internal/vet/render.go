@@ -32,12 +32,20 @@ type jsonReport struct {
 	Diagnostics []Diagnostic `json:"diagnostics"`
 }
 
+// toolName is the producer label in rendered envelopes.
+func (rep *Report) toolName() string {
+	if rep.Tool != "" {
+		return rep.Tool
+	}
+	return "charvet"
+}
+
 // WriteJSON renders the report as an indented JSON object with a stable
 // shape: tool/version header, the checks that ran, severity counts and the
 // sorted diagnostics.
 func (rep *Report) WriteJSON(w io.Writer) error {
 	out := jsonReport{
-		Tool:        "charvet",
+		Tool:        rep.toolName(),
 		Version:     1,
 		Target:      rep.Target,
 		Checks:      rep.Checks,
@@ -79,6 +87,7 @@ type sarifDriver struct {
 type sarifRule struct {
 	ID               string            `json:"id"`
 	ShortDescription sarifMessage      `json:"shortDescription"`
+	HelpURI          string            `json:"helpUri,omitempty"`
 	Properties       map[string]string `json:"properties,omitempty"`
 }
 
@@ -94,7 +103,21 @@ type sarifResult struct {
 }
 
 type sarifLocation struct {
-	LogicalLocations []sarifLogicalLocation `json:"logicalLocations"`
+	PhysicalLocation *sarifPhysicalLocation `json:"physicalLocation,omitempty"`
+	LogicalLocations []sarifLogicalLocation `json:"logicalLocations,omitempty"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           *sarifRegion          `json:"region,omitempty"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
 }
 
 type sarifLogicalLocation struct {
@@ -115,16 +138,19 @@ func sarifLevel(s Severity) string {
 }
 
 // WriteSARIF renders the report as a SARIF-lite 2.1.0 log, with one rule
-// per analyzer that ran and one result per diagnostic.
-func (rep *Report) WriteSARIF(w io.Writer, reg *Registry) error {
+// per entry of rules (full metadata: shortDescription plus helpUri) and one
+// result per diagnostic. Diagnostics carrying a source position emit a
+// physicalLocation, circuit-anchored ones a logicalLocation — the shapes CI
+// annotators consume.
+func (rep *Report) WriteSARIF(w io.Writer, rules []RuleMeta) error {
 	run := sarifRun{Results: []sarifResult{}}
-	run.Tool.Driver.Name = "charvet"
-	for _, name := range rep.Checks {
-		rule := sarifRule{ID: name}
-		if a := reg.Lookup(name); a != nil {
-			rule.ShortDescription = sarifMessage{Text: a.Doc}
-		}
-		run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, rule)
+	run.Tool.Driver.Name = rep.toolName()
+	for _, meta := range rules {
+		run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, sarifRule{
+			ID:               meta.ID,
+			ShortDescription: sarifMessage{Text: meta.Doc},
+			HelpURI:          meta.HelpURI,
+		})
 	}
 	for _, d := range rep.Diagnostics {
 		res := sarifResult{
@@ -133,6 +159,11 @@ func (rep *Report) WriteSARIF(w io.Writer, reg *Registry) error {
 			Message: sarifMessage{Text: d.Message},
 		}
 		switch {
+		case d.File != "":
+			res.Locations = []sarifLocation{{PhysicalLocation: &sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: d.File},
+				Region:           &sarifRegion{StartLine: d.Line},
+			}}}
 		case d.Node != "":
 			res.Locations = locations(d.Node, "node")
 		case d.Device != "":

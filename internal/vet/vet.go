@@ -93,11 +93,19 @@ type Diagnostic struct {
 	// Details carries machine-readable key/value context (numeric limits,
 	// measured values) for tooling.
 	Details map[string]string `json:"details,omitempty"`
+	// File and Line anchor the finding in source, for producers whose
+	// subject is code rather than a circuit (the latchlint suite renders
+	// through this report type). Zero values mean "no source position".
+	File string `json:"file,omitempty"`
+	Line int    `json:"line,omitempty"`
 }
 
 // String formats the diagnostic in the one-line text form.
 func (d Diagnostic) String() string {
 	var sb strings.Builder
+	if d.File != "" {
+		fmt.Fprintf(&sb, "%s:%d: ", d.File, d.Line)
+	}
 	fmt.Fprintf(&sb, "%s: %s", d.Severity, d.Check)
 	switch {
 	case d.Node != "":
@@ -150,8 +158,40 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description shown by charvet -list.
 	Doc string
+	// HelpURI points at the check's catalog entry (DESIGN.md anchor); it is
+	// emitted as the SARIF rule helpUri so CI annotations link back to the
+	// rationale.
+	HelpURI string
 	// Run inspects the target and returns findings.
 	Run func(*Target) []Diagnostic
+}
+
+// RuleMeta is the renderer-facing description of one rule: what SARIF (and
+// other structured outputs) need to describe a check independently of which
+// driver produced it. Both the vet registry and the latchlint suite render
+// through this type.
+type RuleMeta struct {
+	// ID is the stable rule/check identifier.
+	ID string
+	// Doc is the one-line description (the SARIF shortDescription).
+	Doc string
+	// HelpURI links the rule's catalog entry.
+	HelpURI string
+}
+
+// RuleMetas returns the metadata for the named checks, in the given order.
+// Unknown names yield a bare ID so renderers never drop a rule.
+func (r *Registry) RuleMetas(names []string) []RuleMeta {
+	metas := make([]RuleMeta, 0, len(names))
+	for _, name := range names {
+		meta := RuleMeta{ID: name}
+		if a := r.Lookup(name); a != nil {
+			meta.Doc = a.Doc
+			meta.HelpURI = a.HelpURI
+		}
+		metas = append(metas, meta)
+	}
+	return metas
 }
 
 // Registry holds a set of analyzers.
@@ -212,6 +252,9 @@ type Options struct {
 
 // Report is the outcome of one driver run over one target.
 type Report struct {
+	// Tool names the producer in rendered output (default "charvet"). Not
+	// serialized directly: renderers place it in their own envelopes.
+	Tool string `json:"-"`
 	// Target labels the vetted setup.
 	Target string `json:"target"`
 	// Checks lists the analyzer names that ran.
