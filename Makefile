@@ -77,10 +77,13 @@ batchsmoke:
 	$(GO) test -run TestBatchWarmStartFewerSims -v .
 
 # servesmoke boots the latchchard daemon on a random port, characterizes the
-# TSPC cell through the HTTP API, checks the metrics exposition and drains it
-# via SIGTERM (the serving-layer acceptance test).
+# TSPC cell through the HTTP API, checks the metrics exposition (promtool-style
+# lint), /statusz well-formedness and drains it via SIGTERM; a second boot
+# with a tiny job timeout must leave a validating flight-recorder dump in
+# SMOKE_DUMPDIR (CI uploads it as an artifact).
+SMOKE_DUMPDIR ?= /tmp/latchchard-smoke-dumps
 servesmoke:
-	$(GO) test -run TestServeSmoke -v ./cmd/latchchard
+	LATCHCHARD_SMOKE_DUMPDIR=$(SMOKE_DUMPDIR) $(GO) test -run TestServeSmoke -v ./cmd/latchchard
 
 # bench runs the core benchmark set — root characterization contours,
 # the transient inner loop and the sparse LU kernels — and converts the
@@ -95,12 +98,19 @@ bench:
 	@rm -f bench.out.txt
 
 # benchsmoke is the CI gate: a 1x pass over the same set, requiring the
-# harness to run end to end and the fast-path sub-benchmarks to be present
-# in the JSON.
+# harness to run end to end and the fast-path sub-benchmarks to be present in
+# the JSON, then diffed against the committed BENCH_core.json baseline.
+# The diff is warn-only (-warn-only): a single-iteration smoke run is far too
+# noisy to gate merges on wall-clock — the comparison output in the CI log is
+# the early-warning signal; use `make bench BENCHTIME=2s` locally plus
+# `benchjson -compare` without -warn-only for a real regression check.
+SMOKE_BENCHOUT ?= /tmp/bench-smoke.json
 benchsmoke:
-	$(MAKE) bench BENCHTIME=1x BENCHOUT=$(BENCHOUT)
-	@grep -q 'BenchmarkEulerNewtonTSPC/fast' $(BENCHOUT) || \
-		{ echo "benchsmoke: fast-path benchmark missing from $(BENCHOUT)"; exit 1; }
+	$(MAKE) bench BENCHTIME=1x BENCHOUT=$(SMOKE_BENCHOUT)
+	@grep -q 'BenchmarkEulerNewtonTSPC/fast' $(SMOKE_BENCHOUT) || \
+		{ echo "benchsmoke: fast-path benchmark missing from $(SMOKE_BENCHOUT)"; exit 1; }
+	$(GO) run ./cmd/benchjson -compare -warn-only -tolerance 50 \
+		BENCH_core.json $(SMOKE_BENCHOUT)
 
 ci: build lint vulncheck race tracesmoke batchsmoke servesmoke benchsmoke
 

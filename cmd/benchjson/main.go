@@ -7,10 +7,16 @@
 // one-to-one, so the document can be rendered back to benchfmt for
 // benchstat or diffed directly by the regression harness.
 //
+// With -compare the tool diffs two such documents instead: benchmarks are
+// matched by package and name, ns/op is compared, and any slowdown beyond
+// -tolerance percent is a regression (exit 1, or a warning with -warn-only —
+// the mode CI uses, because its 1x smoke run is too noisy to gate on).
+//
 // Usage:
 //
 //	go test -run '^$' -bench . ./... | benchjson -o BENCH_core.json
 //	benchjson -o BENCH_core.json bench-root.txt bench-transient.txt
+//	benchjson -compare -tolerance 25 BENCH_core.json new.json
 package main
 
 import (
@@ -43,11 +49,94 @@ type Document struct {
 
 func main() {
 	out := flag.String("o", "-", "output path (- for stdout)")
+	compare := flag.Bool("compare", false, "compare two benchjson documents: benchjson -compare old.json new.json")
+	tolerance := flag.Float64("tolerance", 20, "allowed ns/op slowdown percent before -compare reports a regression")
+	warnOnly := flag.Bool("warn-only", false, "with -compare, report regressions but exit 0 (for noisy 1x smoke runs)")
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two documents: old.json new.json")
+			os.Exit(2)
+		}
+		regressed, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if regressed && !*warnOnly {
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*out, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// runCompare diffs two benchjson documents on ns/op, writing one line per
+// matched benchmark. Returns whether any benchmark slowed down beyond the
+// tolerance (percent).
+func runCompare(w io.Writer, oldPath, newPath string, tolerance float64) (bool, error) {
+	oldDoc, err := readDocument(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newDoc, err := readDocument(newPath)
+	if err != nil {
+		return false, err
+	}
+	oldBy := make(map[string]Record, len(oldDoc.Benchmarks))
+	for _, r := range oldDoc.Benchmarks {
+		oldBy[r.Pkg+" "+r.Name] = r
+	}
+	regressed := false
+	matched := 0
+	for _, nr := range newDoc.Benchmarks {
+		key := nr.Pkg + " " + nr.Name
+		or, ok := oldBy[key]
+		if !ok {
+			fmt.Fprintf(w, "new       %-40s %.4g ns/op (no baseline)\n", nr.Name, nr.Metrics["ns/op"])
+			continue
+		}
+		delete(oldBy, key)
+		oldNs, newNs := or.Metrics["ns/op"], nr.Metrics["ns/op"]
+		if oldNs <= 0 || newNs <= 0 {
+			continue
+		}
+		matched++
+		deltaPct := (newNs - oldNs) / oldNs * 100
+		verdict := "ok"
+		if deltaPct > tolerance {
+			verdict = "REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(w, "%-9s %-40s %.4g -> %.4g ns/op (%+.1f%%, tolerance %.0f%%)\n",
+			verdict, nr.Name, oldNs, newNs, deltaPct, tolerance)
+	}
+	for key := range oldBy {
+		fmt.Fprintf(w, "missing   %s (in baseline only)\n", key)
+	}
+	if matched == 0 {
+		return false, fmt.Errorf("no benchmarks in common between %s and %s", oldPath, newPath)
+	}
+	return regressed, nil
+}
+
+// readDocument loads one benchjson output file.
+func readDocument(path string) (*Document, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &doc, nil
 }
 
 func run(outPath string, inputs []string) error {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -57,5 +60,104 @@ func TestParseMalformedLine(t *testing.T) {
 	var doc Document
 	if err := parse(strings.NewReader("BenchmarkX-8 1 5\n"), &doc); err == nil {
 		t.Fatal("odd field count accepted")
+	}
+}
+
+// writeDoc serializes a Document to a temp file for the compare tests.
+func writeDoc(t *testing.T, name string, doc Document) string {
+	t.Helper()
+	b, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bench(pkg, name string, nsop float64) Record {
+	return Record{Name: name, Pkg: pkg, Iterations: 1, Metrics: map[string]float64{"ns/op": nsop}}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	old := writeDoc(t, "old.json", Document{Benchmarks: []Record{
+		bench("latchchar", "BenchmarkTrace-8", 100e6),
+	}})
+	new_ := writeDoc(t, "new.json", Document{Benchmarks: []Record{
+		bench("latchchar", "BenchmarkTrace-8", 110e6),
+	}})
+	var sb strings.Builder
+	regressed, err := runCompare(&sb, old, new_, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("10%% slowdown flagged at 20%% tolerance:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "ok") || !strings.Contains(sb.String(), "+10.0%") {
+		t.Errorf("report missing verdict/delta:\n%s", sb.String())
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	old := writeDoc(t, "old.json", Document{Benchmarks: []Record{
+		bench("latchchar", "BenchmarkTrace-8", 100e6),
+		bench("latchchar", "BenchmarkSteady-8", 50e6),
+	}})
+	new_ := writeDoc(t, "new.json", Document{Benchmarks: []Record{
+		bench("latchchar", "BenchmarkTrace-8", 160e6),
+		bench("latchchar", "BenchmarkSteady-8", 50e6),
+	}})
+	var sb strings.Builder
+	regressed, err := runCompare(&sb, old, new_, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("60%% slowdown not flagged:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Errorf("report missing REGRESSION line:\n%s", sb.String())
+	}
+}
+
+func TestCompareReportsNewAndMissing(t *testing.T) {
+	old := writeDoc(t, "old.json", Document{Benchmarks: []Record{
+		bench("latchchar", "BenchmarkTrace-8", 100e6),
+		bench("latchchar", "BenchmarkGone-8", 10e6),
+	}})
+	new_ := writeDoc(t, "new.json", Document{Benchmarks: []Record{
+		bench("latchchar", "BenchmarkTrace-8", 100e6),
+		bench("latchchar", "BenchmarkFresh-8", 5e6),
+	}})
+	var sb strings.Builder
+	regressed, err := runCompare(&sb, old, new_, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("unchanged benchmark flagged:\n%s", sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "new") || !strings.Contains(out, "BenchmarkFresh-8") {
+		t.Errorf("new benchmark not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "missing") || !strings.Contains(out, "BenchmarkGone-8") {
+		t.Errorf("missing benchmark not reported:\n%s", out)
+	}
+}
+
+func TestCompareNoOverlapIsError(t *testing.T) {
+	old := writeDoc(t, "old.json", Document{Benchmarks: []Record{
+		bench("latchchar", "BenchmarkA-8", 100e6),
+	}})
+	new_ := writeDoc(t, "new.json", Document{Benchmarks: []Record{
+		bench("latchchar", "BenchmarkB-8", 100e6),
+	}})
+	var sb strings.Builder
+	if _, err := runCompare(&sb, old, new_, 20); err == nil {
+		t.Fatal("disjoint documents compared without error")
 	}
 }

@@ -44,6 +44,10 @@ func run(args []string) error {
 		return err
 	}
 	defer obsClose()
+	logger, err := obsFlags.LoggerWithCorr(os.Stderr)
+	if err != nil {
+		return err
+	}
 	cell, err := cli.LoadCell(*cellName, *deckPath)
 	if err != nil {
 		return err
@@ -57,14 +61,21 @@ func run(args []string) error {
 	// ^C cancels whichever search is in flight mid-transient.
 	ctx, stop := cli.SignalContext()
 	defer stop()
+	logger.Info("independent characterization starting", "cell", cell.Name, "tol_ps", *tolPS)
 	sNR, hNR, err := latchchar.IndependentTimesCtx(ctx, cell, evalCfg, opts)
 	if err != nil {
+		obsFlags.OnFailure(logger, os.Stderr, err)
 		return err
 	}
 	sBis, hBis, err := latchchar.IndependentBaselineCtx(ctx, cell, evalCfg, opts)
 	if err != nil {
+		obsFlags.OnFailure(logger, os.Stderr, err)
 		return err
 	}
+	logger.Info("independent characterization done",
+		"cell", cell.Name,
+		"newton_sims", sNR.PlainEvals+sNR.GradEvals+hNR.PlainEvals+hNR.GradEvals,
+		"bisection_sims", sBis.PlainEvals+hBis.PlainEvals)
 	fmt.Printf("cell %s (pinned opposite skew %s, tolerance %s)\n", cell.Name, cli.Ps(opts.Pinned), cli.Ps(opts.Tol))
 	fmt.Printf("%-18s %14s %14s %10s\n", "method", "setup time", "hold time", "sims")
 	fmt.Printf("%-18s %14s %14s %10d\n", "direct Newton",

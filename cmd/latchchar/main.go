@@ -60,6 +60,10 @@ func run(args []string) error {
 		return err
 	}
 	defer obsClose()
+	logger, err := obsFlags.LoggerWithCorr(os.Stderr)
+	if err != nil {
+		return err
+	}
 
 	cell, err := cli.LoadCell(*cellName, *deckPath)
 	if err != nil {
@@ -112,10 +116,15 @@ func run(args []string) error {
 	// and the structured cancellation error rendered.
 	ctx, stop := cli.SignalContext()
 	defer stop()
+	logger.Info("characterization starting", "cell", cell.Name, "points", *points, "step_ps", *stepPS)
 	res, err := latchchar.CharacterizeWithEvaluatorCtx(ctx, ev, opts)
 	if err != nil {
+		obsFlags.OnFailure(logger, os.Stderr, err)
 		return err
 	}
+	logger.Info("characterization done",
+		"cell", cell.Name, "contour_points", len(res.Contour.Points),
+		"sims", res.TotalSims(), "dur_ms", res.Elapsed.Milliseconds())
 
 	cal := res.Calibration
 	fmt.Fprintf(os.Stderr, "cell %s: characteristic clock-to-Q %s (tc = %.4f ns), tf = %.4f ns, r = %.3f V\n",

@@ -9,7 +9,8 @@
 //	latchchard -addr 127.0.0.1:0 -addrfile /tmp/latchchard.addr
 //
 // Endpoints: POST /v1/characterize, POST /v1/batch, GET /v1/jobs/{id},
-// GET /v1/jobs/{id}/events (NDJSON), /healthz, /metrics, /debug/pprof.
+// GET /v1/jobs/{id}/events (NDJSON), /healthz, /metrics, /statusz,
+// /debug/pprof.
 package main
 
 import (
@@ -17,6 +18,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -47,25 +50,39 @@ func run(args []string) error {
 		jobTimeout   = fs.Duration("job-timeout", 10*time.Minute, "server-side per-job deadline (negative disables)")
 		resultCache  = fs.Int("result-cache", 128, "result cache capacity in entries (negative disables)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful drain budget after SIGTERM before in-flight jobs are canceled")
+		logLevel     = fs.String("log-level", "info", "structured JSON log level on stderr: debug, info, warn, error (off disables)")
+		dumpDir      = fs.String("dump-dir", "", "write flight-recorder post-mortem dumps (JSONL) for failed/timed-out/canceled jobs into this directory")
+		recorderSize = fs.Int("recorder", 0, "flight-recorder ring capacity in events per job (0 = default 4096, negative disables)")
+		rtSample     = fs.Duration("runtime-sample", 10*time.Second, "runtime self-telemetry sampling interval (negative disables)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger, err := buildLogger(*logLevel)
+	if err != nil {
 		return err
 	}
 
 	eng, err := latchchar.NewEngine(latchchar.EngineOptions{
 		Parallelism: *parallelism,
 		CacheSize:   *cacheSize,
+		Logger:      logger,
 	})
 	if err != nil {
 		return err
 	}
 	defer eng.Close()
 	srv, err := serve.New(serve.Config{
-		Engine:          eng,
-		QueueDepth:      *queueDepth,
-		Workers:         *workers,
-		JobTimeout:      *jobTimeout,
-		ResultCacheSize: *resultCache,
+		Engine:                eng,
+		QueueDepth:            *queueDepth,
+		Workers:               *workers,
+		JobTimeout:            *jobTimeout,
+		ResultCacheSize:       *resultCache,
+		Logger:                logger,
+		DumpDir:               *dumpDir,
+		FlightRecorderSize:    *recorderSize,
+		RuntimeSampleInterval: *rtSample,
 	})
 	if err != nil {
 		return err
@@ -89,6 +106,9 @@ func run(args []string) error {
 	go func() { serveErr <- hs.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "latchchard: listening on %s (parallelism %d, queue %d)\n",
 		ln.Addr(), eng.Parallelism(), *queueDepth)
+	logger.Info("listening", "addr", ln.Addr().String(),
+		"parallelism", eng.Parallelism(), "queue", *queueDepth,
+		"dump_dir", *dumpDir, "runtime_sample", rtSample.String())
 
 	select {
 	case err := <-serveErr:
@@ -98,6 +118,7 @@ func run(args []string) error {
 	// Signal received: a second one now kills the process the default way.
 	stop()
 	fmt.Fprintf(os.Stderr, "latchchard: draining (budget %s)\n", *drainTimeout)
+	logger.Info("draining", "budget", drainTimeout.String())
 
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
@@ -109,8 +130,23 @@ func run(args []string) error {
 		return err
 	}
 	if drainErr != nil {
+		logger.Warn("drain incomplete", "budget", drainTimeout.String(), "error", drainErr)
 		return fmt.Errorf("drain: in-flight jobs canceled after %s: %w", *drainTimeout, drainErr)
 	}
 	fmt.Fprintln(os.Stderr, "latchchard: drained cleanly")
+	logger.Info("drained cleanly")
 	return nil
+}
+
+// buildLogger constructs the daemon's structured JSON logger at the given
+// level ("off" discards everything — the plain stderr status lines remain).
+func buildLogger(level string) (*slog.Logger, error) {
+	if level == "off" {
+		return slog.New(slog.NewJSONHandler(io.Discard, nil)), nil
+	}
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level: unknown level %q (have debug, info, warn, error, off)", level)
+	}
+	return slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
 }

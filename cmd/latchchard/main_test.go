@@ -10,6 +10,10 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"latchchar"
+	"latchchar/internal/obs"
+	"latchchar/internal/serve"
 )
 
 // TestServeSmoke is the end-to-end daemon exercise behind `make servesmoke`:
@@ -107,10 +111,48 @@ func TestServeSmoke(t *testing.T) {
 	}
 	met, _ := io.ReadAll(r.Body)
 	r.Body.Close()
-	for _, want := range []string{"calibrations_reused", "latchchard_jobs_done_total 1"} {
+	for _, want := range []string{
+		"calibrations_reused",
+		"latchchard_jobs_done_total 1",
+		"latchchard_request_seconds_bucket",
+		"latchchard_goroutines",
+	} {
 		if !strings.Contains(string(met), want) {
 			t.Errorf("/metrics missing %q:\n%s", want, met)
 		}
+	}
+	// The exposition must pass the promtool-style lint: metadata on every
+	// family, unique series, complete cumulative histograms.
+	if err := serve.LintMetrics(strings.NewReader(string(met))); err != nil {
+		t.Errorf("metrics lint: %v", err)
+	}
+
+	// /statusz is well-formed JSON (no unknown fields, sane shape) with
+	// rolling latency quantiles for the routes this test exercised.
+	r, err = http.Get(base + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st serve.StatusZ
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	err = dec.Decode(&st)
+	r.Body.Close()
+	if err != nil {
+		t.Fatalf("/statusz not well-formed: %v", err)
+	}
+	if st.JobsDone != 1 || st.Workers <= 0 || st.Runtime == nil {
+		t.Errorf("statusz shape off: jobs_done=%d workers=%d runtime=%v",
+			st.JobsDone, st.Workers, st.Runtime)
+	}
+	quantiled := false
+	for _, q := range st.Latency {
+		if q.Route == "/v1/jobs/{id}" && q.Count > 0 && q.P99MS >= q.P50MS {
+			quantiled = true
+		}
+	}
+	if !quantiled {
+		t.Errorf("statusz has no job-poll latency quantiles: %+v", st.Latency)
 	}
 
 	// SIGTERM drains: the daemon must exit cleanly on its own.
@@ -131,6 +173,106 @@ func TestServeSmoke(t *testing.T) {
 	}
 	if _, err := http.Get(base + "/healthz"); err == nil {
 		t.Error("daemon still listening after drain")
+	}
+}
+
+// TestServeSmokeFlightDump boots the daemon with a deliberately tiny job
+// timeout and -dump-dir: the timed-out job must leave a validating
+// flight-recorder dump on disk. CI points LATCHCHARD_SMOKE_DUMPDIR at a
+// workspace path and uploads the dump as a build artifact.
+func TestServeSmokeFlightDump(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a characterization into its timeout")
+	}
+	dumpDir := os.Getenv("LATCHCHARD_SMOKE_DUMPDIR")
+	if dumpDir == "" {
+		dumpDir = t.TempDir()
+	} else if err := os.MkdirAll(dumpDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-addrfile", addrFile,
+			"-parallelism", "2",
+			"-job-timeout", "300ms",
+			"-dump-dir", dumpDir,
+			"-log-level", "off",
+			"-drain-timeout", "60s",
+		})
+	}()
+	var base string
+	for deadline := time.Now().Add(15 * time.Second); ; {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			base = "http://" + strings.TrimSpace(string(b))
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited before listening: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon did not write the addrfile")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Post(base+"/v1/characterize", "application/json",
+		strings.NewReader(`{"cell":"tspc","options":{"points":40},"wait":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Corr  string `json:"corr"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatalf("decoding %q: %v", body, err)
+	}
+	if job.State != "canceled" {
+		t.Fatalf("state = %q (error %q), want canceled by the 300ms timeout", job.State, job.Error)
+	}
+
+	dumpPath := filepath.Join(dumpDir, "flight-"+job.ID+".jsonl")
+	f, err := os.Open(dumpPath)
+	if err != nil {
+		t.Fatalf("dump not written: %v", err)
+	}
+	events, rerr := obs.ReadJSONL(f)
+	f.Close()
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if err := latchchar.ValidateObsDump(events); err != nil {
+		t.Fatalf("dump fails validation: %v", err)
+	}
+	head := events[0]
+	if head.Reason != "timeout" || head.Job != job.ID || head.Corr != job.Corr {
+		t.Errorf("dump header reason=%q job=%q corr=%q (status corr %q)",
+			head.Reason, head.Job, head.Corr, job.Corr)
+	}
+
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit after SIGTERM: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
 	}
 }
 

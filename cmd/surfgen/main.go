@@ -56,6 +56,10 @@ func run(args []string) error {
 		return err
 	}
 	defer obsClose()
+	logger, err := obsFlags.LoggerWithCorr(os.Stderr)
+	if err != nil {
+		return err
+	}
 	cell, err := cli.LoadCell(*cellName, *deckPath)
 	if err != nil {
 		return err
@@ -93,9 +97,11 @@ func run(args []string) error {
 	var sims int
 	var elapsed time.Duration
 	var v [][]float64
+	logger.Info("surface sweep starting", "cell", cell.Name, "n", *n, "delay_mode", *delayMode)
 	if *delayMode {
 		res, err := latchchar.BruteForceDelayCtx(ctx, cell, surfOpts)
 		if err != nil {
+			obsFlags.OnFailure(logger, os.Stderr, err)
 			return err
 		}
 		sf, contour, sims, elapsed = res.Surface, res.Contour, res.Sims, res.Elapsed
@@ -103,6 +109,7 @@ func run(args []string) error {
 	} else {
 		res, err := latchchar.BruteForceCtx(ctx, cell, surfOpts)
 		if err != nil {
+			obsFlags.OnFailure(logger, os.Stderr, err)
 			return err
 		}
 		sf, contour, sims, elapsed = res.Surface, res.Contour, res.Sims, res.Elapsed
@@ -118,6 +125,8 @@ func run(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "cell %s: %d simulations in %v; %d contour polylines\n",
 		cell.Name, sims, elapsed.Round(1e6), len(contour))
+	logger.Info("surface sweep done", "cell", cell.Name, "sims", sims,
+		"polylines", len(contour), "dur_ms", elapsed.Milliseconds())
 	w, closeFn, err := cli.OpenOutput(*surfOut)
 	if err != nil {
 		return err

@@ -5,13 +5,21 @@
 // violation exits nonzero. CI runs it over a reduced-grid characterization
 // trace to keep the event stream well-formed.
 //
+// With -dump the input is checked as a flight-recorder post-mortem dump
+// instead: a dump_meta header, a bounded ring window (where span begins may
+// have been evicted, so strict pairing is relaxed) and an optional trailing
+// error event carrying the corrector iterate ring. The header and error
+// summary are printed.
+//
 // Usage:
 //
 //	tracecheck run.jsonl
+//	tracecheck -dump flight-job-1.jsonl
 //	latchchar -cell tspc -trace /dev/stdout ... | tracecheck -
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -29,12 +37,17 @@ func main() {
 }
 
 func run(args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: tracecheck <trace.jsonl | ->")
+	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
+	dump := fs.Bool("dump", false, "validate a flight-recorder post-mortem dump instead of a full trace")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: tracecheck [-dump] <trace.jsonl | ->")
 	}
 	var r io.Reader = os.Stdin
-	if args[0] != "-" {
-		f, err := os.Open(args[0])
+	if fs.Arg(0) != "-" {
+		f, err := os.Open(fs.Arg(0))
 		if err != nil {
 			return err
 		}
@@ -44,6 +57,9 @@ func run(args []string) error {
 	events, err := obs.ReadJSONL(r)
 	if err != nil {
 		return err
+	}
+	if *dump {
+		return checkDump(os.Stdout, events)
 	}
 	if err := obs.Validate(events); err != nil {
 		return fmt.Errorf("invalid trace: %w", err)
@@ -64,6 +80,61 @@ func run(args []string) error {
 	fmt.Printf("valid: %d events, %d spans, %d contour points\n", len(events), spans, points)
 	for _, root := range tree {
 		printNode(root, 0)
+	}
+	return nil
+}
+
+// checkDump validates a post-mortem dump and summarizes its header, window
+// and error event.
+func checkDump(w io.Writer, events []obs.Event) error {
+	if err := obs.ValidateDump(events); err != nil {
+		return fmt.Errorf("invalid dump: %w", err)
+	}
+	head := events[0]
+	fmt.Fprintf(w, "valid dump: %d events", len(events))
+	if head.Corr != "" {
+		fmt.Fprintf(w, ", corr %s", head.Corr)
+	}
+	if head.Job != "" {
+		fmt.Fprintf(w, ", job %s", head.Job)
+	}
+	if head.Reason != "" {
+		fmt.Fprintf(w, ", reason %s", head.Reason)
+	}
+	if head.Dropped > 0 {
+		fmt.Fprintf(w, ", %d events evicted from the ring", head.Dropped)
+	}
+	fmt.Fprintln(w)
+	if head.Msg != "" {
+		fmt.Fprintf(w, "error: %s\n", head.Msg)
+	}
+	for i := len(events) - 1; i > 0; i-- {
+		if events[i].Kind != obs.KindError {
+			continue
+		}
+		ev := events[i]
+		if ev.Op != "" {
+			fmt.Fprintf(w, "failed op: %s\n", ev.Op)
+		}
+		if len(ev.StepLens) > 0 {
+			fmt.Fprintf(w, "predictor step lengths tried (ps):")
+			for _, a := range ev.StepLens {
+				fmt.Fprintf(w, " %.3g", a*1e12)
+			}
+			fmt.Fprintln(w)
+		}
+		if len(ev.Iterates) > 0 {
+			fmt.Fprintf(w, "last corrector iterates:\n")
+			fmt.Fprintf(w, "  %-4s %-12s %-12s %-12s\n", "it", "tau_s_ps", "tau_h_ps", "|h|")
+			for k, p := range ev.Iterates {
+				h := p.H
+				if h < 0 {
+					h = -h
+				}
+				fmt.Fprintf(w, "  %-4d %-12.4f %-12.4f %-12.3e\n", k+1, p.TauS*1e12, p.TauH*1e12, h)
+			}
+		}
+		break
 	}
 	return nil
 }

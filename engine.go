@@ -12,8 +12,11 @@ package latchchar
 import (
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"latchchar/internal/obs"
 	"latchchar/internal/sched"
@@ -35,6 +38,11 @@ type EngineOptions struct {
 	// Obs attaches engine-level observability: each batch runs inside a
 	// "batch" span. Per-job spans nest under the job's own Options.Obs.
 	Obs *ObsRun
+	// Logger receives structured job-lifecycle logs. Each line carries the
+	// correlation ID of the job's obs run (WithObsCorr), so a service's
+	// request logs, engine logs and event streams join on one identifier.
+	// Nil discards (the library stays silent by default).
+	Logger *slog.Logger
 }
 
 // Engine runs characterization jobs on a shared, bounded worker pool.
@@ -45,6 +53,7 @@ type Engine struct {
 	pool  *sched.Pool
 	cache *sched.LRU[calKey, Calibration]
 	obs   *ObsRun
+	log   *slog.Logger
 }
 
 // NewEngine starts an engine with its own worker pool.
@@ -59,10 +68,15 @@ func NewEngine(opts EngineOptions) (*Engine, error) {
 	if size < 0 {
 		size = 0 // sched.LRU treats a non-positive capacity as disabled
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return &Engine{
 		pool:  sched.NewPool(opts.Parallelism),
 		cache: sched.NewLRU[calKey, Calibration](size),
 		obs:   opts.Obs,
+		log:   logger,
 	}, nil
 }
 
@@ -289,6 +303,18 @@ func (e *Engine) runJob(ctx context.Context, job Job, warm *ContourPoint, res *J
 	if sp.Enabled() {
 		sp.Logf("%s %s", bc.span, res.Name)
 	}
+	corr := job.Opts.Obs.CorrID()
+	start := time.Now()
+	defer func() {
+		if res.Err != nil {
+			e.log.Warn("characterization failed", "corr", corr, "job", res.Name,
+				"span", bc.span, "dur_ms", float64(time.Since(start))/1e6, "error", res.Err.Error())
+			return
+		}
+		e.log.Info("characterization done", "corr", corr, "job", res.Name,
+			"span", bc.span, "dur_ms", float64(time.Since(start))/1e6,
+			"warm_started", res.WarmStarted, "calibration_reused", res.CalibrationReused)
+	}()
 	copts := job.Opts
 	copts.Obs = sp
 	inst, err := job.Cell.Build()

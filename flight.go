@@ -1,0 +1,71 @@
+// Flight-recorder re-exports: the always-on bounded ring buffer over a run's
+// recent obs events, dumped as a JSONL post-mortem when a characterization
+// fails, times out or is cancelled. The serving layer attaches one per job;
+// library users attach one like any other sink:
+//
+//	run := latchchar.NewObsRun(latchchar.WithObsCorr("req-42"))
+//	rec := latchchar.NewFlightRecorder(0)
+//	run.AddSink(rec)
+//	_, err := latchchar.CharacterizeCtx(ctx, cell, latchchar.Options{Obs: run})
+//	if err != nil {
+//		rec.WriteDump(w, latchchar.FlightDumpMeta{Corr: "req-42", Reason: "failed",
+//			Err: err.Error()}, latchchar.FlightErrorEvent(err))
+//	}
+package latchchar
+
+import (
+	"errors"
+
+	"latchchar/internal/core"
+	"latchchar/internal/obs"
+)
+
+type (
+	// FlightRecorder is the bounded ring-buffer sink holding a run's most
+	// recent events for post-mortem dumps.
+	FlightRecorder = obs.Recorder
+	// FlightDumpMeta identifies a dump: correlation ID, job, reason, error.
+	FlightDumpMeta = obs.DumpMeta
+	// ObsIterate is one corrector iterate inside a dumped error event.
+	ObsIterate = obs.Iterate
+)
+
+// NewFlightRecorder creates a flight recorder holding the last capacity
+// events (capacity ≤ 0 selects the default window).
+func NewFlightRecorder(capacity int) *FlightRecorder { return obs.NewRecorder(capacity) }
+
+// WithObsCorr stamps every event of the run with a correlation ID so event
+// streams, dumps and log lines of one request join on the same identifier.
+func WithObsCorr(id string) ObsOption { return obs.WithCorr(id) }
+
+// ValidateObsDump checks a flight-recorder post-mortem dump: the relaxed
+// variant of ValidateObsEvents that accepts the truncated window a bounded
+// ring leaves behind (orphan span ends, spans still open at the kill point).
+func ValidateObsDump(events []ObsEvent) error { return obs.ValidateDump(events) }
+
+// FlightErrorEvent converts a characterization failure into the structured
+// error event appended to a flight-recorder dump. A convergence failure
+// keeps its corrector iterate ring (τs, τh, |h| residual) and the predictor
+// step-length schedule tried at the failure site; a cancellation keeps the
+// interrupted stage. Returns nil for a nil error (no event to append).
+func FlightErrorEvent(err error) *ObsEvent {
+	if err == nil {
+		return nil
+	}
+	ev := &ObsEvent{Msg: err.Error()}
+	var ce *core.ConvergenceError
+	if errors.As(err, &ce) {
+		ev.Op = ce.Op
+		ev.Iterates = make([]ObsIterate, len(ce.Iterates))
+		for i, p := range ce.Iterates {
+			ev.Iterates[i] = ObsIterate{TauS: p.TauS, TauH: p.TauH, H: p.H}
+		}
+		ev.StepLens = append([]float64(nil), ce.StepLens...)
+		return ev
+	}
+	var can *CanceledError
+	if errors.As(err, &can) {
+		ev.Op = can.Op
+	}
+	return ev
+}

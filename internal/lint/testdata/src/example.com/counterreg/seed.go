@@ -5,15 +5,17 @@ import "example.com/obs"
 // Complete pre-seed: every Ctr* constant registered.
 func seedComplete() map[string]int64 {
 	return map[string]int64{
-		obs.CtrSteps:   0,
-		obs.CtrRetries: 0,
+		obs.CtrSteps:          0,
+		obs.CtrRetries:        0,
+		obs.CtrRuntimeSamples: 0,
 	}
 }
 
 // Missing counters are reported on the literal.
 func seedIncomplete() map[string]int64 {
 	return map[string]int64{ // want `counter pre-seed map is missing obs.CtrRetries`
-		obs.CtrSteps: 0,
+		obs.CtrSteps:          0,
+		obs.CtrRuntimeSamples: 0,
 	}
 }
 

@@ -5,11 +5,13 @@ package obs
 const (
 	SpanTrace = "trace"
 	SpanSeed  = "seed"
+	SpanJob   = "job"
 )
 
 const (
-	CtrSteps   = "steps"
-	CtrRetries = "retries"
+	CtrSteps          = "steps"
+	CtrRetries        = "retries"
+	CtrRuntimeSamples = "runtime_samples"
 )
 
 type Run struct{}

@@ -75,3 +75,11 @@ func badVocab(r *obs.Run) {
 }
 
 func work() {}
+
+// Service-layer span names (the daemon's job spans) come from the same
+// vocabulary and follow the same End discipline.
+func goodJobSpan(r *obs.Run) {
+	sp := r.StartSpan(obs.SpanJob)
+	defer sp.End()
+	work()
+}

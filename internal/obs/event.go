@@ -21,6 +21,16 @@ const (
 	KindProgress  = "progress"
 	KindLog       = "log"
 	KindRunEnd    = "run_end"
+	// KindRuntime carries a runtime self-telemetry sample (goroutines, heap,
+	// GC pauses, scheduler latency) emitted by the runtime sampler.
+	KindRuntime = "runtime"
+	// KindDumpMeta heads a flight-recorder post-mortem dump: the correlation
+	// and job identity, the dump reason and how many events the bounded ring
+	// evicted before the failure.
+	KindDumpMeta = "dump_meta"
+	// KindError carries a structured solver failure in a dump: the failing
+	// op, the corrector iterate ring and the predictor step schedule tried.
+	KindError = "error"
 )
 
 // Event is one record of the structured stream (schema v1). Times are
@@ -47,13 +57,42 @@ type Event struct {
 	// log payload.
 	Msg string `json:"msg,omitempty"`
 
+	// Corr is the run's correlation ID (WithCorr), stamped on every event so
+	// NDJSON stream consumers and post-mortem dumps join to the daemon logs.
+	Corr string `json:"corr,omitempty"`
+
+	// runtime payload (KindRuntime).
+	Goroutines   int    `json:"goroutines,omitempty"`
+	HeapBytes    uint64 `json:"heap_bytes,omitempty"`
+	GCPauseNs    int64  `json:"gc_pause_ns,omitempty"`
+	SchedP99Ns   int64  `json:"sched_p99_ns,omitempty"`
+
+	// dump_meta payload (KindDumpMeta).
+	Job     string `json:"job,omitempty"`
+	Reason  string `json:"reason,omitempty"`
+	Dropped int64  `json:"dropped,omitempty"`
+
+	// error payload (KindError): the failing stage, the corrector iterate
+	// ring and the predictor step-length schedule at the failure site.
+	Op       string    `json:"op,omitempty"`
+	Iterates []Iterate `json:"iterates,omitempty"`
+	StepLens []float64 `json:"step_lens,omitempty"`
+
 	// run_end payload: final counter values.
 	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// Iterate is one corrector iterate of a dumped convergence failure.
+type Iterate struct {
+	TauS float64 `json:"tau_s"`
+	TauH float64 `json:"tau_h"`
+	H    float64 `json:"h"`
 }
 
 var validKinds = map[string]bool{
 	KindRunBegin: true, KindSpanBegin: true, KindSpanEnd: true,
 	KindPoint: true, KindProgress: true, KindLog: true, KindRunEnd: true,
+	KindRuntime: true, KindDumpMeta: true, KindError: true,
 }
 
 // ReadJSONL decodes a JSON-lines event stream.
@@ -133,6 +172,57 @@ func Validate(events []Event) error {
 	if len(open) > 0 {
 		for id, b := range open {
 			return fmt.Errorf("obs: span %d (%s) never ended", id, b.Name)
+		}
+	}
+	return nil
+}
+
+// ValidateDump checks a flight-recorder post-mortem dump. A dump is a
+// truncated window over a run that died mid-flight, so the strict pairing of
+// Validate cannot hold: span_end events whose begins were evicted from the
+// ring are fine, and spans open at the end of the dump are exactly what a
+// killed job leaves behind. What must still hold: the first event is
+// dump_meta, every event carries schema v1 and a known kind, timestamps are
+// monotone within the recorded window, and no span id begins twice.
+func ValidateDump(events []Event) error {
+	if len(events) == 0 {
+		return fmt.Errorf("obs: empty dump")
+	}
+	if events[0].Kind != KindDumpMeta {
+		return fmt.Errorf("obs: dump does not start with a %s event (got %s)", KindDumpMeta, events[0].Kind)
+	}
+	begun := map[uint64]bool{}
+	var lastT int64
+	for i, e := range events {
+		where := fmt.Sprintf("event %d (%s)", i, e.Kind)
+		if e.V != SchemaVersion {
+			return fmt.Errorf("obs: %s: schema version %d, want %d", where, e.V, SchemaVersion)
+		}
+		if !validKinds[e.Kind] {
+			return fmt.Errorf("obs: %s: unknown event kind", where)
+		}
+		// dump_meta and error are synthesized at dump time and sit outside
+		// the run's clock; only the recorded window is ordered.
+		if e.Kind == KindDumpMeta || e.Kind == KindError {
+			continue
+		}
+		if i > 1 && e.TNs < lastT {
+			return fmt.Errorf("obs: %s: timestamp %d precedes previous event %d", where, e.TNs, lastT)
+		}
+		lastT = e.TNs
+		switch e.Kind {
+		case KindSpanBegin:
+			if e.Name == "" || e.Span == 0 {
+				return fmt.Errorf("obs: %s: span_begin needs name and span id", where)
+			}
+			if begun[e.Span] {
+				return fmt.Errorf("obs: %s: duplicate span id %d", where, e.Span)
+			}
+			begun[e.Span] = true
+		case KindSpanEnd:
+			if e.DurNs < 0 {
+				return fmt.Errorf("obs: %s: negative duration", where)
+			}
 		}
 	}
 	return nil

@@ -68,6 +68,29 @@ func (h *Hist) merge(o *Hist) {
 // Reset zeroes the histogram for reuse.
 func (h *Hist) Reset() { *h = Hist{} }
 
+// AddSnapshot folds a snapshot into h exactly (bucket counts, count, sum,
+// min/max) — the serving layer aggregates per-job summaries this way without
+// losing the overflow bucket's true sum.
+func (h *Hist) AddSnapshot(s HistSnapshot) {
+	if s.Count == 0 {
+		return
+	}
+	for i := range h.buckets {
+		h.buckets[i] += s.Buckets[i]
+	}
+	if h.count == 0 || s.Min < h.min {
+		h.min = s.Min
+	}
+	if s.Max > h.max {
+		h.max = s.Max
+	}
+	h.count += s.Count
+	h.sum += s.Sum
+}
+
+// Snapshot returns an immutable copy of the histogram.
+func (h *Hist) Snapshot() HistSnapshot { return h.snapshot() }
+
 func (h *Hist) snapshot() HistSnapshot {
 	s := HistSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
 	copy(s.Buckets[:], h.buckets[:])

@@ -68,12 +68,14 @@ const (
 	CtrChordIters     = "chord_iters"
 	CtrJacobianReuses = "jacobian_reuses"
 	CtrDeviceBypasses = "device_bypasses"
+	CtrRuntimeSamples = "runtime_samples"
 )
 
 // Histogram names.
 const (
 	HistNewtonIters    = "newton_iters_per_step"
 	HistCorrectorIters = "corrector_iters"
+	HistChordIters     = "chord_iters_per_step"
 )
 
 // Option configures a Run at construction.
@@ -105,6 +107,13 @@ func WithProfileLabels() Option {
 	return func(c *collector) { c.profileLabels = true }
 }
 
+// WithCorr sets the run's correlation ID. Every emitted event is stamped
+// with it, so NDJSON streams, flight-recorder dumps and daemon log lines of
+// one request all join on the same identifier.
+func WithCorr(id string) Option {
+	return func(c *collector) { c.corr = id }
+}
+
 // Run is one observed characterization run, or a span within it. The zero
 // value is not usable; construct with New. A nil *Run is valid everywhere
 // and disables all collection.
@@ -131,6 +140,7 @@ type collector struct {
 	start         time.Time
 	nextID        atomic.Uint64
 	profileLabels bool
+	corr          string
 
 	progressFn    func(Progress)
 	progressEvery time.Duration
@@ -173,6 +183,14 @@ func (r *Run) ProfileLabelsEnabled() bool {
 	return r != nil && r.c.profileLabels
 }
 
+// CorrID returns the run's correlation ID ("" when unset or the run is nil).
+func (r *Run) CorrID() string {
+	if r == nil {
+		return ""
+	}
+	return r.c.corr
+}
+
 // AddSink attaches a sink. Sinks added after events have been emitted only
 // see subsequent events.
 func (r *Run) AddSink(s Sink) {
@@ -183,7 +201,7 @@ func (r *Run) AddSink(s Sink) {
 	defer r.c.mu.Unlock()
 	if len(r.c.sinks) == 0 {
 		// First sink sees the run_begin marker.
-		s.Event(&Event{V: SchemaVersion, Kind: KindRunBegin})
+		s.Event(&Event{V: SchemaVersion, Kind: KindRunBegin, Corr: r.c.corr})
 	}
 	r.c.sinks = append(r.c.sinks, s)
 }
@@ -194,6 +212,7 @@ func (c *collector) since() time.Duration { return c.clock().Sub(c.start) }
 // everything but V.
 func (c *collector) emit(e *Event) {
 	e.V = SchemaVersion
+	e.Corr = c.corr
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {

@@ -141,6 +141,12 @@ func TestNilRunIsSafeAndFree(t *testing.T) {
 		var h Hist
 		h.Observe(3, 1)
 		sp.Merge(HistNewtonIters, &h)
+		// Flight-recorder-era surface: with the recorder compiled in but
+		// the run disabled, correlation and runtime sampling stay free.
+		if run.CorrID() != "" {
+			panic("nil run has a correlation ID")
+		}
+		run.Runtime(RuntimeStats{Goroutines: 1})
 	})
 	if allocs != 0 {
 		t.Fatalf("nil-run hot path allocates %v times per op, want 0", allocs)

@@ -87,6 +87,10 @@ type BatchJobRequest struct {
 type JobStatus struct {
 	ID    string `json:"id"`
 	State string `json:"state"` // queued, running, done, failed, canceled
+	// Corr is the correlation ID of the request that created the job; every
+	// daemon log line and NDJSON event of the job carries the same ID.
+	// Coalesced requests keep the creating request's ID.
+	Corr string `json:"corr,omitempty"`
 	// Coalesced counts the extra requests that attached to this job instead
 	// of running their own characterization.
 	Coalesced int `json:"coalesced,omitempty"`

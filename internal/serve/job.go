@@ -27,14 +27,16 @@ const maxJobEvents = 16384
 // state and the run's run_end event are in place, so waiters and event
 // streamers never observe a half-finished record.
 type job struct {
-	id  string
-	key string // coalescing key; "" for batch jobs (never coalesced)
+	id   string
+	key  string // coalescing key; "" for batch jobs (never coalesced)
+	corr string // correlation ID of the request that created the job
 
 	cell  *latchchar.Cell
 	opts  latchchar.Options
 	batch []latchchar.Job // non-nil selects the batch flow
 
 	run     *obs.Run
+	rec     *obs.Recorder // flight recorder; nil when disabled
 	created time.Time
 	done    chan struct{}
 
@@ -53,11 +55,14 @@ type job struct {
 
 // newJob creates a queued job with a live observability run capturing every
 // event (including progress at progressInterval cadence) into the job's
-// replay buffer and fanning it out to subscribers.
-func newJob(id, key string, progressInterval time.Duration) *job {
+// replay buffer and fanning it out to subscribers. Every event is stamped
+// with the request's correlation ID, and a flight recorder rides along as a
+// sink (recorderSize < 0 disables it) for post-mortem dumps.
+func newJob(id, key, corr string, progressInterval time.Duration, recorderSize int) *job {
 	j := &job{
 		id:      id,
 		key:     key,
+		corr:    corr,
 		created: time.Now(),
 		state:   stateQueued,
 		done:    make(chan struct{}),
@@ -65,7 +70,14 @@ func newJob(id, key string, progressInterval time.Duration) *job {
 	}
 	// The empty progress callback turns on progress *events* (the stream
 	// consumers render those); the callback itself has nothing to do.
-	j.run = obs.New(obs.WithProgress(func(obs.Progress) {}, progressInterval))
+	j.run = obs.New(
+		obs.WithProgress(func(obs.Progress) {}, progressInterval),
+		obs.WithCorr(corr),
+	)
+	if recorderSize >= 0 {
+		j.rec = obs.NewRecorder(recorderSize)
+		j.run.AddSink(j.rec)
+	}
 	j.run.Subscribe(j.capture)
 	return j
 }
@@ -164,6 +176,7 @@ func (j *job) status() JobStatus {
 	st := JobStatus{
 		ID:        j.id,
 		State:     j.state,
+		Corr:      j.corr,
 		Coalesced: j.coalesced,
 	}
 	if !j.started.IsZero() {

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Request-latency telemetry: per-route cumulative histograms rendered as
+// native Prometheus histograms on /metrics, plus a bounded sample ring per
+// route backing the rolling-window p50/p95/p99 on /statusz. Scrapers get the
+// full distribution since process start; humans and autoscalers get "how
+// slow is it right now".
+
+// latencyBuckets are the histogram upper bounds in seconds. Characterization
+// jobs run milliseconds (cached) to minutes (cold batch), so the range spans
+// both with Prometheus-conventional decades.
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// latencySamples bounds the rolling-window ring per route: at 1k req/s a
+// 8192-deep ring still covers several seconds of the 1m window; quantiles
+// over a partially covered window are computed over what the ring holds.
+const latencySamples = 8192
+
+// routeLatency is the per-route accumulator.
+type routeLatency struct {
+	counts []int64 // non-cumulative per-bucket counts; rendered cumulative
+	over   int64   // observations above the last bucket
+	count  int64
+	sum    float64 // seconds
+
+	ring  []latencySample
+	next  int
+	full  bool
+}
+
+type latencySample struct {
+	at  time.Time
+	sec float64
+}
+
+// latencySet is the registry of route accumulators.
+type latencySet struct {
+	mu     sync.Mutex
+	routes map[string]*routeLatency
+}
+
+func (l *latencySet) init() { l.routes = make(map[string]*routeLatency) }
+
+// observe records one request duration for a route.
+func (l *latencySet) observe(route string, at time.Time, d time.Duration) {
+	sec := d.Seconds()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rl := l.routes[route]
+	if rl == nil {
+		rl = &routeLatency{
+			counts: make([]int64, len(latencyBuckets)),
+			ring:   make([]latencySample, latencySamples),
+		}
+		l.routes[route] = rl
+	}
+	idx := sort.SearchFloat64s(latencyBuckets, sec)
+	if idx < len(latencyBuckets) {
+		rl.counts[idx]++
+	} else {
+		rl.over++
+	}
+	rl.count++
+	rl.sum += sec
+	rl.ring[rl.next] = latencySample{at: at, sec: sec}
+	rl.next++
+	if rl.next == len(rl.ring) {
+		rl.next = 0
+		rl.full = true
+	}
+}
+
+// histSnapshot is one route's cumulative histogram for exposition.
+type histSnapshot struct {
+	route string
+	cum   []int64 // cumulative counts per latencyBuckets bound
+	count int64
+	sum   float64
+}
+
+// snapshot renders every route's cumulative histogram, sorted by route for
+// stable exposition order.
+func (l *latencySet) snapshot() []histSnapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]histSnapshot, 0, len(l.routes))
+	for route, rl := range l.routes {
+		cum := make([]int64, len(latencyBuckets))
+		var run int64
+		for i, c := range rl.counts {
+			run += c
+			cum[i] = run
+		}
+		out = append(out, histSnapshot{route: route, cum: cum, count: rl.count, sum: rl.sum})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].route < out[j].route })
+	return out
+}
+
+// RouteQuantiles is the rolling-window latency summary of one route.
+type RouteQuantiles struct {
+	Route   string  `json:"route"`
+	Window  string  `json:"window"`
+	Count   int     `json:"count"`
+	P50MS   float64 `json:"p50_ms"`
+	P95MS   float64 `json:"p95_ms"`
+	P99MS   float64 `json:"p99_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
+// quantiles computes rolling p50/p95/p99 per route over the trailing window,
+// sorted by route. Routes with no samples in the window are omitted.
+func (l *latencySet) quantiles(now time.Time, window time.Duration) []RouteQuantiles {
+	cutoff := now.Add(-window)
+	l.mu.Lock()
+	type routeSamples struct {
+		route string
+		secs  []float64
+	}
+	var all []routeSamples
+	for route, rl := range l.routes {
+		n := rl.next
+		if rl.full {
+			n = len(rl.ring)
+		}
+		var secs []float64
+		for i := 0; i < n; i++ {
+			if s := rl.ring[i]; !s.at.Before(cutoff) {
+				secs = append(secs, s.sec)
+			}
+		}
+		if len(secs) > 0 {
+			all = append(all, routeSamples{route: route, secs: secs})
+		}
+	}
+	l.mu.Unlock()
+
+	out := make([]RouteQuantiles, 0, len(all))
+	for _, rs := range all {
+		sort.Float64s(rs.secs)
+		q := func(p float64) float64 {
+			idx := int(p * float64(len(rs.secs)-1))
+			return rs.secs[idx] * 1e3
+		}
+		out = append(out, RouteQuantiles{
+			Route:  rs.route,
+			Window: window.String(),
+			Count:  len(rs.secs),
+			P50MS:  q(0.50),
+			P95MS:  q(0.95),
+			P99MS:  q(0.99),
+			MaxMS:  rs.secs[len(rs.secs)-1] * 1e3,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Route < out[j].Route })
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -31,6 +32,7 @@ type obsAgg struct {
 	mu       sync.Mutex
 	counters map[string]int64
 	phases   map[string]obs.PhaseStat
+	hists    map[string]*obs.Hist
 }
 
 func (a *obsAgg) init() {
@@ -50,8 +52,10 @@ func (a *obsAgg) init() {
 		obs.CtrChordIters:     0,
 		obs.CtrJacobianReuses: 0,
 		obs.CtrDeviceBypasses: 0,
+		obs.CtrRuntimeSamples: 0,
 	}
 	a.phases = map[string]obs.PhaseStat{}
+	a.hists = map[string]*obs.Hist{}
 }
 
 func (a *obsAgg) fold(s obs.Summary) {
@@ -67,6 +71,14 @@ func (a *obsAgg) fold(s obs.Summary) {
 		agg.Total += p.Total
 		a.phases[p.Name] = agg
 	}
+	for _, hs := range s.Hists {
+		h := a.hists[hs.Name]
+		if h == nil {
+			h = &obs.Hist{}
+			a.hists[hs.Name] = h
+		}
+		h.AddSnapshot(hs.Hist)
+	}
 }
 
 // summary renders the aggregate as an obs.Summary for tests and embedders.
@@ -80,7 +92,11 @@ func (a *obsAgg) summary() obs.Summary {
 	for _, p := range a.phases {
 		s.Phases = append(s.Phases, p)
 	}
+	for name, h := range a.hists {
+		s.Hists = append(s.Hists, obs.HistStat{Name: name, Hist: h.Snapshot()})
+	}
 	sort.Slice(s.Phases, func(i, j int) bool { return s.Phases[i].Name < s.Phases[j].Name })
+	sort.Slice(s.Hists, func(i, j int) bool { return s.Hists[i].Name < s.Hists[j].Name })
 	return s
 }
 
@@ -139,4 +155,50 @@ func (s *Server) writeMetrics(w io.Writer) {
 			"Wall-clock seconds in "+p.Name+" spans over finished jobs.",
 			p.Total.Seconds())
 	}
+
+	// Iteration-count histograms (Newton/corrector/chord) as native
+	// Prometheus histograms: obs buckets are exact small integers 1..16 plus
+	// overflow, rendered as cumulative le bounds.
+	for _, hs := range sum.Hists {
+		name := "latchchard_obs_" + hs.Name
+		fmt.Fprintf(w, "# HELP %s Distribution of %s over finished jobs.\n# TYPE %s histogram\n",
+			name, hs.Name, name)
+		var cum int64
+		for i := 0; i < len(hs.Hist.Buckets)-1; i++ {
+			cum += hs.Hist.Buckets[i]
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, i+1, cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, hs.Hist.Count)
+		fmt.Fprintf(w, "%s_sum %d\n", name, hs.Hist.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, hs.Hist.Count)
+	}
+
+	// Per-endpoint request-duration histogram.
+	if snaps := s.lat.snapshot(); len(snaps) > 0 {
+		const name = "latchchard_request_seconds"
+		fmt.Fprintf(w, "# HELP %s HTTP request duration by route.\n# TYPE %s histogram\n", name, name)
+		for _, h := range snaps {
+			for i, bound := range latencyBuckets {
+				fmt.Fprintf(w, "%s_bucket{route=%q,le=%q} %d\n", name, h.route, formatLe(bound), h.cum[i])
+			}
+			fmt.Fprintf(w, "%s_bucket{route=%q,le=\"+Inf\"} %d\n", name, h.route, h.count)
+			fmt.Fprintf(w, "%s_sum{route=%q} %g\n", name, h.route, h.sum)
+			fmt.Fprintf(w, "%s_count{route=%q} %d\n", name, h.route, h.count)
+		}
+	}
+
+	// Runtime self-telemetry (last sampler reading).
+	s.rtMu.Lock()
+	rt := s.rtStats
+	s.rtMu.Unlock()
+	gauge("latchchard_goroutines", "Goroutines at the last runtime sample.", float64(rt.Goroutines))
+	gauge("latchchard_heap_bytes", "Live heap bytes at the last runtime sample.", float64(rt.HeapBytes))
+	counter("latchchard_gc_pause_seconds_total", "Cumulative GC stop-the-world pause.", float64(rt.GCPauseNs)/1e9)
+	gauge("latchchard_sched_latency_p99_seconds", "p99 goroutine scheduling latency since process start.", float64(rt.SchedP99Ns)/1e9)
+}
+
+// formatLe renders a bucket bound the way Prometheus clients do (shortest
+// decimal form, e.g. "0.005", "1", "2.5").
+func formatLe(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }

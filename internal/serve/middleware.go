@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// W3C trace-context plumbing and the request middleware: every request gets
+// a correlation ID — the trace-id of an incoming `traceparent` header when
+// present, a fresh random one otherwise — echoed back in a `traceparent`
+// response header (same trace-id, new span-id) and an `X-Correlation-Id`
+// header, threaded into the job's obs run, and stamped on the structured
+// request log line.
+
+// traceparentHeader is the W3C trace-context header: version "00",
+// 16-byte trace-id and 8-byte parent-id as lowercase hex, and flags.
+const traceparentHeader = "traceparent"
+
+// corrHeader carries the bare correlation ID for clients that don't speak
+// trace-context.
+const corrHeader = "X-Correlation-Id"
+
+// parseTraceparent extracts the trace-id of a W3C traceparent value;
+// ok=false on anything malformed (wrong field sizes, non-hex, all-zero
+// trace-id, reserved version ff).
+func parseTraceparent(v string) (traceID string, ok bool) {
+	parts := strings.Split(strings.TrimSpace(v), "-")
+	if len(parts) < 4 {
+		return "", false
+	}
+	ver, tid, pid := strings.ToLower(parts[0]), strings.ToLower(parts[1]), strings.ToLower(parts[2])
+	if len(ver) != 2 || !isLowerHex(ver) || ver == "ff" {
+		return "", false
+	}
+	if len(tid) != 32 || !isLowerHex(tid) || tid == strings.Repeat("0", 32) {
+		return "", false
+	}
+	if len(pid) != 16 || !isLowerHex(pid) || pid == strings.Repeat("0", 16) {
+		return "", false
+	}
+	return tid, true
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// corrSeq backs the fallback correlation IDs when crypto/rand fails.
+var corrSeq atomic.Uint64
+
+// randomHex returns n random bytes as 2n lowercase hex characters.
+func randomHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		return fmt.Sprintf("%0*x", 2*n, corrSeq.Add(1))
+	}
+	return hex.EncodeToString(b)
+}
+
+// requestCorr resolves the correlation ID of a request: an incoming
+// traceparent trace-id, the bare X-Correlation-Id header, or a fresh random
+// trace-id. fromTrace reports whether the ID is a W3C trace-id we should
+// echo in a traceparent response header.
+func requestCorr(r *http.Request) (corr string, fromTrace bool) {
+	if tid, ok := parseTraceparent(r.Header.Get(traceparentHeader)); ok {
+		return tid, true
+	}
+	if c := strings.TrimSpace(r.Header.Get(corrHeader)); c != "" && len(c) <= 128 {
+		return c, false
+	}
+	return randomHex(16), true
+}
+
+// statusWriter records the response code for the request log and latency
+// labels while passing Flush through, so the NDJSON event stream keeps
+// streaming behind the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush implements http.Flusher when the underlying writer does.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// handle registers pattern on the mux behind the middleware: correlation-ID
+// resolution and echo, request-duration observation under the route label,
+// and one structured log line per request.
+func (s *Server) handle(pattern, route string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		corr, fromTrace := requestCorr(r)
+		if fromTrace {
+			w.Header().Set(traceparentHeader, "00-"+corr+"-"+randomHex(8)+"-01")
+		}
+		w.Header().Set(corrHeader, corr)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, withCorr(r, corr))
+		elapsed := time.Since(start)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.lat.observe(route, start, elapsed)
+		s.cfg.Logger.Info("request",
+			"corr", corr,
+			"route", route,
+			"method", r.Method,
+			"status", status,
+			"dur_ms", durMS(elapsed),
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// corrKey carries the resolved correlation ID through the request context.
+type corrKey struct{}
+
+func withCorr(r *http.Request, corr string) *http.Request {
+	return r.WithContext(context.WithValue(r.Context(), corrKey{}, corr))
+}
+
+// reqCorr reads the correlation ID the middleware resolved ("" outside it).
+func reqCorr(r *http.Request) string {
+	c, _ := r.Context().Value(corrKey{}).(string)
+	return c
+}

@@ -1,0 +1,304 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintMetrics checks a Prometheus text-exposition (v0.0.4) payload the way
+// `promtool check metrics` would, without the dependency: every sample
+// belongs to a family with HELP and TYPE metadata, names and labels are
+// well-formed, no (name, labels) series repeats, and histogram families are
+// complete — cumulative non-decreasing _bucket series ending in le="+Inf",
+// with _sum and _count matching the +Inf bucket. The servesmoke CI step and
+// the serve tests run it over /metrics output.
+func LintMetrics(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	types := map[string]string{} // family -> TYPE
+	helped := map[string]bool{}
+	seen := map[string]bool{}              // "name{labels}" series dedup
+	samples := map[string][]promSample{} // metric name -> samples
+	line := 0
+
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.SplitN(text, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				return fmt.Errorf("metrics line %d: invalid metric name %q", line, name)
+			}
+			if fields[1] == "HELP" {
+				if len(fields) < 4 || strings.TrimSpace(fields[3]) == "" {
+					return fmt.Errorf("metrics line %d: empty HELP for %s", line, name)
+				}
+				helped[name] = true
+				continue
+			}
+			if len(fields) < 4 {
+				return fmt.Errorf("metrics line %d: TYPE without a type for %s", line, name)
+			}
+			typ := strings.TrimSpace(fields[3])
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("metrics line %d: unknown TYPE %q for %s", line, typ, name)
+			}
+			if prev, dup := types[name]; dup && prev != typ {
+				return fmt.Errorf("metrics line %d: %s re-typed %s -> %s", line, name, prev, typ)
+			}
+			types[name] = typ
+			continue
+		}
+		name, labels, value, err := parseSample(text)
+		if err != nil {
+			return fmt.Errorf("metrics line %d: %w", line, err)
+		}
+		family := familyOf(name, types)
+		if family == "" {
+			return fmt.Errorf("metrics line %d: sample %s has no TYPE metadata", line, name)
+		}
+		if !helped[family] {
+			return fmt.Errorf("metrics line %d: sample %s has no HELP metadata", line, family)
+		}
+		series := name + "{" + canonicalLabels(labels) + "}"
+		if seen[series] {
+			return fmt.Errorf("metrics line %d: duplicate series %s", line, series)
+		}
+		seen[series] = true
+		samples[name] = append(samples[name], promSample{labels: labels, value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading metrics: %w", err)
+	}
+
+	// Histogram completeness per family, per label set (minus le).
+	for family, typ := range types {
+		if typ != "histogram" {
+			continue
+		}
+		buckets := map[string][]promSample{} // groupKey -> le buckets
+		for _, sm := range samples[family+"_bucket"] {
+			le, ok := sm.labels["le"]
+			if !ok {
+				return fmt.Errorf("metrics: %s_bucket series missing le label", family)
+			}
+			group := canonicalLabelsExcept(sm.labels, "le")
+			if _, err := parseLe(le); err != nil {
+				return fmt.Errorf("metrics: %s_bucket: %w", family, err)
+			}
+			buckets[group] = append(buckets[group], sm)
+		}
+		if len(buckets) == 0 {
+			return fmt.Errorf("metrics: histogram %s has no _bucket series", family)
+		}
+		counts := groupValues(samples[family+"_count"])
+		sums := groupValues(samples[family+"_sum"])
+		for group, bs := range buckets {
+			sort.Slice(bs, func(i, j int) bool {
+				li, _ := parseLe(bs[i].labels["le"])
+				lj, _ := parseLe(bs[j].labels["le"])
+				return li < lj
+			})
+			last := bs[len(bs)-1]
+			if last.labels["le"] != "+Inf" {
+				return fmt.Errorf("metrics: histogram %s{%s} lacks le=\"+Inf\" bucket", family, group)
+			}
+			var prevCount float64
+			var prevCounted bool
+			for _, b := range bs {
+				if prevCounted && b.value < prevCount {
+					return fmt.Errorf("metrics: histogram %s{%s} bucket counts not cumulative at le=%s", family, group, b.labels["le"])
+				}
+				prevCount, prevCounted = b.value, true
+			}
+			cnt, ok := counts[group]
+			if !ok {
+				return fmt.Errorf("metrics: histogram %s{%s} lacks _count", family, group)
+			}
+			if _, ok := sums[group]; !ok {
+				return fmt.Errorf("metrics: histogram %s{%s} lacks _sum", family, group)
+			}
+			if cnt != prevCount {
+				return fmt.Errorf("metrics: histogram %s{%s}: _count %g != +Inf bucket %g", family, group, cnt, prevCount)
+			}
+		}
+	}
+	return nil
+}
+
+var metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+var labelNameRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+func validMetricName(s string) bool { return metricNameRe.MatchString(s) }
+
+// familyOf resolves a sample name to its typed family: exact match, or the
+// histogram/summary suffix conventions.
+func familyOf(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if t, ok := types[base]; ok && (t == "histogram" || t == "summary") {
+				return base
+			}
+		}
+	}
+	return ""
+}
+
+// parseSample splits `name{k="v",...} value` (labels optional).
+func parseSample(text string) (name string, labels map[string]string, value float64, err error) {
+	labels = map[string]string{}
+	rest := text
+	if i := strings.IndexByte(text, '{'); i >= 0 {
+		name = text[:i]
+		end := strings.LastIndexByte(text, '}')
+		if end < i {
+			return "", nil, 0, fmt.Errorf("unbalanced braces in %q", text)
+		}
+		if err := parseLabels(text[i+1:end], labels); err != nil {
+			return "", nil, 0, err
+		}
+		rest = strings.TrimSpace(text[end+1:])
+	} else {
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return "", nil, 0, fmt.Errorf("sample %q has no value", text)
+		}
+		name = fields[0]
+		rest = fields[1]
+	}
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	// A timestamp may follow the value; only the value is checked.
+	valueField := strings.Fields(rest)
+	if len(valueField) == 0 {
+		return "", nil, 0, fmt.Errorf("sample %s has no value", name)
+	}
+	value, err = strconv.ParseFloat(valueField[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("sample %s: bad value %q", name, valueField[0])
+	}
+	return name, labels, value, nil
+}
+
+func parseLabels(s string, into map[string]string) error {
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("bad label pair in %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		if !labelNameRe.MatchString(key) {
+			return fmt.Errorf("invalid label name %q", key)
+		}
+		rest := s[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("label %s value not quoted", key)
+		}
+		var b strings.Builder
+		i := 1
+		for ; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					b.WriteByte('\n')
+				case '\\', '"':
+					b.WriteByte(rest[i])
+				default:
+					return fmt.Errorf("label %s: bad escape \\%c", key, rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			b.WriteByte(c)
+		}
+		if i >= len(rest) {
+			return fmt.Errorf("label %s value not terminated", key)
+		}
+		if _, dup := into[key]; dup {
+			return fmt.Errorf("duplicate label %s", key)
+		}
+		into[key] = b.String()
+		s = strings.TrimPrefix(strings.TrimSpace(rest[i+1:]), ",")
+		s = strings.TrimSpace(s)
+	}
+	return nil
+}
+
+func canonicalLabels(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	return b.String()
+}
+
+func canonicalLabelsExcept(labels map[string]string, drop string) string {
+	cp := make(map[string]string, len(labels))
+	for k, v := range labels {
+		if k != drop {
+			cp[k] = v
+		}
+	}
+	return canonicalLabels(cp)
+}
+
+func parseLe(le string) (float64, error) {
+	if le == "+Inf" {
+		return inf(), nil
+	}
+	v, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le %q", le)
+	}
+	return v, nil
+}
+
+func inf() float64 { return math.Inf(1) }
+
+// promSample is one parsed sample line.
+type promSample struct {
+	labels map[string]string
+	value  float64
+}
+
+// groupValues indexes _sum/_count samples by their canonical label set.
+func groupValues(ss []promSample) map[string]float64 {
+	out := map[string]float64{}
+	for _, s := range ss {
+		out[canonicalLabels(s.labels)] = s.value
+	}
+	return out
+}

@@ -25,10 +25,14 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"time"
@@ -69,6 +73,20 @@ type Config struct {
 	ProgressInterval time.Duration
 	// Logf logs serving events (default log.Printf).
 	Logf func(format string, args ...any)
+	// Logger receives structured request and job-lifecycle logs, every line
+	// stamped with the request's correlation ID (default slog.Default()).
+	// The daemon installs a JSON handler here.
+	Logger *slog.Logger
+	// DumpDir, when non-empty, receives flight-recorder post-mortem dumps
+	// (flight-<jobid>.jsonl) for jobs that fail, time out or are canceled.
+	DumpDir string
+	// FlightRecorderSize bounds each job's flight-recorder ring in events
+	// (default obs.DefaultRecorderCapacity; negative disables recording).
+	FlightRecorderSize int
+	// RuntimeSampleInterval is the runtime self-telemetry cadence feeding
+	// /statusz, /metrics and live job event streams (default 10s; negative
+	// disables the sampler).
+	RuntimeSampleInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -96,6 +114,15 @@ func (c Config) withDefaults() Config {
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	if c.FlightRecorderSize == 0 {
+		c.FlightRecorderSize = obs.DefaultRecorderCapacity
+	}
+	if c.RuntimeSampleInterval == 0 {
+		c.RuntimeSampleInterval = 10 * time.Second
+	}
 	return c
 }
 
@@ -109,6 +136,8 @@ type Server struct {
 	baseCancel context.CancelFunc
 	queue      chan *job
 	wg         sync.WaitGroup
+	started    time.Time
+	sampStop   chan struct{}
 
 	mu       sync.Mutex
 	draining bool
@@ -120,6 +149,11 @@ type Server struct {
 
 	met metrics
 	agg obsAgg
+	lat latencySet
+
+	rtMu    sync.Mutex
+	rtStats obs.RuntimeStats
+	rtAt    time.Time
 }
 
 // New starts a server: its workers pull jobs from the bounded queue and run
@@ -136,18 +170,22 @@ func New(cfg Config) (*Server, error) {
 		base:       base,
 		baseCancel: cancel,
 		queue:      make(chan *job, cfg.QueueDepth),
+		started:    time.Now(),
+		sampStop:   make(chan struct{}),
 		jobs:       make(map[string]*job),
 		inflight:   make(map[string]*job),
 		results:    sched.NewLRU[string, *job](max(cfg.ResultCacheSize, 0)),
 	}
 	s.agg.init()
+	s.lat.init()
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/characterize", s.handleCharacterize)
-	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.handle("POST /v1/characterize", "/v1/characterize", s.handleCharacterize)
+	s.handle("POST /v1/batch", "/v1/batch", s.handleBatch)
+	s.handle("GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJob)
+	s.handle("GET /v1/jobs/{id}/events", "/v1/jobs/{id}/events", s.handleJobEvents)
+	s.handle("GET /healthz", "/healthz", s.handleHealthz)
+	s.handle("GET /metrics", "/metrics", s.handleMetrics)
+	s.handle("GET /statusz", "/statusz", s.handleStatusz)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -156,6 +194,11 @@ func New(cfg Config) (*Server, error) {
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
+	}
+	if cfg.RuntimeSampleInterval > 0 {
+		s.sampleRuntime() // /statusz and /metrics have a sample from the start
+		s.wg.Add(1)
+		go s.runtimeSampler()
 	}
 	return s, nil
 }
@@ -172,7 +215,8 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue) // workers finish the buffered jobs, then exit
+		close(s.queue)    // workers finish the buffered jobs, then exit
+		close(s.sampStop) // runtime sampler winds down with them
 	}
 	s.mu.Unlock()
 	done := make(chan struct{})
@@ -216,7 +260,7 @@ func (e *submitErr) Error() string { return e.msg }
 // submit coalesces or enqueues a single-characterization job. The returned
 // job is either a cached finished job (cached=true), an in-flight job the
 // request attached to, or a freshly queued one.
-func (s *Server) submit(key string, cell *latchchar.Cell, opts latchchar.Options, noCache bool) (j *job, cached bool, err error) {
+func (s *Server) submit(key, corr string, cell *latchchar.Cell, opts latchchar.Options, noCache bool) (j *job, cached bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -236,7 +280,7 @@ func (s *Server) submit(key string, cell *latchchar.Cell, opts latchchar.Options
 		s.met.coalesced.Add(1)
 		return fl, false, nil
 	}
-	j = s.newJobLocked(key)
+	j = s.newJobLocked(key, corr)
 	j.cell, j.opts = cell, opts
 	select {
 	case s.queue <- j:
@@ -251,14 +295,14 @@ func (s *Server) submit(key string, cell *latchchar.Cell, opts latchchar.Options
 
 // submitBatch enqueues a batch job (no coalescing; warm-start grouping
 // happens inside the engine batch).
-func (s *Server) submitBatch(jobs []latchchar.Job) (*job, error) {
+func (s *Server) submitBatch(jobs []latchchar.Job, corr string) (*job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		s.met.rejectedDraining.Add(1)
 		return nil, &submitErr{http.StatusServiceUnavailable, "server is draining"}
 	}
-	j := s.newJobLocked("")
+	j := s.newJobLocked("", corr)
 	j.batch = jobs
 	select {
 	case s.queue <- j:
@@ -272,10 +316,10 @@ func (s *Server) submitBatch(jobs []latchchar.Job) (*job, error) {
 
 // newJobLocked creates and registers a job record, evicting the oldest
 // finished records past MaxJobs. Callers hold s.mu.
-func (s *Server) newJobLocked(key string) *job {
+func (s *Server) newJobLocked(key, corr string) *job {
 	s.nextID++
 	id := fmt.Sprintf("j%08d", s.nextID)
-	j := newJob(id, key, s.cfg.ProgressInterval)
+	j := newJob(id, key, corr, s.cfg.ProgressInterval, s.cfg.FlightRecorderSize)
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	for len(s.order) > s.cfg.MaxJobs {
@@ -319,7 +363,7 @@ func (s *Server) worker() {
 }
 
 // runJob executes one job end to end: engine run, state transition, result
-// caching, observability fold, and the done broadcast.
+// caching, observability fold, failure dump, and the done broadcast.
 func (s *Server) runJob(j *job) {
 	ctx := s.base
 	if s.cfg.JobTimeout > 0 {
@@ -328,6 +372,8 @@ func (s *Server) runJob(j *job) {
 		defer cancel()
 	}
 	j.setRunning()
+	s.cfg.Logger.Info("job started", "corr", j.corr, "job", j.id,
+		"batch", j.batch != nil, "queued_ms", durMS(time.Since(j.created)))
 	if j.batch != nil {
 		for i := range j.batch {
 			j.batch[i].Opts.Obs = j.run
@@ -362,7 +408,61 @@ func (s *Server) runJob(j *job) {
 	if err := j.run.Close(); err != nil {
 		s.cfg.Logf("serve: job %s: closing obs run: %v", j.id, err)
 	}
+	j.mu.Lock()
+	jobErr := j.err
+	runMS := durMS(j.finished.Sub(j.started))
+	j.mu.Unlock()
+	if state == stateDone {
+		s.cfg.Logger.Info("job finished", "corr", j.corr, "job", j.id,
+			"state", state, "run_ms", runMS)
+	} else {
+		s.cfg.Logger.Warn("job finished", "corr", j.corr, "job", j.id,
+			"state", state, "run_ms", runMS, "error", errString(jobErr))
+		if path, err := s.dumpFlight(j, state, jobErr); err != nil {
+			s.cfg.Logger.Error("flight dump failed", "corr", j.corr, "job", j.id, "error", err.Error())
+		} else if path != "" {
+			s.cfg.Logger.Info("flight dump written", "corr", j.corr, "job", j.id, "path", path)
+		}
+	}
 	close(j.done)
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// dumpFlight writes the job's flight-recorder post-mortem to DumpDir and
+// returns the path ("" when dumping is disabled). The dump carries the
+// recorded event window plus a structured error event — for convergence
+// failures the corrector iterate ring and the step schedule tried.
+func (s *Server) dumpFlight(j *job, state string, jobErr error) (string, error) {
+	if s.cfg.DumpDir == "" || j.rec == nil {
+		return "", nil
+	}
+	reason := state
+	if state == stateCanceled && errors.Is(jobErr, context.DeadlineExceeded) {
+		reason = "timeout"
+	}
+	if err := os.MkdirAll(s.cfg.DumpDir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(s.cfg.DumpDir, "flight-"+j.id+".jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	meta := obs.DumpMeta{Corr: j.corr, Job: j.id, Reason: reason, Err: errString(jobErr)}
+	werr := j.rec.WriteDump(f, meta, latchchar.FlightErrorEvent(jobErr))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return "", werr
+	}
+	return path, nil
 }
 
 // --- HTTP handlers ---
@@ -389,7 +489,7 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusBadRequest, err)
 		return
 	}
-	j, cached, err := s.submit(requestKey(&req, cell), cell, opts, req.NoCache)
+	j, cached, err := s.submit(requestKey(&req, cell), reqCorr(r), cell, opts, req.NoCache)
 	if err != nil {
 		s.reject(w, err)
 		return
@@ -436,7 +536,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		jobs[i] = latchchar.Job{Name: item.Name, Cell: cell, Opts: opts, Cold: item.Cold}
 	}
-	j, err := s.submitBatch(jobs)
+	j, err := s.submitBatch(jobs, reqCorr(r))
 	if err != nil {
 		s.reject(w, err)
 		return

@@ -274,7 +274,7 @@ func TestQueueFullBackpressure(t *testing.T) {
 
 	release := make(chan struct{})
 	submit := func(key string) (*job, error) {
-		j, cached, err := srv.submit(key, blockingCell(key, release), latchchar.Options{}, false)
+		j, cached, err := srv.submit(key, "", blockingCell(key, release), latchchar.Options{}, false)
 		if cached {
 			t.Fatalf("unexpected cache hit for %s", key)
 		}
@@ -328,11 +328,11 @@ func TestSubmitCoalescesInflight(t *testing.T) {
 	srv, _ := newTestServer(t, Config{Engine: eng, Workers: 1})
 
 	release := make(chan struct{})
-	first, _, err := srv.submit("k", blockingCell("k", release), latchchar.Options{}, false)
+	first, _, err := srv.submit("k", "", blockingCell("k", release), latchchar.Options{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, cached, err := srv.submit("k", blockingCell("k", release), latchchar.Options{}, false)
+	second, cached, err := srv.submit("k", "", blockingCell("k", release), latchchar.Options{}, false)
 	if err != nil || cached {
 		t.Fatalf("second submit: cached=%v err=%v", cached, err)
 	}

@@ -249,6 +249,7 @@ type Engine struct {
 	timed      bool     // collect fine-grained wall-clock attribution
 	hist       bool     // accumulate the per-step Newton histogram
 	newtonHist obs.Hist // local accumulator, merged once per run
+	chordHist  obs.Hist // chord iterations per step (steps that used any)
 	prof       profLabels
 }
 
@@ -333,6 +334,7 @@ func (e *Engine) RunCtx(ctx context.Context, run *obs.Run, x0 []float64, grid Gr
 	e.hist = run.Enabled()
 	if e.hist {
 		e.newtonHist.Reset()
+		e.chordHist.Reset()
 	}
 	e.prof.active = run.ProfileLabelsEnabled()
 	if e.prof.active {
@@ -357,6 +359,7 @@ func (e *Engine) RunCtx(ctx context.Context, run *obs.Run, x0 []float64, grid Gr
 			sp.Count(obs.CtrDeviceBypasses, int64(st.DeviceBypasses))
 		}
 		sp.Merge(obs.HistNewtonIters, &e.newtonHist)
+		sp.Merge(obs.HistChordIters, &e.chordHist)
 	}
 	sp.End()
 	return res, err
@@ -547,6 +550,7 @@ func (e *Engine) step(t0, t1 float64) error {
 	chord := e.opts.Chord
 	converged := false
 	iters := 0
+	chordIters := 0
 	prevNorm := math.Inf(1) // ‖dx‖∞ of the previous iteration of this step
 	for iter := 0; iter < e.opts.MaxNewtonIter; iter++ {
 		if e.opts.DeviceBypass {
@@ -588,6 +592,7 @@ func (e *Engine) step(t0, t1 float64) error {
 			if finite && nrm <= prevNorm {
 				full = false
 				e.stats.ChordIters++
+				chordIters++
 				if nrm > e.opts.ChordContraction*prevNorm {
 					// Stalling: keep this update but rebuild next iteration.
 					e.chordReady = false
@@ -636,6 +641,9 @@ func (e *Engine) step(t0, t1 float64) error {
 	}
 	if e.hist {
 		e.newtonHist.Observe(iters, 1)
+		if chordIters > 0 {
+			e.chordHist.Observe(chordIters, 1)
+		}
 	}
 
 	if e.opts.Skews {
