@@ -88,9 +88,12 @@ servesmoke:
 # bench runs the core benchmark set — root characterization contours,
 # the transient inner loop and the sparse LU kernels — and converts the
 # combined benchfmt stream into $(BENCHOUT) (benchjson JSON: ns/op plus the
-# custom sims / sims/point / factorizations metrics). The exact-vs-fast
-# sub-benchmarks of BenchmarkEulerNewton* carry the chord/bypass regression
-# numbers. Use BENCHTIME=2s for stable wall-clock comparisons.
+# custom sims / sims/point / factorizations metrics). Benchmark names carry
+# mode= (exact / fast / blockK) and p= (concurrency) components so the
+# comparison only diffs like-for-like; the mode=fast vs mode=block8
+# sub-benchmarks of BenchmarkEulerNewton*, BenchmarkSurfaceTSPC and
+# BenchmarkMonteCarloTSPC carry the chord/bypass and block-transient
+# regression numbers. Use BENCHTIME=2s for stable wall-clock comparisons.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) \
 		. ./internal/transient ./internal/sparse | tee bench.out.txt
@@ -107,8 +110,10 @@ bench:
 SMOKE_BENCHOUT ?= /tmp/bench-smoke.json
 benchsmoke:
 	$(MAKE) bench BENCHTIME=1x BENCHOUT=$(SMOKE_BENCHOUT)
-	@grep -q 'BenchmarkEulerNewtonTSPC/fast' $(SMOKE_BENCHOUT) || \
+	@grep -q 'BenchmarkEulerNewtonTSPC/mode=fast' $(SMOKE_BENCHOUT) || \
 		{ echo "benchsmoke: fast-path benchmark missing from $(SMOKE_BENCHOUT)"; exit 1; }
+	@grep -q 'mode=block8' $(SMOKE_BENCHOUT) || \
+		{ echo "benchsmoke: block-transient benchmark missing from $(SMOKE_BENCHOUT)"; exit 1; }
 	$(GO) run ./cmd/benchjson -compare -warn-only -tolerance 50 \
 		BENCH_core.json $(SMOKE_BENCHOUT)
 

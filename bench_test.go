@@ -22,10 +22,15 @@ func mustCell(b *testing.B, name string) *Cell {
 	return cell
 }
 
+// Benchmark names carry the evaluation mode (mode=exact, mode=fast,
+// mode=blockK) and the concurrency bound (p=N) as sub-benchmark components,
+// so BENCH_core.json comparisons (benchjson -compare) only ever diff
+// like-for-like configurations.
+
 // benchCharacterize traces a full contour and reports cost metrics. The
 // factorizations metric is the fast path's acceptance measure: the chord/
 // bypass configuration must cut it by ≥ 25% on the TSPC contour.
-func benchCharacterize(b *testing.B, cellName string, points int, eval EvalConfig) {
+func benchCharacterize(b *testing.B, cellName string, points int, eval EvalConfig, block int) {
 	cell := mustCell(b, cellName)
 	b.ResetTimer()
 	var sims, pts, facts int
@@ -33,6 +38,7 @@ func benchCharacterize(b *testing.B, cellName string, points int, eval EvalConfi
 		res, err := Characterize(cell, Options{
 			Points:         points,
 			BothDirections: true,
+			Block:          block,
 			Eval:           eval,
 		})
 		if err != nil {
@@ -47,31 +53,34 @@ func benchCharacterize(b *testing.B, cellName string, points int, eval EvalConfi
 	b.ReportMetric(float64(facts), "factorizations")
 }
 
-// fastEval is the chord/bypass fast-path configuration benchmarked against
-// the exact inner loop (DESIGN §10).
-func fastEval() EvalConfig { return EvalConfig{Chord: true, DeviceBypass: true} }
+// benchContourModes runs the exact / fast / block-transient contour modes of
+// one cell. Block mode is the ≥2× wall-clock gate over the scalar fast path
+// on the trace loop (DESIGN §13).
+func benchContourModes(b *testing.B, cellName string, points int) {
+	b.Run("mode=exact/p=1", func(b *testing.B) { benchCharacterize(b, cellName, points, EvalConfig{}, 0) })
+	b.Run("mode=fast/p=1", func(b *testing.B) { benchCharacterize(b, cellName, points, DefaultFastPath(), 0) })
+	b.Run("mode=block8/p=1", func(b *testing.B) { benchCharacterize(b, cellName, points, DefaultFastPath(), 8) })
+}
 
 // E2 / Fig. 8: TSPC constant clock-to-Q contour by Euler-Newton tracing,
-// exact Newton vs the chord/bypass fast path.
-func BenchmarkEulerNewtonTSPC(b *testing.B) {
-	b.Run("exact", func(b *testing.B) { benchCharacterize(b, "tspc", 40, EvalConfig{}) })
-	b.Run("fast", func(b *testing.B) { benchCharacterize(b, "tspc", 40, fastEval()) })
-}
+// exact Newton vs the chord/bypass fast path vs block-transient bundles.
+func BenchmarkEulerNewtonTSPC(b *testing.B) { benchContourModes(b, "tspc", 40) }
 
 // E9 / Fig. 12(a): C²MOS contour by Euler-Newton tracing.
-func BenchmarkEulerNewtonC2MOS(b *testing.B) {
-	b.Run("exact", func(b *testing.B) { benchCharacterize(b, "c2mos", 40, EvalConfig{}) })
-	b.Run("fast", func(b *testing.B) { benchCharacterize(b, "c2mos", 40, fastEval()) })
-}
+func BenchmarkEulerNewtonC2MOS(b *testing.B) { benchContourModes(b, "c2mos", 40) }
 
 // benchSurface generates a brute-force surface and reports cost metrics.
-func benchSurface(b *testing.B, cellName string, n int) {
+// The sims metric is mode-independent: block mode changes how the grid is
+// batched, not how many transients it represents.
+func benchSurface(b *testing.B, cellName string, n int, eval EvalConfig, block int) {
 	cell := mustCell(b, cellName)
 	domain := Rect{MinS: 100e-12, MaxS: 800e-12, MinH: 100e-12, MaxH: 800e-12}
 	b.ResetTimer()
 	var sims int
 	for i := 0; i < b.N; i++ {
-		res, err := BruteForce(cell, SurfaceOptions{N: n, Domain: domain})
+		res, err := BruteForce(cell, SurfaceOptions{
+			N: n, Domain: domain, Parallelism: 1, Block: block, Eval: eval,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -81,15 +90,55 @@ func benchSurface(b *testing.B, cellName string, n int) {
 }
 
 // E1 / Figs. 1(a), 9: brute-force output-surface generation (TSPC).
-// The n=40 case is the paper's 40×40 configuration.
+// The n=40 case is the paper's 40×40 configuration; at that size the fast
+// path and the row-blocked kernel are benchmarked too (the latter is the
+// ≥2× surface-path gate of DESIGN §13).
 func BenchmarkSurfaceTSPC(b *testing.B) {
 	for _, n := range []int{10, 20, 40} {
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchSurface(b, "tspc", n) })
+		b.Run(fmt.Sprintf("n=%d/mode=exact/p=1", n), func(b *testing.B) { benchSurface(b, "tspc", n, EvalConfig{}, 0) })
 	}
+	b.Run("n=40/mode=fast/p=1", func(b *testing.B) { benchSurface(b, "tspc", 40, DefaultFastPath(), 0) })
+	b.Run("n=40/mode=block8/p=1", func(b *testing.B) { benchSurface(b, "tspc", 40, DefaultFastPath(), 8) })
 }
 
 // E9 / Fig. 12(b): brute-force surface for the C²MOS register.
-func BenchmarkSurfaceC2MOS(b *testing.B) { benchSurface(b, "c2mos", 20) }
+func BenchmarkSurfaceC2MOS(b *testing.B) {
+	b.Run("n=20/mode=exact/p=1", func(b *testing.B) { benchSurface(b, "c2mos", 20, EvalConfig{}, 0) })
+}
+
+// E12: the Monte-Carlo batch path — per-sample contour characterization
+// under drawn process variations, scalar fast path vs block-transient
+// bundles (the MC arm of the ≥2× gate).
+func BenchmarkMonteCarloTSPC(b *testing.B) {
+	tm := DefaultTiming()
+	mk := func(p Process) *Cell { return TSPCCell(p, tm) }
+	run := func(b *testing.B, block int) {
+		var chars int
+		for i := 0; i < b.N; i++ {
+			samples := MonteCarlo(mk, DefaultProcess(), MCOptions{
+				Samples:     4,
+				Seed:        1,
+				Parallelism: 1,
+				Characterize: Options{
+					Points:         20,
+					BothDirections: true,
+					Block:          block,
+					Eval:           DefaultFastPath(),
+				},
+			})
+			chars = 0
+			for _, s := range samples {
+				if s.Err != nil {
+					b.Fatal(s.Err)
+				}
+				chars++
+			}
+		}
+		b.ReportMetric(float64(chars), "samples")
+	}
+	b.Run("mode=fast/p=1", func(b *testing.B) { run(b, 0) })
+	b.Run("mode=block8/p=1", func(b *testing.B) { run(b, 8) })
+}
 
 // E10: the paper's headline — speedup of curve tracing over surface
 // generation at matched contour resolution, for n ∈ {10, 20, 40}. The
@@ -151,8 +200,8 @@ func BenchmarkIndependentChar(b *testing.B) {
 // L-stable; both must trace the same contour, and the bench contrasts their
 // corrector effort and wall-clock.
 func BenchmarkAblationIntegrator(b *testing.B) {
-	b.Run("be", func(b *testing.B) { benchCharacterize(b, "tspc", 20, EvalConfig{Method: transient.BE}) })
-	b.Run("trap", func(b *testing.B) { benchCharacterize(b, "tspc", 20, EvalConfig{Method: transient.TRAP}) })
+	b.Run("be", func(b *testing.B) { benchCharacterize(b, "tspc", 20, EvalConfig{Method: transient.BE}, 0) })
+	b.Run("trap", func(b *testing.B) { benchCharacterize(b, "tspc", 20, EvalConfig{Method: transient.TRAP}, 0) })
 }
 
 // A2: ablation — Euler-Newton tangent continuation vs natural-parameter

@@ -57,7 +57,11 @@ func run(args []string) error {
 		Tol:    *tolPS * 1e-12,
 		Obs:    obsRun,
 	}
-	evalCfg := latchchar.EvalConfig{Obs: obsRun, Chord: *fast, DeviceBypass: *fast}
+	evalCfg := latchchar.EvalConfig{}
+	if *fast {
+		evalCfg = latchchar.DefaultFastPath()
+	}
+	evalCfg.Obs = obsRun
 	// ^C cancels whichever search is in flight mid-transient.
 	ctx, stop := cli.SignalContext()
 	defer stop()

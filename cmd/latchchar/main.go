@@ -43,6 +43,7 @@ func run(args []string) error {
 		energy   = fs.Bool("energy", false, "add a per-point supply-energy column (csv format only)")
 		method   = fs.String("method", "be", "integration method: be or trap")
 		fast     = fs.Bool("fast", false, "enable the chord/bypass Newton fast path (chord iterations + device-eval latency)")
+		block    = fs.Int("block", 0, "predictor lookahead width: correct N predicted points per cycle as one lockstep block-transient (0 or 1 = scalar)")
 		degrade  = fs.Float64("degrade", 0.10, "clock-to-Q degradation defining setup/hold")
 		maxSkew  = fs.Float64("maxskew", 1000, "skew domain bound in picoseconds")
 		format   = fs.String("format", "csv", "output format: csv, json or lib (Liberty fragment)")
@@ -69,16 +70,18 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	evalCfg := stf.Config{
+		Degrade:      *degrade,
+		MaxSetupSkew: *maxSkew * 1e-12,
+	}
+	if *fast {
+		evalCfg = evalCfg.WithFastPath()
+	}
 	if *doVet {
 		// Static pre-flight over the netlist and query parameters before
 		// burning transient simulations on a broken setup.
 		spec := vet.Spec{
-			Eval: stf.Config{
-				Degrade:      *degrade,
-				MaxSetupSkew: *maxSkew * 1e-12,
-				Chord:        *fast,
-				DeviceBypass: *fast,
-			},
+			Eval:      evalCfg,
 			Step:      *stepPS * 1e-12,
 			MaxPoints: *points,
 		}
@@ -86,19 +89,15 @@ func run(args []string) error {
 			return err
 		}
 	}
+	evalCfg.Obs = obsRun
 	opts := latchchar.Options{
 		Points:         *points,
 		Step:           *stepPS * 1e-12,
 		BothDirections: *both,
 		Resample:       *resample,
+		Block:          *block,
 		Obs:            obsRun,
-		Eval: latchchar.EvalConfig{
-			Degrade:      *degrade,
-			MaxSetupSkew: *maxSkew * 1e-12,
-			Chord:        *fast,
-			DeviceBypass: *fast,
-			Obs:          obsRun,
-		},
+		Eval:           evalCfg,
 	}
 	switch *method {
 	case "be":

@@ -40,6 +40,7 @@ func run(args []string) error {
 		hMax      = fs.Float64("hmax", 800, "maximum hold skew (ps)")
 		workers   = fs.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
 		fast      = fs.Bool("fast", false, "enable the chord/bypass Newton fast path (chord iterations + device-eval latency)")
+		block     = fs.Int("block", 0, "block-transient lane count: evaluate each grid row in N-lane lockstep chunks (0 or 1 = scalar; output-level surface only)")
 		delayMode = fs.Bool("delay", false, "generate the clock-to-Q delay surface (the paper's primary formulation) instead of the output-level surface")
 		surfOut   = fs.String("surface", "-", "surface CSV path (- for stdout)")
 		contOut   = fs.String("contour", "", "extracted-contour CSV path (empty = skip)")
@@ -64,11 +65,15 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	evalCfg := latchchar.EvalConfig{}
+	if *fast {
+		evalCfg = latchchar.DefaultFastPath()
+	}
 	if *doVet {
 		// The n² grid makes a broken setup especially expensive: vet the
 		// netlist and the sweep box before dispatching workers.
 		spec := vet.Spec{
-			Eval: latchchar.EvalConfig{Chord: *fast, DeviceBypass: *fast},
+			Eval: evalCfg,
 			Bounds: latchchar.Rect{
 				MinS: *sMin * 1e-12, MaxS: *sMax * 1e-12,
 				MinH: *hMin * 1e-12, MaxH: *hMax * 1e-12,
@@ -80,12 +85,13 @@ func run(args []string) error {
 	}
 	surfOpts := latchchar.SurfaceOptions{
 		N:    *n,
-		Eval: latchchar.EvalConfig{Chord: *fast, DeviceBypass: *fast},
+		Eval: evalCfg,
 		Domain: latchchar.Rect{
 			MinS: *sMin * 1e-12, MaxS: *sMax * 1e-12,
 			MinH: *hMin * 1e-12, MaxH: *hMax * 1e-12,
 		},
 		Parallelism: *workers,
+		Block:       *block,
 		Obs:         obsRun,
 	}
 	// ^C cancels the grid sweep; pending rows are abandoned within one

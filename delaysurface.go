@@ -63,7 +63,10 @@ func (e *Engine) BruteForceDelay(ctx context.Context, cell *Cell, opts SurfaceOp
 	if (opts.Domain == Rect{}) {
 		opts.Domain = Rect{MinS: 10e-12, MaxS: 0.8e-9, MinH: 10e-12, MaxH: 0.8e-9}
 	}
-	workers := effectiveParallelism(opts.Parallelism, opts.Workers, e.pool.NumWorkers())
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = e.pool.NumWorkers()
+	}
 	start := time.Now()
 	sp := opts.Obs.StartSpan(obs.SpanSurface)
 	defer sp.End()

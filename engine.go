@@ -155,7 +155,7 @@ type JobResult struct {
 
 // batchConfig adapts characterizeBatch to its callers: the per-job span
 // name (batch-job, corner, mc-sample), the progress phase, and an optional
-// extra in-flight cap honoring the deprecated per-call Workers fields.
+// extra in-flight cap below the pool's worker bound (MCOptions.Parallelism).
 type batchConfig struct {
 	span  string
 	phase string

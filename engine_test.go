@@ -278,7 +278,8 @@ func TestOptionsValidation(t *testing.T) {
 		{"inverted bounds", Options{Bounds: Rect{MinS: 2, MaxS: 1, MinH: 1, MaxH: 2}}.Validate(), "Bounds"},
 		{"fine above coarse", Options{Eval: EvalConfig{CoarseStep: 1e-12, FineStep: 2e-12}}.Validate(), "Eval.FineStep"},
 		{"surface n one", SurfaceOptions{N: 1}.Validate(), "N"},
-		{"surface negative workers", SurfaceOptions{Workers: -1}.Validate(), "Workers"},
+		{"surface negative block", SurfaceOptions{Block: -1}.Validate(), "Block"},
+		{"negative block", Options{Block: -1}.Validate(), "Block"},
 		{"mc negative samples", MCOptions{Samples: -1}.Validate(), "Samples"},
 		{"mc negative parallelism", MCOptions{Parallelism: -2}.Validate(), "Parallelism"},
 		{"engine negative parallelism", EngineOptions{Parallelism: -1}.Validate(), "Parallelism"},
@@ -353,14 +354,27 @@ func TestCornerResultsErr(t *testing.T) {
 	}
 }
 
-func TestEffectiveParallelism(t *testing.T) {
-	if got := effectiveParallelism(3, 5, 8); got != 3 {
-		t.Errorf("Parallelism should win: %d", got)
+// TestDefaultEngineSingleton: the process-wide engine is a write-once global
+// behind sync.Once; concurrent first calls must all observe the same
+// instance (the -race audit for defaultEngine).
+func TestDefaultEngineSingleton(t *testing.T) {
+	const goroutines = 16
+	engines := make([]*Engine, goroutines)
+	var wg sync.WaitGroup
+	for i := range engines {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			engines[i] = DefaultEngine()
+		}()
 	}
-	if got := effectiveParallelism(0, 5, 8); got != 5 {
-		t.Errorf("deprecated Workers should be honored: %d", got)
+	wg.Wait()
+	if engines[0] == nil {
+		t.Fatal("DefaultEngine returned nil")
 	}
-	if got := effectiveParallelism(0, 0, 8); got != 8 {
-		t.Errorf("default should apply: %d", got)
+	for i, e := range engines {
+		if e != engines[0] {
+			t.Fatalf("goroutine %d saw a different engine instance", i)
+		}
 	}
 }

@@ -58,6 +58,13 @@ type TraceOptions struct {
 	FastIters int
 	// RecordSteps keeps the predictor/corrector history.
 	RecordSteps bool
+	// Block is the predictor lookahead width: a value > 1 predicts a bundle
+	// of Block equally spaced points along the tangent each cycle and
+	// corrects them as one lockstep block (BlockProblem — for circuit
+	// problems a single multi-lane block-transient), accepting the converged
+	// in-order prefix. Ignored (scalar predictor) when ≤ 1 or when the
+	// problem does not implement BlockProblem.
+	Block int
 	// UseSecant replaces the Jacobian-induced tangent with the secant
 	// through the last two accepted points once two points exist — the
 	// classical alternative predictor from numerical continuation
@@ -196,6 +203,10 @@ func traceOneDirection(ctx context.Context, p Problem, seed Point, sign float64,
 	}
 	prevTS, prevTH := sign*ts, sign*th
 	alpha := o.Step
+	bp, _ := p.(BlockProblem)
+	if o.Block <= 1 {
+		bp = nil
+	}
 
 	for len(pts) < o.MaxPoints {
 		if err := ctxErr(ctx, "trace", cur); err != nil {
@@ -214,6 +225,44 @@ func traceOneDirection(ctx context.Context, p Problem, seed Point, sign float64,
 		// Orientation continuity: never double back (Section IIID).
 		if ts*prevTS+th*prevTH < 0 {
 			ts, th = -ts, -th
+		}
+
+		if bp != nil {
+			bSize := o.Block
+			if rem := o.MaxPoints - len(pts); bSize > rem {
+				bSize = rem
+			}
+			accepted, stop, closed, grow, err := bundleAdvance(ctx, bp, seed, cur, ts, th, alpha, bSize, len(pts), o, ct)
+			for _, ap := range accepted {
+				pts = append(pts, ap)
+				prev, havePrev = cur, true
+				cur = ap
+				o.Obs.Progress(obs.Progress{
+					Phase: obs.SpanTrace, Done: len(pts), Total: o.MaxPoints,
+					TauS: ap.TauS, TauH: ap.TauH, CorrectorIters: ap.CorrectorIters,
+				})
+			}
+			if len(accepted) > 0 {
+				prevTS, prevTH = ts, th
+			}
+			if err != nil {
+				var ce *CanceledError
+				if errors.As(err, &ce) {
+					ce.Points = len(pts)
+				}
+				return pts, false, err
+			}
+			if stop {
+				return pts, closed, nil
+			}
+			if grow && alpha < o.MaxStep {
+				alpha = math.Min(o.MaxStep, alpha*1.4)
+			}
+			if len(accepted) > 0 {
+				continue
+			}
+			// Empty prefix: the bundle's first lane failed to correct. Fall
+			// through to the scalar α-halving cycle for this advance.
 		}
 
 		stepSpan := o.Obs.StartSpan(obs.SpanStep)

@@ -5,6 +5,9 @@ import "errors"
 type Options struct {
 	// Mentioned as a selector in Validate.
 	MaxIter int
+	// Lane-count knob validated like latchchar's Options.Block: negative
+	// rejected, 0/1 selects the scalar path.
+	Block int
 	// Mentioned only inside a validator's message string, which counts.
 	Window int
 	// Never validated.
@@ -23,6 +26,9 @@ type Mode int
 func (o Options) Validate() error {
 	if o.MaxIter <= 0 {
 		return errors.New("MaxIter must be positive")
+	}
+	if o.Block < 0 {
+		return errors.New("Block must be ≥ 0")
 	}
 	return validateAux(o)
 }

@@ -5,6 +5,7 @@ package wire
 
 type OptionsRequest struct {
 	Steps int     `json:"steps"`
+	Block int     `json:"block,omitempty"`
 	Tol   float64 // want `field OptionsRequest.Tol has no json tag`
 	Debug bool    `json:"-"` // want `field OptionsRequest.Debug is excluded from JSON`
 }

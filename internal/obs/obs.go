@@ -69,6 +69,11 @@ const (
 	CtrJacobianReuses = "jacobian_reuses"
 	CtrDeviceBypasses = "device_bypasses"
 	CtrRuntimeSamples = "runtime_samples"
+	// Block-transient kernel (internal/transient.BlockEngine).
+	CtrBlockRuns         = "block_runs"
+	CtrBlockPeelOffs     = "block_peel_offs"
+	CtrBlockSharedSteps  = "block_shared_steps"
+	CtrBlockDonorReplays = "block_donor_replays"
 )
 
 // Histogram names.
@@ -76,6 +81,8 @@ const (
 	HistNewtonIters    = "newton_iters_per_step"
 	HistCorrectorIters = "corrector_iters"
 	HistChordIters     = "chord_iters_per_step"
+	// HistBlockSize records the lane count of each block-transient run.
+	HistBlockSize = "block_size"
 )
 
 // Option configures a Run at construction.

@@ -60,8 +60,14 @@ type OptionsRequest struct {
 	Method string `json:"method,omitempty"`
 	// FastPath enables the chord/bypass Newton fast path: chord iterations
 	// reusing the standing LU factorization plus the device-eval latency
-	// bypass, with transparent full-Newton fallback (DESIGN §10).
+	// bypass, with transparent full-Newton fallback (DESIGN §10). It resolves
+	// to exactly latchchar.DefaultFastPath.
 	FastPath bool `json:"fast_path,omitempty"`
+	// Block is the tracer's predictor lookahead width: a value > 1 corrects a
+	// bundle of Block predicted points as one lockstep block-transient
+	// (DESIGN §13). 0 or 1 keeps the scalar predictor. Participates in the
+	// coalescing key like every other option.
+	Block int `json:"block,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/batch: the jobs run as one engine
@@ -139,14 +145,17 @@ type CalibrationJSON struct {
 
 // StatsJSON renders the integrator-level work aggregate.
 type StatsJSON struct {
-	Steps          int     `json:"steps"`
-	NewtonIters    int     `json:"newton_iters"`
-	Factorizations int     `json:"factorizations"`
-	SensSolves     int     `json:"sens_solves"`
-	ChordIters     int     `json:"chord_iters,omitempty"`
-	JacobianReuses int     `json:"jacobian_reuses,omitempty"`
-	DeviceBypasses int     `json:"device_bypasses,omitempty"`
-	WallMS         float64 `json:"wall_ms"`
+	Steps             int     `json:"steps"`
+	NewtonIters       int     `json:"newton_iters"`
+	Factorizations    int     `json:"factorizations"`
+	SensSolves        int     `json:"sens_solves"`
+	ChordIters        int     `json:"chord_iters,omitempty"`
+	JacobianReuses    int     `json:"jacobian_reuses,omitempty"`
+	DeviceBypasses    int     `json:"device_bypasses,omitempty"`
+	BlockSharedSteps  int     `json:"block_shared_steps,omitempty"`
+	BlockPeelOffs     int     `json:"block_peel_offs,omitempty"`
+	BlockDonorReplays int     `json:"block_donor_replays,omitempty"`
+	WallMS            float64 `json:"wall_ms"`
 }
 
 // BatchItemJSON is one batch job's outcome.
@@ -219,17 +228,20 @@ func resolveCell(req *CharacterizeRequest) (*latchchar.Cell, error) {
 // engine's own Options.Validate runs downstream and covers ranges; only
 // wire-level choices (the method name) are checked here.
 func (o OptionsRequest) toOptions() (latchchar.Options, error) {
+	eval := latchchar.EvalConfig{
+		Degrade:      o.Degrade,
+		MaxSetupSkew: o.MaxSetupSkewPS * 1e-12,
+	}
+	if o.FastPath {
+		eval = eval.WithFastPath()
+	}
 	opts := latchchar.Options{
 		Points:         o.Points,
 		Step:           o.StepPS * 1e-12,
 		BothDirections: o.BothDirections,
 		Resample:       o.Resample,
-		Eval: latchchar.EvalConfig{
-			Degrade:      o.Degrade,
-			MaxSetupSkew: o.MaxSetupSkewPS * 1e-12,
-			Chord:        o.FastPath,
-			DeviceBypass: o.FastPath,
-		},
+		Block:          o.Block,
+		Eval:           eval,
 	}
 	switch o.Method {
 	case "", "be":
@@ -290,14 +302,17 @@ func resultJSON(cell string, res *latchchar.Result) *ResultJSON {
 			Rising:      res.Calibration.Rising,
 		},
 		Stats: StatsJSON{
-			Steps:          res.Stats.Steps,
-			NewtonIters:    res.Stats.NewtonIters,
-			Factorizations: res.Stats.Factorizations,
-			SensSolves:     res.Stats.SensSolves,
-			ChordIters:     res.Stats.ChordIters,
-			JacobianReuses: res.Stats.JacobianReuses,
-			DeviceBypasses: res.Stats.DeviceBypasses,
-			WallMS:         durMS(res.Stats.Wall),
+			Steps:             res.Stats.Steps,
+			NewtonIters:       res.Stats.NewtonIters,
+			Factorizations:    res.Stats.Factorizations,
+			SensSolves:        res.Stats.SensSolves,
+			ChordIters:        res.Stats.ChordIters,
+			JacobianReuses:    res.Stats.JacobianReuses,
+			DeviceBypasses:    res.Stats.DeviceBypasses,
+			BlockSharedSteps:  res.Stats.BlockSharedSteps,
+			BlockPeelOffs:     res.Stats.BlockPeelOffs,
+			BlockDonorReplays: res.Stats.BlockDonorReplays,
+			WallMS:            durMS(res.Stats.Wall),
 		},
 	}
 	if res.Contour != nil {

@@ -37,22 +37,26 @@ type obsAgg struct {
 
 func (a *obsAgg) init() {
 	a.counters = map[string]int64{
-		obs.CtrTransients:     0,
-		obs.CtrTransientsGrad: 0,
-		obs.CtrSteps:          0,
-		obs.CtrNewtonIters:    0,
-		obs.CtrLUFactor:       0,
-		obs.CtrLURefactor:     0,
-		obs.CtrSensSolves:     0,
-		obs.CtrSensFactReused: 0,
-		obs.CtrPoints:         0,
-		obs.CtrStepRejects:    0,
-		obs.CtrWarmSeeds:      0,
-		obs.CtrCalReused:      0,
-		obs.CtrChordIters:     0,
-		obs.CtrJacobianReuses: 0,
-		obs.CtrDeviceBypasses: 0,
-		obs.CtrRuntimeSamples: 0,
+		obs.CtrTransients:        0,
+		obs.CtrTransientsGrad:    0,
+		obs.CtrSteps:             0,
+		obs.CtrNewtonIters:       0,
+		obs.CtrLUFactor:          0,
+		obs.CtrLURefactor:        0,
+		obs.CtrSensSolves:        0,
+		obs.CtrSensFactReused:    0,
+		obs.CtrPoints:            0,
+		obs.CtrStepRejects:       0,
+		obs.CtrWarmSeeds:         0,
+		obs.CtrCalReused:         0,
+		obs.CtrChordIters:        0,
+		obs.CtrJacobianReuses:    0,
+		obs.CtrDeviceBypasses:    0,
+		obs.CtrRuntimeSamples:    0,
+		obs.CtrBlockRuns:         0,
+		obs.CtrBlockPeelOffs:     0,
+		obs.CtrBlockSharedSteps:  0,
+		obs.CtrBlockDonorReplays: 0,
 	}
 	a.phases = map[string]obs.PhaseStat{}
 	a.hists = map[string]*obs.Hist{}

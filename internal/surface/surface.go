@@ -98,6 +98,61 @@ func newSurface(sAxis, hAxis []float64) (*Surface, error) {
 // many evaluators the factory builds. A nil pool spawns the classic
 // row-worker goroutines.
 func GenerateCtx(ctx context.Context, run *obs.Run, sAxis, hAxis []float64, factory Factory, pool *sched.Pool, workers int) (*Surface, error) {
+	return generateRows(ctx, run, sAxis, hAxis, factory, pool, workers,
+		func(ctx context.Context, eval EvalFunc, sf *Surface, i int) error {
+			for j, h := range sf.H {
+				if ctx.Err() != nil {
+					return fmt.Errorf("surface: canceled at row τs=%g: %w", sf.S[i], context.Cause(ctx))
+				}
+				v, err := eval(sf.S[i], h)
+				if err != nil {
+					return fmt.Errorf("surface: point (%g, %g): %w", sf.S[i], h, err)
+				}
+				sf.V[i][j] = v
+			}
+			return nil
+		})
+}
+
+// BlockEvalFunc evaluates one full grid row — fixed s, the whole h axis — in
+// a single call, writing f(s, h[j]) into out[j]. The circuit implementation
+// runs the row as one lockstep block-transient (stf.Evaluator.EvalBlock), so
+// the row shares its stimulus prefix and Jacobians across the h samples.
+type BlockEvalFunc func(s float64, h, out []float64) error
+
+// BlockFactory builds one independent BlockEvalFunc per worker; the function
+// it returns is only ever used from a single goroutine.
+type BlockFactory func() (BlockEvalFunc, error)
+
+// GenerateBlock is GenerateBlockCtx with context.Background() and no
+// observability or pool routing.
+func GenerateBlock(sAxis, hAxis []float64, factory BlockFactory, workers int) (*Surface, error) {
+	return GenerateBlockCtx(context.Background(), nil, sAxis, hAxis, factory, nil, workers)
+}
+
+// GenerateBlockCtx is GenerateCtx for row-at-a-time evaluators: each grid
+// row is one BlockEvalFunc call instead of len(hAxis) scalar calls. Axes,
+// workers, pool routing, cancellation and progress behave exactly like
+// GenerateCtx.
+func GenerateBlockCtx(ctx context.Context, run *obs.Run, sAxis, hAxis []float64, factory BlockFactory, pool *sched.Pool, workers int) (*Surface, error) {
+	return generateRows(ctx, run, sAxis, hAxis, factory, pool, workers,
+		func(ctx context.Context, eval BlockEvalFunc, sf *Surface, i int) error {
+			if ctx.Err() != nil {
+				return fmt.Errorf("surface: canceled at row τs=%g: %w", sf.S[i], context.Cause(ctx))
+			}
+			if err := eval(sf.S[i], sf.H, sf.V[i]); err != nil {
+				return fmt.Errorf("surface: row τs=%g: %w", sf.S[i], err)
+			}
+			return nil
+		})
+}
+
+// generateRows is the shared sweep driver behind GenerateCtx and
+// GenerateBlockCtx, generic over the per-worker evaluator type: rows are
+// distributed to up to workers evaluators (lazy-built, recycled), either as
+// pool tasks or classic worker goroutines, and each row is filled by one
+// row() call.
+func generateRows[E any](ctx context.Context, run *obs.Run, sAxis, hAxis []float64, factory func() (E, error), pool *sched.Pool, workers int, row func(ctx context.Context, eval E, sf *Surface, i int) error) (*Surface, error) {
 	sf, err := newSurface(sAxis, hAxis)
 	if err != nil {
 		return nil, err
@@ -116,7 +171,7 @@ func GenerateCtx(ctx context.Context, run *obs.Run, sAxis, hAxis []float64, fact
 		ctx = context.Background()
 	}
 	if pool != nil {
-		return generateOnPool(ctx, run, sf, factory, pool, workers)
+		return generateOnPool(ctx, run, sf, factory, pool, workers, row)
 	}
 
 	rows := make(chan int)
@@ -133,17 +188,9 @@ func GenerateCtx(ctx context.Context, run *obs.Run, sAxis, hAxis []float64, fact
 				return
 			}
 			for i := range rows {
-				for j, h := range sf.H {
-					if ctx.Err() != nil {
-						errs <- fmt.Errorf("surface: canceled at row τs=%g: %w", sf.S[i], context.Cause(ctx))
-						return
-					}
-					v, err := eval(sf.S[i], h)
-					if err != nil {
-						errs <- fmt.Errorf("surface: point (%g, %g): %w", sf.S[i], h, err)
-						return
-					}
-					sf.V[i][j] = v
+				if err := row(ctx, eval, sf, i); err != nil {
+					errs <- err
+					return
 				}
 				run.Count(obs.CtrPoints, int64(len(sf.H)))
 				run.Progress(obs.Progress{
@@ -178,10 +225,10 @@ func GenerateCtx(ctx context.Context, run *obs.Run, sAxis, hAxis []float64, fact
 // the calibration-sharing factory economics of the goroutine path carry
 // over: the number of evaluator builds stays bounded by the concurrency, not
 // the row count.
-func generateOnPool(ctx context.Context, run *obs.Run, sf *Surface, factory Factory, pool *sched.Pool, workers int) (*Surface, error) {
+func generateOnPool[E any](ctx context.Context, run *obs.Run, sf *Surface, factory func() (E, error), pool *sched.Pool, workers int, row func(ctx context.Context, eval E, sf *Surface, i int) error) (*Surface, error) {
 	inner, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
-	evs := make(chan EvalFunc, workers)
+	evs := make(chan E, workers)
 	var built atomic.Int32
 	var once sync.Once
 	var firstErr error
@@ -198,7 +245,7 @@ func generateOnPool(ctx context.Context, run *obs.Run, sf *Surface, factory Fact
 			if inner.Err() != nil {
 				return
 			}
-			var eval EvalFunc
+			var eval E
 			select {
 			case eval = <-evs:
 			default:
@@ -218,16 +265,9 @@ func generateOnPool(ctx context.Context, run *obs.Run, sf *Surface, factory Fact
 				}
 			}
 			defer func() { evs <- eval }()
-			for j, h := range sf.H {
-				if inner.Err() != nil {
-					return
-				}
-				v, err := eval(sf.S[i], h)
-				if err != nil {
-					fail(fmt.Errorf("surface: point (%g, %g): %w", sf.S[i], h, err))
-					return
-				}
-				sf.V[i][j] = v
+			if err := row(inner, eval, sf, i); err != nil {
+				fail(err)
+				return
 			}
 			run.Count(obs.CtrPoints, int64(len(sf.H)))
 			run.Progress(obs.Progress{

@@ -172,6 +172,18 @@ type Stats struct {
 	// by the latency bypass (Options.DeviceBypass).
 	DeviceBypasses int
 
+	// Block-transient accounting (BlockEngine; zero for scalar runs).
+	// BlockSharedSteps counts lane-steps served by the shared exact prefix —
+	// steps the follower lanes never had to integrate because every lane's
+	// stimulus is bit-identical before the skews diverge. BlockPeelOffs
+	// counts lanes that dropped out of a block on a Newton failure (they are
+	// retried on the scalar path by the caller). BlockDonorReplays counts
+	// device evaluations served by replaying the reference lane's stamp tape
+	// into a follower (circuit.Eval.AtWithDonor).
+	BlockSharedSteps  int
+	BlockPeelOffs     int
+	BlockDonorReplays int
+
 	// Wall-clock attribution. Wall is always measured; LU (factorize +
 	// solve), DeviceEval (model evaluation/assembly) and Sens (sensitivity
 	// back-substitutions) are collected only when Options.Timing is set or
@@ -192,6 +204,9 @@ func (s *Stats) Add(other Stats) {
 	s.ChordIters += other.ChordIters
 	s.JacobianReuses += other.JacobianReuses
 	s.DeviceBypasses += other.DeviceBypasses
+	s.BlockSharedSteps += other.BlockSharedSteps
+	s.BlockPeelOffs += other.BlockPeelOffs
+	s.BlockDonorReplays += other.BlockDonorReplays
 	s.Wall += other.Wall
 	s.LU += other.LU
 	s.DeviceEval += other.DeviceEval
@@ -270,6 +285,14 @@ func (p *profLabels) init() {
 
 // NewEngine prepares an engine for the circuit with the given options.
 func NewEngine(c *circuit.Circuit, opts Options) *Engine {
+	return newEngine(c, opts, nil)
+}
+
+// newEngine builds an engine. With a non-nil proto — an engine of the same
+// circuit — the union-pattern symbolic analysis is shared instead of being
+// recomputed: the Jacobian aliases proto's RowPtr/Col structure with fresh
+// values. Block lanes use this so one symbolic analysis serves the block.
+func newEngine(c *circuit.Circuit, opts Options, proto *Engine) *Engine {
 	o := opts.withDefaults()
 	ev := c.NewEval()
 	n := c.N()
@@ -285,7 +308,12 @@ func NewEngine(c *circuit.Circuit, opts Options) *Engine {
 		ms:    make([]float64, n),
 		mh:    make([]float64, n),
 	}
-	e.j, e.mapC, e.mapG = sparse.UnionPattern(ev.C, ev.G)
+	if proto != nil {
+		e.j = proto.j.PatternClone()
+		e.mapC, e.mapG = proto.mapC, proto.mapG
+	} else {
+		e.j, e.mapC, e.mapG = sparse.UnionPattern(ev.C, ev.G)
+	}
 	e.cPrev = ev.C.Clone()
 	if o.DeviceBypass {
 		ev.EnableBypass(o.BypassVTol)
@@ -378,7 +406,6 @@ func (e *Engine) run(ctx context.Context, x0 []float64, grid Grid) (*Result, err
 	for i := range res.Probes {
 		res.Probes[i] = make([]float64, len(pts))
 	}
-	copy(e.x, x0)
 	record := func(k int) {
 		for pi, id := range e.opts.Probes {
 			if id == circuit.Ground {
@@ -388,43 +415,10 @@ func (e *Engine) run(ctx context.Context, x0 []float64, grid Grid) (*Result, err
 			}
 		}
 	}
-	record(0)
 	e.stats = Stats{}
 	wall0 := time.Now()
-
-	// Initial assembly at (x0, t0) seeds qPrev, cPrev and, for TRAP, the
-	// charge derivative qdot0 = −(f + src).
-	e.evalAt(pts[0])
-	copy(e.qPrev, e.ev.Q)
-	if e.opts.Skews {
-		// cPrev only feeds the sensitivity recursions (eqs. (11)–(14)).
-		copy(e.cPrev.Val, e.ev.C.Val)
-	}
-	if e.opts.Method == TRAP {
-		for i := 0; i < n; i++ {
-			e.qdotPrev[i] = -(e.ev.F[i] + e.ev.Src[i])
-		}
-	}
-	// Sensitivities start at zero: x0 is fixed independent of the skews
-	// (paper step 1c). The TRAP derivative memory starts at −∂src/∂τ(t0),
-	// which vanishes while the data line is quiescent.
-	for i := 0; i < n; i++ {
-		e.ms[i] = 0
-		e.mh[i] = 0
-	}
-	if e.opts.Skews && e.opts.Method == TRAP {
-		e.zeroZ()
-		e.ev.AddSkewSens(pts[0], e.zsVec, e.zhVec)
-		for i := 0; i < n; i++ {
-			e.msdotPrev[i] = -e.zsVec[i]
-			e.mhdot[i] = -e.zhVec[i]
-		}
-	}
-
-	// The standing factorization (if any) predates this run's state, so chord
-	// iterations must not trust it: the first iteration factorizes fresh.
-	e.chordReady = false
-	e.drift = 0
+	e.initAt(x0, pts[0])
+	record(0)
 	luF0, luR0 := e.lu.Factorizations, e.lu.Refactorizations
 	byp0 := e.ev.Bypasses
 	done := ctx.Done()
@@ -453,6 +447,44 @@ func (e *Engine) run(ctx context.Context, x0 []float64, grid Grid) (*Result, err
 	res.Stats.DeviceBypasses = e.ev.Bypasses - byp0
 	res.Stats.Wall = time.Since(wall0)
 	return res, nil
+}
+
+// initAt seeds the integrator state at t0: the initial assembly fills qPrev,
+// cPrev and (for TRAP) the charge derivative qdot0 = −(f + src); the
+// sensitivities start at zero because x0 is fixed independent of the skews
+// (paper step 1c), with the TRAP derivative memory at −∂src/∂τ(t0), which
+// vanishes while the data line is quiescent. The standing factorization (if
+// any) predates this state, so the chord gate is reset: the first iteration
+// factorizes fresh. Both the scalar run and the block lanes initialize
+// through here.
+func (e *Engine) initAt(x0 []float64, t0 float64) {
+	n := e.c.N()
+	copy(e.x, x0)
+	e.evalAt(t0)
+	copy(e.qPrev, e.ev.Q)
+	if e.opts.Skews {
+		// cPrev only feeds the sensitivity recursions (eqs. (11)–(14)).
+		copy(e.cPrev.Val, e.ev.C.Val)
+	}
+	if e.opts.Method == TRAP {
+		for i := 0; i < n; i++ {
+			e.qdotPrev[i] = -(e.ev.F[i] + e.ev.Src[i])
+		}
+	}
+	for i := 0; i < n; i++ {
+		e.ms[i] = 0
+		e.mh[i] = 0
+	}
+	if e.opts.Skews && e.opts.Method == TRAP {
+		e.zeroZ()
+		e.ev.AddSkewSens(t0, e.zsVec, e.zhVec)
+		for i := 0; i < n; i++ {
+			e.msdotPrev[i] = -e.zsVec[i]
+			e.mhdot[i] = -e.zhVec[i]
+		}
+	}
+	e.chordReady = false
+	e.drift = 0
 }
 
 // evalAt wraps the device evaluation with optional wall-clock attribution.
@@ -673,9 +705,9 @@ func (e *Engine) step(t0, t1 float64) error {
 		}
 		switch e.opts.Method {
 		case TRAP:
-			e.sensTrap(alpha)
+			e.sensTrap(alpha, &e.lu)
 		default:
-			e.sensBE(alpha)
+			e.sensBE(alpha, &e.lu)
 		}
 		if e.timed {
 			e.stats.Sens += time.Since(t0)
@@ -702,39 +734,41 @@ func (e *Engine) step(t0, t1 float64) error {
 }
 
 // sensBE advances the BE-discretized sensitivities (paper eq. (11)/(13)):
-// (C/Δt + G)·m = (C_prev/Δt)·m_prev − ∂src/∂τ.
-func (e *Engine) sensBE(alpha float64) {
+// (C/Δt + G)·m = (C_prev/Δt)·m_prev − ∂src/∂τ. The solves back-substitute
+// against lu — the engine's own converged-state factorization on the scalar
+// path, possibly a shared block factorization on the block path.
+func (e *Engine) sensBE(alpha float64, lu *sparse.Reusable) {
 	n := e.c.N()
 	for i := 0; i < n; i++ {
 		e.rhsS[i] = -e.zsVec[i]
 	}
 	e.cPrev.MulVecAdd(alpha, e.ms, e.rhsS)
-	e.lu.Solve(e.rhsS, e.ms)
+	lu.Solve(e.rhsS, e.ms)
 
 	for i := 0; i < n; i++ {
 		e.rhsS[i] = -e.zhVec[i]
 	}
 	e.cPrev.MulVecAdd(alpha, e.mh, e.rhsS)
-	e.lu.Solve(e.rhsS, e.mh)
+	lu.Solve(e.rhsS, e.mh)
 	e.stats.SensSolves += 2
 }
 
 // sensTrap advances the TRAP-discretized sensitivities:
 // (2C/Δt + G)·m = (2C_prev/Δt)·m_prev + mdot_prev − ∂src/∂τ, with the
 // derivative memory mdot = d(q̇)/dτ propagated like q̇ itself.
-func (e *Engine) sensTrap(alpha float64) {
-	e.sensTrapOne(alpha, e.ms, e.msdotPrev, e.zsVec)
-	e.sensTrapOne(alpha, e.mh, e.mhdot, e.zhVec)
+func (e *Engine) sensTrap(alpha float64, lu *sparse.Reusable) {
+	e.sensTrapOne(alpha, lu, e.ms, e.msdotPrev, e.zsVec)
+	e.sensTrapOne(alpha, lu, e.mh, e.mhdot, e.zhVec)
 	e.stats.SensSolves += 2
 }
 
-func (e *Engine) sensTrapOne(alpha float64, m, mdot, z []float64) {
+func (e *Engine) sensTrapOne(alpha float64, lu *sparse.Reusable, m, mdot, z []float64) {
 	n := e.c.N()
 	e.cPrev.MulVec(m, e.scrA) // C_prev·m_prev
 	for i := 0; i < n; i++ {
 		e.rhsS[i] = alpha*e.scrA[i] + mdot[i] - z[i]
 	}
-	e.lu.Solve(e.rhsS, m)
+	lu.Solve(e.rhsS, m)
 	e.ev.C.MulVec(m, e.scrB) // C_new·m_new
 	for i := 0; i < n; i++ {
 		mdot[i] = alpha*(e.scrB[i]-e.scrA[i]) - mdot[i]

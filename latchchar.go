@@ -139,6 +139,12 @@ type Options struct {
 	// that many arc-length-uniform points, each polished back onto the
 	// curve with MPNR.
 	Resample int
+	// Block is the predictor lookahead width: a value > 1 makes the tracer
+	// predict a bundle of Block points along the tangent each cycle and
+	// correct them as one lockstep block-transient (shared Jacobians, batched
+	// device evaluation, per-point peel-off). 0 or 1 keeps the scalar
+	// predictor-corrector.
+	Block int
 	// Obs attaches observability: spans, counters, histograms and live
 	// progress flow to the run's sinks. nil disables collection with no
 	// hot-path cost.
@@ -256,6 +262,7 @@ func characterizeCtx(ctx context.Context, ev *Evaluator, opts Options, warm *Con
 		BothDirections: opts.BothDirections,
 		MPNR:           opts.MPNR,
 		RecordSteps:    opts.RecordSteps,
+		Block:          opts.Block,
 		Obs:            sp,
 	}
 	finish := func(ct *Contour) *Result {
@@ -338,11 +345,12 @@ type SurfaceOptions struct {
 	// pool's worker count). The paper's cost comparison counts simulations,
 	// which is independent of Parallelism.
 	Parallelism int
-	// Workers bounds the concurrency.
-	//
-	// Deprecated: use Parallelism, the single v2 concurrency knob shared
-	// with the batch engine. Workers is honored when Parallelism is zero.
-	Workers int
+	// Block is the block-transient lane count: a value > 1 evaluates each
+	// grid row in chunks of Block lockstep lanes sharing Jacobian
+	// factorizations and device evaluations (the per-row cost accounting is
+	// unchanged — still one transient per grid point). 0 or 1 keeps scalar
+	// per-point evaluation.
+	Block int
 	// Eval tunes the per-worker evaluators.
 	Eval EvalConfig
 	// Obs attaches observability: the sweep runs inside a "surface" span
@@ -393,7 +401,10 @@ func (e *Engine) BruteForce(ctx context.Context, cell *Cell, opts SurfaceOptions
 	if (opts.Domain == Rect{}) {
 		opts.Domain = Rect{MinS: 10e-12, MaxS: 0.8e-9, MinH: 10e-12, MaxH: 0.8e-9}
 	}
-	workers := effectiveParallelism(opts.Parallelism, opts.Workers, e.pool.NumWorkers())
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = e.pool.NumWorkers()
+	}
 	start := time.Now()
 	sp := opts.Obs.StartSpan(obs.SpanSurface)
 	defer sp.End()
@@ -403,7 +414,7 @@ func (e *Engine) BruteForce(ctx context.Context, cell *Cell, opts SurfaceOptions
 	if err != nil {
 		return nil, err
 	}
-	factory := func() (surface.EvalFunc, error) {
+	newEval := func() (*stf.Evaluator, error) {
 		inst, err := cell.Build()
 		if err != nil {
 			return nil, err
@@ -415,11 +426,52 @@ func (e *Engine) BruteForce(ctx context.Context, cell *Cell, opts SurfaceOptions
 			return nil, err
 		}
 		ev.SetContext(ctx)
-		return ev.Eval, nil
+		return ev, nil
 	}
 	sAxis := surface.Linspace(opts.Domain.MinS, opts.Domain.MaxS, opts.N)
 	hAxis := surface.Linspace(opts.Domain.MinH, opts.Domain.MaxH, opts.N)
-	sf, err := surface.GenerateCtx(ctx, sp, sAxis, hAxis, factory, e.pool, workers)
+	var sf *Surface
+	if opts.Block > 1 {
+		// Row-at-a-time sweep: each row is evaluated in chunks of Block
+		// lockstep block-transient lanes sharing the stimulus prefix and
+		// Jacobian factorizations.
+		lanes := opts.Block
+		factory := func() (surface.BlockEvalFunc, error) {
+			ev, err := newEval()
+			if err != nil {
+				return nil, err
+			}
+			tauS := make([]float64, 0, lanes)
+			return func(s float64, h, out []float64) error {
+				for lo := 0; lo < len(h); lo += lanes {
+					hi := lo + lanes
+					if hi > len(h) {
+						hi = len(h)
+					}
+					tauS = tauS[:0]
+					for range h[lo:hi] {
+						tauS = append(tauS, s)
+					}
+					vals, err := ev.EvalBlock(tauS, h[lo:hi])
+					if err != nil {
+						return err
+					}
+					copy(out[lo:hi], vals)
+				}
+				return nil
+			}, nil
+		}
+		sf, err = surface.GenerateBlockCtx(ctx, sp, sAxis, hAxis, factory, e.pool, workers)
+	} else {
+		factory := func() (surface.EvalFunc, error) {
+			ev, err := newEval()
+			if err != nil {
+				return nil, err
+			}
+			return ev.Eval, nil
+		}
+		sf, err = surface.GenerateCtx(ctx, sp, sAxis, hAxis, factory, e.pool, workers)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("latchchar: surface generation: %w", err)
 	}
@@ -438,6 +490,14 @@ func (e *Engine) BruteForce(ctx context.Context, cell *Cell, opts SurfaceOptions
 func CompareContours(en *Contour, ref []Polyline) (max, mean float64, err error) {
 	return surface.Deviation(en.SetupHoldPairs(), ref)
 }
+
+// DefaultFastPath returns the canonical fast-path evaluator configuration:
+// chord-Newton iteration with Jacobian reuse plus latency-aware device
+// bypass, the PR 5 accuracy-gated speedups. It is the single home for what
+// "fast" means — the -fast CLI flags and the HTTP "fast_path" field both
+// resolve to exactly this. Callers tune other fields on the returned config
+// as usual.
+func DefaultFastPath() EvalConfig { return EvalConfig{}.WithFastPath() }
 
 // NewEvaluator builds a state-transition evaluator for a fresh instance of
 // the cell.

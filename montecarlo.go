@@ -25,11 +25,6 @@ type MCOptions struct {
 	// pool's worker bound — previously every sample ran at once, which on a
 	// library-scale sample count oversubscribed the machine).
 	Parallelism int
-	// Workers bounds concurrency.
-	//
-	// Deprecated: use Parallelism, the single v2 concurrency knob shared
-	// with the batch engine. Workers is honored when Parallelism is zero.
-	Workers int
 	// Characterize configures each sample's characterization.
 	Characterize Options
 }
@@ -110,7 +105,7 @@ func (e *Engine) MonteCarlo(ctx context.Context, mk func(Process) *Cell, nominal
 		}
 		jobs[i] = Job{Name: fmt.Sprintf("%d", i), Cell: mk(s.Process), Opts: o.Characterize}
 	}
-	limit := effectiveParallelism(o.Parallelism, o.Workers, 0)
+	limit := o.Parallelism
 	res := e.characterizeBatch(ctx, jobs, batchConfig{
 		span: obs.SpanMCSample, phase: obs.SpanMCSample, limit: limit,
 	})

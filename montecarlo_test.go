@@ -78,10 +78,10 @@ func TestMCOptionsDefaults(t *testing.T) {
 	if o.Samples != 8 || o.SigmaVT != 0.03 || o.SigmaKP != 0.05 {
 		t.Errorf("defaults: %+v", o)
 	}
-	// The v1 default of Workers = Samples is gone: zero means "bounded by
-	// the engine pool", so an 8192-sample run no longer spawns 8192
-	// concurrent circuits.
-	if o.Workers != 0 || o.Parallelism != 0 {
+	// The v1 default of Workers = Samples is gone: zero Parallelism means
+	// "bounded by the engine pool", so an 8192-sample run no longer spawns
+	// 8192 concurrent circuits.
+	if o.Parallelism != 0 {
 		t.Errorf("concurrency should default to the engine pool bound: %+v", o)
 	}
 }

@@ -3,9 +3,7 @@ package latchchar
 import (
 	"errors"
 	"fmt"
-	"log"
 	"math"
-	"sync"
 )
 
 // ErrInvalidOptions is the sentinel every options-validation failure wraps;
@@ -130,6 +128,9 @@ func (o Options) Validate() error {
 	if o.Resample < 0 || o.Resample == 1 {
 		return optErr("Resample", o.Resample, "must be 0 (off) or ≥ 2 points")
 	}
+	if o.Block < 0 {
+		return optErr("Block", o.Block, "must be ≥ 0 (0 or 1 keeps the scalar predictor)")
+	}
 	if err := validateRect("Bounds", o.Bounds); err != nil {
 		return err
 	}
@@ -182,8 +183,8 @@ func (o SurfaceOptions) Validate() error {
 	if o.Parallelism < 0 {
 		return optErr("Parallelism", o.Parallelism, "must be ≥ 0 (0 selects the default)")
 	}
-	if o.Workers < 0 {
-		return optErr("Workers", o.Workers, "must be ≥ 0 (0 selects the default)")
+	if o.Block < 0 {
+		return optErr("Block", o.Block, "must be ≥ 0 (0 or 1 keeps scalar grid evaluation)")
 	}
 	if err := validateRect("Domain", o.Domain); err != nil {
 		return err
@@ -205,9 +206,6 @@ func (o MCOptions) Validate() error {
 	if o.Parallelism < 0 {
 		return optErr("Parallelism", o.Parallelism, "must be ≥ 0 (0 selects the default)")
 	}
-	if o.Workers < 0 {
-		return optErr("Workers", o.Workers, "must be ≥ 0 (0 selects the default)")
-	}
 	return o.Characterize.Validate()
 }
 
@@ -218,26 +216,4 @@ func (o EngineOptions) Validate() error {
 		return optErr("Parallelism", o.Parallelism, "must be ≥ 0 (0 selects GOMAXPROCS)")
 	}
 	return nil
-}
-
-// workersDeprecationOnce gates the legacy-Workers warning to one line per
-// process: sweeps call effectiveParallelism per batch, and a library must
-// not turn a deprecation notice into log spam.
-var workersDeprecationOnce sync.Once
-
-// effectiveParallelism resolves the v2 Parallelism knob against a deprecated
-// v1 Workers field and a final default. Honoring a legacy Workers value logs
-// a one-time deprecation warning; the alias is scheduled for removal in v3
-// (DESIGN.md §8).
-func effectiveParallelism(parallelism, workers, def int) int {
-	if parallelism > 0 {
-		return parallelism
-	}
-	if workers > 0 {
-		workersDeprecationOnce.Do(func() {
-			log.Printf("latchchar: the per-call Workers field is deprecated and will be removed in v3; set Parallelism instead")
-		})
-		return workers
-	}
-	return def
 }

@@ -59,6 +59,8 @@ func TestOptionsValidateTable(t *testing.T) {
 		{"resample of one", Options{Resample: 1}, "Resample"},
 		{"negative resample", Options{Resample: -2}, "Resample"},
 		{"resample of two ok", Options{Resample: 2}, ""},
+		{"negative block", Options{Block: -1}, "Block"},
+		{"block of four ok", Options{Block: 4}, ""},
 		{"inverted bounds", Options{Bounds: Rect{MinS: 2, MaxS: 1, MinH: 0, MaxH: 1}}, "Bounds"},
 		{"infinite bounds", Options{Bounds: Rect{MaxS: math.Inf(1), MaxH: 1}}, "Bounds"},
 		{"negative coarse step", Options{Eval: EvalConfig{CoarseStep: -1}}, "Eval.CoarseStep"},
@@ -104,7 +106,9 @@ func TestSurfaceOptionsValidateTable(t *testing.T) {
 		{"grid of one", SurfaceOptions{N: 1}, "N"},
 		{"negative grid", SurfaceOptions{N: -3}, "N"},
 		{"negative parallelism", SurfaceOptions{Parallelism: -1}, "Parallelism"},
-		{"negative legacy workers", SurfaceOptions{Workers: -1}, "Workers"},
+		{"negative block", SurfaceOptions{Block: -1}, "Block"},
+		{"block of one ok", SurfaceOptions{Block: 1}, ""},
+		{"block of eight ok", SurfaceOptions{Block: 8}, ""},
 		{"inverted domain", SurfaceOptions{Domain: Rect{MinS: 1, MaxS: 2, MinH: 2, MaxH: 1}}, "Domain"},
 		{"bad nested eval", SurfaceOptions{Eval: EvalConfig{Degrade: 2}}, "Eval.Degrade"},
 	}
@@ -131,7 +135,7 @@ func TestMCOptionsValidateTable(t *testing.T) {
 		{"nan sigma vt", MCOptions{SigmaVT: math.NaN()}, "SigmaVT"},
 		{"negative sigma kp", MCOptions{SigmaKP: -0.01}, "SigmaKP"},
 		{"negative parallelism", MCOptions{Parallelism: -1}, "Parallelism"},
-		{"negative legacy workers", MCOptions{Workers: -1}, "Workers"},
+		{"negative nested block", MCOptions{Characterize: Options{Block: -2}}, "Block"},
 		// Validation recurses into the nested characterization options.
 		{"bad nested characterize", MCOptions{Characterize: Options{Points: -1}}, "Points"},
 	}
