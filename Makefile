@@ -10,7 +10,7 @@ BENCHOUT ?= BENCH_core.json
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build test race vet lint latchlint vulncheck charvet tracesmoke batchsmoke servesmoke bench benchsmoke ci clean
+.PHONY: all build test race vet lint latchlint vulncheck charvet tracesmoke batchsmoke servesmoke clustersmoke benchserve bench benchsmoke ci clean
 
 all: build
 
@@ -85,6 +85,21 @@ SMOKE_DUMPDIR ?= /tmp/latchchard-smoke-dumps
 servesmoke:
 	LATCHCHARD_SMOKE_DUMPDIR=$(SMOKE_DUMPDIR) $(GO) test -run TestServeSmoke -v ./cmd/latchchard
 
+# clustersmoke boots two mock-mode workers plus a coordinator in one test
+# process, pushes a few seconds of mixed load (hot cells, cold netlists,
+# streamed jobs) through the public serveclient API, then checks fleet
+# /statusz aggregation, metrics lint, the deprecated-alias 308 and a clean
+# SIGTERM drain of all three daemons (DESIGN.md §15).
+clustersmoke:
+	$(GO) test -run TestClusterSmoke -v ./cmd/latchchard
+
+# benchserve regenerates BENCH_serve.json: the serving-layer scaling curve
+# (throughput and latency percentiles vs worker count) measured with
+# cmd/latchload against mock-service-time workers. See the script header for
+# methodology.
+benchserve:
+	./scripts/benchserve.sh
+
 # bench runs the core benchmark set — root characterization contours,
 # the transient inner loop and the sparse LU kernels — and converts the
 # combined benchfmt stream into $(BENCHOUT) (benchjson JSON: ns/op plus the
@@ -117,7 +132,7 @@ benchsmoke:
 	$(GO) run ./cmd/benchjson -compare -warn-only -tolerance 50 \
 		BENCH_core.json $(SMOKE_BENCHOUT)
 
-ci: build lint vulncheck race tracesmoke batchsmoke servesmoke benchsmoke
+ci: build lint vulncheck race tracesmoke batchsmoke servesmoke clustersmoke benchsmoke
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"latchchar/internal/loadgen"
+	"latchchar/internal/serve"
+	"latchchar/serveclient"
+)
+
+// bootDaemon starts one latchchard process-in-a-goroutine and returns its
+// base URL and exit channel.
+func bootDaemon(t *testing.T, args ...string) (string, chan error) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	done := make(chan error, 1)
+	go func() { done <- run(append([]string{"-addr", "127.0.0.1:0", "-addrfile", addrFile}, args...)) }()
+	for deadline := time.Now().Add(15 * time.Second); ; {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			return "http://" + strings.TrimSpace(string(b)), done
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited before listening: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon did not write the addrfile")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClusterSmoke is the end-to-end cluster exercise behind
+// `make clustersmoke`: two mock-mode workers, one coordinator, a few seconds
+// of mixed load through the public client, then fleet status, metrics lint,
+// deprecated-alias redirect, and a clean SIGTERM drain of all three daemons.
+func TestClusterSmoke(t *testing.T) {
+	w1, done1 := bootDaemon(t, "-mock-job", "10ms", "-log-level", "off", "-drain-timeout", "30s")
+	w2, done2 := bootDaemon(t, "-mock-job", "10ms", "-log-level", "off", "-drain-timeout", "30s")
+	co, done3 := bootDaemon(t,
+		"-mode", "coordinator",
+		"-workers", strings.TrimPrefix(w1, "http://")+","+strings.TrimPrefix(w2, "http://"),
+		"-health-interval", "200ms",
+		"-log-level", "off",
+		"-drain-timeout", "30s",
+	)
+
+	// A few seconds of mixed load: hot shapes (cache + coalescing), cold
+	// inline netlists (unique keys spread over the ring), streamed jobs
+	// (event proxy).
+	rep, err := loadgen.Run(context.Background(), loadgen.Options{
+		BaseURL:  co,
+		Clients:  6,
+		Duration: 2 * time.Second,
+		Mix:      loadgen.Mix{Hot: 0.6, Cold: 0.3, Stream: 0.1},
+		HotCells: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops < 10 {
+		t.Fatalf("load run completed only %d ops", rep.Ops)
+	}
+	if rep.Errors > 0 {
+		t.Errorf("load run: %d of %d ops failed", rep.Errors, rep.Ops)
+	}
+
+	// Let the coordinator's next health poll pick up the workers' final
+	// counters, then check the aggregated fleet status through the client.
+	time.Sleep(500 * time.Millisecond)
+	sc := serveclient.New(co)
+	st, err := sc.ClusterStatusz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WorkersConfigured != 2 || st.WorkersUp != 2 {
+		t.Fatalf("fleet: configured=%d up=%d, want 2/2", st.WorkersConfigured, st.WorkersUp)
+	}
+	if st.Forwards == 0 || st.Requests == 0 {
+		t.Errorf("coordinator forwarded nothing: requests=%d forwards=%d", st.Requests, st.Forwards)
+	}
+	if st.StreamEvents == 0 {
+		t.Error("stream proxy carried no events")
+	}
+	if st.Aggregate.JobsDone == 0 {
+		t.Error("fleet aggregate reports zero finished jobs")
+	}
+	if len(st.WorkerList) != 2 {
+		t.Fatalf("worker list has %d entries", len(st.WorkerList))
+	}
+	for _, wk := range st.WorkerList {
+		if wk.StatusZ == nil {
+			t.Fatalf("worker %s has no polled statusz", wk.Addr)
+		}
+		if wk.StatusZ.Requests == 0 {
+			t.Errorf("worker %s received no traffic — keyspace not partitioned", wk.Addr)
+		}
+	}
+
+	// The coordinator's metrics exposition passes the promtool-style lint
+	// and carries the cluster families.
+	met, err := sc.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serve.LintMetrics(strings.NewReader(string(met))); err != nil {
+		t.Errorf("coordinator metrics lint: %v", err)
+	}
+	for _, want := range []string{
+		"latchcoord_forwards_total",
+		"latchcoord_worker_up",
+		"latchcoord_fleet_jobs_done_total",
+		"latchcoord_request_seconds_bucket",
+	} {
+		if !strings.Contains(string(met), want) {
+			t.Errorf("coordinator metrics missing %q", want)
+		}
+	}
+
+	// The deprecated unprefixed alias answers a deprecation-flagged 308.
+	noFollow := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := noFollow.Get(co + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPermanentRedirect || resp.Header.Get("Deprecation") != "true" {
+		t.Errorf("deprecated alias: status=%d deprecation=%q", resp.StatusCode, resp.Header.Get("Deprecation"))
+	}
+
+	// SIGTERM drains coordinator and workers; every daemon exits cleanly.
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for name, done := range map[string]chan error{"worker1": done1, "worker2": done2, "coordinator": done3} {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("%s exit after SIGTERM: %v", name, err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatalf("%s did not drain after SIGTERM", name)
+		}
+	}
+}

@@ -1,16 +1,24 @@
 // Command latchchard serves interdependent setup/hold characterization over
-// HTTP/JSON: a long-running daemon wrapping latchchar.Engine with request
-// coalescing, a result cache, a bounded job queue with backpressure, and
-// graceful drain on SIGTERM/SIGINT.
+// HTTP/JSON. It runs in one of two modes:
+//
+//   - serve (default): a single-node daemon wrapping latchchar.Engine with
+//     request coalescing, a result cache, a bounded job queue with
+//     backpressure, and graceful drain on SIGTERM/SIGINT.
+//   - coordinator: a cluster front end that consistent-hashes the
+//     characterization keyspace across worker daemons, forwards jobs with
+//     bounded in-flight limits and retry-with-backoff, proxies NDJSON event
+//     streams, and aggregates fleet health and metrics.
 //
 // Usage:
 //
 //	latchchard -addr :8080
 //	latchchard -addr 127.0.0.1:0 -addrfile /tmp/latchchard.addr
+//	latchchard -mode coordinator -workers host1:8080,host2:8080 -addr :8079
 //
-// Endpoints: POST /v1/characterize, POST /v1/batch, GET /v1/jobs/{id},
-// GET /v1/jobs/{id}/events (NDJSON), /healthz, /metrics, /statusz,
-// /debug/pprof.
+// Endpoints (both modes): POST /v1/characterize, POST /v1/batch,
+// GET /v1/jobs/{id}, GET /v1/jobs/{id}/events (NDJSON), GET /v1/healthz,
+// GET /v1/metrics, GET /v1/statusz, /debug/pprof. The unprefixed /healthz,
+// /metrics and /statusz aliases answer 308 redirects for one release.
 package main
 
 import (
@@ -23,11 +31,14 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"latchchar"
 	"latchchar/internal/cli"
 	"latchchar/internal/serve"
+	"latchchar/internal/serve/cluster"
 )
 
 func main() {
@@ -41,12 +52,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("latchchard", flag.ContinueOnError)
 	var (
-		addr         = fs.String("addr", ":8080", "listen address (host:port, port 0 picks a free one)")
-		addrFile     = fs.String("addrfile", "", "write the bound address to this file once listening (for scripts and tests)")
+		mode     = fs.String("mode", "serve", "serve (single-node daemon) or coordinator (cluster front end)")
+		addr     = fs.String("addr", ":8080", "listen address (host:port, port 0 picks a free one)")
+		addrFile = fs.String("addrfile", "", "write the bound address to this file once listening (for scripts and tests)")
+		// -workers is mode-dependent: a job-slot count in serve mode, a
+		// comma-separated worker address list in coordinator mode.
+		workers      = fs.String("workers", "", "serve: concurrently running jobs (default: engine parallelism); coordinator: comma-separated worker addresses")
 		parallelism  = fs.Int("parallelism", 0, "engine worker-pool size (0 = GOMAXPROCS)")
 		cacheSize    = fs.Int("cache", 0, "calibration LRU capacity in entries (0 = default 64, negative disables)")
 		queueDepth   = fs.Int("queue", 64, "job queue depth; a full queue answers 429")
-		workers      = fs.Int("workers", 0, "concurrently running jobs (0 = engine parallelism)")
 		jobTimeout   = fs.Duration("job-timeout", 10*time.Minute, "server-side per-job deadline (negative disables)")
 		resultCache  = fs.Int("result-cache", 128, "result cache capacity in entries (negative disables)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful drain budget after SIGTERM before in-flight jobs are canceled")
@@ -54,6 +68,12 @@ func run(args []string) error {
 		dumpDir      = fs.String("dump-dir", "", "write flight-recorder post-mortem dumps (JSONL) for failed/timed-out/canceled jobs into this directory")
 		recorderSize = fs.Int("recorder", 0, "flight-recorder ring capacity in events per job (0 = default 4096, negative disables)")
 		rtSample     = fs.Duration("runtime-sample", 10*time.Second, "runtime self-telemetry sampling interval (negative disables)")
+		mockJob      = fs.Duration("mock-job", 0, "serve jobs with a synthetic fixed service time instead of the engine (load testing only)")
+
+		healthInterval  = fs.Duration("health-interval", 2*time.Second, "coordinator: worker statusz poll cadence")
+		forwardInflight = fs.Int("forward-inflight", 32, "coordinator: max concurrently forwarded requests per worker")
+		forwardRetries  = fs.Int("forward-retries", 3, "coordinator: distinct workers tried per forward")
+		retryBackoff    = fs.Duration("retry-backoff", 100*time.Millisecond, "coordinator: base backoff before a forward retry hop (doubles per attempt)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,10 +84,55 @@ func run(args []string) error {
 		return err
 	}
 
+	switch *mode {
+	case "serve":
+		return runServe(serveOpts{
+			addr: *addr, addrFile: *addrFile, workers: *workers,
+			parallelism: *parallelism, cacheSize: *cacheSize, queueDepth: *queueDepth,
+			jobTimeout: *jobTimeout, resultCache: *resultCache, drainTimeout: *drainTimeout,
+			dumpDir: *dumpDir, recorderSize: *recorderSize, rtSample: *rtSample,
+			mockJob: *mockJob, logger: logger,
+		})
+	case "coordinator":
+		return runCoordinator(coordinatorOpts{
+			addr: *addr, addrFile: *addrFile, workers: *workers,
+			healthInterval: *healthInterval, forwardInflight: *forwardInflight,
+			forwardRetries: *forwardRetries, retryBackoff: *retryBackoff,
+			drainTimeout: *drainTimeout, logger: logger,
+		})
+	default:
+		return fmt.Errorf("-mode: unknown mode %q (have serve, coordinator)", *mode)
+	}
+}
+
+type serveOpts struct {
+	addr, addrFile, workers string
+	parallelism             int
+	cacheSize               int
+	queueDepth              int
+	jobTimeout              time.Duration
+	resultCache             int
+	drainTimeout            time.Duration
+	dumpDir                 string
+	recorderSize            int
+	rtSample                time.Duration
+	mockJob                 time.Duration
+	logger                  *slog.Logger
+}
+
+func runServe(o serveOpts) error {
+	jobSlots := 0
+	if o.workers != "" {
+		n, err := strconv.Atoi(o.workers)
+		if err != nil {
+			return fmt.Errorf("-workers: in serve mode -workers is a job-slot count, got %q", o.workers)
+		}
+		jobSlots = n
+	}
 	eng, err := latchchar.NewEngine(latchchar.EngineOptions{
-		Parallelism: *parallelism,
-		CacheSize:   *cacheSize,
-		Logger:      logger,
+		Parallelism: o.parallelism,
+		CacheSize:   o.cacheSize,
+		Logger:      o.logger,
 	})
 	if err != nil {
 		return err
@@ -75,40 +140,83 @@ func run(args []string) error {
 	defer eng.Close()
 	srv, err := serve.New(serve.Config{
 		Engine:                eng,
-		QueueDepth:            *queueDepth,
-		Workers:               *workers,
-		JobTimeout:            *jobTimeout,
-		ResultCacheSize:       *resultCache,
-		Logger:                logger,
-		DumpDir:               *dumpDir,
-		FlightRecorderSize:    *recorderSize,
-		RuntimeSampleInterval: *rtSample,
+		QueueDepth:            o.queueDepth,
+		Workers:               jobSlots,
+		JobTimeout:            o.jobTimeout,
+		ResultCacheSize:       o.resultCache,
+		Logger:                o.logger,
+		DumpDir:               o.dumpDir,
+		FlightRecorderSize:    o.recorderSize,
+		RuntimeSampleInterval: o.rtSample,
+		MockJobTime:           o.mockJob,
 	})
 	if err != nil {
 		return err
 	}
+	banner := fmt.Sprintf("latchchard: listening on %%s (parallelism %d, queue %d)\n",
+		eng.Parallelism(), o.queueDepth)
+	return serveLoop(o.addr, o.addrFile, banner, o.drainTimeout, o.logger, srv, srv.Drain)
+}
 
-	ln, err := net.Listen("tcp", *addr)
+type coordinatorOpts struct {
+	addr, addrFile, workers string
+	healthInterval          time.Duration
+	forwardInflight         int
+	forwardRetries          int
+	retryBackoff            time.Duration
+	drainTimeout            time.Duration
+	logger                  *slog.Logger
+}
+
+func runCoordinator(o coordinatorOpts) error {
+	var addrs []string
+	for _, a := range strings.Split(o.workers, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return fmt.Errorf("-workers: coordinator mode needs a comma-separated worker address list")
+	}
+	co, err := cluster.New(cluster.Config{
+		Workers:        addrs,
+		HealthInterval: o.healthInterval,
+		MaxInFlight:    o.forwardInflight,
+		ForwardRetries: o.forwardRetries,
+		RetryBackoff:   o.retryBackoff,
+		Logger:         o.logger,
+	})
 	if err != nil {
 		return err
 	}
-	if *addrFile != "" {
-		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+	banner := fmt.Sprintf("latchchard: coordinating %d workers on %%s\n", len(addrs))
+	return serveLoop(o.addr, o.addrFile, banner, o.drainTimeout, o.logger, co, co.Drain)
+}
+
+// serveLoop runs either mode's handler on addr until SIGTERM/SIGINT, then
+// drains within the budget. banner is a Printf format with one %s verb for
+// the bound address.
+func serveLoop(addr, addrFile, banner string, drainTimeout time.Duration,
+	logger *slog.Logger, handler http.Handler, drain func(context.Context) error) error {
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
 			ln.Close()
 			return fmt.Errorf("writing addrfile: %w", err)
 		}
 	}
-	hs := &http.Server{Handler: srv}
+	hs := &http.Server{Handler: handler}
 
 	ctx, stop := cli.SignalContext()
 	defer stop()
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "latchchard: listening on %s (parallelism %d, queue %d)\n",
-		ln.Addr(), eng.Parallelism(), *queueDepth)
-	logger.Info("listening", "addr", ln.Addr().String(),
-		"parallelism", eng.Parallelism(), "queue", *queueDepth,
-		"dump_dir", *dumpDir, "runtime_sample", rtSample.String())
+	fmt.Fprintf(os.Stderr, banner, ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String())
 
 	select {
 	case err := <-serveErr:
@@ -117,12 +225,12 @@ func run(args []string) error {
 	}
 	// Signal received: a second one now kills the process the default way.
 	stop()
-	fmt.Fprintf(os.Stderr, "latchchard: draining (budget %s)\n", *drainTimeout)
+	fmt.Fprintf(os.Stderr, "latchchard: draining (budget %s)\n", drainTimeout)
 	logger.Info("draining", "budget", drainTimeout.String())
 
-	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
-	drainErr := srv.Drain(dctx)
+	drainErr := drain(dctx)
 	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "latchchard: shutdown: %v\n", err)
 	}
@@ -131,7 +239,7 @@ func run(args []string) error {
 	}
 	if drainErr != nil {
 		logger.Warn("drain incomplete", "budget", drainTimeout.String(), "error", drainErr)
-		return fmt.Errorf("drain: in-flight jobs canceled after %s: %w", *drainTimeout, drainErr)
+		return fmt.Errorf("drain: in-flight jobs canceled after %s: %w", drainTimeout, drainErr)
 	}
 	fmt.Fprintln(os.Stderr, "latchchard: drained cleanly")
 	logger.Info("drained cleanly")

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -14,6 +15,7 @@ import (
 	"latchchar"
 	"latchchar/internal/obs"
 	"latchchar/internal/serve"
+	"latchchar/serveclient"
 )
 
 // TestServeSmoke is the end-to-end daemon exercise behind `make servesmoke`:
@@ -127,19 +129,11 @@ func TestServeSmoke(t *testing.T) {
 		t.Errorf("metrics lint: %v", err)
 	}
 
-	// /statusz is well-formed JSON (no unknown fields, sane shape) with
-	// rolling latency quantiles for the routes this test exercised.
-	r, err = http.Get(base + "/statusz")
+	// /v1/statusz decodes into the public wire type via the Go client.
+	sc := serveclient.New(base)
+	st, err := sc.Statusz(context.Background())
 	if err != nil {
-		t.Fatal(err)
-	}
-	var st serve.StatusZ
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	err = dec.Decode(&st)
-	r.Body.Close()
-	if err != nil {
-		t.Fatalf("/statusz not well-formed: %v", err)
+		t.Fatalf("/v1/statusz: %v", err)
 	}
 	if st.JobsDone != 1 || st.Workers <= 0 || st.Runtime == nil {
 		t.Errorf("statusz shape off: jobs_done=%d workers=%d runtime=%v",

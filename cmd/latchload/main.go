@@ -1,0 +1,102 @@
+// Command latchload replays a synthetic characterization workload against a
+// latchchard daemon or cluster coordinator and prints throughput and latency
+// percentiles. It speaks the public v1 API through serveclient — the same
+// door every real client uses.
+//
+// Usage:
+//
+//	latchload -target http://127.0.0.1:8080 -duration 5s -clients 8
+//	latchload -target http://coord:8079 -mix hot=0.7,cold=0.2,batch=0.05,stream=0.05 \
+//	    -label hot-mix -workers 2 -bench-out BENCH_serve.json
+//
+// With -bench-out, the run's report is upserted into the JSON bench file by
+// (label, workers) so repeated runs at different worker counts build the
+// scaling curve in place.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"latchchar/internal/cli"
+	"latchchar/internal/loadgen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprint(os.Stderr, "latchload: ")
+		cli.RenderError(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("latchload", flag.ContinueOnError)
+	var (
+		target    = fs.String("target", "", "base URL of the daemon or coordinator (required)")
+		duration  = fs.Duration("duration", 5*time.Second, "load duration")
+		clients   = fs.Int("clients", 8, "concurrent closed-loop clients")
+		mixSpec   = fs.String("mix", "hot=1", "operation mix, e.g. hot=0.7,cold=0.2,batch=0.05,stream=0.05")
+		hotCells  = fs.Int("hot-cells", 4, "distinct hot request shapes")
+		batchSize = fs.Int("batch-size", 4, "jobs per batch operation")
+		seed      = fs.Int64("seed", 1, "op-sequence seed")
+		hotFresh  = fs.Bool("hot-no-cache", false, "set no_cache on hot requests (bench mode: pay service time per op)")
+		label     = fs.String("label", "", "bench label for -bench-out (e.g. hot-mix)")
+		workers   = fs.Int("workers", 0, "worker count behind the target, recorded in the bench entry")
+		benchOut  = fs.String("bench-out", "", "upsert the report into this BENCH_serve.json file")
+		benchNote = fs.String("bench-note", "", "methodology note stored in the bench file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *target == "" {
+		return fmt.Errorf("-target is required")
+	}
+	mix, err := loadgen.ParseMix(*mixSpec)
+	if err != nil {
+		return err
+	}
+
+	rep, err := loadgen.Run(context.Background(), loadgen.Options{
+		BaseURL:    *target,
+		Clients:    *clients,
+		Duration:   *duration,
+		Mix:        mix,
+		HotCells:   *hotCells,
+		BatchSize:  *batchSize,
+		Seed:       *seed,
+		HotNoCache: *hotFresh,
+	})
+	if err != nil {
+		return err
+	}
+	rep.Label = *label
+	rep.Workers = *workers
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	if rep.Ops == 0 {
+		return fmt.Errorf("no operation completed against %s", *target)
+	}
+	if rep.Errors > rep.Ops/2 {
+		return fmt.Errorf("%d of %d operations failed", rep.Errors, rep.Ops)
+	}
+
+	if *benchOut != "" {
+		if *label == "" {
+			return fmt.Errorf("-bench-out requires -label")
+		}
+		if err := loadgen.MergeBenchFile(*benchOut, *benchNote, []loadgen.Report{rep}); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "latchload: merged %s workers=%d into %s\n", *label, *workers, *benchOut)
+	}
+	return nil
+}

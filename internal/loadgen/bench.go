@@ -1,0 +1,60 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BenchFile is the schema of BENCH_serve.json: serving-layer throughput and
+// latency-percentile curves vs worker count, written by cmd/latchload
+// -bench-out and consumed by humans and CI trend checks.
+type BenchFile struct {
+	// Note documents the methodology (mock service time, host shape) so a
+	// future reader doesn't mistake serving-layer scaling for solver speed.
+	Note    string   `json:"note,omitempty"`
+	Results []Report `json:"results"`
+}
+
+// MergeBenchFile loads path (if it exists), upserts reports by
+// (label, workers), sorts, and writes the file back atomically.
+func MergeBenchFile(path, note string, reports []Report) error {
+	var bf BenchFile
+	if b, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(b, &bf); err != nil {
+			return fmt.Errorf("loadgen: existing %s is not a bench file: %w", path, err)
+		}
+	}
+	if note != "" {
+		bf.Note = note
+	}
+	for _, r := range reports {
+		replaced := false
+		for i := range bf.Results {
+			if bf.Results[i].Label == r.Label && bf.Results[i].Workers == r.Workers {
+				bf.Results[i] = r
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			bf.Results = append(bf.Results, r)
+		}
+	}
+	sort.Slice(bf.Results, func(i, j int) bool {
+		if bf.Results[i].Label != bf.Results[j].Label {
+			return bf.Results[i].Label < bf.Results[j].Label
+		}
+		return bf.Results[i].Workers < bf.Results[j].Workers
+	})
+	b, err := json.MarshalIndent(&bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

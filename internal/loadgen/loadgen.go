@@ -1,0 +1,318 @@
+// Package loadgen drives synthetic load against a latchchard daemon or
+// cluster coordinator through the public serveclient API and reports
+// throughput and latency quantiles. It replays a configurable mix of
+// realistic request shapes:
+//
+//   - hot: repeated characterizations of a small set of catalog cells —
+//     exercises the result cache and cross-node coalescing.
+//   - cold: inline-netlist characterizations with a unique deck per request
+//     — every one is a fresh job, exercising queueing and forwarding.
+//   - batch: multi-job batch submissions mixing hot cells.
+//   - stream: submit a job and consume its NDJSON event stream to the end —
+//     exercises the event fan-out and the coordinator's stream proxy.
+//
+// cmd/latchload is the CLI wrapper; the cluster smoke test drives it
+// in-process.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"latchchar/serveclient"
+)
+
+// Mix is the fraction of each operation type; fractions are normalized, so
+// {Hot: 3, Cold: 1} means 75% hot.
+type Mix struct {
+	Hot    float64 `json:"hot"`
+	Cold   float64 `json:"cold"`
+	Batch  float64 `json:"batch"`
+	Stream float64 `json:"stream"`
+}
+
+// ParseMix parses "hot=0.8,cold=0.1,batch=0.05,stream=0.05". Omitted kinds
+// are zero; an empty string is the default hot-only mix.
+func ParseMix(s string) (Mix, error) {
+	if strings.TrimSpace(s) == "" {
+		return Mix{Hot: 1}, nil
+	}
+	var m Mix
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return Mix{}, fmt.Errorf("loadgen: bad mix term %q (want kind=fraction)", part)
+		}
+		var f float64
+		if _, err := fmt.Sscanf(kv[1], "%g", &f); err != nil || f < 0 {
+			return Mix{}, fmt.Errorf("loadgen: bad mix fraction %q", kv[1])
+		}
+		switch kv[0] {
+		case "hot":
+			m.Hot = f
+		case "cold":
+			m.Cold = f
+		case "batch":
+			m.Batch = f
+		case "stream":
+			m.Stream = f
+		default:
+			return Mix{}, fmt.Errorf("loadgen: unknown mix kind %q (have hot, cold, batch, stream)", kv[0])
+		}
+	}
+	if m.Hot+m.Cold+m.Batch+m.Stream <= 0 {
+		return Mix{}, fmt.Errorf("loadgen: mix fractions sum to zero")
+	}
+	return m, nil
+}
+
+// Options configures one load run.
+type Options struct {
+	// BaseURL is the daemon or coordinator to hit (required).
+	BaseURL string
+	// Clients is the number of concurrent closed-loop clients (default 8).
+	Clients int
+	// Duration is how long to generate load (default 5s).
+	Duration time.Duration
+	// Mix selects the operation blend (default hot-only).
+	Mix Mix
+	// HotCells is the number of distinct hot request shapes (default 4):
+	// small enough to keep the hot set cached, large enough to spread over
+	// multiple ring owners.
+	HotCells int
+	// BatchSize is the jobs per batch operation (default 4).
+	BatchSize int
+	// Seed makes the op sequence reproducible (default 1).
+	Seed int64
+	// HotNoCache sets no_cache on hot requests: each op pays real service
+	// time on its ring owner (still coalescing with concurrent duplicates)
+	// instead of returning from the result cache. Benchmarks use this so
+	// the throughput-vs-workers curve measures worker capacity rather than
+	// cache-hit proxying.
+	HotNoCache bool
+	// Client overrides the serveclient constructor (tests).
+	Client *serveclient.Client
+}
+
+// Validate rejects nonsensical knob values; zero values mean "use the
+// default" and pass.
+func (o *Options) Validate() error {
+	if o.Clients < 0 {
+		return fmt.Errorf("loadgen: Clients must be >= 0 (got %d)", o.Clients)
+	}
+	if o.HotCells < 0 {
+		return fmt.Errorf("loadgen: HotCells must be >= 0 (got %d)", o.HotCells)
+	}
+	if o.BatchSize < 0 {
+		return fmt.Errorf("loadgen: BatchSize must be >= 0 (got %d)", o.BatchSize)
+	}
+	if o.Seed < 0 {
+		return fmt.Errorf("loadgen: Seed must be >= 0 (got %d)", o.Seed)
+	}
+	return nil
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	Label      string  `json:"label"`
+	Workers    int     `json:"workers"`
+	Clients    int     `json:"clients"`
+	DurationS  float64 `json:"duration_s"`
+	Ops        int     `json:"ops"`
+	Errors     int     `json:"errors"`
+	Throughput float64 `json:"throughput_ops_per_s"`
+	P50MS      float64 `json:"p50_ms"`
+	P95MS      float64 `json:"p95_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	MaxMS      float64 `json:"max_ms"`
+	// StreamEvents counts NDJSON events consumed by stream ops.
+	StreamEvents int `json:"stream_events,omitempty"`
+}
+
+// Run generates load until Options.Duration elapses or ctx is canceled,
+// whichever is first, and reports aggregate throughput and latency.
+func Run(ctx context.Context, o Options) (Report, error) {
+	if o.BaseURL == "" && o.Client == nil {
+		return Report{}, fmt.Errorf("loadgen: BaseURL is required")
+	}
+	if err := o.Validate(); err != nil {
+		return Report{}, err
+	}
+	if o.Clients <= 0 {
+		o.Clients = 8
+	}
+	if o.Duration <= 0 {
+		o.Duration = 5 * time.Second
+	}
+	if o.Mix.Hot+o.Mix.Cold+o.Mix.Batch+o.Mix.Stream <= 0 {
+		o.Mix = Mix{Hot: 1}
+	}
+	if o.HotCells <= 0 {
+		o.HotCells = 4
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	client := o.Client
+	if client == nil {
+		client = serveclient.New(o.BaseURL)
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, o.Duration)
+	defer cancel()
+
+	type clientStats struct {
+		lats   []time.Duration
+		errs   int
+		events int
+	}
+	stats := make([]clientStats, o.Clients)
+	var coldSeq struct {
+		sync.Mutex
+		n int
+	}
+	nextCold := func() int {
+		coldSeq.Lock()
+		defer coldSeq.Unlock()
+		coldSeq.n++
+		return coldSeq.n
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < o.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.Seed + int64(i)))
+			st := &stats[i]
+			for ctx.Err() == nil {
+				opStart := time.Now()
+				events, err := runOp(ctx, client, o, rng, nextCold)
+				if ctx.Err() != nil && err != nil {
+					// The deadline tore down an in-flight op; don't count a
+					// truncated sample either way.
+					return
+				}
+				st.lats = append(st.lats, time.Since(opStart))
+				st.events += events
+				if err != nil {
+					st.errs++
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	rep := Report{Clients: o.Clients, DurationS: elapsed.Seconds()}
+	for _, st := range stats {
+		all = append(all, st.lats...)
+		rep.Errors += st.errs
+		rep.StreamEvents += st.events
+	}
+	rep.Ops = len(all)
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Ops) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		q := func(p float64) float64 {
+			idx := int(p * float64(len(all)-1))
+			return float64(all[idx]) / float64(time.Millisecond)
+		}
+		rep.P50MS, rep.P95MS, rep.P99MS = q(0.50), q(0.95), q(0.99)
+		rep.MaxMS = float64(all[len(all)-1]) / float64(time.Millisecond)
+	}
+	return rep, nil
+}
+
+// runOp executes one operation drawn from the mix, returning the number of
+// stream events consumed (stream ops only).
+func runOp(ctx context.Context, client *serveclient.Client, o Options, rng *rand.Rand, nextCold func() int) (int, error) {
+	total := o.Mix.Hot + o.Mix.Cold + o.Mix.Batch + o.Mix.Stream
+	r := rng.Float64() * total
+	switch {
+	case r < o.Mix.Hot:
+		_, err := client.Characterize(ctx, hotRequest(rng.Intn(o.HotCells), o.HotNoCache))
+		return 0, err
+	case r < o.Mix.Hot+o.Mix.Cold:
+		_, err := client.Characterize(ctx, coldRequest(nextCold()))
+		return 0, err
+	case r < o.Mix.Hot+o.Mix.Cold+o.Mix.Batch:
+		req := &serveclient.BatchRequest{Wait: true}
+		for j := 0; j < o.BatchSize; j++ {
+			req.Jobs = append(req.Jobs, serveclient.BatchJobRequest{
+				Name:                fmt.Sprintf("b%d", j),
+				CharacterizeRequest: *hotRequest(rng.Intn(o.HotCells), o.HotNoCache),
+			})
+		}
+		st, err := client.Batch(ctx, req)
+		if err == nil && st.State == serveclient.StateFailed {
+			err = fmt.Errorf("loadgen: batch failed: %s", st.Error)
+		}
+		return 0, err
+	default:
+		return streamOp(ctx, client, o, rng)
+	}
+}
+
+// streamOp submits an async hot job and consumes its event stream to the
+// end.
+func streamOp(ctx context.Context, client *serveclient.Client, o Options, rng *rand.Rand) (int, error) {
+	req := *hotRequest(rng.Intn(o.HotCells), o.HotNoCache)
+	req.Wait = false
+	st, err := client.Characterize(ctx, &req)
+	if err != nil {
+		return 0, err
+	}
+	es, err := client.Stream(ctx, st.ID)
+	if err != nil {
+		return 0, err
+	}
+	defer es.Close()
+	for {
+		if _, ok := es.Next(); !ok {
+			return es.Count(), es.Err()
+		}
+	}
+}
+
+// hotRequest returns one of HotCells stable request shapes: same catalog
+// cell, distinct option sets, so each shape has its own coalescing key and
+// ring owner.
+func hotRequest(i int, noCache bool) *serveclient.CharacterizeRequest {
+	return &serveclient.CharacterizeRequest{
+		Cell:    "tspc",
+		Options: serveclient.OptionsRequest{Points: 3 + i},
+		Wait:    true,
+		NoCache: noCache,
+	}
+}
+
+// coldRequest returns an inline-netlist characterization whose deck is
+// unique per sequence number — a guaranteed cache and coalescing miss.
+func coldRequest(n int) *serveclient.CharacterizeRequest {
+	deck := fmt.Sprintf(`
+.model nch nmos VT0=0.43 KP=115u
+Vc clk 0 CLOCK(0 2.5 10n 1n 0.1n 0.1n)
+Vd d 0 DATA(11.05n 2.5 0 0.1n 0.1n)
+M1 q d 0 0 nch W=1u L=0.25u
+Rload q 0 %dk
+.out q
+`, 100+n)
+	return &serveclient.CharacterizeRequest{
+		Netlist: deck,
+		Options: serveclient.OptionsRequest{Points: 3},
+		Wait:    true,
+	}
+}

@@ -1,0 +1,112 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseMix(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Mix
+		wantErr bool
+	}{
+		{"", Mix{Hot: 1}, false},
+		{"hot=1", Mix{Hot: 1}, false},
+		{"hot=0.7,cold=0.2,batch=0.05,stream=0.05", Mix{Hot: 0.7, Cold: 0.2, Batch: 0.05, Stream: 0.05}, false},
+		{" hot=3 , cold=1 ", Mix{Hot: 3, Cold: 1}, false},
+		{"hot=0,cold=0", Mix{}, true}, // sums to zero
+		{"warm=0.5", Mix{}, true},     // unknown kind
+		{"hot", Mix{}, true},          // no '='
+		{"hot=-1", Mix{}, true},       // negative fraction
+		{"hot=banana", Mix{}, true},   // not a number
+	}
+	for _, tc := range cases {
+		got, err := ParseMix(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseMix(%q): want error, got %+v", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseMix(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseMix(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	good := Options{BaseURL: "http://x", Clients: 4, HotCells: 2, BatchSize: 1, Seed: 7}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+	for name, o := range map[string]Options{
+		"clients":   {Clients: -1},
+		"hotcells":  {HotCells: -1},
+		"batchsize": {BatchSize: -1},
+		"seed":      {Seed: -1},
+	} {
+		if err := o.Validate(); err == nil {
+			t.Errorf("%s: negative value accepted", name)
+		}
+	}
+}
+
+func TestMergeBenchFileUpsertsAndSorts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+
+	first := []Report{
+		{Label: "hot-mix", Workers: 2, Ops: 100, Throughput: 50},
+		{Label: "hot-mix", Workers: 1, Ops: 60, Throughput: 30},
+	}
+	if err := MergeBenchFile(path, "mock service time", first); err != nil {
+		t.Fatal(err)
+	}
+	// Second run replaces workers=2 and adds workers=4.
+	second := []Report{
+		{Label: "hot-mix", Workers: 2, Ops: 200, Throughput: 55},
+		{Label: "hot-mix", Workers: 4, Ops: 300, Throughput: 80},
+	}
+	if err := MergeBenchFile(path, "", second); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bf BenchFile
+	if err := json.Unmarshal(b, &bf); err != nil {
+		t.Fatal(err)
+	}
+	if bf.Note != "mock service time" {
+		t.Errorf("note lost on merge: %q", bf.Note)
+	}
+	if len(bf.Results) != 3 {
+		t.Fatalf("want 3 results, got %d: %+v", len(bf.Results), bf.Results)
+	}
+	for i, wantWorkers := range []int{1, 2, 4} {
+		if bf.Results[i].Workers != wantWorkers {
+			t.Errorf("results[%d].workers = %d, want %d (sorted by worker count)", i, bf.Results[i].Workers, wantWorkers)
+		}
+	}
+	if bf.Results[1].Ops != 200 {
+		t.Errorf("workers=2 entry not replaced on upsert: ops=%d", bf.Results[1].Ops)
+	}
+}
+
+func TestMergeBenchFileRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeBenchFile(path, "", []Report{{Label: "x"}}); err == nil {
+		t.Fatal("corrupt bench file silently overwritten")
+	}
+}

@@ -62,10 +62,10 @@ type Event struct {
 	Corr string `json:"corr,omitempty"`
 
 	// runtime payload (KindRuntime).
-	Goroutines   int    `json:"goroutines,omitempty"`
-	HeapBytes    uint64 `json:"heap_bytes,omitempty"`
-	GCPauseNs    int64  `json:"gc_pause_ns,omitempty"`
-	SchedP99Ns   int64  `json:"sched_p99_ns,omitempty"`
+	Goroutines int    `json:"goroutines,omitempty"`
+	HeapBytes  uint64 `json:"heap_bytes,omitempty"`
+	GCPauseNs  int64  `json:"gc_pause_ns,omitempty"`
+	SchedP99Ns int64  `json:"sched_p99_ns,omitempty"`
 
 	// dump_meta payload (KindDumpMeta).
 	Job     string `json:"job,omitempty"`

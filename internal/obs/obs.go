@@ -74,6 +74,14 @@ const (
 	CtrBlockPeelOffs     = "block_peel_offs"
 	CtrBlockSharedSteps  = "block_shared_steps"
 	CtrBlockDonorReplays = "block_donor_replays"
+	// Cluster coordinator (internal/serve/cluster). Workers never emit
+	// these; the coordinator folds them into its own exposition under the
+	// same vocabulary so fleet dashboards sum one stable counter set.
+	CtrClusterForwards        = "cluster_forwards"
+	CtrClusterForwardRetries  = "cluster_forward_retries"
+	CtrClusterForwardFailures = "cluster_forward_failures"
+	CtrClusterRehashes        = "cluster_rehashes"
+	CtrClusterStreamEvents    = "cluster_stream_events"
 )
 
 // Histogram names.

@@ -1,0 +1,428 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"latchchar"
+	"latchchar/internal/serve"
+	"latchchar/serveclient"
+)
+
+// The ring must be a pure function of the membership set: same members in
+// any order — or across a coordinator restart — place every key on the same
+// worker.
+func TestRingDeterministicAcrossRestarts(t *testing.T) {
+	members := []string{"host-c:1", "host-a:1", "host-b:1", "host-d:1"}
+	r1 := buildRing(members, 64)
+	shuffled := append([]string(nil), members...)
+	rand.New(rand.NewSource(7)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	r2 := buildRing(shuffled, 64) // "restarted" coordinator, different input order
+
+	hits := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("v1:%064d", i)
+		a, b := r1.lookup(key), r2.lookup(key)
+		if a != b {
+			t.Fatalf("key %d: %q vs %q after restart", i, a, b)
+		}
+		hits[a]++
+	}
+	// Sanity: the keyspace actually spreads over all members.
+	for _, m := range r1.members() {
+		if hits[m] == 0 {
+			t.Errorf("member %s owns no keys", m)
+		}
+	}
+	// At the default replica count the two-member keyspace split must be
+	// close to even: throughput of a saturated fleet is capacity/max_share,
+	// so a 60/40 split (routine at 64 vnodes) caps a two-worker cluster at
+	// 1.7x a single node. Checked over several address pairs because each
+	// pair draws a fresh set of vnode positions.
+	for pair := 0; pair < 5; pair++ {
+		two := buildRing([]string{
+			fmt.Sprintf("10.0.%d.1:8080", pair),
+			fmt.Sprintf("10.0.%d.2:8080", pair),
+		}, 0)
+		share := map[string]int{}
+		const keys = 4000
+		for i := 0; i < keys; i++ {
+			share[two.lookup(fmt.Sprintf("v1:%d:%064d", pair, i))]++
+		}
+		for m, n := range share {
+			if f := float64(n) / keys; f < 0.44 || f > 0.56 {
+				t.Errorf("pair %d: member %s owns %.1f%% of the keyspace, want 44-56%%", pair, m, 100*f)
+			}
+		}
+	}
+
+	// The retry sequence starts at the owner and visits every member once.
+	seq := r1.sequence("v1:some-key")
+	if len(seq) != len(members) || seq[0] != r1.lookup("v1:some-key") {
+		t.Fatalf("sequence = %v", seq)
+	}
+	seen := map[string]bool{}
+	for _, a := range seq {
+		if seen[a] {
+			t.Fatalf("sequence revisits %s", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	empty := buildRing(nil, 64)
+	if empty.lookup("k") != "" || empty.sequence("k") != nil || empty.slots() != 0 {
+		t.Error("empty ring must answer empty")
+	}
+	one := buildRing([]string{"only:1"}, 8)
+	if one.lookup("anything") != "only:1" {
+		t.Error("single-member ring must own everything")
+	}
+	if !one.sameMembers([]string{"only:1"}) || one.sameMembers(nil) {
+		t.Error("sameMembers broken")
+	}
+}
+
+// testWorker boots a real single-node daemon in mock-job mode.
+func testWorker(t *testing.T, mock time.Duration) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	eng, err := latchchar.NewEngine(latchchar.EngineOptions{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	srv, err := serve.New(serve.Config{Engine: eng, MockJobTime: mock, Logger: discardLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// newTestCoordinator wires a coordinator over the given worker URLs with a
+// fast health loop.
+func newTestCoordinator(t *testing.T, cfg Config) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	if cfg.HealthInterval == 0 {
+		cfg.HealthInterval = 50 * time.Millisecond
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 10 * time.Millisecond
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = discardLogger()
+	}
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(co.Close)
+	ts := httptest.NewServer(co)
+	t.Cleanup(ts.Close)
+	return co, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func characterizeReq(points int) serveclient.CharacterizeRequest {
+	return serveclient.CharacterizeRequest{
+		Cell:    "tspc",
+		Options: serveclient.OptionsRequest{Points: points},
+	}
+}
+
+// Draining a worker must re-hash its keyspace onto the survivors without
+// dropping a single in-flight job: jobs already forwarded keep running on
+// the draining worker and stay pollable through the coordinator, while new
+// work lands on the remaining worker.
+func TestRehashOnWorkerDrainZeroDroppedJobs(t *testing.T) {
+	w1, ts1 := testWorker(t, 400*time.Millisecond)
+	_, ts2 := testWorker(t, 400*time.Millisecond)
+	co, cots := newTestCoordinator(t, Config{Workers: []string{ts1.URL, ts2.URL}})
+
+	// Submit enough distinct async jobs that both workers hold work.
+	var ids []string
+	for i := 0; i < 8; i++ {
+		resp, body := postJSON(t, cots.URL+"/v1/characterize", characterizeReq(3+i))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("job %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var st serveclient.JobStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+
+	// Drain worker 1 while its jobs are in flight.
+	drained := make(chan error, 1)
+	go func() { drained <- w1.Drain(context.Background()) }()
+	for !w1.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+
+	// The health loop must notice and rebuild the ring without worker 1.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		co.mu.Lock()
+		members := co.ring.members()
+		co.mu.Unlock()
+		if len(members) == 1 && members[0] == ts2.URL {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ring never re-hashed, members %v", members)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if co.met.rehashes.Load() == 0 {
+		t.Error("rehash counter did not advance")
+	}
+
+	// New work must succeed — it can only land on worker 2 now (a forward
+	// hitting the draining worker retries onto the survivor).
+	resp, body := postJSON(t, cots.URL+"/v1/characterize", characterizeReq(99))
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-drain job: status %d: %s", resp.StatusCode, body)
+	}
+	var newJob serveclient.JobStatus
+	if err := json.Unmarshal(body, &newJob); err != nil {
+		t.Fatal(err)
+	}
+	ids = append(ids, newJob.ID)
+
+	if err := <-drained; err != nil {
+		t.Fatalf("worker drain: %v", err)
+	}
+
+	// ZERO dropped jobs: every job submitted before and during the drain
+	// must reach done and stay pollable through the coordinator.
+	sc := serveclient.New(cots.URL)
+	for _, id := range ids {
+		st, err := sc.Poll(context.Background(), id, 20*time.Millisecond)
+		if err != nil {
+			t.Fatalf("job %s lost across the drain: %v", id, err)
+		}
+		if st.State != serveclient.StateDone {
+			t.Errorf("job %s: state %q (error %q)", id, st.State, st.Error)
+		}
+	}
+}
+
+// A dead worker costs one retry hop, not a failed request: the coordinator
+// walks the ring, demotes the corpse, and later requests skip it entirely.
+func TestForwardRetriesPastDeadWorker(t *testing.T) {
+	_, ts2 := testWorker(t, time.Millisecond)
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close() // nothing listens here anymore
+
+	co, cots := newTestCoordinator(t, Config{
+		Workers:        []string{deadURL, ts2.URL},
+		HealthInterval: time.Hour, // force discovery through the forward path
+	})
+
+	// Some keys will hash to the dead worker; every request must still land.
+	for i := 0; i < 8; i++ {
+		resp, body := postJSON(t, cots.URL+"/v1/characterize", serveclient.CharacterizeRequest{
+			Cell:    "tspc",
+			Options: serveclient.OptionsRequest{Points: 3 + i},
+			Wait:    true,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("job %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	if w := co.workerByAddr(deadURL); w.currentState() != serveclient.WorkerDown {
+		t.Errorf("dead worker state %q, want down", w.currentState())
+	}
+}
+
+// With every worker gone, the coordinator must answer a typed 503
+// upstream_unavailable with a Retry-After hint.
+func TestAllWorkersDownRejects(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close()
+	_, cots := newTestCoordinator(t, Config{Workers: []string{deadURL}, ForwardRetries: 1})
+
+	resp, body := postJSON(t, cots.URL+"/v1/characterize", characterizeReq(3))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("upstream-unavailable 503 without Retry-After")
+	}
+	var env serveclient.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != serveclient.CodeUpstreamUnavailable {
+		t.Errorf("envelope = %s, want code %q", body, serveclient.CodeUpstreamUnavailable)
+	}
+}
+
+// The proxied NDJSON stream must survive a coordinator-side slow reader: a
+// subscriber draining one line at a time still receives the complete event
+// history, and the worker finishes its job unimpeded.
+func TestStreamProxySurvivesSlowReader(t *testing.T) {
+	_, ts1 := testWorker(t, 300*time.Millisecond)
+	_, cots := newTestCoordinator(t, Config{Workers: []string{ts1.URL}})
+
+	resp, body := postJSON(t, cots.URL+"/v1/characterize", characterizeReq(3))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var st serveclient.JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	er, err := http.Get(cots.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer er.Body.Close()
+	if ct := er.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content-type %q", ct)
+	}
+	// Deliberately slow consumer: one event per 25ms, far slower than the
+	// job produces them. Backpressure lands on the proxy pump, never on the
+	// worker's solver.
+	sc := bufio.NewScanner(er.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lines := 0
+	sawRunEnd := false
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var e struct {
+			Kind string `json:"ev"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if e.Kind == "run_end" {
+			sawRunEnd = true
+		}
+		lines++
+		time.Sleep(25 * time.Millisecond)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines < 3 {
+		t.Errorf("slow reader got only %d events", lines)
+	}
+	if !sawRunEnd {
+		t.Error("stream ended without the run_end event")
+	}
+
+	// The job itself finished normally despite the slow subscriber.
+	cl := serveclient.New(cots.URL)
+	fin, err := cl.Poll(context.Background(), st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != serveclient.StateDone {
+		t.Errorf("job state %q after slow-read stream", fin.State)
+	}
+}
+
+// Batches partition across the ring by item key and merge back in request
+// order.
+func TestBatchPartitioning(t *testing.T) {
+	_, ts1 := testWorker(t, 5*time.Millisecond)
+	_, ts2 := testWorker(t, 5*time.Millisecond)
+	_, cots := newTestCoordinator(t, Config{Workers: []string{ts1.URL, ts2.URL}})
+
+	req := serveclient.BatchRequest{Wait: true}
+	for i := 0; i < 8; i++ {
+		req.Jobs = append(req.Jobs, serveclient.BatchJobRequest{
+			Name:                fmt.Sprintf("job%d", i),
+			CharacterizeRequest: characterizeReq(3 + i),
+		})
+	}
+	resp, body := postJSON(t, cots.URL+"/v1/batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var st serveclient.JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != serveclient.StateDone {
+		t.Fatalf("state %q (error %q)", st.State, st.Error)
+	}
+	if len(st.Results) != 8 {
+		t.Fatalf("results = %d, want 8", len(st.Results))
+	}
+	for i, r := range st.Results {
+		if r.Index != i {
+			t.Errorf("result %d has index %d — merge order broken", i, r.Index)
+		}
+		if r.Name != fmt.Sprintf("job%d", i) {
+			t.Errorf("result %d name %q", i, r.Name)
+		}
+		if r.Error != "" || r.Result == nil {
+			t.Errorf("result %d: error %q", i, r.Error)
+		}
+	}
+}
+
+// Config validation must reject nonsense before any goroutine starts.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty worker list accepted")
+	}
+	if _, err := New(Config{Workers: []string{"a:1", "a:1"}}); err == nil {
+		t.Error("duplicate workers accepted")
+	}
+	if _, err := New(Config{Workers: []string{"a:1"}, MaxInFlight: -1}); err == nil {
+		t.Error("negative MaxInFlight accepted")
+	}
+	if _, err := New(Config{Workers: []string{"a:1"}, ForwardRetries: -2}); err == nil {
+		t.Error("negative ForwardRetries accepted")
+	}
+	cfg := Config{Workers: []string{"a:1"}}.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("defaulted config invalid: %v", err)
+	}
+	if !strings.HasPrefix(serveclient.New("a:1").BaseURL(), "http://") {
+		t.Error("bare host:port not normalized to a URL")
+	}
+}

@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"latchchar/serveclient"
+)
+
+// Forwarding: a job's coalescing key picks its owner on the hash ring; on a
+// temporary rejection (429/503) or a transport failure the coordinator walks
+// the ring to the next distinct worker, backing off exponentially, up to
+// ForwardRetries workers. Transport failures demote the worker immediately
+// and rebuild the ring. Non-temporary API errors (bad request, unknown job)
+// pass through untouched — retrying a 400 on another worker only burns
+// capacity on the same answer.
+
+// upstreamError means every eligible worker was tried and none accepted the
+// job. It renders as 503 upstream_unavailable.
+type upstreamError struct {
+	tried int
+	last  error
+}
+
+func (e *upstreamError) Error() string {
+	if e.last == nil {
+		return fmt.Sprintf("no worker accepted the job (%d tried)", e.tried)
+	}
+	return fmt.Sprintf("no worker accepted the job (%d tried): %v", e.tried, e.last)
+}
+
+func (e *upstreamError) Unwrap() error { return e.last }
+
+// forward routes one call along key's ring sequence. It returns the worker
+// address that served the call so the job record can point polls and stream
+// proxies at the right daemon.
+func (co *Coordinator) forward(ctx context.Context, key string,
+	call func(ctx context.Context, w *worker) (*serveclient.JobStatus, error)) (*serveclient.JobStatus, string, error) {
+
+	co.mu.Lock()
+	seq := co.ring.sequence(key)
+	co.mu.Unlock()
+
+	tried := 0
+	var last error
+	for _, addr := range seq {
+		if tried >= co.cfg.ForwardRetries {
+			break
+		}
+		w := co.workerByAddr(addr)
+		if w == nil || w.currentState() == serveclient.WorkerDown {
+			continue
+		}
+		if tried > 0 {
+			co.met.forwardRetries.Add(1)
+			backoff := co.cfg.RetryBackoff << (tried - 1)
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, "", ctx.Err()
+			}
+		}
+		tried++
+		release, err := w.acquire(ctx)
+		if err != nil {
+			return nil, "", err
+		}
+		co.met.forwards.Add(1)
+		st, err := call(ctx, w)
+		release()
+		if err == nil {
+			return st, addr, nil
+		}
+		last = err
+		var apiErr *serveclient.APIError
+		switch {
+		case errors.As(err, &apiErr):
+			if !apiErr.Temporary() {
+				// Deterministic rejection: same outcome everywhere.
+				return nil, "", err
+			}
+			// Backpressure (queue full, draining): the next worker in ring
+			// order may have room.
+		case ctx.Err() != nil:
+			return nil, "", ctx.Err()
+		default:
+			// Transport failure — the worker is unreachable. Demote now so
+			// subsequent requests skip it instead of each paying a timeout.
+			w.markDown(co.cfg.FailureThreshold)
+			co.rebuildRing()
+		}
+	}
+	co.met.forwardFailures.Add(1)
+	return nil, "", &upstreamError{tried: tried, last: last}
+}
+
+// forwardCharacterize routes a single characterization to its key's owner.
+func (co *Coordinator) forwardCharacterize(r *http.Request, req *serveclient.CharacterizeRequest, key string) (*serveclient.JobStatus, string, error) {
+	ctx := co.outgoingCtx(r)
+	return co.forward(ctx, key, func(ctx context.Context, w *worker) (*serveclient.JobStatus, error) {
+		return w.client.Characterize(ctx, req)
+	})
+}
+
+// forwardBatch partitions a batch by each item's coalescing key, forwards
+// one sub-batch per owning worker concurrently, and merges the results back
+// into request order. Items that hash to the same worker stay in one
+// sub-batch so the worker's warm-start ordering still applies within the
+// partition.
+func (co *Coordinator) forwardBatch(r *http.Request, req *serveclient.BatchRequest, keys []string) (*serveclient.JobStatus, []ref, error) {
+	ctx := co.outgoingCtx(r)
+
+	co.mu.Lock()
+	ringSnap := co.ring
+	co.mu.Unlock()
+	if len(ringSnap.members()) == 0 {
+		co.met.forwardFailures.Add(1)
+		return nil, nil, &upstreamError{}
+	}
+
+	// Group original item indices by owning worker, deterministically ordered
+	// by address so refs and merge order are stable.
+	groups := make(map[string][]int)
+	for i, key := range keys {
+		addr := ringSnap.lookup(key)
+		groups[addr] = append(groups[addr], i)
+	}
+	addrs := make([]string, 0, len(groups))
+	for a := range groups {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+
+	type groupResult struct {
+		addr    string
+		indices []int
+		st      *serveclient.JobStatus
+		err     error
+	}
+	results := make([]groupResult, len(addrs))
+	var wg sync.WaitGroup
+	for gi, addr := range addrs {
+		indices := groups[addr]
+		sub := &serveclient.BatchRequest{Wait: req.Wait, Jobs: make([]serveclient.BatchJobRequest, 0, len(indices))}
+		for _, i := range indices {
+			sub.Jobs = append(sub.Jobs, req.Jobs[i])
+		}
+		wg.Add(1)
+		go func(gi int, addr string, indices []int, sub *serveclient.BatchRequest) {
+			defer wg.Done()
+			// Retry within the group's own ring sequence; the group key is
+			// any member's key — they all share the same owner.
+			st, servedBy, err := co.forward(ctx, keys[indices[0]], func(ctx context.Context, w *worker) (*serveclient.JobStatus, error) {
+				return w.client.Batch(ctx, sub)
+			})
+			results[gi] = groupResult{addr: servedBy, indices: indices, st: st, err: err}
+		}(gi, addr, indices, sub)
+	}
+	wg.Wait()
+
+	merged := &serveclient.JobStatus{State: serveclient.StateDone}
+	refs := make([]ref, 0, len(results))
+	allTerminal := true
+	allFailed := true
+	var firstErr error
+	for _, g := range results {
+		if g.err != nil {
+			if firstErr == nil {
+				firstErr = g.err
+			}
+			continue
+		}
+		refs = append(refs, ref{addr: g.addr, remoteID: g.st.ID, indices: g.indices})
+		merged.Coalesced += g.st.Coalesced
+		if !g.st.Terminal() {
+			allTerminal = false
+			continue
+		}
+		if g.st.State != serveclient.StateFailed {
+			allFailed = false
+		}
+		mergeBatchResults(merged, g.st, g.indices)
+	}
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	switch {
+	case !allTerminal:
+		merged.State = serveclient.StateQueued
+		merged.Results = nil
+	case allFailed:
+		merged.State = serveclient.StateFailed
+		if merged.Error == "" {
+			merged.Error = "all batch partitions failed"
+		}
+	}
+	return merged, refs, nil
+}
+
+// mergeBatchResults copies one partition's per-item outcomes into the merged
+// status, translating partition-local indices back to request order.
+func mergeBatchResults(merged, part *serveclient.JobStatus, indices []int) {
+	if part.Error != "" {
+		if merged.Error == "" {
+			merged.Error = part.Error
+		} else {
+			merged.Error += "; " + part.Error
+		}
+	}
+	for _, item := range part.Results {
+		if item.Index >= 0 && item.Index < len(indices) {
+			item.Index = indices[item.Index]
+		}
+		merged.Results = append(merged.Results, item)
+	}
+	sort.Slice(merged.Results, func(i, j int) bool {
+		return merged.Results[i].Index < merged.Results[j].Index
+	})
+}

@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"latchchar/internal/serve"
+	"latchchar/serveclient"
+)
+
+// Worker health tracking. The coordinator polls every worker's /v1/statusz
+// on HealthInterval; a draining or dead worker leaves the ring (its keyspace
+// re-hashes onto the survivors) and rejoins automatically when polls succeed
+// again. Forward failures demote immediately instead of waiting out the poll
+// cadence, so one request pays the discovery cost, not every request for the
+// next interval.
+
+// worker is the coordinator's view of one worker daemon.
+type worker struct {
+	addr   string // as configured; the ring identity
+	client *serveclient.Client
+	sem    chan struct{} // bounded in-flight forwards
+
+	mu         sync.Mutex
+	state      string // serveclient.WorkerUp / WorkerDraining / WorkerDown
+	fails      int    // consecutive poll failures
+	lastPoll   time.Time
+	lastStatus *serveclient.StatusZ
+}
+
+func newWorker(addr string, cfg Config) *worker {
+	opts := []serveclient.Option{}
+	if cfg.HTTPClient != nil {
+		opts = append(opts, serveclient.WithHTTPClient(cfg.HTTPClient))
+	}
+	return &worker{
+		addr:   strings.TrimSpace(addr),
+		client: serveclient.New(strings.TrimSpace(addr), opts...),
+		sem:    make(chan struct{}, cfg.MaxInFlight),
+		// Optimistic until the first poll: jobs can forward immediately
+		// after boot; a genuinely dead worker costs one retry hop.
+		state: serveclient.WorkerUp,
+	}
+}
+
+func (w *worker) currentState() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.state
+}
+
+// acquire takes an in-flight slot, honoring ctx while waiting.
+func (w *worker) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case w.sem <- struct{}{}:
+		return func() { <-w.sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (w *worker) inFlight() int { return len(w.sem) }
+
+// pollOK records a successful statusz poll.
+func (w *worker) pollOK(st *serveclient.StatusZ) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.fails = 0
+	w.lastPoll = time.Now()
+	w.lastStatus = st
+	if st.Draining {
+		w.state = serveclient.WorkerDraining
+	} else {
+		w.state = serveclient.WorkerUp
+	}
+}
+
+// pollFailed records a failed poll; past threshold the worker is down.
+func (w *worker) pollFailed(threshold int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.fails++
+	if w.fails >= threshold {
+		w.state = serveclient.WorkerDown
+	}
+}
+
+// markDown demotes immediately (forward failure: no reason to route more
+// traffic at a socket that just refused one).
+func (w *worker) markDown(threshold int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.fails = threshold
+	w.state = serveclient.WorkerDown
+}
+
+// snapshot renders the worker's health entry for ClusterStatusZ.
+func (w *worker) snapshot(now time.Time) serveclient.WorkerStatusZ {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := serveclient.WorkerStatusZ{
+		Addr:                w.addr,
+		State:               w.state,
+		ConsecutiveFailures: w.fails,
+		InFlight:            w.inFlight(),
+		StatusZ:             w.lastStatus,
+	}
+	if !w.lastPoll.IsZero() {
+		st.LastPollMS = float64(now.Sub(w.lastPoll)) / float64(time.Millisecond)
+	}
+	return st
+}
+
+// healthLoop polls the fleet until Drain closes stop.
+func (co *Coordinator) healthLoop() {
+	defer co.wg.Done()
+	co.pollAll() // first round immediately, not an interval later
+	t := time.NewTicker(co.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			co.pollAll()
+		case <-co.stop:
+			return
+		}
+	}
+}
+
+// pollAll polls every worker concurrently, then reconciles the ring.
+func (co *Coordinator) pollAll() {
+	co.mu.Lock()
+	ws := make([]*worker, 0, len(co.workers))
+	for _, w := range co.workers {
+		ws = append(ws, w)
+	}
+	co.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, w := range ws {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), co.cfg.HealthInterval)
+			defer cancel()
+			st, err := w.client.Statusz(ctx)
+			if err != nil {
+				w.pollFailed(co.cfg.FailureThreshold)
+				return
+			}
+			w.pollOK(st)
+		}(w)
+	}
+	wg.Wait()
+	co.rebuildRing()
+}
+
+// rebuildRing recomputes the ring from the up workers when membership
+// changed, counting a rehash. Draining and down workers leave the ring;
+// their keyspace re-hashes onto the survivors, and in-flight jobs they
+// already own are untouched (workers drain gracefully themselves).
+func (co *Coordinator) rebuildRing() {
+	co.mu.Lock()
+	up := make([]string, 0, len(co.workers))
+	for addr, w := range co.workers {
+		if w.currentState() == serveclient.WorkerUp {
+			up = append(up, addr)
+		}
+	}
+	changed := !co.ring.sameMembers(up)
+	if changed {
+		co.ring = buildRing(up, co.cfg.Replicas)
+	}
+	co.mu.Unlock()
+	if changed {
+		co.met.rehashes.Add(1)
+		co.cfg.Logger.Info("ring rebuilt", "members", len(up))
+	}
+}
+
+// workerByAddr returns the tracked worker, nil for unknown addresses.
+func (co *Coordinator) workerByAddr(addr string) *worker {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.workers[addr]
+}
+
+// outgoingCtx derives the context for worker calls from an incoming
+// request: the caller's cancellation, plus trace/correlation propagation so
+// the worker's logs and obs events join the same trace.
+func (co *Coordinator) outgoingCtx(r *http.Request) context.Context {
+	ctx := r.Context()
+	corr := serve.ReqCorr(r)
+	if corr == "" {
+		return ctx
+	}
+	if tp := serve.OutgoingTraceparent(corr); tp != "" {
+		return serveclient.WithTraceparent(ctx, tp)
+	}
+	return serveclient.WithCorrelationID(ctx, corr)
+}

@@ -1,0 +1,241 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"latchchar/internal/serve"
+	"latchchar/serveclient"
+)
+
+// Forwarded-job records. The coordinator issues its own job IDs ("c%08d")
+// and maps each onto the worker-side job(s) behind it: one ref for a single
+// characterization, one per partition for a batch. Polls and event streams
+// fan back out through the refs.
+
+// ref points at one worker-side job and the original request indices it
+// covers (nil for single jobs).
+type ref struct {
+	addr     string
+	remoteID string
+	indices  []int
+}
+
+// record is one coordinator-issued job.
+type record struct {
+	id   string
+	refs []ref
+
+	mu       sync.Mutex
+	finished bool
+}
+
+func (rec *record) markFinished() {
+	rec.mu.Lock()
+	rec.finished = true
+	rec.mu.Unlock()
+}
+
+func (rec *record) isFinished() bool {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return rec.finished
+}
+
+// newRecord registers a forwarded job under a fresh coordinator ID, evicting
+// the oldest finished records past MaxJobs. Unfinished records are never
+// evicted — a slow poller must not lose the mapping to a still-running job.
+func (co *Coordinator) newRecord(refs ...ref) *record {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.nextID++
+	rec := &record{id: fmt.Sprintf("c%08d", co.nextID), refs: refs}
+	co.jobs[rec.id] = rec
+	co.order = append(co.order, rec.id)
+	for len(co.jobs) > co.cfg.MaxJobs {
+		evicted := false
+		for i, id := range co.order {
+			if old := co.jobs[id]; old != nil && old.isFinished() {
+				delete(co.jobs, id)
+				co.order = append(co.order[:i], co.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break
+		}
+	}
+	return rec
+}
+
+func (co *Coordinator) lookup(id string) *record {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.jobs[id]
+}
+
+// trackedJobs reports the record count for statusz.
+func (co *Coordinator) trackedJobs() int {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return len(co.jobs)
+}
+
+// mergedStatus polls every ref and merges the answers under the
+// coordinator's job ID. An unreachable worker renders its portion failed —
+// the caller can retry the poll; the record keeps the mapping.
+func (co *Coordinator) mergedStatus(ctx context.Context, rec *record) *serveclient.JobStatus {
+	if len(rec.refs) == 1 && rec.refs[0].indices == nil {
+		r := rec.refs[0]
+		st, err := co.refStatus(ctx, r)
+		if err != nil {
+			st = &serveclient.JobStatus{State: serveclient.StateFailed, Error: err.Error()}
+		}
+		st.ID = rec.id
+		return st
+	}
+
+	merged := &serveclient.JobStatus{ID: rec.id, State: serveclient.StateDone}
+	allFailed := len(rec.refs) > 0
+	for _, r := range rec.refs {
+		st, err := co.refStatus(ctx, r)
+		if err != nil {
+			if merged.Error == "" {
+				merged.Error = err.Error()
+			}
+			merged.State = serveclient.StateFailed
+			continue
+		}
+		merged.Coalesced += st.Coalesced
+		if !st.Terminal() {
+			if merged.State != serveclient.StateFailed {
+				merged.State = st.State
+			}
+			allFailed = false
+			continue
+		}
+		if st.State != serveclient.StateFailed {
+			allFailed = false
+		}
+		mergeBatchResults(merged, st, r.indices)
+	}
+	if allFailed {
+		merged.State = serveclient.StateFailed
+		if merged.Error == "" {
+			merged.Error = "all batch partitions failed"
+		}
+	}
+	return merged
+}
+
+func (co *Coordinator) refStatus(ctx context.Context, r ref) (*serveclient.JobStatus, error) {
+	w := co.workerByAddr(r.addr)
+	if w == nil {
+		return nil, fmt.Errorf("worker %s no longer configured", r.addr)
+	}
+	return w.client.Job(ctx, r.remoteID)
+}
+
+// handleJobEvents proxies the NDJSON event streams of every ref behind a
+// coordinator job onto one response. Pumps run concurrently under a shared
+// write lock; a slow coordinator-side reader back-pressures the pumps (the
+// workers' own non-blocking fan-out keeps their solvers unaffected).
+func (co *Coordinator) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	rec := co.lookup(r.PathValue("id"))
+	if rec == nil {
+		serve.WriteError(w, r, http.StatusNotFound, serveclient.CodeNotFound,
+			fmt.Sprintf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	ctx := co.outgoingCtx(r)
+
+	// Open every upstream stream before committing the response status so a
+	// fully unreachable job can still 404/503 cleanly.
+	streams := make([]*serveclient.EventStream, 0, len(rec.refs))
+	var openErr error
+	for _, ref := range rec.refs {
+		wk := co.workerByAddr(ref.addr)
+		if wk == nil {
+			openErr = fmt.Errorf("worker %s no longer configured", ref.addr)
+			continue
+		}
+		es, err := wk.client.Stream(ctx, ref.remoteID)
+		if err != nil {
+			openErr = err
+			continue
+		}
+		streams = append(streams, es)
+	}
+	if len(streams) == 0 {
+		co.writeForwardError(w, r, &upstreamError{tried: len(rec.refs), last: openErr})
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	var wmu sync.Mutex
+	var wg sync.WaitGroup
+	for _, es := range streams {
+		wg.Add(1)
+		go func(es *serveclient.EventStream) {
+			defer wg.Done()
+			defer es.Close()
+			for {
+				line, ok := es.Next()
+				if !ok {
+					return
+				}
+				wmu.Lock()
+				_, werr := w.Write(append(line, '\n'))
+				if werr == nil && flusher != nil {
+					flusher.Flush()
+				}
+				wmu.Unlock()
+				if werr != nil {
+					return
+				}
+				co.met.streamEvents.Add(1)
+			}
+		}(es)
+	}
+	wg.Wait()
+}
+
+// writeForwardError renders a forwarding failure: worker API errors pass
+// through with their original status, code, and Retry-After; exhausted-ring
+// errors become 503 upstream_unavailable with a Retry-After hint.
+func (co *Coordinator) writeForwardError(w http.ResponseWriter, r *http.Request, err error) {
+	var apiErr *serveclient.APIError
+	if errors.As(err, &apiErr) {
+		if apiErr.RetryAfter > 0 {
+			serve.SetRetryAfter(w, apiErr.RetryAfter)
+		} else if apiErr.Temporary() {
+			serve.SetRetryAfter(w, co.cfg.RetryAfter)
+		}
+		code := apiErr.Code
+		if code == "" {
+			code = serveclient.CodeInternal
+		}
+		serve.WriteError(w, r, apiErr.StatusCode, code, apiErr.Message)
+		return
+	}
+	var upErr *upstreamError
+	if errors.As(err, &upErr) {
+		serve.SetRetryAfter(w, co.cfg.RetryAfter)
+		serve.WriteError(w, r, http.StatusServiceUnavailable, serveclient.CodeUpstreamUnavailable, upErr.Error())
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		// Client went away mid-forward; nothing useful to write.
+		serve.WriteError(w, r, 499, serveclient.CodeInternal, err.Error())
+		return
+	}
+	serve.WriteError(w, r, http.StatusBadGateway, serveclient.CodeUpstreamUnavailable, err.Error())
+}

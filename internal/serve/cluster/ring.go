@@ -1,0 +1,132 @@
+// Package cluster is the latchchard coordinator: it partitions the
+// characterization keyspace across N worker daemons with a consistent-hash
+// ring over the sha256 coalescing key, forwards jobs with bounded per-worker
+// in-flight limits and retry-with-backoff, proxies NDJSON event streams,
+// tracks worker health from periodic /v1/statusz polls (re-hashing the ring
+// on drain or death), and aggregates fleet metrics and status. It speaks to
+// workers exclusively through the public serveclient API — the same door
+// every external client uses.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring is an immutable consistent-hash ring over worker addresses. Each
+// member contributes Replicas virtual nodes, hashed by fnv64a over
+// "addr#i"; a key routes to the first vnode clockwise of its own hash.
+// Construction sorts members first, so the ring — and therefore every key's
+// placement — is a pure function of the membership set: the same key lands
+// on the same worker across coordinator restarts and across coordinators,
+// which is what makes coalescing and result caching work cluster-wide.
+type ring struct {
+	vnodes []vnode
+	addrs  []string // sorted distinct members
+}
+
+type vnode struct {
+	hash uint64
+	addr string
+}
+
+// buildRing constructs the ring for a member set. An empty set yields an
+// empty ring (lookups return "").
+func buildRing(addrs []string, replicas int) *ring {
+	if replicas <= 0 {
+		replicas = 512
+	}
+	members := append([]string(nil), addrs...)
+	sort.Strings(members)
+	r := &ring{addrs: members}
+	for _, a := range members {
+		for i := 0; i < replicas; i++ {
+			r.vnodes = append(r.vnodes, vnode{hash: hash64(a + "#" + strconv.Itoa(i)), addr: a})
+		}
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool {
+		if r.vnodes[i].hash != r.vnodes[j].hash {
+			return r.vnodes[i].hash < r.vnodes[j].hash
+		}
+		// Hash ties (vanishingly rare) break by address so placement stays
+		// deterministic regardless of input order.
+		return r.vnodes[i].addr < r.vnodes[j].addr
+	})
+	return r
+}
+
+// hash64 is fnv64a with a murmur-style 64-bit finalizer. Raw FNV-1a has
+// weak high-bit avalanche for strings that share a long prefix and differ
+// only in a short tail — exactly the "addr#i" vnode names — which clusters a
+// member's vnodes and skews keyspace shares as far as 70/30. The finalizer
+// decorrelates the positions; determinism is untouched.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// slots returns the virtual-node count.
+func (r *ring) slots() int { return len(r.vnodes) }
+
+// members returns the sorted member set.
+func (r *ring) members() []string { return r.addrs }
+
+// lookup returns the worker owning key, "" on an empty ring.
+func (r *ring) lookup(key string) string {
+	if len(r.vnodes) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	idx := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	if idx == len(r.vnodes) {
+		idx = 0
+	}
+	return r.vnodes[idx].addr
+}
+
+// sequence returns every member in ring order starting at key's owner: the
+// retry order for a failed forward (distinct workers, owner first).
+func (r *ring) sequence(key string) []string {
+	if len(r.vnodes) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	idx := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	if idx == len(r.vnodes) {
+		idx = 0
+	}
+	seen := make(map[string]bool, len(r.addrs))
+	out := make([]string, 0, len(r.addrs))
+	for i := 0; i < len(r.vnodes) && len(out) < len(r.addrs); i++ {
+		a := r.vnodes[(idx+i)%len(r.vnodes)].addr
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// sameMembers reports whether the ring's membership equals addrs (sorted
+// comparison).
+func (r *ring) sameMembers(addrs []string) bool {
+	if len(addrs) != len(r.addrs) {
+		return false
+	}
+	sorted := append([]string(nil), addrs...)
+	sort.Strings(sorted)
+	for i, a := range sorted {
+		if r.addrs[i] != a {
+			return false
+		}
+	}
+	return true
+}

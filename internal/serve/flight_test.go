@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"latchchar/internal/obs"
+	"latchchar/serveclient"
 )
 
 func discardLogger() *slog.Logger {
@@ -45,11 +46,11 @@ func TestJobTimeoutWritesFlightDump(t *testing.T) {
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	var st JobStatus
+	var st serveclient.JobStatus
 	if err := json.Unmarshal(body, &st); err != nil {
 		t.Fatalf("decoding %q: %v", body, err)
 	}
-	if st.State != stateCanceled {
+	if st.State != serveclient.StateCanceled {
 		t.Fatalf("state = %q (error %q), want canceled by the job timeout", st.State, st.Error)
 	}
 	if st.Corr != "corr-timeout-test" {
@@ -178,7 +179,7 @@ func TestStatuszWellFormed(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
-	var st StatusZ
+	var st serveclient.StatusZ
 	dec := json.NewDecoder(resp.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&st); err != nil {
@@ -213,13 +214,13 @@ func TestStatuszWellFormed(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp2.Body.Close()
-	var st2 StatusZ
+	var st2 serveclient.StatusZ
 	if err := json.NewDecoder(resp2.Body).Decode(&st2); err != nil {
 		t.Fatal(err)
 	}
 	found := false
 	for _, q := range st2.Latency {
-		if q.Route == "/healthz" && q.Count >= 3 && q.P50MS >= 0 && q.P99MS >= q.P50MS {
+		if q.Route == "/v1/healthz" && q.Count >= 3 && q.P50MS >= 0 && q.P99MS >= q.P50MS {
 			found = true
 		}
 	}

@@ -1,0 +1,89 @@
+package jobcore
+
+import (
+	"strings"
+	"testing"
+
+	"latchchar"
+	"latchchar/serveclient"
+)
+
+func TestRequestKeyStability(t *testing.T) {
+	cell, err := latchchar.CellByName("tspc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := &serveclient.CharacterizeRequest{Cell: "tspc", Options: serveclient.OptionsRequest{Points: 3}}
+	r2 := &serveclient.CharacterizeRequest{Cell: "tspc", Options: serveclient.OptionsRequest{Points: 3}, Wait: true, NoCache: true}
+	if RequestKey(r1, cell) != RequestKey(r2, cell) {
+		t.Error("wait/no_cache must not affect the coalescing key")
+	}
+	r3 := &serveclient.CharacterizeRequest{Cell: "tspc", Options: serveclient.OptionsRequest{Points: 4}}
+	if RequestKey(r1, cell) == RequestKey(r3, cell) {
+		t.Error("different options share a key")
+	}
+	if !strings.HasPrefix(RequestKey(r1, cell), "v1:") {
+		t.Error("key missing version prefix")
+	}
+
+	// The coordinator derives the key via Resolve before forwarding; it must
+	// match the worker's own derivation exactly, or cross-node coalescing
+	// silently stops working.
+	_, _, key, err := Resolve(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != RequestKey(r1, cell) {
+		t.Error("Resolve key differs from RequestKey")
+	}
+}
+
+func TestFastPathOptionMapping(t *testing.T) {
+	opts, err := ToOptions(serveclient.OptionsRequest{FastPath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opts.Eval.Chord || !opts.Eval.DeviceBypass {
+		t.Errorf("fast_path must enable both chord and device bypass, got Chord=%v DeviceBypass=%v",
+			opts.Eval.Chord, opts.Eval.DeviceBypass)
+	}
+	opts, err = ToOptions(serveclient.OptionsRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Eval.Chord || opts.Eval.DeviceBypass {
+		t.Error("fast path must stay off by default")
+	}
+	cell, err := latchchar.CellByName("tspc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fast_path selects a different inner loop — it must not coalesce with
+	// exact-path requests.
+	exact := &serveclient.CharacterizeRequest{Cell: "tspc", Options: serveclient.OptionsRequest{Points: 3}}
+	fast := &serveclient.CharacterizeRequest{Cell: "tspc", Options: serveclient.OptionsRequest{Points: 3, FastPath: true}}
+	if RequestKey(exact, cell) == RequestKey(fast, cell) {
+		t.Error("fast_path requests share a coalescing key with exact requests")
+	}
+}
+
+func TestResolveBatchKeys(t *testing.T) {
+	req := &serveclient.BatchRequest{Jobs: []serveclient.BatchJobRequest{
+		{Name: "a", CharacterizeRequest: serveclient.CharacterizeRequest{Cell: "tspc", Options: serveclient.OptionsRequest{Points: 3}}},
+		{Name: "b", CharacterizeRequest: serveclient.CharacterizeRequest{Cell: "tspc", Options: serveclient.OptionsRequest{Points: 4}}},
+		{Name: "c", CharacterizeRequest: serveclient.CharacterizeRequest{Cell: "tspc", Options: serveclient.OptionsRequest{Points: 3}}},
+	}}
+	jobs, keys, err := ResolveBatch(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 || len(keys) != 3 {
+		t.Fatalf("jobs=%d keys=%d", len(jobs), len(keys))
+	}
+	if keys[0] != keys[2] {
+		t.Error("identical batch items must share a key (cluster partitioning relies on it)")
+	}
+	if keys[0] == keys[1] {
+		t.Error("distinct batch items share a key")
+	}
+}

@@ -1,4 +1,4 @@
-package serve
+package jobcore
 
 import (
 	"errors"
@@ -7,26 +7,28 @@ import (
 
 	"latchchar"
 	"latchchar/internal/obs"
+	"latchchar/serveclient"
 )
 
-// Job states.
+// Job states — aliases of the wire constants so the core and the transports
+// agree by construction.
 const (
-	stateQueued   = "queued"
-	stateRunning  = "running"
-	stateDone     = "done"
-	stateFailed   = "failed"
-	stateCanceled = "canceled"
+	stateQueued   = serveclient.StateQueued
+	stateRunning  = serveclient.StateRunning
+	stateDone     = serveclient.StateDone
+	stateFailed   = serveclient.StateFailed
+	stateCanceled = serveclient.StateCanceled
 )
 
 // maxJobEvents bounds the per-job event replay buffer; live subscribers
 // keep receiving past the cap, only the replay history stops growing.
 const maxJobEvents = 16384
 
-// job is one queued/running/finished characterization (or batch) with its
+// Job is one queued/running/finished characterization (or batch) with its
 // observability run and event log. The done channel closes after the final
 // state and the run's run_end event are in place, so waiters and event
 // streamers never observe a half-finished record.
-type job struct {
+type Job struct {
 	id   string
 	key  string // coalescing key; "" for batch jobs (never coalesced)
 	corr string // correlation ID of the request that created the job
@@ -58,8 +60,8 @@ type job struct {
 // replay buffer and fanning it out to subscribers. Every event is stamped
 // with the request's correlation ID, and a flight recorder rides along as a
 // sink (recorderSize < 0 disables it) for post-mortem dumps.
-func newJob(id, key, corr string, progressInterval time.Duration, recorderSize int) *job {
-	j := &job{
+func newJob(id, key, corr string, progressInterval time.Duration, recorderSize int) *Job {
+	j := &Job{
 		id:      id,
 		key:     key,
 		corr:    corr,
@@ -82,10 +84,19 @@ func newJob(id, key, corr string, progressInterval time.Duration, recorderSize i
 	return j
 }
 
+// ID returns the job's record id ("j00000042").
+func (j *Job) ID() string { return j.id }
+
+// Corr returns the correlation ID of the creating request.
+func (j *Job) Corr() string { return j.corr }
+
+// Done returns the channel closed once the job record is final.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
 // capture receives one obs event under the collector lock: append to the
 // bounded replay buffer and fan out non-blocking (slow readers drop events
 // rather than stalling the solvers).
-func (j *job) capture(e obs.Event) {
+func (j *Job) capture(e obs.Event) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if len(j.events) < maxJobEvents {
@@ -99,10 +110,10 @@ func (j *job) capture(e obs.Event) {
 	}
 }
 
-// subscribe returns a copy of the event history plus a channel carrying
+// Subscribe returns a copy of the event history plus a channel carrying
 // subsequent events, and a cancel function. The copy and the registration
 // happen atomically, so no event is missed or duplicated at the boundary.
-func (j *job) subscribe(buf int) (history []obs.Event, ch chan obs.Event, cancel func()) {
+func (j *Job) Subscribe(buf int) (history []obs.Event, ch chan obs.Event, cancel func()) {
 	ch = make(chan obs.Event, buf)
 	j.mu.Lock()
 	history = append([]obs.Event(nil), j.events...)
@@ -117,17 +128,17 @@ func (j *job) subscribe(buf int) (history []obs.Event, ch chan obs.Event, cancel
 	}
 }
 
-func (j *job) setRunning() {
+func (j *Job) setRunning() {
 	j.mu.Lock()
 	j.state = stateRunning
 	j.started = time.Now()
 	j.mu.Unlock()
 }
 
-// complete records a single-job outcome. Cancellation (server drain or job
+// complete records a single-job outcome. Cancellation (drain or job
 // timeout) is distinguished from failure so clients can tell a partial
 // contour from a broken setup.
-func (j *job) complete(res *latchchar.Result, err error) {
+func (j *Job) complete(res *latchchar.Result, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.finished = time.Now()
@@ -144,7 +155,7 @@ func (j *job) complete(res *latchchar.Result, err error) {
 
 // completeBatch records a batch outcome; the job fails only if every item
 // failed.
-func (j *job) completeBatch(res []latchchar.JobResult) {
+func (j *Job) completeBatch(res []latchchar.JobResult) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.finished = time.Now()
@@ -169,23 +180,23 @@ func (j *job) completeBatch(res []latchchar.JobResult) {
 	}
 }
 
-// status snapshots the job as its wire representation.
-func (j *job) status() JobStatus {
+// Status snapshots the job as its wire representation.
+func (j *Job) Status() serveclient.JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	st := JobStatus{
+	st := serveclient.JobStatus{
 		ID:        j.id,
 		State:     j.state,
 		Corr:      j.corr,
 		Coalesced: j.coalesced,
 	}
 	if !j.started.IsZero() {
-		st.QueuedMS = durMS(j.started.Sub(j.created))
+		st.QueuedMS = DurMS(j.started.Sub(j.created))
 		end := j.finished
 		if end.IsZero() {
 			end = time.Now()
 		}
-		st.RunMS = durMS(end.Sub(j.started))
+		st.RunMS = DurMS(end.Sub(j.started))
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()
@@ -195,14 +206,14 @@ func (j *job) status() JobStatus {
 		}
 	}
 	if j.batch != nil {
-		st.Results = make([]BatchItemJSON, len(j.batchRes))
+		st.Results = make([]serveclient.BatchItemJSON, len(j.batchRes))
 		for i, r := range j.batchRes {
-			item := BatchItemJSON{
+			item := serveclient.BatchItemJSON{
 				Name:              r.Name,
 				Index:             r.Index,
 				WarmStarted:       r.WarmStarted,
 				CalibrationReused: r.CalibrationReused,
-				Result:            resultJSON(r.Name, r.Result),
+				Result:            RenderResult(r.Name, r.Result),
 			}
 			if r.Err != nil {
 				item.Error = r.Err.Error()
@@ -216,7 +227,7 @@ func (j *job) status() JobStatus {
 		if j.cell != nil {
 			name = j.cell.Name
 		}
-		st.Result = resultJSON(name, j.result)
+		st.Result = RenderResult(name, j.result)
 	}
 	return st
 }

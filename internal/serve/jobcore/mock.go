@@ -1,0 +1,86 @@
+package jobcore
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"latchchar"
+	"latchchar/internal/obs"
+)
+
+// Synthetic service-time mode (Config.MockJobTime): every job sleeps for a
+// fixed interval under its context and returns a small canned contour. The
+// full job lifecycle is real — queueing, coalescing, the result cache, obs
+// spans and event streams, drain semantics — only the solver work is
+// replaced. This is what cmd/latchload benchmarks against: it isolates the
+// serving and cluster layers' scaling from the CPU-bound solver, so the
+// throughput-vs-worker-count curve measures the thing cluster mode adds.
+
+// runMock runs one job (single or batch) in mock mode.
+func (c *Core) runMock(ctx context.Context, j *Job) {
+	if j.batch != nil {
+		res := make([]latchchar.JobResult, len(j.batch))
+		for i := range j.batch {
+			name := j.batch[i].Name
+			if name == "" && j.batch[i].Cell != nil {
+				name = j.batch[i].Cell.Name
+			}
+			res[i] = latchchar.JobResult{Name: name, Index: i}
+			if err := c.mockWork(ctx, j.run); err != nil {
+				res[i].Err = err
+				continue
+			}
+			res[i].Result = mockResult(c.cfg.MockJobTime)
+		}
+		j.completeBatch(res)
+		return
+	}
+	if err := c.mockWork(ctx, j.run); err != nil {
+		j.complete(nil, err)
+		return
+	}
+	j.complete(mockResult(c.cfg.MockJobTime), nil)
+}
+
+// mockWork burns one synthetic service interval inside a job span, honoring
+// cancellation the way a real characterization does (an interrupted job
+// reports canceled, not failed).
+func (c *Core) mockWork(ctx context.Context, run *obs.Run) error {
+	sp := run.StartSpan(obs.SpanJob)
+	defer sp.End()
+	t := time.NewTimer(c.cfg.MockJobTime)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("mock job interrupted: %w", latchchar.ErrCanceled)
+	case <-t.C:
+	}
+	sp.Count(obs.CtrPoints, 3)
+	return nil
+}
+
+// mockResult is the canned payload: a three-point contour with plausible
+// picosecond-scale skews, so clients exercising the wire schema decode a
+// realistic (if tiny) result.
+func mockResult(d time.Duration) *latchchar.Result {
+	return &latchchar.Result{
+		Contour: &latchchar.Contour{
+			Points: []latchchar.ContourPoint{
+				{TauS: 30e-12, TauH: 120e-12, CorrectorIters: 2},
+				{TauS: 35e-12, TauH: 80e-12, CorrectorIters: 2},
+				{TauS: 45e-12, TauH: 60e-12, CorrectorIters: 3},
+			},
+		},
+		Calibration: latchchar.Calibration{
+			TC:        1.25e-9,
+			CharDelay: 95e-12,
+			Tf:        1.35e-9,
+			R:         1.1,
+			Rising:    true,
+		},
+		PlainSims: 3,
+		GradSims:  3,
+		Elapsed:   d,
+	}
+}

@@ -1,16 +1,22 @@
 package serve
 
 import (
+	"fmt"
+	"io"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
+
+	"latchchar/serveclient"
 )
 
 // Request-latency telemetry: per-route cumulative histograms rendered as
 // native Prometheus histograms on /metrics, plus a bounded sample ring per
 // route backing the rolling-window p50/p95/p99 on /statusz. Scrapers get the
 // full distribution since process start; humans and autoscalers get "how
-// slow is it right now".
+// slow is it right now". Shared by the single-node server and the cluster
+// coordinator via Router.
 
 // latencyBuckets are the histogram upper bounds in seconds. Characterization
 // jobs run milliseconds (cached) to minutes (cold batch), so the range spans
@@ -24,6 +30,9 @@ var latencyBuckets = []float64{
 // over a partially covered window are computed over what the ring holds.
 const latencySamples = 8192
 
+// StatusWindows are the rolling quantile windows reported on /statusz.
+var StatusWindows = []time.Duration{time.Minute, 5 * time.Minute}
+
 // routeLatency is the per-route accumulator.
 type routeLatency struct {
 	counts []int64 // non-cumulative per-bucket counts; rendered cumulative
@@ -31,9 +40,9 @@ type routeLatency struct {
 	count  int64
 	sum    float64 // seconds
 
-	ring  []latencySample
-	next  int
-	full  bool
+	ring []latencySample
+	next int
+	full bool
 }
 
 type latencySample struct {
@@ -41,16 +50,19 @@ type latencySample struct {
 	sec float64
 }
 
-// latencySet is the registry of route accumulators.
-type latencySet struct {
+// LatencySet is the registry of route accumulators.
+type LatencySet struct {
 	mu     sync.Mutex
 	routes map[string]*routeLatency
 }
 
-func (l *latencySet) init() { l.routes = make(map[string]*routeLatency) }
+// NewLatencySet returns an empty registry.
+func NewLatencySet() *LatencySet {
+	return &LatencySet{routes: make(map[string]*routeLatency)}
+}
 
-// observe records one request duration for a route.
-func (l *latencySet) observe(route string, at time.Time, d time.Duration) {
+// Observe records one request duration for a route.
+func (l *LatencySet) Observe(route string, at time.Time, d time.Duration) {
 	sec := d.Seconds()
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -88,7 +100,7 @@ type histSnapshot struct {
 
 // snapshot renders every route's cumulative histogram, sorted by route for
 // stable exposition order.
-func (l *latencySet) snapshot() []histSnapshot {
+func (l *LatencySet) snapshot() []histSnapshot {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	out := make([]histSnapshot, 0, len(l.routes))
@@ -105,20 +117,33 @@ func (l *latencySet) snapshot() []histSnapshot {
 	return out
 }
 
-// RouteQuantiles is the rolling-window latency summary of one route.
-type RouteQuantiles struct {
-	Route   string  `json:"route"`
-	Window  string  `json:"window"`
-	Count   int     `json:"count"`
-	P50MS   float64 `json:"p50_ms"`
-	P95MS   float64 `json:"p95_ms"`
-	P99MS   float64 `json:"p99_ms"`
-	MaxMS   float64 `json:"max_ms"`
+// WritePrometheus renders the per-route request-duration histogram family
+// under the given metric name (no output when no requests were observed).
+func (l *LatencySet) WritePrometheus(w io.Writer, name string) {
+	snaps := l.snapshot()
+	if len(snaps) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s HTTP request duration by route.\n# TYPE %s histogram\n", name, name)
+	for _, h := range snaps {
+		for i, bound := range latencyBuckets {
+			fmt.Fprintf(w, "%s_bucket{route=%q,le=%q} %d\n", name, h.route, formatLe(bound), h.cum[i])
+		}
+		fmt.Fprintf(w, "%s_bucket{route=%q,le=\"+Inf\"} %d\n", name, h.route, h.count)
+		fmt.Fprintf(w, "%s_sum{route=%q} %g\n", name, h.route, h.sum)
+		fmt.Fprintf(w, "%s_count{route=%q} %d\n", name, h.route, h.count)
+	}
 }
 
-// quantiles computes rolling p50/p95/p99 per route over the trailing window,
+// formatLe renders a bucket bound the way Prometheus clients do (shortest
+// decimal form, e.g. "0.005", "1", "2.5").
+func formatLe(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Quantiles computes rolling p50/p95/p99 per route over the trailing window,
 // sorted by route. Routes with no samples in the window are omitted.
-func (l *latencySet) quantiles(now time.Time, window time.Duration) []RouteQuantiles {
+func (l *LatencySet) Quantiles(now time.Time, window time.Duration) []serveclient.RouteQuantiles {
 	cutoff := now.Add(-window)
 	l.mu.Lock()
 	type routeSamples struct {
@@ -143,14 +168,14 @@ func (l *latencySet) quantiles(now time.Time, window time.Duration) []RouteQuant
 	}
 	l.mu.Unlock()
 
-	out := make([]RouteQuantiles, 0, len(all))
+	out := make([]serveclient.RouteQuantiles, 0, len(all))
 	for _, rs := range all {
 		sort.Float64s(rs.secs)
 		q := func(p float64) float64 {
 			idx := int(p * float64(len(rs.secs)-1))
 			return rs.secs[idx] * 1e3
 		}
-		out = append(out, RouteQuantiles{
+		out = append(out, serveclient.RouteQuantiles{
 			Route:  rs.route,
 			Window: window.String(),
 			Count:  len(rs.secs),
@@ -161,5 +186,14 @@ func (l *latencySet) quantiles(now time.Time, window time.Duration) []RouteQuant
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Route < out[j].Route })
+	return out
+}
+
+// WindowQuantiles appends the quantiles of every status window.
+func (l *LatencySet) WindowQuantiles(now time.Time) []serveclient.RouteQuantiles {
+	out := []serveclient.RouteQuantiles{}
+	for _, win := range StatusWindows {
+		out = append(out, l.Quantiles(now, win)...)
+	}
 	return out
 }

@@ -4,109 +4,12 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"strconv"
-	"sync"
-	"sync/atomic"
-
-	"latchchar/internal/obs"
 )
-
-// metrics holds the server-level request counters exposed on /metrics.
-type metrics struct {
-	requests         atomic.Int64
-	jobsDone         atomic.Int64
-	jobsFailed       atomic.Int64
-	jobsCanceled     atomic.Int64
-	coalesced        atomic.Int64
-	cacheHits        atomic.Int64
-	rejectedFull     atomic.Int64
-	rejectedDraining atomic.Int64
-}
-
-// obsAgg accumulates per-job obs.Run summaries into a server-lifetime view:
-// every obs counter plus per-phase count and wall-clock. All known counter
-// names are pre-seeded at zero so scrapers see a stable metric set from the
-// first request (and the smoke test can assert calibrations_reused exists
-// before any reuse happened).
-type obsAgg struct {
-	mu       sync.Mutex
-	counters map[string]int64
-	phases   map[string]obs.PhaseStat
-	hists    map[string]*obs.Hist
-}
-
-func (a *obsAgg) init() {
-	a.counters = map[string]int64{
-		obs.CtrTransients:        0,
-		obs.CtrTransientsGrad:    0,
-		obs.CtrSteps:             0,
-		obs.CtrNewtonIters:       0,
-		obs.CtrLUFactor:          0,
-		obs.CtrLURefactor:        0,
-		obs.CtrSensSolves:        0,
-		obs.CtrSensFactReused:    0,
-		obs.CtrPoints:            0,
-		obs.CtrStepRejects:       0,
-		obs.CtrWarmSeeds:         0,
-		obs.CtrCalReused:         0,
-		obs.CtrChordIters:        0,
-		obs.CtrJacobianReuses:    0,
-		obs.CtrDeviceBypasses:    0,
-		obs.CtrRuntimeSamples:    0,
-		obs.CtrBlockRuns:         0,
-		obs.CtrBlockPeelOffs:     0,
-		obs.CtrBlockSharedSteps:  0,
-		obs.CtrBlockDonorReplays: 0,
-	}
-	a.phases = map[string]obs.PhaseStat{}
-	a.hists = map[string]*obs.Hist{}
-}
-
-func (a *obsAgg) fold(s obs.Summary) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	for name, v := range s.Counters {
-		a.counters[name] += v
-	}
-	for _, p := range s.Phases {
-		agg := a.phases[p.Name]
-		agg.Name = p.Name
-		agg.Count += p.Count
-		agg.Total += p.Total
-		a.phases[p.Name] = agg
-	}
-	for _, hs := range s.Hists {
-		h := a.hists[hs.Name]
-		if h == nil {
-			h = &obs.Hist{}
-			a.hists[hs.Name] = h
-		}
-		h.AddSnapshot(hs.Hist)
-	}
-}
-
-// summary renders the aggregate as an obs.Summary for tests and embedders.
-func (a *obsAgg) summary() obs.Summary {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	s := obs.Summary{Counters: make(map[string]int64, len(a.counters))}
-	for name, v := range a.counters {
-		s.Counters[name] = v
-	}
-	for _, p := range a.phases {
-		s.Phases = append(s.Phases, p)
-	}
-	for name, h := range a.hists {
-		s.Hists = append(s.Hists, obs.HistStat{Name: name, Hist: h.Snapshot()})
-	}
-	sort.Slice(s.Phases, func(i, j int) bool { return s.Phases[i].Name < s.Phases[j].Name })
-	sort.Slice(s.Hists, func(i, j int) bool { return s.Hists[i].Name < s.Hists[j].Name })
-	return s
-}
 
 // writeMetrics renders the Prometheus text exposition format (v0.0.4) by
 // hand: serve-level request counters, engine calibration-cache stats, the
-// folded obs counters, and per-phase count/seconds.
+// folded obs counters, and per-phase count/seconds. The counter/gauge data
+// lives in the job core; this file is only the text rendering.
 func (s *Server) writeMetrics(w io.Writer) {
 	gauge := func(name, help string, v float64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
@@ -115,33 +18,29 @@ func (s *Server) writeMetrics(w io.Writer) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
 	}
 
-	counter("latchchard_requests_total", "Characterize and batch requests received.", float64(s.met.requests.Load()))
-	counter("latchchard_jobs_done_total", "Jobs finished successfully.", float64(s.met.jobsDone.Load()))
-	counter("latchchard_jobs_failed_total", "Jobs finished with an error.", float64(s.met.jobsFailed.Load()))
-	counter("latchchard_jobs_canceled_total", "Jobs canceled by drain or timeout.", float64(s.met.jobsCanceled.Load()))
-	counter("latchchard_requests_coalesced_total", "Requests attached to an identical in-flight job.", float64(s.met.coalesced.Load()))
-	counter("latchchard_result_cache_hits_total", "Requests served from the result cache.", float64(s.met.cacheHits.Load()))
-	counter("latchchard_rejected_queue_full_total", "Requests rejected with 429 because the job queue was full.", float64(s.met.rejectedFull.Load()))
-	counter("latchchard_rejected_draining_total", "Requests rejected with 503 while draining.", float64(s.met.rejectedDraining.Load()))
+	met := s.core.Counters()
+	counter("latchchard_requests_total", "Characterize and batch requests received.", float64(met.Requests.Load()))
+	counter("latchchard_jobs_done_total", "Jobs finished successfully.", float64(met.JobsDone.Load()))
+	counter("latchchard_jobs_failed_total", "Jobs finished with an error.", float64(met.JobsFailed.Load()))
+	counter("latchchard_jobs_canceled_total", "Jobs canceled by drain or timeout.", float64(met.JobsCanceled.Load()))
+	counter("latchchard_requests_coalesced_total", "Requests attached to an identical in-flight job.", float64(met.Coalesced.Load()))
+	counter("latchchard_result_cache_hits_total", "Requests served from the result cache.", float64(met.ResultCacheHits.Load()))
+	counter("latchchard_rejected_queue_full_total", "Requests rejected with 429 because the job queue was full.", float64(met.RejectedFull.Load()))
+	counter("latchchard_rejected_draining_total", "Requests rejected with 503 while draining.", float64(met.RejectedDraining.Load()))
 
-	s.mu.Lock()
-	queued := len(s.queue)
-	inflight := len(s.inflight)
-	draining := s.draining
-	s.mu.Unlock()
-	gauge("latchchard_queue_depth", "Jobs waiting in the bounded queue.", float64(queued))
-	gauge("latchchard_inflight_jobs", "Distinct coalescing keys currently queued or running.", float64(inflight))
+	snap := s.core.Snapshot()
+	gauge("latchchard_queue_depth", "Jobs waiting in the bounded queue.", float64(snap.QueueDepth))
+	gauge("latchchard_inflight_jobs", "Distinct coalescing keys currently queued or running.", float64(snap.InflightKeys))
 	drainVal := 0.0
-	if draining {
+	if snap.Draining {
 		drainVal = 1
 	}
 	gauge("latchchard_draining", "1 while the server refuses new work.", drainVal)
 
-	hits, misses := s.eng.CacheStats()
-	counter("latchchard_calibration_cache_hits_total", "Engine calibration LRU hits.", float64(hits))
-	counter("latchchard_calibration_cache_misses_total", "Engine calibration LRU misses.", float64(misses))
+	counter("latchchard_calibration_cache_hits_total", "Engine calibration LRU hits.", float64(snap.CalibrationCacheHits))
+	counter("latchchard_calibration_cache_misses_total", "Engine calibration LRU misses.", float64(snap.CalibrationCacheMisses))
 
-	sum := s.agg.summary()
+	sum := s.core.Summary()
 	names := make([]string, 0, len(sum.Counters))
 	for name := range sum.Counters {
 		names = append(names, name)
@@ -178,31 +77,12 @@ func (s *Server) writeMetrics(w io.Writer) {
 	}
 
 	// Per-endpoint request-duration histogram.
-	if snaps := s.lat.snapshot(); len(snaps) > 0 {
-		const name = "latchchard_request_seconds"
-		fmt.Fprintf(w, "# HELP %s HTTP request duration by route.\n# TYPE %s histogram\n", name, name)
-		for _, h := range snaps {
-			for i, bound := range latencyBuckets {
-				fmt.Fprintf(w, "%s_bucket{route=%q,le=%q} %d\n", name, h.route, formatLe(bound), h.cum[i])
-			}
-			fmt.Fprintf(w, "%s_bucket{route=%q,le=\"+Inf\"} %d\n", name, h.route, h.count)
-			fmt.Fprintf(w, "%s_sum{route=%q} %g\n", name, h.route, h.sum)
-			fmt.Fprintf(w, "%s_count{route=%q} %d\n", name, h.route, h.count)
-		}
-	}
+	s.rt.Latency().WritePrometheus(w, "latchchard_request_seconds")
 
 	// Runtime self-telemetry (last sampler reading).
-	s.rtMu.Lock()
-	rt := s.rtStats
-	s.rtMu.Unlock()
+	rt, _ := s.core.RuntimeStats()
 	gauge("latchchard_goroutines", "Goroutines at the last runtime sample.", float64(rt.Goroutines))
 	gauge("latchchard_heap_bytes", "Live heap bytes at the last runtime sample.", float64(rt.HeapBytes))
 	counter("latchchard_gc_pause_seconds_total", "Cumulative GC stop-the-world pause.", float64(rt.GCPauseNs)/1e9)
 	gauge("latchchard_sched_latency_p99_seconds", "p99 goroutine scheduling latency since process start.", float64(rt.SchedP99Ns)/1e9)
-}
-
-// formatLe renders a bucket bound the way Prometheus clients do (shortest
-// decimal form, e.g. "0.005", "1", "2.5").
-func formatLe(v float64) string {
-	return strconv.FormatFloat(v, 'g', -1, 64)
 }

@@ -8,7 +8,6 @@ import (
 	"net/http"
 	"strings"
 	"sync/atomic"
-	"time"
 )
 
 // W3C trace-context plumbing and the request middleware: every request gets
@@ -112,36 +111,6 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// handle registers pattern on the mux behind the middleware: correlation-ID
-// resolution and echo, request-duration observation under the route label,
-// and one structured log line per request.
-func (s *Server) handle(pattern, route string, h http.HandlerFunc) {
-	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		corr, fromTrace := requestCorr(r)
-		if fromTrace {
-			w.Header().Set(traceparentHeader, "00-"+corr+"-"+randomHex(8)+"-01")
-		}
-		w.Header().Set(corrHeader, corr)
-		sw := &statusWriter{ResponseWriter: w}
-		h(sw, withCorr(r, corr))
-		elapsed := time.Since(start)
-		status := sw.status
-		if status == 0 {
-			status = http.StatusOK
-		}
-		s.lat.observe(route, start, elapsed)
-		s.cfg.Logger.Info("request",
-			"corr", corr,
-			"route", route,
-			"method", r.Method,
-			"status", status,
-			"dur_ms", durMS(elapsed),
-			"remote", r.RemoteAddr,
-		)
-	})
-}
-
 // corrKey carries the resolved correlation ID through the request context.
 type corrKey struct{}
 
@@ -149,8 +118,21 @@ func withCorr(r *http.Request, corr string) *http.Request {
 	return r.WithContext(context.WithValue(r.Context(), corrKey{}, corr))
 }
 
-// reqCorr reads the correlation ID the middleware resolved ("" outside it).
-func reqCorr(r *http.Request) string {
+// ReqCorr reads the correlation ID the middleware resolved ("" outside it).
+func ReqCorr(r *http.Request) string {
 	c, _ := r.Context().Value(corrKey{}).(string)
 	return c
+}
+
+// OutgoingTraceparent renders a traceparent header value continuing the
+// trace of corr with a fresh span-id, or "" when corr is not a W3C
+// trace-id (correlation IDs taken from a bare X-Correlation-Id header
+// propagate through that header instead). The cluster coordinator uses this
+// to keep a forwarded request's worker-side logs joined to the caller's
+// trace.
+func OutgoingTraceparent(corr string) string {
+	if len(corr) != 32 || !isLowerHex(corr) || corr == strings.Repeat("0", 32) {
+		return ""
+	}
+	return "00-" + corr + "-" + randomHex(8) + "-01"
 }

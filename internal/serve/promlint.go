@@ -24,7 +24,7 @@ func LintMetrics(r io.Reader) error {
 
 	types := map[string]string{} // family -> TYPE
 	helped := map[string]bool{}
-	seen := map[string]bool{}              // "name{labels}" series dedup
+	seen := map[string]bool{}            // "name{labels}" series dedup
 	samples := map[string][]promSample{} // metric name -> samples
 	line := 0
 

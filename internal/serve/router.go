@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"latchchar/internal/serve/jobcore"
+	"latchchar/serveclient"
+)
+
+// Router is the shared HTTP front end of both serving modes: an
+// http.ServeMux behind the request middleware (correlation-ID resolution
+// and echo, per-route latency observation, one structured log line per
+// request). The single-node server and the cluster coordinator both build
+// on it, so every endpoint gets identical trace and telemetry behavior.
+type Router struct {
+	mux    *http.ServeMux
+	lat    *LatencySet
+	logger *slog.Logger
+}
+
+// NewRouter builds an empty router logging requests to logger
+// (slog.Default() when nil).
+func NewRouter(logger *slog.Logger) *Router {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &Router{mux: http.NewServeMux(), lat: NewLatencySet(), logger: logger}
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+// Latency exposes the per-route latency accumulator for /metrics and
+// /statusz rendering.
+func (rt *Router) Latency() *LatencySet { return rt.lat }
+
+// Handle registers pattern behind the middleware; route is the stable label
+// used for latency histograms and request logs ("/v1/jobs/{id}", not the
+// concrete path).
+func (rt *Router) Handle(pattern, route string, h http.HandlerFunc) {
+	rt.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		corr, fromTrace := requestCorr(r)
+		if fromTrace {
+			w.Header().Set(traceparentHeader, "00-"+corr+"-"+randomHex(8)+"-01")
+		}
+		w.Header().Set(corrHeader, corr)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, withCorr(r, corr))
+		elapsed := time.Since(start)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		rt.lat.Observe(route, start, elapsed)
+		rt.logger.Info("request",
+			"corr", corr,
+			"route", route,
+			"method", r.Method,
+			"status", status,
+			"dur_ms", jobcore.DurMS(elapsed),
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// HandleRaw registers a handler with no middleware (pprof and other
+// stdlib-owned endpoints that manage their own headers).
+func (rt *Router) HandleRaw(pattern string, h http.HandlerFunc) {
+	rt.mux.HandleFunc(pattern, h)
+}
+
+// Redirect maps a deprecated unprefixed route onto its /v1/ successor with
+// a 308 (method- and body-preserving) redirect. The Deprecation and Link
+// headers announce the sunset so clients can migrate before the alias is
+// dropped next release.
+func (rt *Router) Redirect(from, to string) {
+	rt.mux.HandleFunc(from, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+to+`>; rel="successor-version"`)
+		http.Redirect(w, r, to, http.StatusPermanentRedirect)
+	})
+}
+
+// WriteJSON writes v as an indented JSON response with the given status.
+// Encode errors are reported to the caller (the connection is usually gone;
+// most handlers ignore them).
+func WriteJSON(w http.ResponseWriter, status int, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// WriteError writes the v1 typed error envelope, stamping the request's
+// correlation ID so the failure can be joined against logs and obs events.
+func WriteError(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
+	_ = WriteJSON(w, status, serveclient.ErrorEnvelope{Error: serveclient.ErrorDetail{
+		Code:          code,
+		Message:       msg,
+		CorrelationID: ReqCorr(r),
+	}})
+}
+
+// SetRetryAfter sets the backpressure hint on a 429/503 response, rounded
+// up to at least one second (the header carries integral seconds).
+func SetRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}

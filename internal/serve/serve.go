@@ -1,25 +1,29 @@
-// Package serve is the characterization service layer: a long-running
-// HTTP/JSON front end over latchchar.Engine for the paper's library-scale
-// workload — every register of every standard-cell library, at every PVT
-// corner, queried repeatedly by downstream STA tools.
+// Package serve is the single-node HTTP transport of the characterization
+// service: routing, the v1 wire codec, middleware and telemetry over the
+// transport-agnostic job core (internal/serve/jobcore), which owns the
+// queue, coalescing, result cache and drain semantics. The cluster
+// coordinator (internal/serve/cluster) reuses the same Router, error
+// envelope and latency plumbing, and forwards to nodes running this server.
 //
-// The server adds what the engine lacks for traffic: singleflight request
-// coalescing (N concurrent identical requests run one characterization and
-// fan the result out to all waiters), an LRU result cache keyed like the
-// engine's calibration cache, a bounded job queue with backpressure (429 +
-// Retry-After when full), per-job server-side timeouts, and graceful drain
-// (new requests get 503 while queued and in-flight jobs complete; past the
-// drain deadline they return partial contours as canceled jobs).
+// Endpoints (all under the /v1/ prefix; the wire schema is defined in the
+// public serveclient package and documented as a stable contract in
+// DESIGN.md §14):
 //
-// Endpoints:
-//
-//	POST /v1/characterize   one job (async 202 + job id, or "wait": true)
-//	POST /v1/batch          one engine batch with warm-start grouping
+//	POST /v1/characterize     one job (async 202 + job id, or "wait": true)
+//	POST /v1/batch            one engine batch with warm-start grouping
 //	GET  /v1/jobs/{id}        job status + result
 //	GET  /v1/jobs/{id}/events NDJSON live event stream (obs schema v1)
-//	GET  /healthz           liveness (503 while draining)
-//	GET  /metrics           Prometheus text: serve + engine + obs counters
-//	GET  /debug/pprof/      standard Go profiling handlers
+//	GET  /v1/healthz          liveness (503 while draining)
+//	GET  /v1/metrics          Prometheus text: serve + engine + obs counters
+//	GET  /v1/statusz          rolling-window JSON status
+//	GET  /debug/pprof/        standard Go profiling handlers
+//
+// The pre-v1 routes /healthz, /metrics and /statusz answer one more release
+// as 308 redirects onto their /v1/ successors, with Deprecation headers.
+// Every non-2xx response (outside the documented failed-wait-job case)
+// carries the typed error envelope {"error": {code, message,
+// correlation_id}}, and every backpressure rejection (429 queue-full, 503
+// draining) carries Retry-After.
 package serve
 
 import (
@@ -31,40 +35,32 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
-	"os"
-	"path/filepath"
-	"strconv"
-	"sync"
 	"time"
 
 	"latchchar"
 	"latchchar/internal/obs"
-	"latchchar/internal/sched"
+	"latchchar/internal/serve/jobcore"
+	"latchchar/serveclient"
 )
 
-// Config configures a Server.
+// Config configures a Server. Core fields are forwarded to jobcore.Config;
+// RetryAfter is transport-level (the backpressure header hint).
 type Config struct {
-	// Engine runs the characterizations (required). The server never
-	// bypasses it: every job draws a pool worker and shares the calibration
-	// LRU.
+	// Engine runs the characterizations (required).
 	Engine *latchchar.Engine
 	// QueueDepth bounds accepted-but-unfinished jobs (default 64). A full
 	// queue rejects with 429 + Retry-After.
 	QueueDepth int
 	// Workers bounds concurrently running jobs (default: the engine's
-	// parallelism). The engine pool bounds simulation concurrency either
-	// way; this bounds how many jobs hold a queue slot as "running".
+	// parallelism).
 	Workers int
 	// JobTimeout is the server-side per-job deadline (default 10 min;
-	// negative disables). Timed-out jobs return partial contours as
-	// canceled.
+	// negative disables).
 	JobTimeout time.Duration
 	// ResultCacheSize bounds the result LRU in entries (default 128;
-	// negative disables). Only fully successful single-job results are
-	// cached.
+	// negative disables).
 	ResultCacheSize int
-	// MaxJobs bounds retained job records (default 1024); the oldest
-	// finished records are evicted first.
+	// MaxJobs bounds retained job records (default 1024).
 	MaxJobs int
 	// RetryAfter is the backpressure hint on 429/503 responses (default 2s).
 	RetryAfter time.Duration
@@ -73,429 +69,125 @@ type Config struct {
 	ProgressInterval time.Duration
 	// Logf logs serving events (default log.Printf).
 	Logf func(format string, args ...any)
-	// Logger receives structured request and job-lifecycle logs, every line
-	// stamped with the request's correlation ID (default slog.Default()).
-	// The daemon installs a JSON handler here.
+	// Logger receives structured request and job-lifecycle logs (default
+	// slog.Default()). The daemon installs a JSON handler here.
 	Logger *slog.Logger
-	// DumpDir, when non-empty, receives flight-recorder post-mortem dumps
-	// (flight-<jobid>.jsonl) for jobs that fail, time out or are canceled.
+	// DumpDir, when non-empty, receives flight-recorder post-mortem dumps.
 	DumpDir string
 	// FlightRecorderSize bounds each job's flight-recorder ring in events
 	// (default obs.DefaultRecorderCapacity; negative disables recording).
 	FlightRecorderSize int
-	// RuntimeSampleInterval is the runtime self-telemetry cadence feeding
-	// /statusz, /metrics and live job event streams (default 10s; negative
-	// disables the sampler).
+	// RuntimeSampleInterval is the runtime self-telemetry cadence (default
+	// 10s; negative disables the sampler).
 	RuntimeSampleInterval time.Duration
+	// MockJobTime, when positive, replaces solver work with a fixed
+	// synthetic service time (see jobcore.Config.MockJobTime). Load-test
+	// only.
+	MockJobTime time.Duration
 }
 
-func (c Config) withDefaults() Config {
-	if c.QueueDepth <= 0 {
-		c.QueueDepth = 64
-	}
-	if c.Workers <= 0 {
-		c.Workers = c.Engine.Parallelism()
-	}
-	if c.JobTimeout == 0 {
-		c.JobTimeout = 10 * time.Minute
-	}
-	if c.ResultCacheSize == 0 {
-		c.ResultCacheSize = 128
-	}
-	if c.MaxJobs <= 0 {
-		c.MaxJobs = 1024
-	}
-	if c.RetryAfter <= 0 {
-		c.RetryAfter = 2 * time.Second
-	}
-	if c.ProgressInterval <= 0 {
-		c.ProgressInterval = 250 * time.Millisecond
-	}
-	if c.Logf == nil {
-		c.Logf = log.Printf
-	}
-	if c.Logger == nil {
-		c.Logger = slog.Default()
-	}
-	if c.FlightRecorderSize == 0 {
-		c.FlightRecorderSize = obs.DefaultRecorderCapacity
-	}
-	if c.RuntimeSampleInterval == 0 {
-		c.RuntimeSampleInterval = 10 * time.Second
-	}
-	return c
-}
-
-// Server is the characterization service. Construct with New; it implements
-// http.Handler. Stop with Drain (graceful) and/or Close.
+// Server is the single-node characterization service. Construct with New;
+// it implements http.Handler. Stop with Drain (graceful) and/or Close.
 type Server struct {
-	cfg        Config
-	eng        *latchchar.Engine
-	mux        *http.ServeMux
-	base       context.Context
-	baseCancel context.CancelFunc
-	queue      chan *job
-	wg         sync.WaitGroup
-	started    time.Time
-	sampStop   chan struct{}
-
-	mu       sync.Mutex
-	draining bool
-	nextID   uint64
-	jobs     map[string]*job
-	order    []string // job ids in creation order, for record eviction
-	inflight map[string]*job
-	results  *sched.LRU[string, *job]
-
-	met metrics
-	agg obsAgg
-	lat latencySet
-
-	rtMu    sync.Mutex
-	rtStats obs.RuntimeStats
-	rtAt    time.Time
+	cfg  Config
+	core *jobcore.Core
+	rt   *Router
 }
 
-// New starts a server: its workers pull jobs from the bounded queue and run
-// them on cfg.Engine. The caller owns the engine's lifetime.
+// New starts a server over a fresh job core.
 func New(cfg Config) (*Server, error) {
 	if cfg.Engine == nil {
 		return nil, fmt.Errorf("serve: Config.Engine must be set")
 	}
-	cfg = cfg.withDefaults()
-	base, cancel := context.WithCancel(context.Background())
-	s := &Server{
-		cfg:        cfg,
-		eng:        cfg.Engine,
-		base:       base,
-		baseCancel: cancel,
-		queue:      make(chan *job, cfg.QueueDepth),
-		started:    time.Now(),
-		sampStop:   make(chan struct{}),
-		jobs:       make(map[string]*job),
-		inflight:   make(map[string]*job),
-		results:    sched.NewLRU[string, *job](max(cfg.ResultCacheSize, 0)),
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 2 * time.Second
 	}
-	s.agg.init()
-	s.lat.init()
-	s.mux = http.NewServeMux()
-	s.handle("POST /v1/characterize", "/v1/characterize", s.handleCharacterize)
-	s.handle("POST /v1/batch", "/v1/batch", s.handleBatch)
-	s.handle("GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJob)
-	s.handle("GET /v1/jobs/{id}/events", "/v1/jobs/{id}/events", s.handleJobEvents)
-	s.handle("GET /healthz", "/healthz", s.handleHealthz)
-	s.handle("GET /metrics", "/metrics", s.handleMetrics)
-	s.handle("GET /statusz", "/statusz", s.handleStatusz)
-	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
-	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
-	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
-	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
-	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-	s.wg.Add(cfg.Workers)
-	for i := 0; i < cfg.Workers; i++ {
-		go s.worker()
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
 	}
-	if cfg.RuntimeSampleInterval > 0 {
-		s.sampleRuntime() // /statusz and /metrics have a sample from the start
-		s.wg.Add(1)
-		go s.runtimeSampler()
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
 	}
+	core, err := jobcore.New(jobcore.Config{
+		Engine:                cfg.Engine,
+		QueueDepth:            cfg.QueueDepth,
+		Workers:               cfg.Workers,
+		JobTimeout:            cfg.JobTimeout,
+		ResultCacheSize:       cfg.ResultCacheSize,
+		MaxJobs:               cfg.MaxJobs,
+		ProgressInterval:      cfg.ProgressInterval,
+		Logf:                  cfg.Logf,
+		Logger:                cfg.Logger,
+		DumpDir:               cfg.DumpDir,
+		FlightRecorderSize:    cfg.FlightRecorderSize,
+		RuntimeSampleInterval: cfg.RuntimeSampleInterval,
+		MockJobTime:           cfg.MockJobTime,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, core: core, rt: NewRouter(cfg.Logger)}
+	s.rt.Handle("POST /v1/characterize", "/v1/characterize", s.handleCharacterize)
+	s.rt.Handle("POST /v1/batch", "/v1/batch", s.handleBatch)
+	s.rt.Handle("GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJob)
+	s.rt.Handle("GET /v1/jobs/{id}/events", "/v1/jobs/{id}/events", s.handleJobEvents)
+	s.rt.Handle("GET /v1/healthz", "/v1/healthz", s.handleHealthz)
+	s.rt.Handle("GET /v1/metrics", "/v1/metrics", s.handleMetrics)
+	s.rt.Handle("GET /v1/statusz", "/v1/statusz", s.handleStatusz)
+	// Deprecated pre-v1 aliases, one release of 308s before removal.
+	s.rt.Redirect("/healthz", "/v1/healthz")
+	s.rt.Redirect("/metrics", "/v1/metrics")
+	s.rt.Redirect("/statusz", "/v1/statusz")
+	s.rt.HandleRaw("GET /debug/pprof/", pprof.Index)
+	s.rt.HandleRaw("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.rt.HandleRaw("GET /debug/pprof/profile", pprof.Profile)
+	s.rt.HandleRaw("GET /debug/pprof/symbol", pprof.Symbol)
+	s.rt.HandleRaw("GET /debug/pprof/trace", pprof.Trace)
 	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.rt.ServeHTTP(w, r) }
+
+// Core exposes the underlying job core (tests and embedders).
+func (s *Server) Core() *jobcore.Core { return s.core }
 
 // Drain stops accepting new work (requests get 503 + Retry-After) and waits
-// for queued and running jobs to finish. If ctx expires first, in-flight
-// characterizations are canceled — they record partial contours as canceled
-// jobs — and Drain still waits for the workers to wind down before
-// returning the context error. Drain is idempotent.
-func (s *Server) Drain(ctx context.Context) error {
-	s.mu.Lock()
-	if !s.draining {
-		s.draining = true
-		close(s.queue)    // workers finish the buffered jobs, then exit
-		close(s.sampStop) // runtime sampler winds down with them
-	}
-	s.mu.Unlock()
-	done := make(chan struct{})
-	go func() {
-		s.wg.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-		return nil
-	case <-ctx.Done():
-		s.baseCancel()
-		<-done
-		return ctx.Err()
-	}
-}
+// for queued and running jobs to finish; see jobcore.Core.Drain.
+func (s *Server) Drain(ctx context.Context) error { return s.core.Drain(ctx) }
 
-// Close cancels everything immediately: equivalent to a drain whose
-// deadline already passed.
-func (s *Server) Close() {
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
-	_ = s.Drain(ctx)
-}
+// Close cancels everything immediately.
+func (s *Server) Close() { s.core.Close() }
 
 // Draining reports whether the server has stopped accepting work.
-func (s *Server) Draining() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.draining
-}
+func (s *Server) Draining() bool { return s.core.Draining() }
 
-// submitErr distinguishes the two rejection modes.
-type submitErr struct {
-	status int
-	msg    string
-}
-
-func (e *submitErr) Error() string { return e.msg }
-
-// submit coalesces or enqueues a single-characterization job. The returned
-// job is either a cached finished job (cached=true), an in-flight job the
-// request attached to, or a freshly queued one.
-func (s *Server) submit(key, corr string, cell *latchchar.Cell, opts latchchar.Options, noCache bool) (j *job, cached bool, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.draining {
-		s.met.rejectedDraining.Add(1)
-		return nil, false, &submitErr{http.StatusServiceUnavailable, "server is draining"}
-	}
-	if !noCache {
-		if hit, ok := s.results.Get(key); ok {
-			s.met.cacheHits.Add(1)
-			return hit, true, nil
-		}
-	}
-	if fl := s.inflight[key]; fl != nil {
-		fl.mu.Lock()
-		fl.coalesced++
-		fl.mu.Unlock()
-		s.met.coalesced.Add(1)
-		return fl, false, nil
-	}
-	j = s.newJobLocked(key, corr)
-	j.cell, j.opts = cell, opts
-	select {
-	case s.queue <- j:
-	default:
-		s.dropJobLocked(j)
-		s.met.rejectedFull.Add(1)
-		return nil, false, &submitErr{http.StatusTooManyRequests, "job queue is full"}
-	}
-	s.inflight[key] = j
-	return j, false, nil
-}
-
-// submitBatch enqueues a batch job (no coalescing; warm-start grouping
-// happens inside the engine batch).
-func (s *Server) submitBatch(jobs []latchchar.Job, corr string) (*job, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.draining {
-		s.met.rejectedDraining.Add(1)
-		return nil, &submitErr{http.StatusServiceUnavailable, "server is draining"}
-	}
-	j := s.newJobLocked("", corr)
-	j.batch = jobs
-	select {
-	case s.queue <- j:
-	default:
-		s.dropJobLocked(j)
-		s.met.rejectedFull.Add(1)
-		return nil, &submitErr{http.StatusTooManyRequests, "job queue is full"}
-	}
-	return j, nil
-}
-
-// newJobLocked creates and registers a job record, evicting the oldest
-// finished records past MaxJobs. Callers hold s.mu.
-func (s *Server) newJobLocked(key, corr string) *job {
-	s.nextID++
-	id := fmt.Sprintf("j%08d", s.nextID)
-	j := newJob(id, key, corr, s.cfg.ProgressInterval, s.cfg.FlightRecorderSize)
-	s.jobs[id] = j
-	s.order = append(s.order, id)
-	for len(s.order) > s.cfg.MaxJobs {
-		victim := s.jobs[s.order[0]]
-		if victim == nil {
-			s.order = s.order[1:]
-			continue
-		}
-		select {
-		case <-victim.done:
-			delete(s.jobs, victim.id)
-			s.order = s.order[1:]
-		default:
-			// Oldest record still live: stop evicting, the window grows
-			// temporarily instead of dropping unfinished work.
-			return j
-		}
-	}
-	return j
-}
-
-func (s *Server) dropJobLocked(j *job) {
-	delete(s.jobs, j.id)
-	if len(s.order) > 0 && s.order[len(s.order)-1] == j.id {
-		s.order = s.order[:len(s.order)-1]
-	}
-}
-
-func (s *Server) lookup(id string) *job {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.jobs[id]
-}
-
-// worker pulls jobs until the queue closes on drain.
-func (s *Server) worker() {
-	defer s.wg.Done()
-	for j := range s.queue {
-		s.runJob(j)
-	}
-}
-
-// runJob executes one job end to end: engine run, state transition, result
-// caching, observability fold, failure dump, and the done broadcast.
-func (s *Server) runJob(j *job) {
-	ctx := s.base
-	if s.cfg.JobTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
-		defer cancel()
-	}
-	j.setRunning()
-	s.cfg.Logger.Info("job started", "corr", j.corr, "job", j.id,
-		"batch", j.batch != nil, "queued_ms", durMS(time.Since(j.created)))
-	if j.batch != nil {
-		for i := range j.batch {
-			j.batch[i].Opts.Obs = j.run
-		}
-		j.completeBatch(s.eng.CharacterizeBatch(ctx, j.batch))
-	} else {
-		opts := j.opts
-		opts.Obs = j.run
-		res, err := s.eng.Characterize(ctx, j.cell, opts)
-		j.complete(res, err)
-	}
-	s.mu.Lock()
-	if s.inflight[j.key] == j {
-		delete(s.inflight, j.key)
-	}
-	j.mu.Lock()
-	state := j.state
-	j.mu.Unlock()
-	if j.batch == nil && state == stateDone && j.key != "" {
-		s.results.Put(j.key, j)
-	}
-	s.mu.Unlock()
-	switch state {
-	case stateDone:
-		s.met.jobsDone.Add(1)
-	case stateCanceled:
-		s.met.jobsCanceled.Add(1)
-	default:
-		s.met.jobsFailed.Add(1)
-	}
-	s.agg.fold(j.run.Summary())
-	if err := j.run.Close(); err != nil {
-		s.cfg.Logf("serve: job %s: closing obs run: %v", j.id, err)
-	}
-	j.mu.Lock()
-	jobErr := j.err
-	runMS := durMS(j.finished.Sub(j.started))
-	j.mu.Unlock()
-	if state == stateDone {
-		s.cfg.Logger.Info("job finished", "corr", j.corr, "job", j.id,
-			"state", state, "run_ms", runMS)
-	} else {
-		s.cfg.Logger.Warn("job finished", "corr", j.corr, "job", j.id,
-			"state", state, "run_ms", runMS, "error", errString(jobErr))
-		if path, err := s.dumpFlight(j, state, jobErr); err != nil {
-			s.cfg.Logger.Error("flight dump failed", "corr", j.corr, "job", j.id, "error", err.Error())
-		} else if path != "" {
-			s.cfg.Logger.Info("flight dump written", "corr", j.corr, "job", j.id, "path", path)
-		}
-	}
-	close(j.done)
-}
-
-func errString(err error) string {
-	if err == nil {
-		return ""
-	}
-	return err.Error()
-}
-
-// dumpFlight writes the job's flight-recorder post-mortem to DumpDir and
-// returns the path ("" when dumping is disabled). The dump carries the
-// recorded event window plus a structured error event — for convergence
-// failures the corrector iterate ring and the step schedule tried.
-func (s *Server) dumpFlight(j *job, state string, jobErr error) (string, error) {
-	if s.cfg.DumpDir == "" || j.rec == nil {
-		return "", nil
-	}
-	reason := state
-	if state == stateCanceled && errors.Is(jobErr, context.DeadlineExceeded) {
-		reason = "timeout"
-	}
-	if err := os.MkdirAll(s.cfg.DumpDir, 0o755); err != nil {
-		return "", err
-	}
-	path := filepath.Join(s.cfg.DumpDir, "flight-"+j.id+".jsonl")
-	f, err := os.Create(path)
-	if err != nil {
-		return "", err
-	}
-	meta := obs.DumpMeta{Corr: j.corr, Job: j.id, Reason: reason, Err: errString(jobErr)}
-	werr := j.rec.WriteDump(f, meta, latchchar.FlightErrorEvent(jobErr))
-	if cerr := f.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		return "", werr
-	}
-	return path, nil
-}
+// Summary returns the server's aggregated observability counters and phase
+// stats over all finished jobs (the data behind /metrics).
+func (s *Server) Summary() obs.Summary { return s.core.Summary() }
 
 // --- HTTP handlers ---
 
 const maxBodyBytes = 8 << 20
 
 func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
-	s.met.requests.Add(1)
-	var req CharacterizeRequest
+	s.core.Counters().Requests.Add(1)
+	var req serveclient.CharacterizeRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
-	cell, err := resolveCell(&req)
+	cell, opts, key, err := jobcore.Resolve(&req)
 	if err != nil {
-		s.error(w, http.StatusBadRequest, err)
+		WriteError(w, r, http.StatusBadRequest, serveclient.CodeInvalidRequest, err.Error())
 		return
 	}
-	opts, err := req.Options.toOptions()
+	j, cached, err := s.core.Submit(key, ReqCorr(r), cell, opts, req.NoCache)
 	if err != nil {
-		s.error(w, http.StatusBadRequest, err)
-		return
-	}
-	if err := opts.Validate(); err != nil {
-		s.error(w, http.StatusBadRequest, err)
-		return
-	}
-	j, cached, err := s.submit(requestKey(&req, cell), reqCorr(r), cell, opts, req.NoCache)
-	if err != nil {
-		s.reject(w, err)
+		s.reject(w, r, err)
 		return
 	}
 	if cached {
-		st := j.status()
+		st := j.Status()
 		st.Cached = true
 		s.json(w, http.StatusOK, st)
 		return
@@ -508,37 +200,19 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	s.met.requests.Add(1)
-	var req BatchRequest
+	s.core.Counters().Requests.Add(1)
+	var req serveclient.BatchRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
-	if len(req.Jobs) == 0 {
-		s.error(w, http.StatusBadRequest, fmt.Errorf("batch needs at least one job"))
+	jobs, _, err := jobcore.ResolveBatch(&req)
+	if err != nil {
+		WriteError(w, r, http.StatusBadRequest, serveclient.CodeInvalidRequest, err.Error())
 		return
 	}
-	jobs := make([]latchchar.Job, len(req.Jobs))
-	for i := range req.Jobs {
-		item := &req.Jobs[i]
-		cell, err := resolveCell(&item.CharacterizeRequest)
-		if err != nil {
-			s.error(w, http.StatusBadRequest, fmt.Errorf("jobs[%d]: %w", i, err))
-			return
-		}
-		opts, err := item.Options.toOptions()
-		if err != nil {
-			s.error(w, http.StatusBadRequest, fmt.Errorf("jobs[%d]: %w", i, err))
-			return
-		}
-		if err := opts.Validate(); err != nil {
-			s.error(w, http.StatusBadRequest, fmt.Errorf("jobs[%d]: %w", i, err))
-			return
-		}
-		jobs[i] = latchchar.Job{Name: item.Name, Cell: cell, Opts: opts, Cold: item.Cold}
-	}
-	j, err := s.submitBatch(jobs, reqCorr(r))
+	j, err := s.core.SubmitBatch(jobs, ReqCorr(r))
 	if err != nil {
-		s.reject(w, err)
+		s.reject(w, r, err)
 		return
 	}
 	if req.Wait {
@@ -549,21 +223,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(r.PathValue("id"))
+	j := s.core.Lookup(r.PathValue("id"))
 	if j == nil {
-		s.error(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		WriteError(w, r, http.StatusNotFound, serveclient.CodeNotFound,
+			fmt.Sprintf("unknown job %q", r.PathValue("id")))
 		return
 	}
-	s.json(w, http.StatusOK, j.status())
+	s.json(w, http.StatusOK, j.Status())
 }
 
 // handleJobEvents streams the job's obs events as NDJSON: the full replay
 // history first, then live events until the job finishes or the client
 // disconnects.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(r.PathValue("id"))
+	j := s.core.Lookup(r.PathValue("id"))
 	if j == nil {
-		s.error(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		WriteError(w, r, http.StatusNotFound, serveclient.CodeNotFound,
+			fmt.Sprintf("unknown job %q", r.PathValue("id")))
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -575,7 +251,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
-	history, live, cancel := j.subscribe(1024)
+	history, live, cancel := j.Subscribe(1024)
 	defer cancel()
 	enc := json.NewEncoder(w)
 	for i := range history {
@@ -591,7 +267,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			flush()
-		case <-j.done:
+		case <-j.Done():
 			// Drain what the subscription buffered before done closed.
 			for {
 				select {
@@ -612,11 +288,11 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
-		s.retryAfter(w)
-		s.json(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		SetRetryAfter(w, s.cfg.RetryAfter)
+		WriteError(w, r, http.StatusServiceUnavailable, serveclient.CodeDraining, "server is draining")
 		return
 	}
-	s.json(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.json(w, http.StatusOK, serveclient.HealthStatus{Status: "ok"})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -630,7 +306,8 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
-		s.error(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		WriteError(w, r, http.StatusBadRequest, serveclient.CodeInvalidRequest,
+			fmt.Sprintf("decoding request: %v", err))
 		return false
 	}
 	return true
@@ -638,13 +315,15 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
 
 // waitAndRespond blocks until the job finishes (200/500 with the full
 // status) or the client gives up (the job keeps running; other waiters and
-// pollers still get it).
-func (s *Server) waitAndRespond(w http.ResponseWriter, r *http.Request, j *job) {
+// pollers still get it). A failed wait-job deliberately returns the
+// JobStatus body, not the error envelope: the job's failure is an outcome,
+// and the status carries the error string plus any partial contour.
+func (s *Server) waitAndRespond(w http.ResponseWriter, r *http.Request, j *jobcore.Job) {
 	select {
-	case <-j.done:
-		st := j.status()
+	case <-j.Done():
+		st := j.Status()
 		code := http.StatusOK
-		if st.State == stateFailed {
+		if st.State == serveclient.StateFailed {
 			code = http.StatusInternalServerError
 		}
 		s.json(w, code, st)
@@ -653,39 +332,30 @@ func (s *Server) waitAndRespond(w http.ResponseWriter, r *http.Request, j *job) 
 	}
 }
 
-func (s *Server) accepted(w http.ResponseWriter, j *job) {
-	w.Header().Set("Location", "/v1/jobs/"+j.id)
-	s.json(w, http.StatusAccepted, j.status())
+func (s *Server) accepted(w http.ResponseWriter, j *jobcore.Job) {
+	w.Header().Set("Location", "/v1/jobs/"+j.ID())
+	s.json(w, http.StatusAccepted, j.Status())
 }
 
-func (s *Server) reject(w http.ResponseWriter, err error) {
-	if se, ok := err.(*submitErr); ok {
-		s.retryAfter(w)
-		s.json(w, se.status, errorJSON{Error: se.msg})
+// reject maps a jobcore backpressure rejection onto its transport form.
+// Every backpressure response — queue-full 429 and draining 503 alike —
+// carries Retry-After.
+func (s *Server) reject(w http.ResponseWriter, r *http.Request, err error) {
+	var se *jobcore.SubmitError
+	if errors.As(err, &se) {
+		SetRetryAfter(w, s.cfg.RetryAfter)
+		if se.Reason == jobcore.ReasonDraining {
+			WriteError(w, r, http.StatusServiceUnavailable, serveclient.CodeDraining, se.Error())
+		} else {
+			WriteError(w, r, http.StatusTooManyRequests, serveclient.CodeQueueFull, se.Error())
+		}
 		return
 	}
-	s.error(w, http.StatusInternalServerError, err)
-}
-
-func (s *Server) retryAfter(w http.ResponseWriter) {
-	w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Round(time.Second)/time.Second)))
-}
-
-func (s *Server) error(w http.ResponseWriter, code int, err error) {
-	s.json(w, code, errorJSON{Error: err.Error()})
+	WriteError(w, r, http.StatusInternalServerError, serveclient.CodeInternal, err.Error())
 }
 
 func (s *Server) json(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
+	if err := WriteJSON(w, code, v); err != nil {
 		s.cfg.Logf("serve: writing response: %v", err)
 	}
 }
-
-// Summary returns the server's aggregated observability counters and phase
-// stats over all finished jobs (the data behind /metrics), for embedding
-// callers and tests.
-func (s *Server) Summary() obs.Summary { return s.agg.summary() }

@@ -5,7 +5,6 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -16,6 +15,7 @@ import (
 
 	"latchchar"
 	"latchchar/internal/obs"
+	"latchchar/serveclient"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
@@ -65,9 +65,9 @@ func TestCoalescingEightConcurrentRequests(t *testing.T) {
 		t.Skip("full characterization")
 	}
 	srv, ts := newTestServer(t, Config{})
-	req := CharacterizeRequest{
+	req := serveclient.CharacterizeRequest{
 		Cell:    "tspc",
-		Options: OptionsRequest{Points: 3},
+		Options: serveclient.OptionsRequest{Points: 3},
 		Wait:    true,
 	}
 	const n = 8
@@ -85,16 +85,16 @@ func TestCoalescingEightConcurrentRequests(t *testing.T) {
 	}
 	wg.Wait()
 
-	var want JobStatus
+	var want serveclient.JobStatus
 	for i := 0; i < n; i++ {
 		if codes[i] != http.StatusOK {
 			t.Fatalf("request %d: status %d: %s", i, codes[i], bodies[i])
 		}
-		var st JobStatus
+		var st serveclient.JobStatus
 		if err := json.Unmarshal(bodies[i], &st); err != nil {
 			t.Fatalf("request %d: %v", i, err)
 		}
-		if st.State != stateDone {
+		if st.State != serveclient.StateDone {
 			t.Fatalf("request %d: state %q (error %q)", i, st.State, st.Error)
 		}
 		if st.Result == nil || len(st.Result.Contour) == 0 {
@@ -116,7 +116,8 @@ func TestCoalescingEightConcurrentRequests(t *testing.T) {
 		t.Errorf("characterize span count = %d, want 1", got)
 	}
 	// The other seven either attached in-flight or hit the result cache.
-	co, ch := srv.met.coalesced.Load(), srv.met.cacheHits.Load()
+	met := srv.Core().Counters()
+	co, ch := met.Coalesced.Load(), met.ResultCacheHits.Load()
 	if co+ch != n-1 {
 		t.Errorf("coalesced=%d cacheHits=%d, want sum %d", co, ch, n-1)
 	}
@@ -126,7 +127,7 @@ func TestCoalescingEightConcurrentRequests(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("cached request: status %d", resp.StatusCode)
 	}
-	var st JobStatus
+	var st serveclient.JobStatus
 	if err := json.Unmarshal(body, &st); err != nil {
 		t.Fatal(err)
 	}
@@ -134,19 +135,20 @@ func TestCoalescingEightConcurrentRequests(t *testing.T) {
 		t.Error("follow-up request not served from the result cache")
 	}
 
-	// The metrics endpoint exposes the folded obs counters by name.
+	// The metrics endpoint exposes the folded obs counters by name (via the
+	// deprecated alias, which 308s to /v1/metrics).
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
-	met, _ := io.ReadAll(resp.Body)
+	met2, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	for _, want := range []string{
 		"calibrations_reused",
 		"latchchard_requests_total",
 		"latchchard_phase_characterize_count_total 1",
 	} {
-		if !strings.Contains(string(met), want) {
+		if !strings.Contains(string(met2), want) {
 			t.Errorf("/metrics missing %q", want)
 		}
 	}
@@ -182,7 +184,8 @@ func TestCoalescingEightConcurrentRequests(t *testing.T) {
 }
 
 // A drain must finish the queued jobs while new requests get 503 +
-// Retry-After, and healthz must flip to draining.
+// Retry-After + a typed draining envelope, and healthz must flip to
+// draining.
 func TestDrainCompletesQueuedRejectsNew(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full characterizations")
@@ -197,14 +200,14 @@ func TestDrainCompletesQueuedRejectsNew(t *testing.T) {
 	// Two distinct jobs: with one worker the second waits in the queue.
 	var ids []string
 	for _, points := range []int{2, 3} {
-		resp, body := postJSON(t, ts.URL+"/v1/characterize", CharacterizeRequest{
+		resp, body := postJSON(t, ts.URL+"/v1/characterize", serveclient.CharacterizeRequest{
 			Cell:    "tspc",
-			Options: OptionsRequest{Points: points},
+			Options: serveclient.OptionsRequest{Points: points},
 		})
 		if resp.StatusCode != http.StatusAccepted {
 			t.Fatalf("status %d: %s", resp.StatusCode, body)
 		}
-		var st JobStatus
+		var st serveclient.JobStatus
 		if err := json.Unmarshal(body, &st); err != nil {
 			t.Fatal(err)
 		}
@@ -217,18 +220,34 @@ func TestDrainCompletesQueuedRejectsNew(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 
-	// New work is refused while the queued jobs keep running.
-	resp, body := postJSON(t, ts.URL+"/v1/characterize", CharacterizeRequest{
-		Cell: "tspc", Options: OptionsRequest{Points: 4},
+	// New work is refused while the queued jobs keep running: 503, a
+	// Retry-After hint, and the typed draining code.
+	resp, body := postJSON(t, ts.URL+"/v1/characterize", serveclient.CharacterizeRequest{
+		Cell: "tspc", Options: serveclient.OptionsRequest{Points: 4},
 	})
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("during drain: status %d: %s", resp.StatusCode, body)
 	}
 	if resp.Header.Get("Retry-After") == "" {
-		t.Error("503 without Retry-After")
+		t.Error("draining 503 without Retry-After")
 	}
-	if hc, _ := http.Get(ts.URL + "/healthz"); hc.StatusCode != http.StatusServiceUnavailable {
+	var env serveclient.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != serveclient.CodeDraining {
+		t.Errorf("draining envelope = %s (err %v), want code %q", body, err, serveclient.CodeDraining)
+	}
+	if env.Error.CorrelationID == "" {
+		t.Error("draining envelope missing correlation_id")
+	}
+	hc, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc.Body.Close()
+	if hc.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("healthz during drain: %d", hc.StatusCode)
+	}
+	if hc.Header.Get("Retry-After") == "" {
+		t.Error("draining healthz without Retry-After")
 	}
 
 	if err := <-drained; err != nil {
@@ -241,11 +260,11 @@ func TestDrainCompletesQueuedRejectsNew(t *testing.T) {
 		}
 		b, _ := io.ReadAll(r.Body)
 		r.Body.Close()
-		var st JobStatus
+		var st serveclient.JobStatus
 		if err := json.Unmarshal(b, &st); err != nil {
 			t.Fatal(err)
 		}
-		if st.State != stateDone {
+		if st.State != serveclient.StateDone {
 			t.Errorf("job %s after drain: state %q (error %q)", id, st.State, st.Error)
 		}
 		if st.Result == nil || len(st.Result.Contour) == 0 {
@@ -254,99 +273,54 @@ func TestDrainCompletesQueuedRejectsNew(t *testing.T) {
 	}
 }
 
-// blockingCell returns a cell whose Build blocks until release is closed,
-// pinning a job inside the engine without burning simulation time.
-func blockingCell(name string, release <-chan struct{}) *latchchar.Cell {
-	return &latchchar.Cell{Name: name, Build: func() (*latchchar.Instance, error) {
-		<-release
-		return nil, errors.New("released")
-	}}
-}
+// A full queue must reject with 429, a Retry-After hint, and the typed
+// queue_full envelope — exercised end to end over HTTP using the mock job
+// mode to pin the single worker deterministically.
+func TestQueueFullBackpressureHTTP(t *testing.T) {
+	srv, ts := newTestServer(t, Config{
+		Workers:     1,
+		QueueDepth:  1,
+		MockJobTime: 2 * time.Second,
+	})
 
-// A full queue rejects with 429 and frees the slot again once a job drains.
-func TestQueueFullBackpressure(t *testing.T) {
-	eng, err := latchchar.NewEngine(latchchar.EngineOptions{Parallelism: 1})
-	if err != nil {
+	post := func(points int) (*http.Response, []byte) {
+		return postJSON(t, ts.URL+"/v1/characterize", serveclient.CharacterizeRequest{
+			Cell: "tspc", Options: serveclient.OptionsRequest{Points: points},
+		})
+	}
+	// Job 1 occupies the worker; wait until it actually runs so job 2
+	// deterministically fills the single queue slot.
+	resp, body := post(2)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job 1: status %d: %s", resp.StatusCode, body)
+	}
+	var st serveclient.JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(eng.Close)
-	srv, _ := newTestServer(t, Config{Engine: eng, Workers: 1, QueueDepth: 1})
-
-	release := make(chan struct{})
-	submit := func(key string) (*job, error) {
-		j, cached, err := srv.submit(key, "", blockingCell(key, release), latchchar.Options{}, false)
-		if cached {
-			t.Fatalf("unexpected cache hit for %s", key)
-		}
-		return j, err
-	}
-	a, err := submit("a")
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Wait until the single worker holds job a, so job b occupies the one
-	// queue slot deterministically.
-	for {
-		if st := a.status(); st.State == stateRunning {
-			break
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Core().Snapshot().QueueDepth != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("job 1 never left the queue")
 		}
 		time.Sleep(time.Millisecond)
 	}
-	b, err := submit("b")
-	if err != nil {
-		t.Fatal(err)
+	if resp, body = post(3); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job 2: status %d: %s", resp.StatusCode, body)
 	}
-	_, err = submit("c")
-	var se *submitErr
-	if !errors.As(err, &se) || se.status != http.StatusTooManyRequests {
-		t.Fatalf("third submit: %v, want 429", err)
+	resp, body = post(4)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("job 3: status %d, want 429: %s", resp.StatusCode, body)
 	}
-
-	close(release)
-	<-a.done
-	<-b.done
-	// Both blocked jobs failed their build — but they freed the queue.
-	if st := a.status(); st.State != stateFailed {
-		t.Errorf("job a: state %q", st.State)
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("queue-full 429 without Retry-After")
 	}
-	if srv.met.rejectedFull.Load() != 1 {
-		t.Errorf("rejectedFull = %d", srv.met.rejectedFull.Load())
+	var env serveclient.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != serveclient.CodeQueueFull {
+		t.Errorf("queue-full envelope = %s (err %v), want code %q", body, err, serveclient.CodeQueueFull)
 	}
-	if _, err := submit("d"); err != nil {
-		t.Errorf("submit after drain of queue: %v", err)
-	}
-}
-
-// Identical concurrent submissions coalesce at the submit layer too (unit
-// version of the HTTP test, no simulations involved).
-func TestSubmitCoalescesInflight(t *testing.T) {
-	eng, err := latchchar.NewEngine(latchchar.EngineOptions{Parallelism: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(eng.Close)
-	srv, _ := newTestServer(t, Config{Engine: eng, Workers: 1})
-
-	release := make(chan struct{})
-	first, _, err := srv.submit("k", "", blockingCell("k", release), latchchar.Options{}, false)
-	if err != nil {
-		t.Fatal(err)
-	}
-	second, cached, err := srv.submit("k", "", blockingCell("k", release), latchchar.Options{}, false)
-	if err != nil || cached {
-		t.Fatalf("second submit: cached=%v err=%v", cached, err)
-	}
-	if second != first {
-		t.Error("identical submission did not coalesce onto the in-flight job")
-	}
-	if st := first.status(); st.Coalesced != 1 {
-		t.Errorf("coalesced = %d", st.Coalesced)
-	}
-	close(release)
-	<-first.done
-	// Failed jobs must not populate the result cache.
-	if _, ok := srv.results.Get("k"); ok {
-		t.Error("failed job cached")
+	if srv.Core().Counters().RejectedFull.Load() != 1 {
+		t.Errorf("RejectedFull = %d", srv.Core().Counters().RejectedFull.Load())
 	}
 }
 
@@ -357,18 +331,18 @@ func TestBatchEndpoint(t *testing.T) {
 		t.Skip("full characterizations")
 	}
 	_, ts := newTestServer(t, Config{})
-	req := BatchRequest{
+	req := serveclient.BatchRequest{
 		Wait: true,
-		Jobs: []BatchJobRequest{
-			{Name: "lead", CharacterizeRequest: CharacterizeRequest{Cell: "tspc", Options: OptionsRequest{Points: 3}}},
-			{Name: "follow", CharacterizeRequest: CharacterizeRequest{Cell: "tspc", Options: OptionsRequest{Points: 3}}},
+		Jobs: []serveclient.BatchJobRequest{
+			{Name: "lead", CharacterizeRequest: serveclient.CharacterizeRequest{Cell: "tspc", Options: serveclient.OptionsRequest{Points: 3}}},
+			{Name: "follow", CharacterizeRequest: serveclient.CharacterizeRequest{Cell: "tspc", Options: serveclient.OptionsRequest{Points: 3}}},
 		},
 	}
 	resp, body := postJSON(t, ts.URL+"/v1/batch", req)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var st JobStatus
+	var st serveclient.JobStatus
 	if err := json.Unmarshal(body, &st); err != nil {
 		t.Fatal(err)
 	}
@@ -385,6 +359,8 @@ func TestBatchEndpoint(t *testing.T) {
 	}
 }
 
+// Every rejection must carry the v1 typed error envelope with a closed-set
+// code and the request's correlation ID.
 func TestRequestValidation(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	cases := []struct {
@@ -412,69 +388,68 @@ func TestRequestValidation(t *testing.T) {
 		if resp.StatusCode != tc.code {
 			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.code, b)
 		}
-		var e errorJSON
-		if err := json.Unmarshal(b, &e); err != nil || e.Error == "" {
+		var env serveclient.ErrorEnvelope
+		if err := json.Unmarshal(b, &env); err != nil {
 			t.Errorf("%s: malformed error body %q", tc.name, b)
+			continue
+		}
+		if env.Error.Code != serveclient.CodeInvalidRequest {
+			t.Errorf("%s: code %q, want %q", tc.name, env.Error.Code, serveclient.CodeInvalidRequest)
+		}
+		if env.Error.Message == "" || env.Error.CorrelationID == "" {
+			t.Errorf("%s: incomplete envelope %s", tc.name, b)
 		}
 	}
 
-	if resp, err := http.Get(ts.URL + "/v1/jobs/nope"); err != nil || resp.StatusCode != http.StatusNotFound {
-		t.Errorf("unknown job: %v %v", resp.StatusCode, err)
-	} else {
+	resp, err := http.Get(ts.URL + "/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d", resp.StatusCode)
+	}
+	var env serveclient.ErrorEnvelope
+	if err := json.Unmarshal(b, &env); err != nil || env.Error.Code != serveclient.CodeNotFound {
+		t.Errorf("unknown job envelope = %s, want code %q", b, serveclient.CodeNotFound)
+	}
+}
+
+// The deprecated unprefixed routes must answer 308 with the /v1/ successor
+// and sunset headers, without executing the handler.
+func TestDeprecatedRouteRedirects(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	noFollow := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	for from, to := range map[string]string{
+		"/healthz": "/v1/healthz",
+		"/metrics": "/v1/metrics",
+		"/statusz": "/v1/statusz",
+	} {
+		resp, err := noFollow.Get(ts.URL + from)
+		if err != nil {
+			t.Fatal(err)
+		}
 		resp.Body.Close()
+		if resp.StatusCode != http.StatusPermanentRedirect {
+			t.Errorf("%s: status %d, want 308", from, resp.StatusCode)
+		}
+		if loc := resp.Header.Get("Location"); loc != to {
+			t.Errorf("%s: Location %q, want %q", from, loc, to)
+		}
+		if resp.Header.Get("Deprecation") != "true" {
+			t.Errorf("%s: missing Deprecation header", from)
+		}
+		if link := resp.Header.Get("Link"); !strings.Contains(link, `rel="successor-version"`) {
+			t.Errorf("%s: Link %q missing successor-version", from, link)
+		}
 	}
 }
 
 func TestConfigRequiresEngine(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Error("nil engine accepted")
-	}
-}
-
-func TestRequestKeyStability(t *testing.T) {
-	cell, err := latchchar.CellByName("tspc")
-	if err != nil {
-		t.Fatal(err)
-	}
-	r1 := &CharacterizeRequest{Cell: "tspc", Options: OptionsRequest{Points: 3}}
-	r2 := &CharacterizeRequest{Cell: "tspc", Options: OptionsRequest{Points: 3}, Wait: true, NoCache: true}
-	if requestKey(r1, cell) != requestKey(r2, cell) {
-		t.Error("wait/no_cache must not affect the coalescing key")
-	}
-	r3 := &CharacterizeRequest{Cell: "tspc", Options: OptionsRequest{Points: 4}}
-	if requestKey(r1, cell) == requestKey(r3, cell) {
-		t.Error("different options share a key")
-	}
-	if !strings.HasPrefix(requestKey(r1, cell), "v1:") {
-		t.Error("key missing version prefix")
-	}
-}
-
-func TestFastPathOptionMapping(t *testing.T) {
-	opts, err := OptionsRequest{FastPath: true}.toOptions()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !opts.Eval.Chord || !opts.Eval.DeviceBypass {
-		t.Errorf("fast_path must enable both chord and device bypass, got Chord=%v DeviceBypass=%v",
-			opts.Eval.Chord, opts.Eval.DeviceBypass)
-	}
-	opts, err = OptionsRequest{}.toOptions()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if opts.Eval.Chord || opts.Eval.DeviceBypass {
-		t.Error("fast path must stay off by default")
-	}
-	cell, err := latchchar.CellByName("tspc")
-	if err != nil {
-		t.Fatal(err)
-	}
-	// fast_path selects a different inner loop — it must not coalesce with
-	// exact-path requests.
-	exact := &CharacterizeRequest{Cell: "tspc", Options: OptionsRequest{Points: 3}}
-	fast := &CharacterizeRequest{Cell: "tspc", Options: OptionsRequest{Points: 3, FastPath: true}}
-	if requestKey(exact, cell) == requestKey(fast, cell) {
-		t.Error("fast_path requests share a coalescing key with exact requests")
 	}
 }

@@ -4,130 +4,48 @@ import (
 	"net/http"
 	"time"
 
-	"latchchar/internal/obs"
+	"latchchar/internal/serve/jobcore"
+	"latchchar/serveclient"
 )
 
-// /statusz: the human- and autoscaler-facing JSON snapshot — rolling latency
-// quantiles over 1m/5m windows, queue and drain state, cache hit rates, and
-// the latest runtime self-telemetry sample. /metrics keeps the full
-// since-start distributions; /statusz answers "how is it doing right now".
-
-// statusWindows are the rolling quantile windows reported on /statusz.
-var statusWindows = []time.Duration{time.Minute, 5 * time.Minute}
-
-// StatusZ is the /statusz response body.
-type StatusZ struct {
-	UptimeMS float64 `json:"uptime_ms"`
-	Draining bool    `json:"draining"`
-
-	QueueDepth   int `json:"queue_depth"`
-	QueueCap     int `json:"queue_cap"`
-	InflightKeys int `json:"inflight_keys"`
-	Workers      int `json:"workers"`
-
-	Requests     int64 `json:"requests"`
-	JobsDone     int64 `json:"jobs_done"`
-	JobsFailed   int64 `json:"jobs_failed"`
-	JobsCanceled int64 `json:"jobs_canceled"`
-	Coalesced    int64 `json:"coalesced"`
-
-	ResultCacheHits       int64 `json:"result_cache_hits"`
-	CalibrationCacheHits  int64 `json:"calibration_cache_hits"`
-	CalibrationCacheMisses int64 `json:"calibration_cache_misses"`
-
-	// Latency carries rolling p50/p95/p99 per route, one entry per
-	// (route, window) pair with samples in the window.
-	Latency []RouteQuantiles `json:"latency"`
-
-	Runtime *RuntimeJSON `json:"runtime,omitempty"`
-}
-
-// RuntimeJSON is the latest runtime self-telemetry sample.
-type RuntimeJSON struct {
-	Goroutines   int     `json:"goroutines"`
-	HeapBytes    uint64  `json:"heap_bytes"`
-	GCPauseMS    float64 `json:"gc_pause_total_ms"`
-	SchedP99US   float64 `json:"sched_latency_p99_us"`
-	SampledAgoMS float64 `json:"sampled_ago_ms"`
-}
+// /v1/statusz: the human- and autoscaler-facing JSON snapshot — rolling
+// latency quantiles over 1m/5m windows, queue and drain state, cache hit
+// rates, and the latest runtime self-telemetry sample. /v1/metrics keeps the
+// full since-start distributions; /v1/statusz answers "how is it doing right
+// now". The wire type is serveclient.StatusZ.
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	now := time.Now()
-	s.mu.Lock()
-	queued := len(s.queue)
-	inflight := len(s.inflight)
-	draining := s.draining
-	s.mu.Unlock()
-	hits, misses := s.eng.CacheStats()
-	st := StatusZ{
-		UptimeMS:     durMS(now.Sub(s.started)),
-		Draining:     draining,
-		QueueDepth:   queued,
-		QueueCap:     s.cfg.QueueDepth,
-		InflightKeys: inflight,
-		Workers:      s.cfg.Workers,
+	snap := s.core.Snapshot()
+	met := s.core.Counters()
+	st := serveclient.StatusZ{
+		UptimeMS:     jobcore.DurMS(now.Sub(s.core.Started())),
+		Draining:     snap.Draining,
+		QueueDepth:   snap.QueueDepth,
+		QueueCap:     snap.QueueCap,
+		InflightKeys: snap.InflightKeys,
+		Workers:      snap.Workers,
 
-		Requests:     s.met.requests.Load(),
-		JobsDone:     s.met.jobsDone.Load(),
-		JobsFailed:   s.met.jobsFailed.Load(),
-		JobsCanceled: s.met.jobsCanceled.Load(),
-		Coalesced:    s.met.coalesced.Load(),
+		Requests:     met.Requests.Load(),
+		JobsDone:     met.JobsDone.Load(),
+		JobsFailed:   met.JobsFailed.Load(),
+		JobsCanceled: met.JobsCanceled.Load(),
+		Coalesced:    met.Coalesced.Load(),
 
-		ResultCacheHits:        s.met.cacheHits.Load(),
-		CalibrationCacheHits:   hits,
-		CalibrationCacheMisses: misses,
+		ResultCacheHits:        met.ResultCacheHits.Load(),
+		CalibrationCacheHits:   snap.CalibrationCacheHits,
+		CalibrationCacheMisses: snap.CalibrationCacheMisses,
 
-		Latency: []RouteQuantiles{},
+		Latency: s.rt.Latency().WindowQuantiles(now),
 	}
-	for _, win := range statusWindows {
-		st.Latency = append(st.Latency, s.lat.quantiles(now, win)...)
-	}
-	s.rtMu.Lock()
-	if !s.rtAt.IsZero() {
-		st.Runtime = &RuntimeJSON{
-			Goroutines:   s.rtStats.Goroutines,
-			HeapBytes:    s.rtStats.HeapBytes,
-			GCPauseMS:    float64(s.rtStats.GCPauseNs) / 1e6,
-			SchedP99US:   float64(s.rtStats.SchedP99Ns) / 1e3,
-			SampledAgoMS: durMS(now.Sub(s.rtAt)),
+	if rt, at := s.core.RuntimeStats(); !at.IsZero() {
+		st.Runtime = &serveclient.RuntimeJSON{
+			Goroutines:   rt.Goroutines,
+			HeapBytes:    rt.HeapBytes,
+			GCPauseMS:    float64(rt.GCPauseNs) / 1e6,
+			SchedP99US:   float64(rt.SchedP99Ns) / 1e3,
+			SampledAgoMS: jobcore.DurMS(now.Sub(at)),
 		}
 	}
-	s.rtMu.Unlock()
 	s.json(w, http.StatusOK, st)
-}
-
-// runtimeSampler periodically reads the Go runtime and (a) publishes the
-// sample for /statusz and /metrics, (b) emits a runtime event into every
-// live job's obs stream so a streamed trace shows the saturation it ran
-// under. Exits when Drain closes sampStop.
-func (s *Server) runtimeSampler() {
-	defer s.wg.Done()
-	t := time.NewTicker(s.cfg.RuntimeSampleInterval)
-	defer t.Stop()
-	for {
-		select {
-		case <-t.C:
-			s.sampleRuntime()
-		case <-s.sampStop:
-			return
-		}
-	}
-}
-
-func (s *Server) sampleRuntime() {
-	st := obs.ReadRuntimeStats()
-	s.rtMu.Lock()
-	s.rtStats, s.rtAt = st, time.Now()
-	s.rtMu.Unlock()
-	s.mu.Lock()
-	runs := make([]*obs.Run, 0, len(s.inflight))
-	for _, j := range s.inflight {
-		runs = append(runs, j.run)
-	}
-	s.mu.Unlock()
-	// Outside s.mu: Run.Runtime takes the collector lock, which event
-	// subscribers (job.capture) run under.
-	for _, r := range runs {
-		r.Runtime(st)
-	}
 }

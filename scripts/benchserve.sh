@@ -1,0 +1,100 @@
+#!/bin/sh
+# benchserve.sh — regenerate BENCH_serve.json: the serving-layer scaling
+# curve (throughput + latency percentiles vs worker count).
+#
+# Methodology: each worker runs latchchard in mock-job mode (-mock-job,
+# default 25ms synthetic service time), so the measurement isolates the
+# serving layer — queueing, coalescing, consistent-hash forwarding, stream
+# proxying — from solver arithmetic. On a single-CPU host real
+# characterizations would serialize on the ALU and no serving topology could
+# show scaling; a fixed per-job service time makes the worker count the only
+# variable. For each N in WORKER_COUNTS the script boots N workers plus a
+# coordinator, pushes a closed-loop hot-cell mix through cmd/latchload, and
+# upserts the report into BENCH_serve.json keyed by (label, workers).
+#
+# Usage: scripts/benchserve.sh            # from the repo root, or `make benchserve`
+#   WORKER_COUNTS="1 2 4" DURATION=5s CLIENTS=12 MOCK_JOB=25ms scripts/benchserve.sh
+set -eu
+
+GO=${GO:-go}
+# Defaults are tuned for a small (single-CPU) host: a 100ms service time
+# keeps the op rate low enough that per-op serving CPU (JSON, sha256,
+# proxying) stays negligible next to service time, and 64 hot shapes spread
+# far enough over the ring that per-worker load balances statistically.
+# Shorter MOCK_JOB values measure rate-proportional serving overhead instead
+# of topology scaling and flatten the curve.
+WORKER_COUNTS=${WORKER_COUNTS:-"1 2 4"}
+DURATION=${DURATION:-5s}
+CLIENTS=${CLIENTS:-24}
+MOCK_JOB=${MOCK_JOB:-100ms}
+HOT_CELLS=${HOT_CELLS:-64}
+BATCH_SIZE=${BATCH_SIZE:-8}
+MIX=${MIX:-"hot=0.8,cold=0.2"}
+OUT=${OUT:-BENCH_serve.json}
+NOTE="mock-job service time ${MOCK_JOB}; closed-loop ${CLIENTS} clients, ${MIX} mix over ${HOT_CELLS} hot cells, hot requests no_cache (each op pays service time on its ring owner, still coalescing concurrent duplicates); measures serving-layer scaling (queueing, forwarding, coalescing), not solver speed"
+
+WORKDIR=$(mktemp -d)
+BIN="$WORKDIR/latchchard"
+LOAD="$WORKDIR/latchload"
+PIDS=""
+
+cleanup() {
+    # shellcheck disable=SC2086
+    [ -n "$PIDS" ] && kill $PIDS 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT INT TERM
+
+echo "benchserve: building latchchard and latchload" >&2
+$GO build -o "$BIN" ./cmd/latchchard
+$GO build -o "$LOAD" ./cmd/latchload
+
+# wait_addr FILE — block until a daemon writes its listen address.
+wait_addr() {
+    i=0
+    while [ ! -s "$1" ]; do
+        i=$((i + 1))
+        [ $i -gt 300 ] && { echo "benchserve: daemon never wrote $1" >&2; exit 1; }
+        sleep 0.05
+    done
+    cat "$1"
+}
+
+for n in $WORKER_COUNTS; do
+    echo "benchserve: workers=$n" >&2
+    PIDS=""
+    workers=""
+    w=0
+    while [ $w -lt "$n" ]; do
+        w=$((w + 1))
+        af="$WORKDIR/w$n.$w.addr"
+        rm -f "$af"
+        "$BIN" -addr 127.0.0.1:0 -addrfile "$af" -mock-job "$MOCK_JOB" -log-level off &
+        PIDS="$PIDS $!"
+        addr=$(wait_addr "$af")
+        workers="${workers:+$workers,}$addr"
+    done
+
+    caf="$WORKDIR/c$n.addr"
+    rm -f "$caf"
+    "$BIN" -mode coordinator -addr 127.0.0.1:0 -addrfile "$caf" \
+        -workers "$workers" -health-interval 250ms -log-level off &
+    PIDS="$PIDS $!"
+    coord=$(wait_addr "$caf")
+
+    # A short unrecorded warmup settles health polls and connection pools.
+    "$LOAD" -target "http://$coord" -duration 1s -clients "$CLIENTS" \
+        -mix "$MIX" -hot-cells "$HOT_CELLS" -batch-size "$BATCH_SIZE" -hot-no-cache >/dev/null
+
+    "$LOAD" -target "http://$coord" -duration "$DURATION" -clients "$CLIENTS" \
+        -mix "$MIX" -hot-cells "$HOT_CELLS" -batch-size "$BATCH_SIZE" -hot-no-cache \
+        -label hot-mix -workers "$n" -bench-out "$OUT" -bench-note "$NOTE"
+
+    # shellcheck disable=SC2086
+    kill $PIDS 2>/dev/null || true
+    wait 2>/dev/null || true
+    PIDS=""
+done
+
+echo "benchserve: wrote $OUT" >&2

@@ -1,0 +1,248 @@
+package serveclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// maxBodyBytes bounds how much of a response body the client reads: large
+// enough for any contour result, small enough that a misbehaving endpoint
+// cannot exhaust memory.
+const maxBodyBytes = 32 << 20
+
+// Client is a typed client for the latchchard v1 API. The zero value is not
+// usable; construct with New. All methods are context-first and propagate a
+// traceparent or correlation ID attached to the context via WithTraceparent /
+// WithCorrelationID, so a coordinator forwarding a request keeps the caller's
+// trace joined across hops.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles). The default client has no global timeout —
+// characterization jobs with wait=true legitimately run minutes; bound calls
+// with the context instead.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a Client for a daemon base URL such as "http://127.0.0.1:8080".
+// A bare host:port is accepted and defaults to http.
+func New(baseURL string, opts ...Option) *Client {
+	if baseURL != "" && !strings.Contains(baseURL, "://") {
+		baseURL = "http://" + baseURL
+	}
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: &http.Client{}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// BaseURL returns the normalized base URL the client targets.
+func (c *Client) BaseURL() string { return c.base }
+
+// ctxKey namespaces context values owned by this package.
+type ctxKey int
+
+const (
+	traceparentKey ctxKey = iota
+	correlationKey
+)
+
+// WithTraceparent attaches a W3C traceparent header value to the context;
+// requests made with that context carry it, and the daemon adopts the
+// trace-id as the request's correlation ID.
+func WithTraceparent(ctx context.Context, traceparent string) context.Context {
+	return context.WithValue(ctx, traceparentKey, traceparent)
+}
+
+// WithCorrelationID attaches a plain X-Correlation-Id to the context, for
+// callers that have a correlation ID that is not a 32-hex trace-id.
+func WithCorrelationID(ctx context.Context, corr string) context.Context {
+	return context.WithValue(ctx, correlationKey, corr)
+}
+
+// Characterize submits one characterization. With req.Wait it blocks until
+// the job finishes and the returned status is terminal; otherwise the status
+// is the accepted (queued/cached) snapshot and the caller polls or streams.
+// A failed wait-job is returned as a JobStatus with State=StateFailed, not an
+// error: transport and protocol failures are errors, job outcomes are status.
+func (c *Client) Characterize(ctx context.Context, req *CharacterizeRequest) (*JobStatus, error) {
+	return c.jobCall(ctx, http.MethodPost, "/v1/characterize", req)
+}
+
+// Batch submits a batch of jobs, mirroring Characterize's wait semantics.
+func (c *Client) Batch(ctx context.Context, req *BatchRequest) (*JobStatus, error) {
+	return c.jobCall(ctx, http.MethodPost, "/v1/batch", req)
+}
+
+// Job fetches the current status of a job by ID.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	return c.jobCall(ctx, http.MethodGet, "/v1/jobs/"+id, nil)
+}
+
+// Poll fetches the job status until it reaches a terminal state, waiting
+// interval between fetches (a non-positive interval defaults to 100ms).
+// It returns the terminal status, or the context error if ctx ends first.
+func (c *Client) Poll(ctx context.Context, id string, interval time.Duration) (*JobStatus, error) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Statusz fetches the single-node status document.
+func (c *Client) Statusz(ctx context.Context) (*StatusZ, error) {
+	var st StatusZ
+	if err := c.getJSON(ctx, "/v1/statusz", &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// ClusterStatusz fetches the coordinator status document.
+func (c *Client) ClusterStatusz(ctx context.Context) (*ClusterStatusZ, error) {
+	var st ClusterStatusZ
+	if err := c.getJSON(ctx, "/v1/statusz", &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Healthz probes liveness; nil means the daemon answered 200.
+func (c *Client) Healthz(ctx context.Context) error {
+	var hs HealthStatus
+	return c.getJSON(ctx, "/v1/healthz", &hs)
+}
+
+// Metrics fetches the Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
+	resp, err := c.roundTrip(ctx, http.MethodGet, "/v1/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("serveclient: read metrics: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, parseAPIError(resp.StatusCode, resp.Header.Get("Retry-After"), body)
+	}
+	return body, nil
+}
+
+// roundTrip builds and performs one request with trace propagation. The
+// caller owns resp.Body.
+func (c *Client) roundTrip(ctx context.Context, method, path string, payload any) (*http.Response, error) {
+	var body io.Reader
+	if payload != nil {
+		buf, err := json.Marshal(payload)
+		if err != nil {
+			return nil, fmt.Errorf("serveclient: encode %s: %w", path, err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, fmt.Errorf("serveclient: build %s: %w", path, err)
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if tp, _ := ctx.Value(traceparentKey).(string); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
+	if corr, _ := ctx.Value(correlationKey).(string); corr != "" {
+		req.Header.Set("X-Correlation-Id", corr)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("serveclient: %s %s: %w", method, path, err)
+	}
+	return resp, nil
+}
+
+// jobCall performs a request whose success body is a JobStatus. The server
+// returns a JobStatus for failed wait-jobs too (job outcome, not protocol
+// error), so the decode is shape-driven: a body with an "id" is a status
+// regardless of HTTP code; anything else non-2xx is an APIError.
+func (c *Client) jobCall(ctx context.Context, method, path string, payload any) (*JobStatus, error) {
+	resp, err := c.roundTrip(ctx, method, path, payload)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("serveclient: read %s: %w", path, err)
+	}
+	var probe struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &probe); err == nil && probe.ID != "" {
+		var st JobStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			return nil, fmt.Errorf("serveclient: decode %s: %w", path, err)
+		}
+		return &st, nil
+	}
+	if resp.StatusCode/100 == 2 {
+		return nil, fmt.Errorf("serveclient: %s returned %d with no job status", path, resp.StatusCode)
+	}
+	return nil, parseAPIError(resp.StatusCode, resp.Header.Get("Retry-After"), body)
+}
+
+// getJSON fetches path and strict-decodes a JSON document into out.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	resp, err := c.roundTrip(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return fmt.Errorf("serveclient: read %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return parseAPIError(resp.StatusCode, resp.Header.Get("Retry-After"), body)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("serveclient: decode %s: %w", path, err)
+	}
+	return nil
+}
+
+// IsNotFound reports whether err is a v1 not_found error.
+func IsNotFound(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && (ae.Code == CodeNotFound || ae.StatusCode == http.StatusNotFound)
+}

@@ -1,0 +1,103 @@
+package serveclient
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Error codes carried by the v1 error envelope. The set is closed: servers
+// must not invent codes outside this list, so clients can switch on them.
+const (
+	// CodeInvalidRequest — the request body failed validation (HTTP 400).
+	CodeInvalidRequest = "invalid_request"
+	// CodeNotFound — no such job or route (HTTP 404).
+	CodeNotFound = "not_found"
+	// CodeQueueFull — the job queue is at capacity; retry after the
+	// Retry-After interval (HTTP 429).
+	CodeQueueFull = "queue_full"
+	// CodeDraining — the daemon is shutting down and rejects new work;
+	// retry against another node after Retry-After (HTTP 503).
+	CodeDraining = "draining"
+	// CodeUpstreamUnavailable — a cluster coordinator exhausted its retry
+	// budget against the worker ring (HTTP 503).
+	CodeUpstreamUnavailable = "upstream_unavailable"
+	// CodeInternal — an unexpected server-side failure (HTTP 500).
+	CodeInternal = "internal"
+)
+
+// ErrorEnvelope is the body of every non-2xx v1 response:
+//
+//	{"error": {"code": "queue_full", "message": "...", "correlation_id": "..."}}
+type ErrorEnvelope struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail is the typed error inside the envelope.
+type ErrorDetail struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is a human-readable description; not a stable contract.
+	Message string `json:"message"`
+	// CorrelationID echoes the request's correlation ID so the failure can
+	// be joined against daemon logs and obs events.
+	CorrelationID string `json:"correlation_id"`
+}
+
+// APIError is the client-side form of a non-2xx response. It preserves the
+// HTTP status, the envelope fields and any Retry-After hint.
+type APIError struct {
+	StatusCode    int
+	Code          string
+	Message       string
+	CorrelationID string
+	// RetryAfter is the server's backoff hint (zero when absent).
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "latchchard: HTTP %d", e.StatusCode)
+	if e.Code != "" {
+		fmt.Fprintf(&b, " %s", e.Code)
+	}
+	if e.Message != "" {
+		fmt.Fprintf(&b, ": %s", e.Message)
+	}
+	if e.CorrelationID != "" {
+		fmt.Fprintf(&b, " (corr %s)", e.CorrelationID)
+	}
+	return b.String()
+}
+
+// Temporary reports whether the error is a backpressure condition worth
+// retrying (queue full, draining, upstream unavailable).
+func (e *APIError) Temporary() bool {
+	switch e.Code {
+	case CodeQueueFull, CodeDraining, CodeUpstreamUnavailable:
+		return true
+	}
+	return e.StatusCode == 429 || e.StatusCode == 503 || e.StatusCode == 502
+}
+
+// parseAPIError builds an APIError from a non-2xx response body. Bodies that
+// are not a valid envelope (e.g. from a proxy in front of the daemon) degrade
+// to CodeInternal with the raw body as message.
+func parseAPIError(status int, retryAfter string, body []byte) *APIError {
+	ae := &APIError{StatusCode: status, Code: CodeInternal}
+	var env ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
+		ae.Code = env.Error.Code
+		ae.Message = env.Error.Message
+		ae.CorrelationID = env.Error.CorrelationID
+	} else {
+		ae.Message = strings.TrimSpace(string(body))
+	}
+	if retryAfter != "" {
+		if secs, err := time.ParseDuration(retryAfter + "s"); err == nil {
+			ae.RetryAfter = secs
+		}
+	}
+	return ae
+}

@@ -1,0 +1,115 @@
+package serveclient
+
+// StatusZ is the body of GET /v1/statusz on a single-node daemon (and of
+// each worker snapshot inside a coordinator's ClusterStatusZ).
+type StatusZ struct {
+	UptimeMS float64 `json:"uptime_ms"`
+	Draining bool    `json:"draining"`
+
+	QueueDepth   int `json:"queue_depth"`
+	QueueCap     int `json:"queue_cap"`
+	InflightKeys int `json:"inflight_keys"`
+	Workers      int `json:"workers"`
+
+	Requests     int64 `json:"requests"`
+	JobsDone     int64 `json:"jobs_done"`
+	JobsFailed   int64 `json:"jobs_failed"`
+	JobsCanceled int64 `json:"jobs_canceled"`
+	Coalesced    int64 `json:"coalesced"`
+
+	ResultCacheHits        int64 `json:"result_cache_hits"`
+	CalibrationCacheHits   int64 `json:"calibration_cache_hits"`
+	CalibrationCacheMisses int64 `json:"calibration_cache_misses"`
+
+	// Latency carries rolling p50/p95/p99 per route, one entry per
+	// (route, window) pair with samples in the window.
+	Latency []RouteQuantiles `json:"latency"`
+
+	Runtime *RuntimeJSON `json:"runtime,omitempty"`
+}
+
+// RouteQuantiles is the rolling-window latency summary of one route.
+type RouteQuantiles struct {
+	Route  string  `json:"route"`
+	Window string  `json:"window"`
+	Count  int     `json:"count"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// RuntimeJSON is the latest runtime self-telemetry sample.
+type RuntimeJSON struct {
+	Goroutines   int     `json:"goroutines"`
+	HeapBytes    uint64  `json:"heap_bytes"`
+	GCPauseMS    float64 `json:"gc_pause_total_ms"`
+	SchedP99US   float64 `json:"sched_latency_p99_us"`
+	SampledAgoMS float64 `json:"sampled_ago_ms"`
+}
+
+// Worker health states as reported in ClusterStatusZ.
+const (
+	WorkerUp       = "up"
+	WorkerDraining = "draining"
+	WorkerDown     = "down"
+)
+
+// ClusterStatusZ is the body of GET /v1/statusz on a cluster coordinator:
+// ring and forwarding state plus a fleet aggregate folded from the latest
+// health poll of every worker.
+type ClusterStatusZ struct {
+	UptimeMS float64 `json:"uptime_ms"`
+	Draining bool    `json:"draining"`
+
+	WorkersConfigured int `json:"workers_configured"`
+	WorkersUp         int `json:"workers_up"`
+	WorkersDraining   int `json:"workers_draining"`
+	WorkersDown       int `json:"workers_down"`
+	RingSlots         int `json:"ring_slots"`
+	TrackedJobs       int `json:"tracked_jobs"`
+
+	Requests        int64 `json:"requests"`
+	Forwards        int64 `json:"forwards"`
+	ForwardRetries  int64 `json:"forward_retries"`
+	ForwardFailures int64 `json:"forward_failures"`
+	Rehashes        int64 `json:"rehashes"`
+	StreamEvents    int64 `json:"stream_events"`
+
+	// Aggregate sums the job counters of the latest successful statusz poll
+	// of every non-down worker.
+	Aggregate ClusterAggregate `json:"aggregate"`
+
+	// WorkerList holds one entry per configured worker, sorted by address.
+	WorkerList []WorkerStatusZ `json:"workers"`
+
+	// Latency carries the coordinator's own rolling route quantiles.
+	Latency []RouteQuantiles `json:"latency"`
+}
+
+// ClusterAggregate is the fleet-wide sum of worker job counters.
+type ClusterAggregate struct {
+	QueueDepth      int   `json:"queue_depth"`
+	InflightKeys    int   `json:"inflight_keys"`
+	Requests        int64 `json:"requests"`
+	JobsDone        int64 `json:"jobs_done"`
+	JobsFailed      int64 `json:"jobs_failed"`
+	JobsCanceled    int64 `json:"jobs_canceled"`
+	Coalesced       int64 `json:"coalesced"`
+	ResultCacheHits int64 `json:"result_cache_hits"`
+}
+
+// WorkerStatusZ is one worker's health entry in ClusterStatusZ.
+type WorkerStatusZ struct {
+	Addr string `json:"addr"`
+	// State is WorkerUp, WorkerDraining or WorkerDown.
+	State string `json:"state"`
+	// ConsecutiveFailures counts statusz polls failed in a row.
+	ConsecutiveFailures int `json:"consecutive_failures,omitempty"`
+	// LastPollMS is milliseconds since the last successful poll (0 = never).
+	LastPollMS float64 `json:"last_poll_ms,omitempty"`
+	// InFlight is the coordinator's current forwarded-request count.
+	InFlight int `json:"in_flight"`
+	// StatusZ is the worker's last successful /v1/statusz snapshot.
+	StatusZ *StatusZ `json:"statusz,omitempty"`
+}

@@ -1,0 +1,77 @@
+package serveclient
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxEventBytes bounds one NDJSON event line. Events are small (schema v1
+// caps point payloads), but a bound keeps a corrupted stream from ballooning
+// the scanner buffer.
+const maxEventBytes = 1 << 20
+
+// EventStream is a live NDJSON subscription to one job's obs events
+// (GET /v1/jobs/{id}/events). The stream replays the job's buffered history
+// and then follows live events until the job closes its run. Always Close a
+// stream, even after Next returns false.
+type EventStream struct {
+	body io.ReadCloser
+	sc   *bufio.Scanner
+	err  error
+	n    int
+}
+
+// Stream subscribes to a job's event stream. The returned stream is bound to
+// ctx: canceling it terminates Next with ctx's error.
+func (c *Client) Stream(ctx context.Context, id string) (*EventStream, error) {
+	resp, err := c.roundTrip(ctx, http.MethodGet, "/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+		resp.Body.Close()
+		return nil, parseAPIError(resp.StatusCode, resp.Header.Get("Retry-After"), body)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), maxEventBytes)
+	return &EventStream{body: resp.Body, sc: sc}, nil
+}
+
+// Next returns the next event line. ok=false means the stream ended: check
+// Err to distinguish a clean end-of-stream from a transport failure. Blank
+// lines are skipped; each returned message is one complete JSON event.
+func (s *EventStream) Next() (event json.RawMessage, ok bool) {
+	if s.err != nil {
+		return nil, false
+	}
+	for s.sc.Scan() {
+		line := s.sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if !json.Valid(line) {
+			s.err = fmt.Errorf("serveclient: event %d is not valid JSON", s.n)
+			return nil, false
+		}
+		s.n++
+		out := make(json.RawMessage, len(line))
+		copy(out, line)
+		return out, true
+	}
+	s.err = s.sc.Err()
+	return nil, false
+}
+
+// Count returns how many events Next has yielded.
+func (s *EventStream) Count() int { return s.n }
+
+// Err returns the terminal error, nil after a clean end-of-stream.
+func (s *EventStream) Err() error { return s.err }
+
+// Close releases the underlying connection.
+func (s *EventStream) Close() error { return s.body.Close() }
