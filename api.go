@@ -2,6 +2,7 @@ package latchchar
 
 import (
 	"context"
+	"fmt"
 	"io"
 
 	"latchchar/internal/core"
@@ -80,6 +81,22 @@ type LibertyOptions = liberty.Options
 // interdependent pair table as a vendor-extension group.
 func ExportLiberty(w io.Writer, cellName string, res *Result, opts LibertyOptions) error {
 	return liberty.Export(w, cellName, res.Contour, res.Calibration, opts)
+}
+
+// ExportLibertySigma writes a Liberty cell fragment for the restrictive
+// sigma corner of a variance-aware Monte-Carlo run: the inner band edge
+// (nominal + mean + level·σ along each probe normal) stands in for the
+// contour, so the emitted constraints and pair table guarantee the timing at
+// the run's sigma level of process variation. Opts.Corner defaults to
+// "<level>sigma".
+func ExportLibertySigma(w io.Writer, cellName string, mc *MCResult, opts LibertyOptions) error {
+	if mc == nil || mc.Sigma == nil || mc.Sigma.Inner == nil {
+		return fmt.Errorf("latchchar: liberty sigma export needs a result with sigma contours")
+	}
+	if opts.Corner == "" {
+		opts.Corner = fmt.Sprintf("%gsigma", mc.Sigma.Level)
+	}
+	return liberty.Export(w, cellName, mc.Sigma.Inner, mc.Nominal.Calibration, opts)
 }
 
 // Static-analysis (vet) surface. The analyzer driver in internal/vet runs a

@@ -138,6 +138,49 @@ func BenchmarkMonteCarloTSPC(b *testing.B) {
 	}
 	b.Run("mode=fast/p=1", func(b *testing.B) { run(b, 0) })
 	b.Run("mode=block8/p=1", func(b *testing.B) { run(b, 8) })
+
+	// The naive-vs-variance-aware pair at the paper's contour resolution
+	// (n = 40), where full per-sample characterizations dominate: mode=naive
+	// re-traces every sample, mode=va replaces the re-traces with warm probe
+	// solves seeded from the nominal contour. The sims metrics carry the
+	// simulations-saved regression number.
+	vaOpts := MCOptions{
+		Samples:     4,
+		Seed:        1,
+		Sampler:     SamplerLHS,
+		Parallelism: 1,
+		Characterize: Options{
+			Points:         40,
+			BothDirections: true,
+			Eval:           DefaultFastPath(),
+		},
+	}
+	b.Run("mode=naive/n=40/p=1", func(b *testing.B) {
+		var sims int
+		for i := 0; i < b.N; i++ {
+			samples := MonteCarlo(mk, DefaultProcess(), vaOpts)
+			sims = 0
+			for _, s := range samples {
+				if s.Err != nil {
+					b.Fatal(s.Err)
+				}
+				sims += s.Result.TotalSims()
+			}
+		}
+		b.ReportMetric(float64(sims), "sims")
+	})
+	b.Run("mode=va/n=40/p=1", func(b *testing.B) {
+		var sims, saved int
+		for i := 0; i < b.N; i++ {
+			mc, err := MonteCarloContours(mk, DefaultProcess(), vaOpts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sims, saved = mc.TotalSims, mc.SimsSaved
+		}
+		b.ReportMetric(float64(sims), "sims")
+		b.ReportMetric(float64(saved), "sims-saved")
+	})
 }
 
 // E10: the paper's headline — speedup of curve tracing over surface

@@ -9,14 +9,21 @@
 //
 // With -compare the tool diffs two such documents instead: benchmarks are
 // matched by package and name, ns/op is compared, and any slowdown beyond
-// -tolerance percent is a regression (exit 1, or a warning with -warn-only —
-// the mode CI uses, because its 1x smoke run is too noisy to gate on).
+// -tolerance percent is a regression (exit 1). -warn-only downgrades every
+// regression to a warning; -warn-match downgrades only benchmarks whose name
+// matches a regexp — the grace period CI gives freshly landed benchmarks
+// whose baselines have not stabilized yet, while everything else still
+// gates. -min-ns downgrades slowdowns where both sides run under the given
+// ns/op floor: a single-iteration smoke pass cannot measure a microsecond
+// kernel meaningfully, but a micro-benchmark that blows past the floor is
+// still a real regression and fails.
 //
 // Usage:
 //
 //	go test -run '^$' -bench . ./... | benchjson -o BENCH_core.json
 //	benchjson -o BENCH_core.json bench-root.txt bench-transient.txt
 //	benchjson -compare -tolerance 25 BENCH_core.json new.json
+//	benchjson -compare -warn-match 'MonteCarlo' BENCH_core.json new.json
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -52,13 +60,23 @@ func main() {
 	compare := flag.Bool("compare", false, "compare two benchjson documents: benchjson -compare old.json new.json")
 	tolerance := flag.Float64("tolerance", 20, "allowed ns/op slowdown percent before -compare reports a regression")
 	warnOnly := flag.Bool("warn-only", false, "with -compare, report regressions but exit 0 (for noisy 1x smoke runs)")
+	warnMatch := flag.String("warn-match", "", "with -compare, regexp of benchmark names whose regressions warn instead of failing (grace period for freshly landed benchmarks)")
+	minNs := flag.Float64("min-ns", 0, "with -compare, ns/op floor under which slowdowns warn instead of failing (micro-benchmarks are unmeasurable at 1x; 0 = gate everything)")
 	flag.Parse()
 	if *compare {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two documents: old.json new.json")
 			os.Exit(2)
 		}
-		regressed, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *tolerance)
+		var warnRe *regexp.Regexp
+		if *warnMatch != "" {
+			var err error
+			if warnRe, err = regexp.Compile(*warnMatch); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: -warn-match:", err)
+				os.Exit(2)
+			}
+		}
+		regressed, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *tolerance, warnRe, *minNs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
@@ -76,8 +94,9 @@ func main() {
 
 // runCompare diffs two benchjson documents on ns/op, writing one line per
 // matched benchmark. Returns whether any benchmark slowed down beyond the
-// tolerance (percent).
-func runCompare(w io.Writer, oldPath, newPath string, tolerance float64) (bool, error) {
+// tolerance (percent); benchmarks matching warnRe, and slowdowns where both
+// sides run under minNs, report as warnings without flipping the verdict.
+func runCompare(w io.Writer, oldPath, newPath string, tolerance float64, warnRe *regexp.Regexp, minNs float64) (bool, error) {
 	oldDoc, err := readDocument(oldPath)
 	if err != nil {
 		return false, err
@@ -108,8 +127,15 @@ func runCompare(w io.Writer, oldPath, newPath string, tolerance float64) (bool, 
 		deltaPct := (newNs - oldNs) / oldNs * 100
 		verdict := "ok"
 		if deltaPct > tolerance {
-			verdict = "REGRESSION"
-			regressed = true
+			switch {
+			case warnRe != nil && warnRe.MatchString(nr.Name):
+				verdict = "WARN"
+			case minNs > 0 && oldNs < minNs && newNs < minNs:
+				verdict = "WARN"
+			default:
+				verdict = "REGRESSION"
+				regressed = true
+			}
 		}
 		fmt.Fprintf(w, "%-9s %-40s %.4g -> %.4g ns/op (%+.1f%%, tolerance %.0f%%)\n",
 			verdict, nr.Name, oldNs, newNs, deltaPct, tolerance)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -89,7 +90,7 @@ func TestCompareWithinTolerance(t *testing.T) {
 		bench("latchchar", "BenchmarkTrace-8", 110e6),
 	}})
 	var sb strings.Builder
-	regressed, err := runCompare(&sb, old, new_, 20)
+	regressed, err := runCompare(&sb, old, new_, 20, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestCompareFlagsRegression(t *testing.T) {
 		bench("latchchar", "BenchmarkSteady-8", 50e6),
 	}})
 	var sb strings.Builder
-	regressed, err := runCompare(&sb, old, new_, 20)
+	regressed, err := runCompare(&sb, old, new_, 20, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestCompareReportsNewAndMissing(t *testing.T) {
 		bench("latchchar", "BenchmarkFresh-8", 5e6),
 	}})
 	var sb strings.Builder
-	regressed, err := runCompare(&sb, old, new_, 20)
+	regressed, err := runCompare(&sb, old, new_, 20, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,6 +150,85 @@ func TestCompareReportsNewAndMissing(t *testing.T) {
 	}
 }
 
+func TestCompareWarnMatchDowngrades(t *testing.T) {
+	old := writeDoc(t, "old.json", Document{Benchmarks: []Record{
+		bench("latchchar", "BenchmarkMonteCarloTSPC/mode=va-8", 100e6),
+		bench("latchchar", "BenchmarkTrace-8", 50e6),
+	}})
+	new_ := writeDoc(t, "new.json", Document{Benchmarks: []Record{
+		bench("latchchar", "BenchmarkMonteCarloTSPC/mode=va-8", 200e6),
+		bench("latchchar", "BenchmarkTrace-8", 50e6),
+	}})
+	var sb strings.Builder
+	regressed, err := runCompare(&sb, old, new_, 20, regexp.MustCompile("MonteCarlo"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("warn-matched regression flipped the verdict:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "WARN") {
+		t.Errorf("downgraded regression not reported as WARN:\n%s", sb.String())
+	}
+
+	// The same slowdown on a non-matching benchmark must still gate.
+	new2 := writeDoc(t, "new2.json", Document{Benchmarks: []Record{
+		bench("latchchar", "BenchmarkMonteCarloTSPC/mode=va-8", 100e6),
+		bench("latchchar", "BenchmarkTrace-8", 100e6),
+	}})
+	sb.Reset()
+	regressed, err = runCompare(&sb, old, new2, 20, regexp.MustCompile("MonteCarlo"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("non-matching regression not flagged:\n%s", sb.String())
+	}
+}
+
+func TestCompareMinNsFloor(t *testing.T) {
+	// A 1x smoke run cannot measure a 2 ms kernel: its slowdown warns under
+	// the floor. A macro benchmark over the floor still gates, and so does a
+	// micro-benchmark that blows past the floor.
+	old := writeDoc(t, "old.json", Document{Benchmarks: []Record{
+		bench("latchchar", "BenchmarkMicro-8", 2e6),
+		bench("latchchar", "BenchmarkMacro-8", 500e6),
+	}})
+	noisy := writeDoc(t, "noisy.json", Document{Benchmarks: []Record{
+		bench("latchchar", "BenchmarkMicro-8", 6e6),
+		bench("latchchar", "BenchmarkMacro-8", 500e6),
+	}})
+	var sb strings.Builder
+	regressed, err := runCompare(&sb, old, noisy, 20, nil, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("under-floor slowdown flipped the verdict:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "WARN") {
+		t.Errorf("under-floor slowdown not reported as WARN:\n%s", sb.String())
+	}
+
+	macro := writeDoc(t, "macro.json", Document{Benchmarks: []Record{
+		bench("latchchar", "BenchmarkMicro-8", 2e6),
+		bench("latchchar", "BenchmarkMacro-8", 900e6),
+	}})
+	sb.Reset()
+	if regressed, err = runCompare(&sb, old, macro, 20, nil, 50e6); err != nil || !regressed {
+		t.Fatalf("over-floor regression not flagged (err %v):\n%s", err, sb.String())
+	}
+
+	blown := writeDoc(t, "blown.json", Document{Benchmarks: []Record{
+		bench("latchchar", "BenchmarkMicro-8", 80e6),
+		bench("latchchar", "BenchmarkMacro-8", 500e6),
+	}})
+	sb.Reset()
+	if regressed, err = runCompare(&sb, old, blown, 20, nil, 50e6); err != nil || !regressed {
+		t.Fatalf("micro-benchmark crossing the floor not flagged (err %v):\n%s", err, sb.String())
+	}
+}
+
 func TestCompareNoOverlapIsError(t *testing.T) {
 	old := writeDoc(t, "old.json", Document{Benchmarks: []Record{
 		bench("latchchar", "BenchmarkA-8", 100e6),
@@ -157,7 +237,7 @@ func TestCompareNoOverlapIsError(t *testing.T) {
 		bench("latchchar", "BenchmarkB-8", 100e6),
 	}})
 	var sb strings.Builder
-	if _, err := runCompare(&sb, old, new_, 20); err == nil {
+	if _, err := runCompare(&sb, old, new_, 20, nil, 0); err == nil {
 		t.Fatal("disjoint documents compared without error")
 	}
 }

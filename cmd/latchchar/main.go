@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
@@ -50,6 +51,11 @@ func run(args []string) error {
 		outPath  = fs.String("o", "-", "output path (- for stdout)")
 		doVet    = fs.Bool("vet", true, "run charvet pre-flight checks and abort on error findings")
 		disable  = fs.String("disable", "", "comma-separated vet check IDs to skip")
+		mcN      = fs.Int("mc", 0, "run a variance-aware Monte-Carlo characterization over N process samples (built-in cells only; 0 = off)")
+		sampler  = fs.String("sampler", "iid", "Monte-Carlo sampling scheme: iid, lhs or sobol")
+		seed     = fs.Int64("seed", 0, "Monte-Carlo draw seed (deterministic sample set)")
+		sigma    = fs.Float64("sigma", 3, "sigma band half-width in sample standard deviations")
+		probes   = fs.Int("probes", 0, "Monte-Carlo probe points per contour (0 = default)")
 	)
 	var obsFlags cli.ObsFlags
 	obsFlags.Register(fs)
@@ -107,6 +113,20 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown method %q", *method)
 	}
+	if *mcN > 0 {
+		if *deckPath != "" {
+			return fmt.Errorf("-mc needs a built-in cell; inline netlists carry no process parameters to perturb")
+		}
+		mcOpts := latchchar.MCOptions{
+			Samples:      *mcN,
+			Seed:         *seed,
+			Sampler:      latchchar.Sampler(*sampler),
+			SigmaLevel:   *sigma,
+			Probes:       *probes,
+			Characterize: opts,
+		}
+		return runMC(cell, mcOpts, *format, *outPath, logger)
+	}
 	ev, err := latchchar.NewEvaluator(cell, opts.Eval)
 	if err != nil {
 		return err
@@ -157,5 +177,46 @@ func run(args []string) error {
 		})
 	default:
 		return fmt.Errorf("unknown format %q", *format)
+	}
+}
+
+// runMC runs the variance-aware Monte-Carlo flow and writes the restrictive
+// sigma corner — the inner band edge — in the selected format. The permissive
+// edge and the per-probe statistics ride along on stderr.
+func runMC(cell *latchchar.Cell, mcOpts latchchar.MCOptions, format, outPath string, logger *slog.Logger) error {
+	mk, err := latchchar.CellMakerByName(cell.Name, cell.Timing)
+	if err != nil {
+		return err
+	}
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	logger.Info("monte-carlo characterization starting", "cell", cell.Name,
+		"samples", mcOpts.Samples, "sampler", string(mcOpts.Sampler))
+	mc, err := latchchar.MonteCarloContoursCtx(ctx, mk, cell.Process, mcOpts)
+	if err != nil {
+		return err
+	}
+	logger.Info("monte-carlo characterization done",
+		"cell", cell.Name, "samples", len(mc.Samples), "warm", mc.WarmSamples,
+		"sims", mc.TotalSims, "sims_saved", mc.SimsSaved, "dur_ms", mc.Elapsed.Milliseconds())
+	fmt.Fprintf(os.Stderr, "cell %s: %d samples (%d warm, %d cold fallbacks), %d simulations total (%d saved vs naive)\n",
+		cell.Name, len(mc.Samples), mc.WarmSamples, mc.ColdFallbacks, mc.TotalSims, mc.SimsSaved)
+	fmt.Fprintf(os.Stderr, "%.0f-sigma band over %d probes from %d sample contours\n",
+		mc.Sigma.Level, len(mc.Sigma.Probes), mc.Sigma.Samples)
+
+	w, closeFn, err := cli.OpenOutput(outPath)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	switch format {
+	case "csv":
+		return cli.WriteContourCSV(w, mc.Sigma.Inner.Points)
+	case "json":
+		return cli.WriteContourJSON(w, mc.Sigma.Inner.Points)
+	case "lib":
+		return latchchar.ExportLibertySigma(w, cell.Name, mc, liberty.Options{Stamp: time.Now()})
+	default:
+		return fmt.Errorf("unknown format %q", format)
 	}
 }

@@ -98,6 +98,48 @@ func TestRunLibertyFormat(t *testing.T) {
 	}
 }
 
+func TestRunMonteCarloSigma(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sigma.csv")
+	err := run([]string{"-cell", "tspc", "-points", "8", "-fast", "-mc", "3",
+		"-sampler", "lhs", "-seed", "5", "-probes", "4", "-o", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 3 { // header + ≥2 covered probes
+		t.Fatalf("too few sigma-contour lines: %d", len(lines))
+	}
+
+	lib := filepath.Join(t.TempDir(), "sigma.lib")
+	err = run([]string{"-cell", "tspc", "-points", "8", "-fast", "-mc", "3",
+		"-sampler", "lhs", "-seed", "5", "-probes", "4", "-format", "lib", "-o", lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	libData, err := os.ReadFile(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(libData)
+	for _, want := range []string{"cell (tspc)", "statistical corner: 3sigma", "latchchar_interdependent_pairs"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in sigma liberty output", want)
+		}
+	}
+}
+
+func TestRunMonteCarloRejectsNetlist(t *testing.T) {
+	deck := "../../internal/vet/testdata/broken_tspc.cir"
+	err := run([]string{"-netlist", deck, "-vet=false", "-mc", "2", "-points", "3"})
+	if err == nil || !strings.Contains(err.Error(), "built-in cell") {
+		t.Errorf("netlist + -mc not rejected: %v", err)
+	}
+}
+
 func TestRunEnergyColumn(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "contour.csv")
 	err := run([]string{"-cell", "tspc", "-points", "4", "-both=false", "-energy", "-o", out})

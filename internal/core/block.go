@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math"
 
 	"latchchar/internal/num"
@@ -17,6 +18,23 @@ import (
 type BlockProblem interface {
 	Problem
 	EvalGradBlock(tauS, tauH []float64) (h, dhdS, dhdH []float64, errs []error, err error)
+}
+
+// SolveMPNRBlock is SolveMPNRBlockCtx with context.Background().
+func SolveMPNRBlock(p BlockProblem, tauS0, tauH0 []float64, opts MPNROptions) ([]MPNRResult, []error, error) {
+	return SolveMPNRBlockCtx(context.Background(), p, tauS0, tauH0, opts)
+}
+
+// SolveMPNRBlockCtx runs the Moore-Penrose corrector on a bundle of starting
+// guesses as one lockstep block-transient computation — the batch sibling of
+// SolveMPNRCtx. Per-lane outcomes land in the result and error slices
+// (errs[i] is nil iff lane i converged); the final error is reserved for
+// cancellation and invalid input.
+func SolveMPNRBlockCtx(ctx context.Context, p BlockProblem, tauS0, tauH0 []float64, opts MPNROptions) ([]MPNRResult, []error, error) {
+	if len(tauS0) != len(tauH0) {
+		return nil, nil, fmt.Errorf("core: SolveMPNRBlock needs matched seed slices, got %d and %d", len(tauS0), len(tauH0))
+	}
+	return solveMPNRBlockCtx(ctx, p, tauS0, tauH0, opts)
 }
 
 // solveMPNRBlockCtx runs the Moore-Penrose corrector on a bundle of starting

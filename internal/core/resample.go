@@ -20,19 +20,15 @@ func ResampleContour(p Problem, c *Contour, n int, opts MPNROptions) (*Contour, 
 	return ResampleContourCtx(context.Background(), p, c, n, opts)
 }
 
-// ResampleContourCtx is ResampleContour with a cancellation context; an
-// interrupted resample returns the points polished so far together with a
-// *CanceledError.
-func ResampleContourCtx(ctx context.Context, p Problem, c *Contour, n int, opts MPNROptions) (*Contour, error) {
+// resampleSeeds interpolates a traced contour onto n arc-length-uniform
+// start points — the shared front half of the scalar and block resamplers.
+func resampleSeeds(c *Contour, n int) (seedS, seedH []float64, err error) {
 	if n < 2 {
-		return nil, fmt.Errorf("core: ResampleContour needs n ≥ 2, got %d", n)
+		return nil, nil, fmt.Errorf("core: ResampleContour needs n ≥ 2, got %d", n)
 	}
 	if len(c.Points) < 2 {
-		return nil, fmt.Errorf("core: ResampleContour needs a traced contour with ≥ 2 points")
+		return nil, nil, fmt.Errorf("core: ResampleContour needs a traced contour with ≥ 2 points")
 	}
-	sp := opts.Obs.StartSpan(obs.SpanResample)
-	defer sp.End()
-	opts.Obs = sp // correctors nest under the resample span
 	// Cumulative arc length.
 	cum := make([]float64, len(c.Points))
 	for i := 1; i < len(c.Points); i++ {
@@ -41,9 +37,10 @@ func ResampleContourCtx(ctx context.Context, p Problem, c *Contour, n int, opts 
 	}
 	total := cum[len(cum)-1]
 	if total == 0 {
-		return nil, fmt.Errorf("core: contour has zero arc length")
+		return nil, nil, fmt.Errorf("core: contour has zero arc length")
 	}
-	out := &Contour{Closed: c.Closed}
+	seedS = make([]float64, n)
+	seedH = make([]float64, n)
 	seg := 1
 	for k := 0; k < n; k++ {
 		target := total * float64(k) / float64(n-1)
@@ -55,17 +52,88 @@ func ResampleContourCtx(ctx context.Context, p Problem, c *Contour, n int, opts 
 		if cum[seg] > cum[seg-1] {
 			u = (target - cum[seg-1]) / (cum[seg] - cum[seg-1])
 		}
-		s := a.TauS + u*(b.TauS-a.TauS)
-		h := a.TauH + u*(b.TauH-a.TauH)
-		res, err := SolveMPNRCtx(ctx, p, s, h, opts)
+		seedS[k] = a.TauS + u*(b.TauS-a.TauS)
+		seedH[k] = a.TauH + u*(b.TauH-a.TauH)
+	}
+	return seedS, seedH, nil
+}
+
+// ResampleContourCtx is ResampleContour with a cancellation context; an
+// interrupted resample returns the points polished so far together with a
+// *CanceledError.
+func ResampleContourCtx(ctx context.Context, p Problem, c *Contour, n int, opts MPNROptions) (*Contour, error) {
+	seedS, seedH, err := resampleSeeds(c, n)
+	if err != nil {
+		return nil, err
+	}
+	sp := opts.Obs.StartSpan(obs.SpanResample)
+	defer sp.End()
+	opts.Obs = sp // correctors nest under the resample span
+	out := &Contour{Closed: c.Closed}
+	for k := 0; k < n; k++ {
+		res, err := SolveMPNRCtx(ctx, p, seedS[k], seedH[k], opts)
 		out.GradEvals += res.GradEvals
 		if err != nil {
 			if canceled(err) {
 				return out, &CanceledError{Op: "resample", At: res.Point, Points: len(out.Points), Err: err}
 			}
-			return out, fmt.Errorf("core: resample point %d at (%.4g, %.4g): %w", k, s, h, err)
+			return out, fmt.Errorf("core: resample point %d at (%.4g, %.4g): %w", k, seedS[k], seedH[k], err)
 		}
 		out.Points = append(out.Points, res.Point)
+	}
+	return out, nil
+}
+
+// ResampleContourBlock is ResampleContourBlockCtx with context.Background().
+func ResampleContourBlock(p BlockProblem, c *Contour, n, block int, opts MPNROptions) (*Contour, error) {
+	return ResampleContourBlockCtx(context.Background(), p, c, n, block, opts)
+}
+
+// ResampleContourBlockCtx is ResampleContourCtx with the per-point MPNR
+// polish batched through the block-transient kernel: the n interpolated
+// seeds are corrected in chunks of up to block lockstep lanes, sharing
+// Jacobian factorizations and batched device evaluation exactly as the
+// block tracer does. This is the warm-start kernel of the variance-aware
+// Monte-Carlo flow — a process sample's whole probe contour is one or two
+// block solves seeded from the nominal contour. block < 2 falls back to the
+// scalar resampler.
+func ResampleContourBlockCtx(ctx context.Context, p BlockProblem, c *Contour, n, block int, opts MPNROptions) (*Contour, error) {
+	if block < 2 {
+		return ResampleContourCtx(ctx, p, c, n, opts)
+	}
+	seedS, seedH, err := resampleSeeds(c, n)
+	if err != nil {
+		return nil, err
+	}
+	sp := opts.Obs.StartSpan(obs.SpanResample)
+	defer sp.End()
+	opts.Obs = sp
+	out := &Contour{Closed: c.Closed}
+	for lo := 0; lo < n; lo += block {
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		results, errs, berr := solveMPNRBlockCtx(ctx, p, seedS[lo:hi], seedH[lo:hi], opts)
+		for i := range results {
+			out.GradEvals += results[i].GradEvals
+		}
+		if berr != nil {
+			at := results[0].Point
+			if canceled(berr) {
+				return out, &CanceledError{Op: "resample", At: at, Points: len(out.Points), Err: berr}
+			}
+			return out, fmt.Errorf("core: resample block at point %d: %w", lo, berr)
+		}
+		for i := range results {
+			if errs[i] != nil {
+				return out, fmt.Errorf("core: resample point %d at (%.4g, %.4g): %w", lo+i, seedS[lo+i], seedH[lo+i], errs[i])
+			}
+			if !results[i].Converged {
+				return out, fmt.Errorf("core: resample point %d at (%.4g, %.4g): %w", lo+i, seedS[lo+i], seedH[lo+i], ErrNoConvergence)
+			}
+			out.Points = append(out.Points, results[i].Point)
+		}
 	}
 	return out, nil
 }

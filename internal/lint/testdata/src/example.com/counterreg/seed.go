@@ -8,14 +8,21 @@ func seedComplete() map[string]int64 {
 		obs.CtrSteps:          0,
 		obs.CtrRetries:        0,
 		obs.CtrRuntimeSamples: 0,
+		obs.CtrMCWarmSeeds:    0,
+		obs.CtrMCSimsSaved:    0,
+		obs.CtrMCCVApplied:    0,
 	}
 }
 
-// Missing counters are reported on the literal.
+// Missing counters are reported on the literal — one finding per absent
+// constant, covering counters from any declaration block (the mc_* group
+// landed after the original vocabulary).
 func seedIncomplete() map[string]int64 {
-	return map[string]int64{ // want `counter pre-seed map is missing obs.CtrRetries`
+	return map[string]int64{ // want `counter pre-seed map is missing obs.CtrMCSimsSaved` `counter pre-seed map is missing obs.CtrRetries`
 		obs.CtrSteps:          0,
 		obs.CtrRuntimeSamples: 0,
+		obs.CtrMCWarmSeeds:    0,
+		obs.CtrMCCVApplied:    0,
 	}
 }
 

@@ -14,6 +14,13 @@ const (
 	CtrRuntimeSamples = "runtime_samples"
 )
 
+// Monte-Carlo flow counters, mirroring internal/obs's mc_* vocabulary.
+const (
+	CtrMCWarmSeeds = "mc_warm_seeds"
+	CtrMCSimsSaved = "mc_sims_saved"
+	CtrMCCVApplied = "mc_cv_applied"
+)
+
 type Run struct{}
 
 func (r *Run) StartSpan(name string) *Span { return &Span{} }

@@ -43,3 +43,32 @@ func validateAux(o Options) error {
 }
 
 func aux(o Options) bool { return false }
+
+// MCOptions mirrors latchchar's Monte-Carlo options: a second options struct
+// in the same package, recognized via its Validate method, whose numeric
+// fields are each covered by a validator (selector or message string) —
+// except the one that isn't.
+type MCOptions struct {
+	Samples int
+	// Any seed is a valid seed.
+	// latchlint:ignore optvalidate every int64 selects a deterministic draw sequence
+	Seed int64
+	// Mentioned only in a validator message string.
+	SigmaLevel float64
+	// Never validated.
+	Probes int // want `field MCOptions.Probes is not checked by any validator`
+	// Named types validate in their own package.
+	Scheme Mode
+}
+
+func (o MCOptions) Validate() error {
+	if o.Samples < 0 {
+		return errors.New("Samples must be ≥ 0")
+	}
+	if bad(o) {
+		return errors.New("mc: SigmaLevel must be positive")
+	}
+	return nil
+}
+
+func bad(o MCOptions) bool { return false }

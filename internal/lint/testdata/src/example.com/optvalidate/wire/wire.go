@@ -8,4 +8,10 @@ type OptionsRequest struct {
 	Block int     `json:"block,omitempty"`
 	Tol   float64 // want `field OptionsRequest.Tol has no json tag`
 	Debug bool    `json:"-"` // want `field OptionsRequest.Debug is excluded from JSON`
+	// Monte-Carlo knobs: non-numeric fields are gated too — a sampler name
+	// or seed left out of the canonical JSON would coalesce requests whose
+	// sample sets differ.
+	MCSamples int    `json:"mc_samples,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+	Sampler   string // want `field OptionsRequest.Sampler has no json tag`
 }

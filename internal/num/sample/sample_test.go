@@ -1,0 +1,211 @@
+package sample
+
+import (
+	"math"
+	"testing"
+)
+
+func points(t *testing.T, s Source, n int) [][]float64 {
+	t.Helper()
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, s.Dim())
+		s.At(i, out[i])
+	}
+	return out
+}
+
+func TestSourcesDeterministicAndOrderIndependent(t *testing.T) {
+	mk := map[string]func(seed int64) Source{
+		"iid": func(seed int64) Source { s, _ := NewIID(seed, 4); return s },
+		"lhs": func(seed int64) Source { s, _ := NewLHS(seed, 4, 64); return s },
+		"sobol": func(seed int64) Source {
+			s, _ := NewSobol(seed, 4)
+			return s
+		},
+	}
+	for name, make := range mk {
+		t.Run(name, func(t *testing.T) {
+			a := points(t, make(7), 64)
+			b := make(7)
+			// Reverse evaluation order: index addressing must make the draw
+			// order irrelevant.
+			for i := 63; i >= 0; i-- {
+				p := [4]float64{}
+				b.At(i, p[:])
+				for d := range p {
+					if p[d] != a[i][d] {
+						t.Fatalf("point %d dim %d: order-dependent draw: %v vs %v", i, d, p[d], a[i][d])
+					}
+				}
+			}
+			c := points(t, make(8), 64)
+			same := true
+			for i := range a {
+				for d := range a[i] {
+					if a[i][d] != c[i][d] {
+						same = false
+					}
+				}
+			}
+			if same {
+				t.Error("different seeds produced identical sequences")
+			}
+			for i := range a {
+				for d := range a[i] {
+					if a[i][d] < 0 || a[i][d] >= 1 {
+						t.Fatalf("point %d dim %d: %v outside [0,1)", i, d, a[i][d])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestLHSExactStratification(t *testing.T) {
+	const n = 40
+	s, err := NewLHS(3, 2, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := points(t, s, n)
+	for d := 0; d < 2; d++ {
+		hit := make([]int, n)
+		for i := range pts {
+			hit[int(pts[i][d]*n)]++
+		}
+		for stratum, c := range hit {
+			if c != 1 {
+				t.Fatalf("axis %d stratum %d hit %d times, want exactly 1", d, stratum, c)
+			}
+		}
+	}
+}
+
+func TestLHSRejectsBadShape(t *testing.T) {
+	if _, err := NewLHS(1, 0, 8); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, err := NewLHS(1, 2, 0); err == nil {
+		t.Error("n 0 accepted")
+	}
+	s, _ := NewLHS(1, 2, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-design index did not panic")
+		}
+	}()
+	var p [2]float64
+	s.At(4, p[:])
+}
+
+// Owen scrambling must preserve the net property: any prefix of 2^k points
+// hits each dyadic stratum of width 2^-k exactly once in every dimension.
+func TestSobolStratifiedPerDimension(t *testing.T) {
+	s, err := NewSobol(11, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 4 // 16 strata over the first 16 points
+	n := 1 << k
+	pts := points(t, s, n)
+	for d := 0; d < 4; d++ {
+		hit := make([]int, n)
+		for i := range pts {
+			hit[int(pts[i][d]*float64(n))]++
+		}
+		for stratum, c := range hit {
+			if c != 1 {
+				t.Fatalf("dim %d stratum %d hit %d times, want exactly 1", d, stratum, c)
+			}
+		}
+	}
+}
+
+func TestSobolBeatsIIDDiscrepancy(t *testing.T) {
+	// Star-discrepancy proxy: max deviation of the empirical CDF of the
+	// first coordinate pair over a dyadic grid of anchored boxes. The
+	// scrambled net should fill space measurably more evenly than IID.
+	disc := func(s Source, n int) float64 {
+		pts := points(t, s, n)
+		worst := 0.0
+		for gx := 1; gx <= 8; gx++ {
+			for gy := 1; gy <= 8; gy++ {
+				x, y := float64(gx)/8, float64(gy)/8
+				in := 0
+				for _, p := range pts {
+					if p[0] < x && p[1] < y {
+						in++
+					}
+				}
+				if d := math.Abs(float64(in)/float64(n) - x*y); d > worst {
+					worst = d
+				}
+			}
+		}
+		return worst
+	}
+	sb, _ := NewSobol(5, 2)
+	id, _ := NewIID(5, 2)
+	ds, di := disc(sb, 256), disc(id, 256)
+	if ds >= di {
+		t.Errorf("scrambled Sobol discrepancy %v not below IID %v", ds, di)
+	}
+}
+
+func TestSobolRejectsBadDim(t *testing.T) {
+	if _, err := NewSobol(1, 0); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, err := NewSobol(1, sobolMaxDim+1); err == nil {
+		t.Error("oversized dim accepted")
+	}
+}
+
+func TestNormalInverseCDF(t *testing.T) {
+	cases := []struct{ u, z float64 }{
+		{0.5, 0},
+		{0.8413447460685429, 1},
+		{0.9772498680518208, 2},
+		{0.9986501019683699, 3},
+		{0.975, 1.959963984540054},
+	}
+	for _, c := range cases {
+		if got := Normal(c.u); math.Abs(got-c.z) > 1e-6 {
+			t.Errorf("Normal(%v) = %v, want %v", c.u, got, c.z)
+		}
+		// Symmetry.
+		if got := Normal(1 - c.u); math.Abs(got+c.z) > 1e-6 {
+			t.Errorf("Normal(%v) = %v, want %v", 1-c.u, got, -c.z)
+		}
+	}
+	// Extreme inputs clamp to finite tails instead of returning ±Inf.
+	for _, u := range []float64{0, 1, -1, 2} {
+		if z := Normal(u); math.IsNaN(z) || math.IsInf(z, 0) || math.Abs(z) > 10 {
+			t.Errorf("Normal(%v) = %v, want a finite clamped tail", u, z)
+		}
+	}
+}
+
+// The inverse-CDF transform of an LHS design must keep the sample mean and
+// variance of the Gaussian much tighter than IID at the same count.
+func TestLHSGaussianMoments(t *testing.T) {
+	const n = 256
+	s, _ := NewLHS(9, 1, n)
+	var mean, m2 float64
+	var p [1]float64
+	for i := 0; i < n; i++ {
+		s.At(i, p[:])
+		z := Normal(p[0])
+		mean += z
+		m2 += z * z
+	}
+	mean /= n
+	m2 /= n
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("LHS Gaussian mean %v, want ≈ 0", mean)
+	}
+	if math.Abs(m2-1) > 0.05 {
+		t.Errorf("LHS Gaussian second moment %v, want ≈ 1", m2)
+	}
+}

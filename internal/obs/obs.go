@@ -46,6 +46,7 @@ const (
 	SpanIndependent  = "independent"
 	SpanCorner       = "corner"
 	SpanMCSample     = "mc-sample"
+	SpanMCNominal    = "mc-nominal"
 	SpanBatch        = "batch"
 	SpanBatchJob     = "batch-job"
 	SpanJob          = "job"
@@ -74,6 +75,12 @@ const (
 	CtrBlockPeelOffs     = "block_peel_offs"
 	CtrBlockSharedSteps  = "block_shared_steps"
 	CtrBlockDonorReplays = "block_donor_replays"
+	// Variance-aware Monte-Carlo (statistical contours): nominal-seeded
+	// probe solves, transients avoided vs naive re-characterization, and
+	// samples folded into the control-variate delta estimator.
+	CtrMCWarmSeeds = "mc_warm_seeds"
+	CtrMCSimsSaved = "mc_sims_saved"
+	CtrMCCVApplied = "mc_cv_applied"
 	// Cluster coordinator (internal/serve/cluster). Workers never emit
 	// these; the coordinator folds them into its own exposition under the
 	// same vocabulary so fleet dashboards sum one stable counter set.

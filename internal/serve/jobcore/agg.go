@@ -56,6 +56,9 @@ func (a *obsAgg) init() {
 		obs.CtrBlockPeelOffs:          0,
 		obs.CtrBlockSharedSteps:       0,
 		obs.CtrBlockDonorReplays:      0,
+		obs.CtrMCWarmSeeds:            0,
+		obs.CtrMCSimsSaved:            0,
+		obs.CtrMCCVApplied:            0,
 		obs.CtrClusterForwards:        0,
 		obs.CtrClusterForwardRetries:  0,
 		obs.CtrClusterForwardFailures: 0,

@@ -103,7 +103,18 @@ func ToOptions(o serveclient.OptionsRequest) (latchchar.Options, error) {
 
 // Resolve validates one characterize request end to end: cell resolution,
 // option mapping, engine-level option validation, and the coalescing key.
+// Monte-Carlo requests (Options.MCSamples > 0) resolve through ResolveMC —
+// the returned cell is the nominal corner's — so a cluster edge derives the
+// same key and rejects the same invalid requests as the worker it forwards
+// to.
 func Resolve(req *serveclient.CharacterizeRequest) (*latchchar.Cell, latchchar.Options, string, error) {
+	if req.Options.MCSamples > 0 {
+		mk, nominal, mcOpts, key, err := ResolveMC(req)
+		if err != nil {
+			return nil, latchchar.Options{}, "", err
+		}
+		return mk(nominal), mcOpts.Characterize, key, nil
+	}
 	cell, err := ResolveCell(req)
 	if err != nil {
 		return nil, latchchar.Options{}, "", err
@@ -118,6 +129,70 @@ func Resolve(req *serveclient.CharacterizeRequest) (*latchchar.Cell, latchchar.O
 	return cell, opts, RequestKey(req, cell), nil
 }
 
+// ToMCOptions converts the wire options to Monte-Carlo options around the
+// already-mapped characterization options.
+func ToMCOptions(o serveclient.OptionsRequest, charOpts latchchar.Options) (latchchar.MCOptions, error) {
+	mc := latchchar.MCOptions{
+		Samples:      o.MCSamples,
+		Seed:         o.Seed,
+		Sampler:      latchchar.Sampler(o.Sampler),
+		SigmaVT:      o.SigmaVT,
+		SigmaKP:      o.SigmaKP,
+		SigmaLevel:   o.SigmaLevel,
+		Probes:       o.MCProbes,
+		Characterize: charOpts,
+	}
+	return mc, mc.Validate()
+}
+
+// ResolveMC resolves a Monte-Carlo request: a cell maker over the process
+// axes, the nominal process, the mapped MC options and the coalescing key.
+// Only built-in cells qualify — an inline netlist carries no process
+// parameters to perturb.
+func ResolveMC(req *serveclient.CharacterizeRequest) (func(latchchar.Process) *latchchar.Cell, latchchar.Process, latchchar.MCOptions, string, error) {
+	fail := func(err error) (func(latchchar.Process) *latchchar.Cell, latchchar.Process, latchchar.MCOptions, string, error) {
+		return nil, latchchar.Process{}, latchchar.MCOptions{}, "", err
+	}
+	if req.Netlist != "" {
+		return fail(fmt.Errorf("monte-carlo requests need a built-in cell (inline netlists carry no process parameters to perturb)"))
+	}
+	name := req.Cell
+	if name == "" {
+		return fail(fmt.Errorf("request needs a cell name"))
+	}
+	base, err := latchchar.CellByName(name)
+	if err != nil {
+		return fail(err)
+	}
+	p, tm := base.Process, base.Timing
+	if len(req.Process) > 0 {
+		if err := json.Unmarshal(req.Process, &p); err != nil {
+			return fail(fmt.Errorf("process override: %w", err))
+		}
+	}
+	if len(req.Timing) > 0 {
+		if err := json.Unmarshal(req.Timing, &tm); err != nil {
+			return fail(fmt.Errorf("timing override: %w", err))
+		}
+	}
+	mk, err := latchchar.CellMakerByName(name, tm)
+	if err != nil {
+		return fail(fmt.Errorf("cell %q does not support monte-carlo characterization", name))
+	}
+	charOpts, err := ToOptions(req.Options)
+	if err != nil {
+		return fail(err)
+	}
+	if err := charOpts.Validate(); err != nil {
+		return fail(err)
+	}
+	mcOpts, err := ToMCOptions(req.Options, charOpts)
+	if err != nil {
+		return fail(err)
+	}
+	return mk, p, mcOpts, RequestKey(req, mk(p)), nil
+}
+
 // ResolveBatch validates every batch item and returns the engine jobs plus
 // each item's individual coalescing key (the cluster coordinator partitions
 // a batch across workers by these keys; single-node mode ignores them).
@@ -129,6 +204,9 @@ func ResolveBatch(req *serveclient.BatchRequest) ([]latchchar.Job, []string, err
 	keys := make([]string, len(req.Jobs))
 	for i := range req.Jobs {
 		item := &req.Jobs[i]
+		if item.Options.MCSamples > 0 {
+			return nil, nil, fmt.Errorf("jobs[%d]: monte-carlo requests are not batchable; submit them to /v1/characterize", i)
+		}
 		cell, opts, key, err := Resolve(&item.CharacterizeRequest)
 		if err != nil {
 			return nil, nil, fmt.Errorf("jobs[%d]: %w", i, err)
@@ -211,6 +289,40 @@ func RenderResult(cell string, res *latchchar.Result) *serveclient.ResultJSON {
 			})
 		}
 	}
+	return out
+}
+
+// RenderMCResult renders a variance-aware Monte-Carlo outcome: the nominal
+// corner as the base result plus the sigma percentile estimate (nil-safe on
+// both levels — canceled runs may carry a nominal result without a sigma
+// estimate, or nothing at all).
+func RenderMCResult(cell string, mc *latchchar.MCResult) *serveclient.ResultJSON {
+	if mc == nil {
+		return nil
+	}
+	out := RenderResult(cell, mc.Nominal)
+	if out == nil || mc.Sigma == nil {
+		return out
+	}
+	sig := &serveclient.SigmaJSON{
+		Level:         mc.Sigma.Level,
+		Samples:       mc.Sigma.Samples,
+		WarmSamples:   mc.WarmSamples,
+		ColdFallbacks: mc.ColdFallbacks,
+		RunSims:       mc.TotalSims,
+		SimsSaved:     mc.SimsSaved,
+	}
+	for j, p := range mc.Sigma.Probes {
+		sig.Probes = append(sig.Probes, serveclient.PointJSON{
+			TauSPs: p.TauS * 1e12, TauHPs: p.TauH * 1e12, H: p.H, Iters: p.CorrectorIters,
+		})
+		sig.DeltaMeanPS = append(sig.DeltaMeanPS, mc.Sigma.Delta[j].Mean*1e12)
+		sig.DeltaStdPS = append(sig.DeltaStdPS, mc.Sigma.Delta[j].Std*1e12)
+		in, outp := mc.Sigma.Inner.Points[j], mc.Sigma.Outer.Points[j]
+		sig.Inner = append(sig.Inner, serveclient.PointJSON{TauSPs: in.TauS * 1e12, TauHPs: in.TauH * 1e12})
+		sig.Outer = append(sig.Outer, serveclient.PointJSON{TauSPs: outp.TauS * 1e12, TauHPs: outp.TauH * 1e12})
+	}
+	out.Sigma = sig
 	return out
 }
 

@@ -67,6 +67,64 @@ func TestFastPathOptionMapping(t *testing.T) {
 	}
 }
 
+func TestResolveMC(t *testing.T) {
+	req := &serveclient.CharacterizeRequest{
+		Cell: "tspc",
+		Options: serveclient.OptionsRequest{
+			Points: 3, MCSamples: 4, Sampler: "sobol", Seed: 9, MCProbes: 6, SigmaLevel: 2,
+		},
+	}
+	mk, nominal, mcOpts, key, err := ResolveMC(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mcOpts.Samples != 4 || mcOpts.Sampler != latchchar.SamplerSobol ||
+		mcOpts.Seed != 9 || mcOpts.Probes != 6 || mcOpts.SigmaLevel != 2 {
+		t.Errorf("mc options mis-mapped: %+v", mcOpts)
+	}
+	if mcOpts.Characterize.Points != 3 {
+		t.Errorf("characterize options mis-mapped: points = %d", mcOpts.Characterize.Points)
+	}
+	if cell := mk(nominal); cell == nil || cell.Name != "tspc" {
+		t.Error("cell maker does not rebuild the nominal cell")
+	}
+
+	// The MC parameters must participate in the coalescing key, and an MC
+	// request must never share a key with the plain request it wraps.
+	plain := &serveclient.CharacterizeRequest{Cell: "tspc", Options: serveclient.OptionsRequest{Points: 3}}
+	cell, _ := latchchar.CellByName("tspc")
+	if key == RequestKey(plain, cell) {
+		t.Error("MC request shares a key with the plain request")
+	}
+	other := *req
+	other.Options.Seed = 10
+	_, _, _, key2, err := ResolveMC(&other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key == key2 {
+		t.Error("different MC seeds share a coalescing key")
+	}
+	// The coordinator derives MC keys through Resolve; it must agree.
+	_, _, rkey, err := Resolve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rkey != key {
+		t.Error("Resolve key differs from ResolveMC key")
+	}
+
+	bad := &serveclient.CharacterizeRequest{Netlist: "x", Options: serveclient.OptionsRequest{MCSamples: 4}}
+	if _, _, _, _, err := ResolveMC(bad); err == nil {
+		t.Error("inline netlist accepted for monte-carlo")
+	}
+	badSampler := *req
+	badSampler.Options.Sampler = "dartboard"
+	if _, _, _, _, err := ResolveMC(&badSampler); err == nil {
+		t.Error("unknown sampler accepted")
+	}
+}
+
 func TestResolveBatchKeys(t *testing.T) {
 	req := &serveclient.BatchRequest{Jobs: []serveclient.BatchJobRequest{
 		{Name: "a", CharacterizeRequest: serveclient.CharacterizeRequest{Cell: "tspc", Options: serveclient.OptionsRequest{Points: 3}}},

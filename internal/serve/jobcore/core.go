@@ -287,6 +287,43 @@ func (c *Core) Submit(key, corr string, cell *latchchar.Cell, opts latchchar.Opt
 	return j, false, nil
 }
 
+// SubmitMC coalesces or enqueues a variance-aware Monte-Carlo job. It
+// shares the coalescing map and result cache with Submit — the MC options
+// participate in the key, so an MC request never collides with a plain one.
+func (c *Core) SubmitMC(key, corr string, mk func(latchchar.Process) *latchchar.Cell, nominal latchchar.Process, mcOpts latchchar.MCOptions, noCache bool) (j *Job, cached bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draining {
+		c.met.RejectedDraining.Add(1)
+		return nil, false, &SubmitError{Reason: ReasonDraining}
+	}
+	if !noCache {
+		if hit, ok := c.results.Get(key); ok {
+			c.met.ResultCacheHits.Add(1)
+			return hit, true, nil
+		}
+	}
+	if fl := c.inflight[key]; fl != nil {
+		fl.mu.Lock()
+		fl.coalesced++
+		fl.mu.Unlock()
+		c.met.Coalesced.Add(1)
+		return fl, false, nil
+	}
+	j = c.newJobLocked(key, corr)
+	j.mcMk, j.mcNominal, j.mcOpts = mk, nominal, mcOpts
+	j.cell = mk(nominal)
+	select {
+	case c.queue <- j:
+	default:
+		c.dropJobLocked(j)
+		c.met.RejectedFull.Add(1)
+		return nil, false, &SubmitError{Reason: ReasonQueueFull}
+	}
+	c.inflight[key] = j
+	return j, false, nil
+}
+
 // SubmitBatch enqueues a batch job (no coalescing; warm-start grouping
 // happens inside the engine batch).
 func (c *Core) SubmitBatch(jobs []latchchar.Job, corr string) (*Job, error) {
@@ -378,6 +415,11 @@ func (c *Core) runJob(j *Job) {
 			j.batch[i].Opts.Obs = j.run
 		}
 		j.completeBatch(c.eng.CharacterizeBatch(ctx, j.batch))
+	case j.mcMk != nil:
+		mcOpts := j.mcOpts
+		mcOpts.Characterize.Obs = j.run
+		mc, err := c.eng.MonteCarloContours(ctx, j.mcMk, j.mcNominal, mcOpts)
+		j.completeMC(mc, err)
 	default:
 		opts := j.opts
 		opts.Obs = j.run

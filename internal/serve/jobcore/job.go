@@ -37,6 +37,12 @@ type Job struct {
 	opts  latchchar.Options
 	batch []latchchar.Job // non-nil selects the batch flow
 
+	// Monte-Carlo flow (non-nil mcMk selects it): the cell maker over the
+	// process axes, the nominal process and the MC options.
+	mcMk      func(latchchar.Process) *latchchar.Cell
+	mcNominal latchchar.Process
+	mcOpts    latchchar.MCOptions
+
 	run     *obs.Run
 	rec     *obs.Recorder // flight recorder; nil when disabled
 	created time.Time
@@ -48,6 +54,7 @@ type Job struct {
 	finished  time.Time
 	coalesced int
 	result    *latchchar.Result
+	mcRes     *latchchar.MCResult
 	batchRes  []latchchar.JobResult
 	err       error
 	events    []obs.Event
@@ -153,6 +160,27 @@ func (j *Job) complete(res *latchchar.Result, err error) {
 	}
 }
 
+// completeMC records a Monte-Carlo outcome. The nominal result doubles as
+// the partial-contour carrier so cancellation renders the same way as for
+// single jobs.
+func (j *Job) completeMC(mc *latchchar.MCResult, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	j.mcRes, j.err = mc, err
+	if mc != nil {
+		j.result = mc.Nominal
+	}
+	switch {
+	case err == nil:
+		j.state = stateDone
+	case errors.Is(err, latchchar.ErrCanceled):
+		j.state = stateCanceled
+	default:
+		j.state = stateFailed
+	}
+}
+
 // completeBatch records a batch outcome; the job fails only if every item
 // failed.
 func (j *Job) completeBatch(res []latchchar.JobResult) {
@@ -227,7 +255,11 @@ func (j *Job) Status() serveclient.JobStatus {
 		if j.cell != nil {
 			name = j.cell.Name
 		}
-		st.Result = RenderResult(name, j.result)
+		if j.mcRes != nil {
+			st.Result = RenderMCResult(name, j.mcRes)
+		} else {
+			st.Result = RenderResult(name, j.result)
+		}
 	}
 	return st
 }

@@ -176,15 +176,32 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	cell, opts, key, err := jobcore.Resolve(&req)
-	if err != nil {
-		WriteError(w, r, http.StatusBadRequest, serveclient.CodeInvalidRequest, err.Error())
-		return
-	}
-	j, cached, err := s.core.Submit(key, ReqCorr(r), cell, opts, req.NoCache)
-	if err != nil {
-		s.reject(w, r, err)
-		return
+	var (
+		j      *jobcore.Job
+		cached bool
+	)
+	if req.Options.MCSamples > 0 {
+		mk, nominal, mcOpts, key, err := jobcore.ResolveMC(&req)
+		if err != nil {
+			WriteError(w, r, http.StatusBadRequest, serveclient.CodeInvalidRequest, err.Error())
+			return
+		}
+		j, cached, err = s.core.SubmitMC(key, ReqCorr(r), mk, nominal, mcOpts, req.NoCache)
+		if err != nil {
+			s.reject(w, r, err)
+			return
+		}
+	} else {
+		cell, opts, key, err := jobcore.Resolve(&req)
+		if err != nil {
+			WriteError(w, r, http.StatusBadRequest, serveclient.CodeInvalidRequest, err.Error())
+			return
+		}
+		j, cached, err = s.core.Submit(key, ReqCorr(r), cell, opts, req.NoCache)
+		if err != nil {
+			s.reject(w, r, err)
+			return
+		}
 	}
 	if cached {
 		st := j.Status()

@@ -359,6 +359,78 @@ func TestBatchEndpoint(t *testing.T) {
 	}
 }
 
+// A Monte-Carlo request (mc_samples > 0) must run the variance-aware flow
+// and return the nominal contour plus the sigma estimate, with MC-path
+// counters on /v1/metrics. A second identical request must come from the
+// result cache — MC options participate in the coalescing key.
+func TestMonteCarloEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full monte-carlo run")
+	}
+	_, ts := newTestServer(t, Config{})
+	req := serveclient.CharacterizeRequest{
+		Cell: "tspc",
+		Options: serveclient.OptionsRequest{
+			Points:         8,
+			BothDirections: true,
+			FastPath:       true,
+			MCSamples:      3,
+			Sampler:        "lhs",
+			Seed:           7,
+			MCProbes:       4,
+		},
+		Wait: true,
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/characterize", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var st serveclient.JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != serveclient.StateDone {
+		t.Fatalf("state %q (error %q)", st.State, st.Error)
+	}
+	if st.Result == nil || st.Result.Sigma == nil {
+		t.Fatalf("missing sigma estimate: %s", body)
+	}
+	sig := st.Result.Sigma
+	if sig.Samples < 2 || len(sig.Inner) == 0 || len(sig.Inner) != len(sig.Outer) || len(sig.Inner) != len(sig.Probes) {
+		t.Fatalf("malformed sigma estimate: %+v", sig)
+	}
+	if sig.WarmSamples == 0 {
+		t.Error("no warm-started samples")
+	}
+	if sig.RunSims <= 0 {
+		t.Error("run sims not accounted")
+	}
+
+	resp2, body2 := postJSON(t, ts.URL+"/v1/characterize", req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status %d: %s", resp2.StatusCode, body2)
+	}
+	var st2 serveclient.JobStatus
+	if err := json.Unmarshal(body2, &st2); err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached {
+		t.Error("identical MC request was not served from the result cache")
+	}
+
+	mresp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, ctr := range []string{"mc_warm_seeds", "mc_sims_saved", "mc_cv_applied"} {
+		if !strings.Contains(string(metrics), ctr) {
+			t.Errorf("metrics exposition is missing %s", ctr)
+		}
+	}
+}
+
 // Every rejection must carry the v1 typed error envelope with a closed-set
 // code and the request's correlation ID.
 func TestRequestValidation(t *testing.T) {
@@ -375,6 +447,9 @@ func TestRequestValidation(t *testing.T) {
 		{"unknown field", "/v1/characterize", `{"cell":"tspc","bogus":1}`, http.StatusBadRequest},
 		{"negative points", "/v1/characterize", `{"cell":"tspc","options":{"points":-1}}`, http.StatusBadRequest},
 		{"override on netlist", "/v1/characterize", `{"netlist":"x","process":{}}`, http.StatusBadRequest},
+		{"mc on netlist", "/v1/characterize", `{"netlist":"x","options":{"mc_samples":4}}`, http.StatusBadRequest},
+		{"bad sampler", "/v1/characterize", `{"cell":"tspc","options":{"mc_samples":4,"sampler":"dartboard"}}`, http.StatusBadRequest},
+		{"mc in batch", "/v1/batch", `{"jobs":[{"cell":"tspc","options":{"mc_samples":4}}]}`, http.StatusBadRequest},
 		{"empty batch", "/v1/batch", `{"jobs":[]}`, http.StatusBadRequest},
 		{"bad batch item", "/v1/batch", `{"jobs":[{"cell":"zzz"}]}`, http.StatusBadRequest},
 	}

@@ -115,6 +115,22 @@ func C2MOSCell(p Process, tm Timing, clkbDelay float64) *Cell {
 // TGateCell builds the transmission-gate example cell.
 func TGateCell(p Process, tm Timing) *Cell { return registers.TGate(p, tm) }
 
+// CellMakerByName returns a constructor over the process axes for a built-in
+// cell — the mk argument Monte-Carlo flows rebuild perturbed cells with. The
+// timing is fixed across draws; inline netlists have no maker (they carry no
+// process parameters to perturb).
+func CellMakerByName(name string, tm Timing) (func(Process) *Cell, error) {
+	switch name {
+	case "tspc":
+		return func(p Process) *Cell { return TSPCCell(p, tm) }, nil
+	case "c2mos":
+		return func(p Process) *Cell { return C2MOSCell(p, tm, 0) }, nil
+	case "tgate":
+		return func(p Process) *Cell { return TGateCell(p, tm) }, nil
+	}
+	return nil, fmt.Errorf("latchchar: cell %q has no process-parameterized constructor", name)
+}
+
 // Options configure a full characterization run.
 type Options struct {
 	// Points is the number of contour points to trace per direction
@@ -320,7 +336,9 @@ func characterizeCtx(ctx context.Context, ev *Evaluator, opts Options, warm *Con
 	if opts.Resample >= 2 {
 		resampleOpts := opts.MPNR
 		resampleOpts.Obs = sp
-		rs, rerr := core.ResampleContourCtx(ctx, ev, ct, opts.Resample, resampleOpts)
+		// Block > 1 batches the per-point polish through the lockstep
+		// block-transient kernel, just like the trace loop's bundles.
+		rs, rerr := core.ResampleContourBlockCtx(ctx, ev, ct, opts.Resample, opts.Block, resampleOpts)
 		if rerr != nil {
 			if errors.Is(rerr, ErrCanceled) {
 				// Keep the fully traced contour; only the redistribution

@@ -2,13 +2,38 @@ package latchchar
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 
+	"latchchar/internal/num"
+	"latchchar/internal/num/sample"
 	"latchchar/internal/obs"
 )
+
+// Sampler names a process-sampling scheme for Monte-Carlo characterization.
+type Sampler string
+
+// The supported samplers. The quasi-Monte-Carlo designs (Latin hypercube,
+// scrambled Sobol) cut the 1/√N error scaling of independent draws on the
+// smooth low-dimensional process-to-contour map, so a given band accuracy
+// needs fewer characterized samples.
+const (
+	// SamplerIID draws independent pseudo-random samples (the default; the
+	// empty string selects it too).
+	SamplerIID Sampler = "iid"
+	// SamplerLHS draws a Latin-hypercube design: exact per-axis
+	// stratification over the sample count.
+	SamplerLHS Sampler = "lhs"
+	// SamplerSobol draws an Owen-scrambled Sobol sequence: a digital net
+	// whose prefixes fill the process space with low discrepancy.
+	SamplerSobol Sampler = "sobol"
+)
+
+// mcAxes is the dimensionality of the process sample space: relative
+// perturbations of NMOS/PMOS threshold voltage and transconductance.
+const mcAxes = 4
 
 // MCOptions configure Monte-Carlo statistical characterization — the
 // paper's second motivating workload besides PVT corners ("for all
@@ -16,11 +41,26 @@ import (
 type MCOptions struct {
 	// Samples is the number of process draws (default 8).
 	Samples int
-	// Seed makes the draw deterministic.
+	// Seed makes the draw deterministic: the sample set is a pure function
+	// of (Seed, Sampler, Samples, SigmaVT, SigmaKP) — bitwise identical at
+	// any Parallelism, because samples are index-addressed rather than drawn
+	// from a shared stream.
 	Seed int64
+	// Sampler selects the sampling scheme: SamplerIID (default, also the
+	// empty string), SamplerLHS or SamplerSobol.
+	Sampler Sampler
 	// SigmaVT and SigmaKP are the relative 1σ variations applied to the
 	// threshold voltages and transconductances (defaults 3% and 5%).
 	SigmaVT, SigmaKP float64
+	// SigmaLevel is the percentile band half-width, in sample standard
+	// deviations, of the SigmaContours estimate (default 3 — the 3σ inner
+	// and outer contours).
+	SigmaLevel float64
+	// Probes is the number of arc-length-uniform probe points at which the
+	// variance-aware flow measures each sample's contour against nominal
+	// (default 12). More probes resolve the band's shape; each costs about
+	// one corrector solve per sample.
+	Probes int
 	// Parallelism caps how many samples run at once (default: the engine
 	// pool's worker bound — previously every sample ran at once, which on a
 	// library-scale sample count oversubscribed the machine).
@@ -33,13 +73,69 @@ func (o MCOptions) withDefaults() MCOptions {
 	if o.Samples <= 0 {
 		o.Samples = 8
 	}
+	if o.Sampler == "" {
+		o.Sampler = SamplerIID
+	}
 	if o.SigmaVT <= 0 {
 		o.SigmaVT = 0.03
 	}
 	if o.SigmaKP <= 0 {
 		o.SigmaKP = 0.05
 	}
+	if o.SigmaLevel <= 0 {
+		o.SigmaLevel = 3
+	}
+	if o.Probes <= 0 {
+		o.Probes = 12
+	}
 	return o
+}
+
+// sampleSource builds the unit-hypercube source for defaulted options.
+func (o MCOptions) sampleSource() (sample.Source, error) {
+	switch o.Sampler {
+	case "", SamplerIID:
+		return sample.NewIID(o.Seed, mcAxes)
+	case SamplerLHS:
+		return sample.NewLHS(o.Seed, mcAxes, o.Samples)
+	case SamplerSobol:
+		return sample.NewSobol(o.Seed, mcAxes)
+	}
+	return nil, optErr("Sampler", o.Sampler, `must be "iid", "lhs" or "sobol" ("" selects iid)`)
+}
+
+// drawProcesses realizes the process sample set: source point i in [0,1)⁴ is
+// mapped through the inverse normal CDF (preserving quasi-MC stratification)
+// onto relative VT0/KP perturbations around nominal.
+func drawProcesses(nominal Process, o MCOptions) ([]Process, error) {
+	src, err := o.sampleSource()
+	if err != nil {
+		return nil, err
+	}
+	procs := make([]Process, o.Samples)
+	u := make([]float64, mcAxes)
+	for i := range procs {
+		src.At(i, u)
+		p := nominal
+		p.NMOS.VT0 *= 1 + o.SigmaVT*sample.Normal(u[0])
+		p.PMOS.VT0 *= 1 + o.SigmaVT*sample.Normal(u[1])
+		p.NMOS.KP *= 1 + o.SigmaKP*sample.Normal(u[2])
+		p.PMOS.KP *= 1 + o.SigmaKP*sample.Normal(u[3])
+		procs[i] = p
+	}
+	return procs, nil
+}
+
+// MCDraws returns the process sample set a Monte-Carlo run with these
+// options would characterize, without running any simulations. The set is a
+// pure function of (Seed, Sampler, Samples, SigmaVT, SigmaKP): callers can
+// rely on bitwise-identical draws across Parallelism values, machines and
+// releases of the sampling schemes.
+func MCDraws(nominal Process, opts MCOptions) ([]Process, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return drawProcesses(nominal, opts.withDefaults())
 }
 
 // MCSample is one Monte-Carlo draw's outcome.
@@ -49,6 +145,10 @@ type MCSample struct {
 	Process Process
 	Result  *Result
 	Err     error
+	// WarmStarted reports the sample was solved by polishing the nominal
+	// contour's probe points (the variance-aware path) instead of a full
+	// cold characterization.
+	WarmStarted bool
 }
 
 // MCStats summarizes a statistic over the samples.
@@ -67,33 +167,30 @@ func MonteCarlo(mk func(Process) *Cell, nominal Process, opts MCOptions) []MCSam
 // are returned in sample order. Samples draw from the engine's bounded pool
 // (the v1 default of Workers = Samples is gone), the first sample's traced
 // contour warm-starts the rest, and cancellation stops in-flight traces
-// mid-transient. The draw sequence depends only on Seed.
+// mid-transient. The draw sequence depends only on Seed and Sampler; see
+// MCDraws.
 func MonteCarloCtx(ctx context.Context, mk func(Process) *Cell, nominal Process, opts MCOptions) []MCSample {
 	return DefaultEngine().MonteCarlo(ctx, mk, nominal, opts)
 }
 
 // MonteCarlo runs the statistical sweep on this engine; see MonteCarloCtx.
 // Invalid MCOptions yield a single sample carrying the *OptionError.
+// Every sample is fully re-characterized; MonteCarloContours is the
+// variance-aware sibling that solves samples from the nominal contour.
 func (e *Engine) MonteCarlo(ctx context.Context, mk func(Process) *Cell, nominal Process, opts MCOptions) []MCSample {
 	if err := opts.Validate(); err != nil {
 		return []MCSample{{Err: err}}
 	}
 	o := opts.withDefaults()
-	rng := rand.New(rand.NewSource(o.Seed))
-	// Draw all processes up front so the sequence depends only on Seed,
-	// not on goroutine scheduling.
-	samples := make([]MCSample, o.Samples)
-	for i := range samples {
-		p := nominal
-		p.NMOS.VT0 *= 1 + o.SigmaVT*rng.NormFloat64()
-		p.PMOS.VT0 *= 1 + o.SigmaVT*rng.NormFloat64()
-		p.NMOS.KP *= 1 + o.SigmaKP*rng.NormFloat64()
-		p.PMOS.KP *= 1 + o.SigmaKP*rng.NormFloat64()
-		samples[i] = MCSample{Index: i, Process: p}
+	procs, err := drawProcesses(nominal, o)
+	if err != nil {
+		return []MCSample{{Err: err}}
 	}
+	samples := make([]MCSample, o.Samples)
 	jobs := make([]Job, len(samples))
 	pre := make([]error, len(samples))
 	for i := range samples {
+		samples[i] = MCSample{Index: i, Process: procs[i]}
 		s := &samples[i]
 		if err := s.Process.NMOS.Validate(); err != nil {
 			pre[i] = fmt.Errorf("latchchar: sample %d: %w", i, err)
@@ -118,28 +215,41 @@ func (e *Engine) MonteCarlo(ctx context.Context, mk func(Process) *Cell, nominal
 	return samples
 }
 
+// ErrNoSamples is the sentinel SummarizeMC and the sigma-contour estimator
+// wrap when no usable sample values remain (every sample failed, or every
+// value was non-finite); test with errors.Is.
+var ErrNoSamples = errors.New("latchchar: no usable Monte-Carlo samples")
+
 // SummarizeMC reduces the samples with the given per-sample statistic
-// (e.g. minimum setup time). Failed samples are skipped; err reports if
-// every sample failed.
+// (e.g. minimum setup time). Failed samples and non-finite statistic values
+// are skipped; an empty remainder yields an error wrapping ErrNoSamples.
 func SummarizeMC(samples []MCSample, stat func(*Result) float64) (MCStats, error) {
 	var vals []float64
 	for _, s := range samples {
 		if s.Err == nil && s.Result != nil {
-			vals = append(vals, stat(s.Result))
+			if v := stat(s.Result); num.IsFinite(v) {
+				vals = append(vals, v)
+			}
 		}
 	}
+	return statsOf(vals)
+}
+
+// statsOf reduces finite values to MCStats; empty input errors.
+func statsOf(vals []float64) (MCStats, error) {
 	if len(vals) == 0 {
-		return MCStats{}, fmt.Errorf("latchchar: no successful Monte-Carlo samples")
+		return MCStats{}, fmt.Errorf("latchchar: summarize: %w", ErrNoSamples)
 	}
-	sort.Float64s(vals)
-	st := MCStats{Min: vals[0], Max: vals[len(vals)-1]}
-	for _, v := range vals {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	st := MCStats{Min: sorted[0], Max: sorted[len(sorted)-1]}
+	for _, v := range sorted {
 		st.Mean += v
 	}
-	st.Mean /= float64(len(vals))
-	for _, v := range vals {
+	st.Mean /= float64(len(sorted))
+	for _, v := range sorted {
 		st.Std += (v - st.Mean) * (v - st.Mean)
 	}
-	st.Std = math.Sqrt(st.Std / float64(len(vals)))
+	st.Std = math.Sqrt(st.Std / float64(len(sorted)))
 	return st, nil
 }

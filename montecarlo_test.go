@@ -1,6 +1,7 @@
 package latchchar
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -69,9 +70,77 @@ func TestSummarizeMCAllFailed(t *testing.T) {
 	}
 }
 
+func TestSummarizeMCEdgeCases(t *testing.T) {
+	res := func(d float64) MCSample {
+		return MCSample{Result: &Result{Calibration: Calibration{CharDelay: d}}}
+	}
+	delay := func(r *Result) float64 { return r.Calibration.CharDelay }
+	cases := []struct {
+		name     string
+		samples  []MCSample
+		wantErr  bool
+		wantMean float64
+	}{
+		{"empty slice", nil, true, 0},
+		{"all failed", []MCSample{{Err: errFake{}}, {Err: errFake{}}}, true, 0},
+		{"nil results", []MCSample{{}, {}}, true, 0},
+		{"all non-finite", []MCSample{res(math.NaN()), res(math.Inf(1))}, true, 0},
+		{"non-finite skipped", []MCSample{res(math.NaN()), res(2), res(math.Inf(-1)), res(4)}, false, 3},
+		{"failed skipped", []MCSample{{Err: errFake{}}, res(5)}, false, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st, err := SummarizeMC(tc.samples, delay)
+			if tc.wantErr {
+				if !errors.Is(err, ErrNoSamples) {
+					t.Fatalf("err = %v, want ErrNoSamples", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Mean != tc.wantMean {
+				t.Errorf("mean = %v, want %v", st.Mean, tc.wantMean)
+			}
+		})
+	}
+}
+
 type errFake struct{}
 
 func (errFake) Error() string { return "fake" }
+
+// The MCDraws purity contract: the draw sequence is a function of
+// (Seed, Sampler, Samples, SigmaVT, SigmaKP) only — Parallelism and the
+// characterization options must never leak into it, or the serving layer's
+// seed-keyed result cache would silently return mismatched contours.
+func TestMCDrawsDeterministicAcrossParallelism(t *testing.T) {
+	for _, sampler := range []Sampler{SamplerIID, SamplerLHS, SamplerSobol} {
+		t.Run(string(sampler), func(t *testing.T) {
+			base := MCOptions{Samples: 6, Seed: 11, Sampler: sampler}
+			ref, err := MCDraws(DefaultProcess(), base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, par := range []int{1, 3, 16} {
+				opts := base
+				opts.Parallelism = par
+				opts.Characterize = Options{Points: par} // must not matter either
+				got, err := MCDraws(DefaultProcess(), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range ref {
+					if got[i] != ref[i] {
+						t.Fatalf("parallelism %d, sample %d: draws diverge:\n%+v\n%+v",
+							par, i, got[i], ref[i])
+					}
+				}
+			}
+		})
+	}
+}
 
 func TestMCOptionsDefaults(t *testing.T) {
 	o := MCOptions{}.withDefaults()

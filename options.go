@@ -197,11 +197,22 @@ func (o MCOptions) Validate() error {
 	if o.Samples < 0 {
 		return optErr("Samples", o.Samples, "must be ≥ 0 (0 selects the default)")
 	}
+	switch o.Sampler {
+	case "", SamplerIID, SamplerLHS, SamplerSobol:
+	default:
+		return optErr("Sampler", o.Sampler, `must be "iid", "lhs" or "sobol" ("" selects iid)`)
+	}
 	if err := checkNonNeg("SigmaVT", o.SigmaVT); err != nil {
 		return err
 	}
 	if err := checkNonNeg("SigmaKP", o.SigmaKP); err != nil {
 		return err
+	}
+	if err := checkNonNeg("SigmaLevel", o.SigmaLevel); err != nil {
+		return err
+	}
+	if o.Probes < 0 || o.Probes == 1 {
+		return optErr("Probes", o.Probes, "must be 0 (default) or ≥ 2 probe points")
 	}
 	if o.Parallelism < 0 {
 		return optErr("Parallelism", o.Parallelism, "must be ≥ 0 (0 selects the default)")

@@ -77,6 +77,30 @@ type OptionsRequest struct {
 	// a bundle of Block predicted points as one lockstep block-transient
 	// (DESIGN §13). 0 or 1 keeps the scalar predictor.
 	Block int `json:"block,omitempty"`
+
+	// MCSamples > 0 turns the request into a variance-aware Monte-Carlo
+	// characterization (DESIGN §16): the nominal corner is characterized
+	// once, MCSamples process draws are solved by warm probe polishing, and
+	// the result carries sigma percentile contours. Built-in cells only —
+	// inline netlists carry no process parameters to perturb. All MC fields
+	// participate in the coalescing key through the canonical encoding.
+	MCSamples int `json:"mc_samples,omitempty"`
+	// Sampler selects the process-draw scheme: "iid" (default), "lhs"
+	// (Latin hypercube) or "sobol" (scrambled Sobol).
+	Sampler string `json:"sampler,omitempty"`
+	// Seed makes the draw deterministic; the sample set is a pure function
+	// of (seed, sampler, mc_samples, sigma_vt, sigma_kp).
+	Seed int64 `json:"seed,omitempty"`
+	// SigmaVT and SigmaKP are the relative 1σ variations applied to
+	// threshold voltages and transconductances (defaults 3% and 5%).
+	SigmaVT float64 `json:"sigma_vt,omitempty"`
+	SigmaKP float64 `json:"sigma_kp,omitempty"`
+	// SigmaLevel is the percentile-band half-width in sample standard
+	// deviations (default 3 — the 3σ band).
+	SigmaLevel float64 `json:"sigma_level,omitempty"`
+	// MCProbes is the number of probe points the per-sample deltas are
+	// measured at (default 12).
+	MCProbes int `json:"mc_probes,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/batch: the jobs run as one engine
@@ -127,7 +151,9 @@ type JobStatus struct {
 // Terminal reports whether the job reached a final state.
 func (s *JobStatus) Terminal() bool { return TerminalState(s.State) }
 
-// ResultJSON renders a characterization result.
+// ResultJSON renders a characterization result. For a Monte-Carlo request
+// the top-level fields describe the nominal corner and Sigma carries the
+// statistical estimate.
 type ResultJSON struct {
 	Cell        string          `json:"cell"`
 	Contour     []PointJSON     `json:"contour"`
@@ -137,6 +163,36 @@ type ResultJSON struct {
 	TotalSims   int             `json:"total_sims"`
 	ElapsedMS   float64         `json:"elapsed_ms"`
 	Stats       StatsJSON       `json:"stats"`
+	Sigma       *SigmaJSON      `json:"sigma,omitempty"`
+}
+
+// SigmaJSON renders the percentile-contour estimate of a variance-aware
+// Monte-Carlo run. Probes, DeltaMeanPS/DeltaStdPS, Inner and Outer are
+// parallel arrays over the covered probe points.
+type SigmaJSON struct {
+	// Level is the band half-width in sample standard deviations.
+	Level float64 `json:"level"`
+	// Samples counts the sample contours folded into the estimate;
+	// WarmSamples of the run's draws were solved by warm probe polishing,
+	// ColdFallbacks by a full characterization.
+	Samples       int `json:"samples"`
+	WarmSamples   int `json:"warm_samples"`
+	ColdFallbacks int `json:"cold_fallbacks,omitempty"`
+	// RunSims is the whole run's transient count (nominal included);
+	// SimsSaved estimates the transients avoided vs naive per-sample
+	// re-characterization (the mc_sims_saved counter).
+	RunSims   int `json:"run_sims"`
+	SimsSaved int `json:"sims_saved"`
+	// Probes are the nominal probe points the deltas were measured at.
+	Probes []PointJSON `json:"probes"`
+	// DeltaMeanPS and DeltaStdPS are the per-probe normal-delta statistics
+	// in picoseconds (positive = toward larger skews).
+	DeltaMeanPS []float64 `json:"delta_mean_ps"`
+	DeltaStdPS  []float64 `json:"delta_std_ps"`
+	// Inner is the restrictive band edge (nominal + mean + level·std along
+	// the probe normal); Outer the permissive one.
+	Inner []PointJSON `json:"inner"`
+	Outer []PointJSON `json:"outer"`
 }
 
 // PointJSON is one contour point, skews in picoseconds as in the CLI CSV.
